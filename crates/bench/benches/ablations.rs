@@ -1,0 +1,55 @@
+//! Criterion bench of the ablation axes at small scale: active buffering,
+//! probe responsiveness, and the library cost model.
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use genx::{run_genx, GenxConfig, IoChoice, WorkloadKind};
+use rocnet::cluster::ClusterSpec;
+use rocstore::SharedFs;
+
+fn panda_cfg(label: &str) -> GenxConfig {
+    let mut cfg = GenxConfig::new(
+        label,
+        WorkloadKind::LabScale {
+            seed: 42,
+            scale: 0.05,
+        },
+        IoChoice::Rocpanda {
+            server_ranks: vec![8],
+        },
+    );
+    cfg.steps = 10;
+    cfg.snapshot_every = 5;
+    cfg
+}
+
+fn bench_ablations(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablations");
+    group.sample_size(10);
+    for buffering in [true, false] {
+        group.bench_function(format!("buffering-{buffering}"), |b| {
+            b.iter(|| {
+                let mut cfg = panda_cfg("crit-ab-buf");
+                cfg.rocpanda.active_buffering = buffering;
+                let fs = Arc::new(SharedFs::turing());
+                std::hint::black_box(run_genx(ClusterSpec::turing(9), &fs, &cfg).unwrap())
+            })
+        });
+    }
+    for responsive in [true, false] {
+        group.bench_function(format!("responsive-{responsive}"), |b| {
+            b.iter(|| {
+                let mut cfg = panda_cfg("crit-ab-probe");
+                cfg.rocpanda.responsive_probe = responsive;
+                cfg.rocpanda.buffer_capacity = 1 << 20;
+                let fs = Arc::new(SharedFs::turing());
+                std::hint::black_box(run_genx(ClusterSpec::turing(9), &fs, &cfg).unwrap())
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_ablations);
+criterion_main!(benches);

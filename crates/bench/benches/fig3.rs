@@ -1,0 +1,28 @@
+//! Criterion bench of single Fig. 3 points (small node counts).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rocnet::cluster::NodeUsage;
+
+fn bench_fig3(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig3");
+    group.sample_size(10);
+    group.bench_function("fig3a-rocpanda-15p", |b| {
+        b.iter(|| std::hint::black_box(bench::fig3a_point(15, true, 2)))
+    });
+    group.bench_function("fig3a-rochdf-15p", |b| {
+        b.iter(|| std::hint::black_box(bench::fig3a_point(15, false, 2)))
+    });
+    for (name, usage) in [
+        ("fig3b-16NS-1n", NodeUsage::AllCompute),
+        ("fig3b-15NS-1n", NodeUsage::SpareIdle),
+        ("fig3b-15S-1n", NodeUsage::SpareServer),
+    ] {
+        group.bench_function(name, |b| {
+            b.iter(|| std::hint::black_box(bench::fig3b_point(1, usage, 2)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig3);
+criterion_main!(benches);

@@ -1,0 +1,30 @@
+//! Criterion bench of the Table 1 cells (downscaled problem).
+//!
+//! Wall time here measures the *harness* (simulator + I/O stack), not the
+//! modelled cluster — virtual results are deterministic, so the
+//! interesting Criterion signal is regressions in the reproduction's own
+//! performance.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench_table1(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table1");
+    group.sample_size(10);
+    for io in [
+        bench::Table1Io::Rochdf,
+        bench::Table1Io::TRochdf,
+        bench::Table1Io::Rocpanda,
+    ] {
+        group.bench_function(io.name(), |b| {
+            b.iter(|| {
+                let r = bench::table1_cell(8, io, 0.05, 10, 5);
+                assert!(r.restart_ok);
+                std::hint::black_box(r)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_table1);
+criterion_main!(benches);

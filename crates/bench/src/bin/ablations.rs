@@ -1,0 +1,170 @@
+//! Ablation studies for the design choices DESIGN.md §5 calls out:
+//!
+//! 1. **Active buffering on/off** — servers buffering + background writes
+//!    vs write-through before acknowledging (§6.1's core optimization).
+//! 2. **Responsive (adaptive) probe on/off** — non-blocking probe between
+//!    background writes vs draining the whole buffer first.
+//! 3. **Client:server ratio sweep** — 4:1 … 32:1 (the paper fixes 8:1).
+//! 4. **HDF4 vs HDF5 cost model** — file-count scaling of restart.
+//! 5. **Buffer capacity sweep** — graceful-overflow behaviour.
+//!
+//! ```text
+//! cargo run --release -p bench --bin ablations [scale]
+//! ```
+
+use std::sync::Arc;
+
+use genx::{run_genx, GenxConfig, IoChoice, RunReport, WorkloadKind};
+use rocnet::cluster::ClusterSpec;
+use rocsdf::LibraryModel;
+use rocstore::SharedFs;
+
+fn base_cfg(label: &str, scale: f64, n: usize, m: usize) -> GenxConfig {
+    let mut cfg = GenxConfig::new(
+        label,
+        WorkloadKind::LabScale { seed: 42, scale },
+        IoChoice::Rocpanda {
+            server_ranks: (n..n + m).collect(),
+        },
+    );
+    cfg.steps = 50;
+    cfg.snapshot_every = 25;
+    cfg
+}
+
+fn run(cfg: &GenxConfig, n: usize, m: usize) -> RunReport {
+    let fs = Arc::new(SharedFs::turing());
+    run_genx(ClusterSpec::turing(n + m), &fs, cfg).expect("ablation run")
+}
+
+fn main() {
+    let scale: f64 = std::env::args()
+        .nth(1)
+        .map(|s| s.parse().expect("scale must be a float"))
+        .unwrap_or(0.5);
+    let (n, m) = (16usize, 2usize);
+    let mut all: Vec<RunReport> = Vec::new();
+
+    println!("== Ablation 1: active buffering (Rocpanda, {n} clients + {m} servers)");
+    for buffering in [true, false] {
+        let mut cfg = base_cfg(&format!("ab-buffering-{buffering}"), scale, n, m);
+        cfg.rocpanda.active_buffering = buffering;
+        let r = run(&cfg, n, m);
+        println!(
+            "  active_buffering={buffering:<5}  visible-io={:>8.3}s  restart={:>7.2}s",
+            r.visible_io, r.restart_time
+        );
+        all.push(r);
+    }
+
+    println!("\n== Ablation 2: responsive probe while draining");
+    for responsive in [true, false] {
+        let mut cfg = base_cfg(&format!("ab-probe-{responsive}"), scale, n, m);
+        cfg.rocpanda.responsive_probe = responsive;
+        // Small buffer forces draining to overlap with new requests, which
+        // is where responsiveness matters.
+        cfg.rocpanda.buffer_capacity = 4 << 20;
+        let r = run(&cfg, n, m);
+        println!(
+            "  responsive_probe={responsive:<5}  visible-io={:>8.3}s",
+            r.visible_io
+        );
+        all.push(r);
+    }
+
+    println!("\n== Ablation 3: client:server ratio (32 clients)");
+    let clients = 32usize;
+    for ratio in [4usize, 8, 16, 32] {
+        let servers = clients / ratio;
+        let mut cfg = base_cfg(&format!("ab-ratio-{ratio}"), scale, clients, servers);
+        cfg.label = format!("ratio {ratio}:1");
+        let r = run(&cfg, clients, servers);
+        println!(
+            "  {:>2}:1 ({servers} servers)  visible-io={:>8.3}s  files={:<4} restart={:>7.2}s",
+            ratio, r.visible_io, r.n_files, r.restart_time
+        );
+        all.push(r);
+    }
+
+    println!("\n== Ablation 4: HDF4 vs HDF5 library cost model");
+    for (name, lib) in [("hdf4", LibraryModel::hdf4()), ("hdf5", LibraryModel::hdf5())] {
+        let mut cfg = base_cfg(&format!("ab-lib-{name}"), scale, n, m);
+        cfg.rocpanda.lib = lib;
+        let r = run(&cfg, n, m);
+        println!(
+            "  {name}: rocpanda restart={:>7.2}s  visible-io={:>7.3}s",
+            r.restart_time, r.visible_io
+        );
+        all.push(r);
+        // Rochdf side: many small files, where HDF4's linear index hurts
+        // far less.
+        let mut hcfg = GenxConfig::new(
+            format!("ab-lib-{name}-rochdf"),
+            WorkloadKind::LabScale { seed: 42, scale },
+            IoChoice::Rochdf,
+        );
+        hcfg.steps = 50;
+        hcfg.snapshot_every = 25;
+        hcfg.rochdf.lib = lib;
+        let fs = Arc::new(SharedFs::turing());
+        let r = run_genx(ClusterSpec::turing(n), &fs, &hcfg).expect("rochdf ablation");
+        println!("  {name}: rochdf   restart={:>7.2}s", r.restart_time);
+        all.push(r);
+    }
+
+    println!("\n== Ablation 5: server buffer capacity (graceful overflow)");
+    for cap_mb in [1usize, 4, 16, 512] {
+        let mut cfg = base_cfg(&format!("ab-cap-{cap_mb}"), scale, n, m);
+        cfg.rocpanda.buffer_capacity = cap_mb << 20;
+        let r = run(&cfg, n, m);
+        println!(
+            "  capacity={cap_mb:>4} MiB  visible-io={:>8.3}s",
+            r.visible_io
+        );
+        all.push(r);
+    }
+
+    println!("\n== Ablation 7: client flow-control (ack) window");
+    for window in [1usize, 2, 4, 8] {
+        let mut cfg = base_cfg(&format!("ab-window-{window}"), scale, n, m);
+        cfg.rocpanda.ack_window = window;
+        let r = run(&cfg, n, m);
+        println!("  ack_window={window:<3} visible-io={:>8.3}s", r.visible_io);
+        all.push(r);
+    }
+
+    println!("\n== Ablation 6: linear vs binomial-tree collectives (Frost model)");
+    for n in [64usize, 256, 512] {
+        let placement: Vec<usize> = (0..n).map(|r| r / 16).collect();
+        let spec =
+            rocnet::cluster::ClusterSpec::frost(placement, rocnet::cluster::NodeUsage::SpareIdle);
+        let linear = rocnet::run_ranks(n, spec.clone(), |comm| {
+            for _ in 0..10 {
+                comm.allreduce_sum_f64(comm.rank() as f64);
+            }
+            comm.now()
+        })
+        .into_iter()
+        .fold(0.0f64, f64::max);
+        let tree = rocnet::run_ranks(n, spec, |comm| {
+            for _ in 0..10 {
+                comm.allreduce_f64_tree(comm.rank() as f64, |a, b| a + b);
+            }
+            comm.now()
+        })
+        .into_iter()
+        .fold(0.0f64, f64::max);
+        println!(
+            "  n={n:<4} 10x allreduce: linear {:>8.2} ms   tree {:>8.2} ms   ({:.1}x)",
+            linear * 1e3,
+            tree * 1e3,
+            linear / tree
+        );
+    }
+
+    for r in &all {
+        assert!(r.restart_ok, "{}: restart mismatch", r.label);
+    }
+    bench::write_json("ablations", &all);
+    println!("\nall ablation restarts verified bit-exact");
+}

@@ -1,0 +1,245 @@
+//! Typed metadata attribute values.
+//!
+//! The paper's users "prefer to integrate metadata with array data in
+//! scientific data formats" (§3.2). [`AttrValue`] is the metadata half:
+//! small typed values attached to datasets, data blocks and files.
+
+use crate::error::{Result, RocError};
+
+/// A typed metadata value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AttrValue {
+    Int(i64),
+    Float(f64),
+    Str(String),
+    IntVec(Vec<i64>),
+    FloatVec(Vec<f64>),
+}
+
+impl AttrValue {
+    /// Stable one-byte tag for the file format and wire protocol.
+    pub fn tag(&self) -> u8 {
+        match self {
+            AttrValue::Int(_) => 0,
+            AttrValue::Float(_) => 1,
+            AttrValue::Str(_) => 2,
+            AttrValue::IntVec(_) => 3,
+            AttrValue::FloatVec(_) => 4,
+        }
+    }
+
+    /// Encode as little-endian bytes appended to `out`.
+    ///
+    /// Layout: `tag:u8`, then for scalars the raw value; for vectors/strings
+    /// a `u32` length followed by the payload.
+    pub fn encode(&self, out: &mut Vec<u8>) {
+        out.push(self.tag());
+        match self {
+            AttrValue::Int(x) => out.extend_from_slice(&x.to_le_bytes()),
+            AttrValue::Float(x) => out.extend_from_slice(&x.to_le_bytes()),
+            AttrValue::Str(s) => {
+                out.extend_from_slice(&(s.len() as u32).to_le_bytes());
+                out.extend_from_slice(s.as_bytes());
+            }
+            AttrValue::IntVec(v) => {
+                out.extend_from_slice(&(v.len() as u32).to_le_bytes());
+                for x in v {
+                    out.extend_from_slice(&x.to_le_bytes());
+                }
+            }
+            AttrValue::FloatVec(v) => {
+                out.extend_from_slice(&(v.len() as u32).to_le_bytes());
+                for x in v {
+                    out.extend_from_slice(&x.to_le_bytes());
+                }
+            }
+        }
+    }
+
+    /// Decode one value from `bytes` starting at `*pos`, advancing `*pos`.
+    pub fn decode(bytes: &[u8], pos: &mut usize) -> Result<Self> {
+        let tag = *bytes
+            .get(*pos)
+            .ok_or_else(|| RocError::Corrupt("attr: truncated tag".into()))?;
+        *pos += 1;
+        let take = |pos: &mut usize, n: usize| -> Result<&[u8]> {
+            let s = bytes
+                .get(*pos..*pos + n)
+                .ok_or_else(|| RocError::Corrupt("attr: truncated payload".into()))?;
+            *pos += n;
+            Ok(s)
+        };
+        let val = match tag {
+            0 => AttrValue::Int(i64::from_le_bytes(take(pos, 8)?.try_into().unwrap())),
+            1 => AttrValue::Float(f64::from_le_bytes(take(pos, 8)?.try_into().unwrap())),
+            2 => {
+                let n = u32::from_le_bytes(take(pos, 4)?.try_into().unwrap()) as usize;
+                let s = take(pos, n)?;
+                AttrValue::Str(
+                    String::from_utf8(s.to_vec())
+                        .map_err(|_| RocError::Corrupt("attr: invalid utf-8".into()))?,
+                )
+            }
+            3 => {
+                let n = u32::from_le_bytes(take(pos, 4)?.try_into().unwrap()) as usize;
+                if n > bytes.len().saturating_sub(*pos) / 8 {
+                    return Err(RocError::Corrupt("attr: IntVec length exceeds input".into()));
+                }
+                let mut v = Vec::with_capacity(n);
+                for _ in 0..n {
+                    v.push(i64::from_le_bytes(take(pos, 8)?.try_into().unwrap()));
+                }
+                AttrValue::IntVec(v)
+            }
+            4 => {
+                let n = u32::from_le_bytes(take(pos, 4)?.try_into().unwrap()) as usize;
+                if n > bytes.len().saturating_sub(*pos) / 8 {
+                    return Err(RocError::Corrupt("attr: FloatVec length exceeds input".into()));
+                }
+                let mut v = Vec::with_capacity(n);
+                for _ in 0..n {
+                    v.push(f64::from_le_bytes(take(pos, 8)?.try_into().unwrap()));
+                }
+                AttrValue::FloatVec(v)
+            }
+            other => return Err(RocError::Corrupt(format!("attr: unknown tag {other}"))),
+        };
+        Ok(val)
+    }
+
+    /// Approximate encoded size in bytes (used by the format cost models).
+    pub fn encoded_size(&self) -> usize {
+        1 + match self {
+            AttrValue::Int(_) | AttrValue::Float(_) => 8,
+            AttrValue::Str(s) => 4 + s.len(),
+            AttrValue::IntVec(v) => 4 + v.len() * 8,
+            AttrValue::FloatVec(v) => 4 + v.len() * 8,
+        }
+    }
+
+    /// The value as an `i64`, or a mismatch error.
+    pub fn as_int(&self) -> Result<i64> {
+        match self {
+            AttrValue::Int(x) => Ok(*x),
+            other => Err(RocError::Mismatch(format!("expected Int attr, got {other:?}"))),
+        }
+    }
+
+    /// The value as an `f64`, or a mismatch error.
+    pub fn as_float(&self) -> Result<f64> {
+        match self {
+            AttrValue::Float(x) => Ok(*x),
+            other => Err(RocError::Mismatch(format!(
+                "expected Float attr, got {other:?}"
+            ))),
+        }
+    }
+
+    /// The value as a `&str`, or a mismatch error.
+    pub fn as_str(&self) -> Result<&str> {
+        match self {
+            AttrValue::Str(s) => Ok(s),
+            other => Err(RocError::Mismatch(format!("expected Str attr, got {other:?}"))),
+        }
+    }
+}
+
+impl From<i64> for AttrValue {
+    fn from(x: i64) -> Self {
+        AttrValue::Int(x)
+    }
+}
+
+impl From<f64> for AttrValue {
+    fn from(x: f64) -> Self {
+        AttrValue::Float(x)
+    }
+}
+
+impl From<&str> for AttrValue {
+    fn from(s: &str) -> Self {
+        AttrValue::Str(s.to_string())
+    }
+}
+
+impl From<String> for AttrValue {
+    fn from(s: String) -> Self {
+        AttrValue::Str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip(v: AttrValue) {
+        let mut buf = Vec::new();
+        v.encode(&mut buf);
+        assert_eq!(buf.len(), v.encoded_size());
+        let mut pos = 0;
+        let w = AttrValue::decode(&buf, &mut pos).unwrap();
+        assert_eq!(pos, buf.len());
+        assert_eq!(v, w);
+    }
+
+    #[test]
+    fn round_trip_all_variants() {
+        round_trip(AttrValue::Int(-42));
+        round_trip(AttrValue::Float(3.75));
+        round_trip(AttrValue::Str("time step".into()));
+        round_trip(AttrValue::Str(String::new()));
+        round_trip(AttrValue::IntVec(vec![1, 2, 3]));
+        round_trip(AttrValue::FloatVec(vec![0.83, -1.0]));
+        round_trip(AttrValue::IntVec(vec![]));
+    }
+
+    #[test]
+    fn decode_sequence_of_values() {
+        let mut buf = Vec::new();
+        AttrValue::Int(1).encode(&mut buf);
+        AttrValue::Str("x".into()).encode(&mut buf);
+        let mut pos = 0;
+        assert_eq!(AttrValue::decode(&buf, &mut pos).unwrap(), AttrValue::Int(1));
+        assert_eq!(
+            AttrValue::decode(&buf, &mut pos).unwrap(),
+            AttrValue::Str("x".into())
+        );
+        assert_eq!(pos, buf.len());
+    }
+
+    #[test]
+    fn decode_truncated_fails() {
+        let mut buf = Vec::new();
+        AttrValue::Int(7).encode(&mut buf);
+        buf.truncate(buf.len() - 1);
+        let mut pos = 0;
+        assert!(AttrValue::decode(&buf, &mut pos).is_err());
+        assert!(AttrValue::decode(&[], &mut 0).is_err());
+    }
+
+    #[test]
+    fn decode_unknown_tag_fails() {
+        let buf = vec![200u8, 0, 0];
+        assert!(matches!(
+            AttrValue::decode(&buf, &mut 0),
+            Err(RocError::Corrupt(_))
+        ));
+    }
+
+    #[test]
+    fn typed_accessors() {
+        assert_eq!(AttrValue::Int(5).as_int().unwrap(), 5);
+        assert_eq!(AttrValue::Float(2.5).as_float().unwrap(), 2.5);
+        assert_eq!(AttrValue::Str("a".into()).as_str().unwrap(), "a");
+        assert!(AttrValue::Int(5).as_str().is_err());
+        assert!(AttrValue::Str("a".into()).as_int().is_err());
+        assert!(AttrValue::Int(1).as_float().is_err());
+    }
+
+    #[test]
+    fn from_conversions() {
+        assert_eq!(AttrValue::from(3i64), AttrValue::Int(3));
+        assert_eq!(AttrValue::from(1.5f64), AttrValue::Float(1.5));
+        assert_eq!(AttrValue::from("s"), AttrValue::Str("s".into()));
+    }
+}

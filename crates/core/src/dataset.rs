@@ -1,0 +1,151 @@
+//! Named, shaped, attributed arrays — the unit stored in SDF files.
+
+use std::collections::BTreeMap;
+
+use crate::attr::AttrValue;
+use crate::dtype::{ArrayData, DType};
+use crate::error::{Result, RocError};
+
+/// A named, shaped array with typed metadata attributes.
+///
+/// This is the direct analogue of an HDF *dataset*: the paper's HDF files
+/// "organize multiple datasets (both array data and metadata) in a single
+/// file, support user-defined attributes for datasets, and are
+/// binary-portable" (§3.2).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Dataset {
+    /// Dataset name, unique within its container (block or file section).
+    pub name: String,
+    /// Logical shape; the product of extents must equal the data length.
+    pub shape: Vec<usize>,
+    /// Array payload.
+    pub data: ArrayData,
+    /// User-defined attributes, ordered for deterministic encoding.
+    pub attrs: BTreeMap<String, AttrValue>,
+}
+
+impl Dataset {
+    /// Create a dataset, validating shape/data consistency.
+    pub fn new(
+        name: impl Into<String>,
+        shape: Vec<usize>,
+        data: ArrayData,
+    ) -> Result<Self> {
+        let name = name.into();
+        let n: usize = shape.iter().product();
+        if n != data.len() {
+            return Err(RocError::Mismatch(format!(
+                "dataset '{}': shape {:?} implies {} elements but data has {}",
+                name,
+                shape,
+                n,
+                data.len()
+            )));
+        }
+        Ok(Dataset {
+            name,
+            shape,
+            data,
+            attrs: BTreeMap::new(),
+        })
+    }
+
+    /// Create a rank-1 dataset from any convertible payload.
+    pub fn vector(name: impl Into<String>, data: impl Into<ArrayData>) -> Self {
+        let data = data.into();
+        let shape = vec![data.len()];
+        Dataset {
+            name: name.into(),
+            shape,
+            data,
+            attrs: BTreeMap::new(),
+        }
+    }
+
+    /// Attach an attribute (builder style).
+    pub fn with_attr(mut self, key: impl Into<String>, value: impl Into<AttrValue>) -> Self {
+        self.attrs.insert(key.into(), value.into());
+        self
+    }
+
+    /// Element datatype.
+    pub fn dtype(&self) -> DType {
+        self.data.dtype()
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// True when the payload is empty.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Payload size in bytes (excluding name/shape/attr metadata).
+    pub fn byte_len(&self) -> usize {
+        self.data.byte_len()
+    }
+
+    /// Approximate total encoded size: payload plus metadata (name, shape,
+    /// attributes). Used by the storage and format cost models.
+    pub fn encoded_size(&self) -> usize {
+        let meta = 2 + self.name.len() // name length prefix + name
+            + 1 + self.shape.len() * 8 // rank + extents
+            + 1 // dtype tag
+            + 2 // attr count
+            + self
+                .attrs
+                .iter()
+                .map(|(k, v)| 2 + k.len() + v.encoded_size())
+                .sum::<usize>();
+        meta + self.byte_len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_validates_shape() {
+        let ok = Dataset::new("p", vec![2, 3], ArrayData::F64(vec![0.0; 6]));
+        assert!(ok.is_ok());
+        let bad = Dataset::new("p", vec![2, 3], ArrayData::F64(vec![0.0; 5]));
+        assert!(matches!(bad, Err(RocError::Mismatch(_))));
+    }
+
+    #[test]
+    fn vector_builder_sets_rank_one_shape() {
+        let d = Dataset::vector("v", vec![1i32, 2, 3]);
+        assert_eq!(d.shape, vec![3]);
+        assert_eq!(d.dtype(), DType::I32);
+        assert_eq!(d.len(), 3);
+        assert!(!d.is_empty());
+    }
+
+    #[test]
+    fn with_attr_accumulates() {
+        let d = Dataset::vector("v", vec![1.0f64])
+            .with_attr("units", "Pa")
+            .with_attr("step", 50i64);
+        assert_eq!(d.attrs.len(), 2);
+        assert_eq!(d.attrs["units"].as_str().unwrap(), "Pa");
+        assert_eq!(d.attrs["step"].as_int().unwrap(), 50);
+    }
+
+    #[test]
+    fn encoded_size_exceeds_payload() {
+        let d = Dataset::vector("pressure", vec![0.0f64; 100]).with_attr("units", "Pa");
+        assert!(d.encoded_size() > d.byte_len());
+        assert_eq!(d.byte_len(), 800);
+    }
+
+    #[test]
+    fn zero_element_shapes_allowed() {
+        let d = Dataset::new("empty", vec![0, 5], ArrayData::F32(vec![])).unwrap();
+        assert!(d.is_empty());
+        assert_eq!(d.len(), 0);
+    }
+}

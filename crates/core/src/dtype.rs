@@ -1,0 +1,345 @@
+//! Element datatypes and typed array payloads.
+//!
+//! All on-disk and on-wire encodings are explicit little-endian so files are
+//! binary-portable, mirroring HDF's portability guarantee that made CSAR
+//! choose it (§3.2 of the paper).
+
+use crate::error::{Result, RocError};
+
+/// Element datatype of a dataset.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+pub enum DType {
+    U8,
+    I32,
+    I64,
+    F32,
+    F64,
+}
+
+impl DType {
+    /// Size of one element in bytes.
+    pub fn size(self) -> usize {
+        match self {
+            DType::U8 => 1,
+            DType::I32 | DType::F32 => 4,
+            DType::I64 | DType::F64 => 8,
+        }
+    }
+
+    /// Stable one-byte tag used by the file format and wire protocol.
+    pub fn tag(self) -> u8 {
+        match self {
+            DType::U8 => 0,
+            DType::I32 => 1,
+            DType::I64 => 2,
+            DType::F32 => 3,
+            DType::F64 => 4,
+        }
+    }
+
+    /// Inverse of [`DType::tag`].
+    pub fn from_tag(tag: u8) -> Result<Self> {
+        Ok(match tag {
+            0 => DType::U8,
+            1 => DType::I32,
+            2 => DType::I64,
+            3 => DType::F32,
+            4 => DType::F64,
+            other => return Err(RocError::Corrupt(format!("unknown dtype tag {other}"))),
+        })
+    }
+
+    /// Human-readable name, as shown by the file inspector.
+    pub fn name(self) -> &'static str {
+        match self {
+            DType::U8 => "u8",
+            DType::I32 => "i32",
+            DType::I64 => "i64",
+            DType::F32 => "f32",
+            DType::F64 => "f64",
+        }
+    }
+}
+
+/// A typed array payload.
+///
+/// Physics modules work with the typed variants directly; the I/O layers use
+/// [`ArrayData::to_le_bytes`] / [`ArrayData::from_le_bytes`] at the
+/// format/wire boundary.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ArrayData {
+    U8(Vec<u8>),
+    I32(Vec<i32>),
+    I64(Vec<i64>),
+    F32(Vec<f32>),
+    F64(Vec<f64>),
+}
+
+impl ArrayData {
+    /// Datatype of the payload.
+    pub fn dtype(&self) -> DType {
+        match self {
+            ArrayData::U8(_) => DType::U8,
+            ArrayData::I32(_) => DType::I32,
+            ArrayData::I64(_) => DType::I64,
+            ArrayData::F32(_) => DType::F32,
+            ArrayData::F64(_) => DType::F64,
+        }
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        match self {
+            ArrayData::U8(v) => v.len(),
+            ArrayData::I32(v) => v.len(),
+            ArrayData::I64(v) => v.len(),
+            ArrayData::F32(v) => v.len(),
+            ArrayData::F64(v) => v.len(),
+        }
+    }
+
+    /// True when the array holds no elements.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Payload size in bytes once encoded.
+    pub fn byte_len(&self) -> usize {
+        self.len() * self.dtype().size()
+    }
+
+    /// Allocate a zero-filled array of `n` elements of `dtype`.
+    pub fn zeros(dtype: DType, n: usize) -> Self {
+        match dtype {
+            DType::U8 => ArrayData::U8(vec![0; n]),
+            DType::I32 => ArrayData::I32(vec![0; n]),
+            DType::I64 => ArrayData::I64(vec![0; n]),
+            DType::F32 => ArrayData::F32(vec![0.0; n]),
+            DType::F64 => ArrayData::F64(vec![0.0; n]),
+        }
+    }
+
+    /// Encode as little-endian bytes, appending to `out`.
+    pub fn to_le_bytes(&self, out: &mut Vec<u8>) {
+        match self {
+            ArrayData::U8(v) => out.extend_from_slice(v),
+            ArrayData::I32(v) => {
+                out.reserve(v.len() * 4);
+                for x in v {
+                    out.extend_from_slice(&x.to_le_bytes());
+                }
+            }
+            ArrayData::I64(v) => {
+                out.reserve(v.len() * 8);
+                for x in v {
+                    out.extend_from_slice(&x.to_le_bytes());
+                }
+            }
+            ArrayData::F32(v) => {
+                out.reserve(v.len() * 4);
+                for x in v {
+                    out.extend_from_slice(&x.to_le_bytes());
+                }
+            }
+            ArrayData::F64(v) => {
+                out.reserve(v.len() * 8);
+                for x in v {
+                    out.extend_from_slice(&x.to_le_bytes());
+                }
+            }
+        }
+    }
+
+    /// Decode `n_elems` elements of `dtype` from little-endian `bytes`.
+    ///
+    /// `bytes` must be exactly `n_elems * dtype.size()` long.
+    pub fn from_le_bytes(dtype: DType, n_elems: usize, bytes: &[u8]) -> Result<Self> {
+        let want = n_elems * dtype.size();
+        if bytes.len() != want {
+            return Err(RocError::Corrupt(format!(
+                "array payload length {} != expected {} ({} x {})",
+                bytes.len(),
+                want,
+                n_elems,
+                dtype.name()
+            )));
+        }
+        Ok(match dtype {
+            DType::U8 => ArrayData::U8(bytes.to_vec()),
+            DType::I32 => ArrayData::I32(
+                bytes
+                    .chunks_exact(4)
+                    .map(|c| i32::from_le_bytes(c.try_into().unwrap()))
+                    .collect(),
+            ),
+            DType::I64 => ArrayData::I64(
+                bytes
+                    .chunks_exact(8)
+                    .map(|c| i64::from_le_bytes(c.try_into().unwrap()))
+                    .collect(),
+            ),
+            DType::F32 => ArrayData::F32(
+                bytes
+                    .chunks_exact(4)
+                    .map(|c| f32::from_le_bytes(c.try_into().unwrap()))
+                    .collect(),
+            ),
+            DType::F64 => ArrayData::F64(
+                bytes
+                    .chunks_exact(8)
+                    .map(|c| f64::from_le_bytes(c.try_into().unwrap()))
+                    .collect(),
+            ),
+        })
+    }
+
+    /// Borrow as `&[f64]`, or a mismatch error for any other dtype.
+    pub fn as_f64(&self) -> Result<&[f64]> {
+        match self {
+            ArrayData::F64(v) => Ok(v),
+            other => Err(RocError::Mismatch(format!(
+                "expected f64 array, found {}",
+                other.dtype().name()
+            ))),
+        }
+    }
+
+    /// Borrow as `&mut [f64]`, or a mismatch error for any other dtype.
+    pub fn as_f64_mut(&mut self) -> Result<&mut [f64]> {
+        match self {
+            ArrayData::F64(v) => Ok(v),
+            other => Err(RocError::Mismatch(format!(
+                "expected f64 array, found {}",
+                other.dtype().name()
+            ))),
+        }
+    }
+
+    /// Borrow as `&[i32]`, or a mismatch error for any other dtype.
+    pub fn as_i32(&self) -> Result<&[i32]> {
+        match self {
+            ArrayData::I32(v) => Ok(v),
+            other => Err(RocError::Mismatch(format!(
+                "expected i32 array, found {}",
+                other.dtype().name()
+            ))),
+        }
+    }
+
+    /// Borrow as `&mut [i32]`, or a mismatch error for any other dtype.
+    pub fn as_i32_mut(&mut self) -> Result<&mut [i32]> {
+        match self {
+            ArrayData::I32(v) => Ok(v),
+            other => Err(RocError::Mismatch(format!(
+                "expected i32 array, found {}",
+                other.dtype().name()
+            ))),
+        }
+    }
+}
+
+impl From<Vec<f64>> for ArrayData {
+    fn from(v: Vec<f64>) -> Self {
+        ArrayData::F64(v)
+    }
+}
+
+impl From<Vec<f32>> for ArrayData {
+    fn from(v: Vec<f32>) -> Self {
+        ArrayData::F32(v)
+    }
+}
+
+impl From<Vec<i32>> for ArrayData {
+    fn from(v: Vec<i32>) -> Self {
+        ArrayData::I32(v)
+    }
+}
+
+impl From<Vec<i64>> for ArrayData {
+    fn from(v: Vec<i64>) -> Self {
+        ArrayData::I64(v)
+    }
+}
+
+impl From<Vec<u8>> for ArrayData {
+    fn from(v: Vec<u8>) -> Self {
+        ArrayData::U8(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dtype_sizes_and_tags_round_trip() {
+        for d in [DType::U8, DType::I32, DType::I64, DType::F32, DType::F64] {
+            assert_eq!(DType::from_tag(d.tag()).unwrap(), d);
+            assert!(d.size() >= 1 && d.size() <= 8);
+        }
+        assert!(DType::from_tag(99).is_err());
+    }
+
+    #[test]
+    fn encode_decode_round_trip_f64() {
+        let a = ArrayData::F64(vec![1.5, -2.25, 0.0, f64::MAX, f64::MIN_POSITIVE]);
+        let mut buf = Vec::new();
+        a.to_le_bytes(&mut buf);
+        assert_eq!(buf.len(), a.byte_len());
+        let b = ArrayData::from_le_bytes(DType::F64, a.len(), &buf).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn encode_decode_round_trip_all_types() {
+        let cases: Vec<ArrayData> = vec![
+            ArrayData::U8(vec![0, 1, 255, 128]),
+            ArrayData::I32(vec![i32::MIN, -1, 0, 1, i32::MAX]),
+            ArrayData::I64(vec![i64::MIN, 0, i64::MAX]),
+            ArrayData::F32(vec![1.0, -0.5, f32::INFINITY]),
+            ArrayData::F64(vec![]),
+        ];
+        for a in cases {
+            let mut buf = Vec::new();
+            a.to_le_bytes(&mut buf);
+            let b = ArrayData::from_le_bytes(a.dtype(), a.len(), &buf).unwrap();
+            assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn decode_rejects_wrong_length() {
+        let err = ArrayData::from_le_bytes(DType::F64, 2, &[0u8; 15]);
+        assert!(matches!(err, Err(RocError::Corrupt(_))));
+    }
+
+    #[test]
+    fn zeros_has_right_shape() {
+        let z = ArrayData::zeros(DType::I32, 10);
+        assert_eq!(z.len(), 10);
+        assert_eq!(z.dtype(), DType::I32);
+        assert_eq!(z.as_i32().unwrap(), &[0; 10]);
+        assert!(!z.is_empty());
+        assert!(ArrayData::zeros(DType::U8, 0).is_empty());
+    }
+
+    #[test]
+    fn typed_accessors_enforce_dtype() {
+        let a = ArrayData::F64(vec![1.0]);
+        assert!(a.as_f64().is_ok());
+        assert!(a.as_i32().is_err());
+        let mut b = ArrayData::I32(vec![3]);
+        b.as_i32_mut().unwrap()[0] = 4;
+        assert_eq!(b.as_i32().unwrap(), &[4]);
+        assert!(b.as_f64().is_err());
+    }
+
+    #[test]
+    fn little_endian_layout_is_stable() {
+        let a = ArrayData::I32(vec![1]);
+        let mut buf = Vec::new();
+        a.to_le_bytes(&mut buf);
+        assert_eq!(buf, vec![1, 0, 0, 0]);
+    }
+}

@@ -1,0 +1,405 @@
+//! Whole-job driver: spawn a modelled cluster, wire the chosen I/O
+//! module, run the coupled simulation, and report the paper's metrics.
+
+use std::sync::Arc;
+
+use rocio_core::{Result, RocError};
+use rocmesh::Workload;
+use rocnet::cluster::ClusterSpec;
+use rocnet::{run_ranks, Comm};
+use roccom::{IoDispatch, IoService, Windows};
+use rochdf::{Rochdf, RochdfConfig, TRochdf};
+use rocpanda::{Role, RocpandaConfig};
+use rocstore::SharedFs;
+
+use crate::report::RunReport;
+use crate::rocman::Rocman;
+use crate::setup::{
+    assign, declare_windows_for, register_and_init_for, FluidKind, MyBlocks, SolidKind,
+};
+
+/// Which test problem to run.
+#[derive(Debug, Clone, PartialEq)]
+pub enum WorkloadKind {
+    /// Table 1: fixed total problem, distributed over however many
+    /// processors the run uses.
+    LabScale { seed: u64, scale: f64 },
+    /// Fig. 3: fixed data per processor (weak scaling); each rank
+    /// materializes only its own cylinder segment.
+    Cylinder { seed: u64 },
+    /// Lab-scale mesh with explicit block counts (granularity studies).
+    Custom {
+        seed: u64,
+        scale: f64,
+        n_fluid: usize,
+        n_solid: usize,
+    },
+}
+
+/// Which I/O architecture services the run.
+#[derive(Debug, Clone, PartialEq)]
+pub enum IoChoice {
+    /// Blocking individual I/O (the paper's base for comparison).
+    Rochdf,
+    /// Threaded individual I/O with background writing.
+    TRochdf,
+    /// Client-server collective I/O; the listed world ranks become
+    /// dedicated servers.
+    Rocpanda { server_ranks: Vec<usize> },
+}
+
+impl IoChoice {
+    /// Number of dedicated server ranks.
+    pub fn n_servers(&self) -> usize {
+        match self {
+            IoChoice::Rocpanda { server_ranks } => server_ranks.len(),
+            _ => 0,
+        }
+    }
+
+    /// Module name for reports.
+    pub fn name(&self) -> &'static str {
+        match self {
+            IoChoice::Rochdf => "rochdf",
+            IoChoice::TRochdf => "trochdf",
+            IoChoice::Rocpanda { .. } => "rocpanda",
+        }
+    }
+}
+
+/// Full job configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GenxConfig {
+    /// Report label.
+    pub label: String,
+    pub workload: WorkloadKind,
+    pub steps: u64,
+    pub snapshot_every: u64,
+    pub io: IoChoice,
+    /// Measure restart latency from the final snapshot.
+    pub measure_restart: bool,
+    /// Keep only this many most-recent snapshots on disk (None = all).
+    pub keep_snapshots: Option<u32>,
+    /// Rebalance panes across ranks every N steps (None = never).
+    pub rebalance_every: Option<u64>,
+    /// Which gas-dynamics solver to plug in.
+    pub fluid_solver: FluidKind,
+    /// Which structural solver to plug in.
+    pub solid_solver: SolidKind,
+    /// Output directory within the shared file system (keep unique per
+    /// run so file counts are attributable).
+    pub out_dir: String,
+    /// Rocpanda tunables (dir is overridden by `out_dir`).
+    pub rocpanda: RocpandaConfig,
+    /// Rochdf/T-Rochdf tunables (dir is overridden by `out_dir`).
+    pub rochdf: RochdfConfig,
+}
+
+impl GenxConfig {
+    /// A config with the paper's Table 1 schedule (200 steps, snapshot
+    /// every 50).
+    pub fn new(label: impl Into<String>, workload: WorkloadKind, io: IoChoice) -> Self {
+        let label = label.into();
+        GenxConfig {
+            out_dir: format!("run-{label}"),
+            label,
+            workload,
+            steps: 200,
+            snapshot_every: 50,
+            io,
+            measure_restart: true,
+            keep_snapshots: None,
+            rebalance_every: None,
+            fluid_solver: FluidKind::default(),
+            solid_solver: SolidKind::default(),
+            rocpanda: RocpandaConfig::default(),
+            rochdf: RochdfConfig::default(),
+        }
+    }
+}
+
+struct ClientOutcome {
+    comp: f64,
+    io: f64,
+    restart: f64,
+    restart_ok: bool,
+    snapshots: u32,
+    global_snapshot_bytes: u64,
+}
+
+/// Run a GENx job on the modelled `cluster` against `fs`, returning the
+/// aggregate report. `cluster.n_ranks()` must equal compute processors
+/// plus dedicated servers.
+pub fn run_genx(cluster: ClusterSpec, fs: &Arc<SharedFs>, cfg: &GenxConfig) -> Result<RunReport> {
+    let n_ranks = cluster.n_ranks();
+    let n_servers = cfg.io.n_servers();
+    let n_compute = n_ranks - n_servers;
+    if n_compute == 0 {
+        return Err(RocError::Config("no compute ranks".into()));
+    }
+    let files_before = fs.list(&format!("{}/", cfg.out_dir)).len();
+    let bytes_before = fs.stats().bytes_written;
+
+    let outcomes = run_ranks(n_ranks, cluster, |world| -> Result<Option<ClientOutcome>> {
+        match &cfg.io {
+            IoChoice::Rocpanda { server_ranks } => {
+                let mut panda_cfg = cfg.rocpanda.clone();
+                panda_cfg.dir = cfg.out_dir.clone();
+                match rocpanda::init(&world, fs, panda_cfg, server_ranks)? {
+                    Role::Server(mut server) => {
+                        server.run()?;
+                        Ok(None)
+                    }
+                    Role::Client { io, comm } => {
+                        client_run(&comm, Box::new(io), cfg).map(Some)
+                    }
+                }
+            }
+            IoChoice::Rochdf => {
+                let mut hdf_cfg = cfg.rochdf.clone();
+                hdf_cfg.dir = cfg.out_dir.clone();
+                let module = Rochdf::new(fs, &world, hdf_cfg);
+                client_run(&world, Box::new(module), cfg).map(Some)
+            }
+            IoChoice::TRochdf => {
+                let mut hdf_cfg = cfg.rochdf.clone();
+                hdf_cfg.dir = cfg.out_dir.clone();
+                let module = TRochdf::new(Arc::clone(fs), &world, hdf_cfg);
+                client_run(&world, Box::new(module), cfg).map(Some)
+            }
+        }
+    });
+
+    let mut comp: f64 = 0.0;
+    let mut io: f64 = 0.0;
+    let mut restart: f64 = 0.0;
+    let mut restart_ok = true;
+    let mut snapshots = 0u32;
+    let mut snapshot_bytes = 0u64;
+    for outcome in outcomes {
+        if let Some(c) = outcome? {
+            comp = comp.max(c.comp);
+            io = io.max(c.io);
+            restart = restart.max(c.restart);
+            restart_ok &= c.restart_ok;
+            snapshots = snapshots.max(c.snapshots);
+            snapshot_bytes = c.global_snapshot_bytes;
+        }
+    }
+
+    let n_files = fs.list(&format!("{}/", cfg.out_dir)).len() - files_before;
+    let bytes_written = fs.stats().bytes_written - bytes_before;
+    Ok(RunReport {
+        label: cfg.label.clone(),
+        io_module: cfg.io.name().to_string(),
+        n_compute,
+        n_servers,
+        steps: cfg.steps,
+        snapshots,
+        comp_time: comp,
+        visible_io: io,
+        restart_time: restart,
+        restart_ok,
+        n_files,
+        bytes_written,
+        snapshot_bytes,
+        apparent_write_mb_s: RunReport::apparent_throughput(
+            snapshot_bytes * snapshots as u64,
+            io,
+        ),
+    })
+}
+
+/// The compute-rank routine, shared by all three I/O architectures.
+fn client_run<'a>(
+    sim_comm: &'a Comm,
+    io_module: Box<dyn IoService + 'a>,
+    cfg: &GenxConfig,
+) -> Result<ClientOutcome> {
+    let rank = sim_comm.rank();
+    let n = sim_comm.size();
+    let (workload, mine) = match &cfg.workload {
+        WorkloadKind::LabScale { seed, scale } => {
+            let w = Workload::lab_scale_motor_scaled(*seed, *scale);
+            let mine = assign(&w, n)[rank].clone();
+            (w, mine)
+        }
+        WorkloadKind::Cylinder { seed } => {
+            let w = Workload::scalability_segment(rank, *seed);
+            let mine = MyBlocks {
+                fluid: (0..w.fluid.len()).collect(),
+                solid: (0..w.solid_boxes.len()).collect(),
+            };
+            (w, mine)
+        }
+        WorkloadKind::Custom {
+            seed,
+            scale,
+            n_fluid,
+            n_solid,
+        } => {
+            let w = Workload::lab_scale_custom(*seed, *scale, *n_fluid, *n_solid);
+            let mine = assign(&w, n)[rank].clone();
+            (w, mine)
+        }
+    };
+    let local_bytes: u64 = mine
+        .fluid
+        .iter()
+        .map(|&i| workload.fluid[i].snapshot_bytes(rocmesh::workload::FLUID_SCALAR_FIELDS) as u64)
+        .sum::<u64>()
+        + mine
+            .solid
+            .iter()
+            .map(|&i| {
+                let b = &workload.solid_boxes[i];
+                rocmesh::workload::solid_snapshot_bytes([b.ni, b.nj, b.nk]) as u64
+            })
+            .sum::<u64>();
+    let global_bytes = sim_comm.allreduce_sum_f64(local_bytes as f64) as u64;
+
+    let mut ws = Windows::new();
+    declare_windows_for(&mut ws, cfg.fluid_solver, cfg.solid_solver)?;
+    register_and_init_for(&mut ws, &workload, &mine, cfg.fluid_solver)?;
+
+    let mut dispatch = IoDispatch::new();
+    dispatch.load_module(io_module)?;
+    let mut man = Rocman::new(sim_comm, ws, dispatch)?;
+    // Cross-block inflow coupling along the bore axis (the adjacency is
+    // global and deterministic, so every rank computes the same map).
+    if cfg.fluid_solver == FluidKind::Rocflo {
+        for (up, down) in rocmesh::x_adjacency(&workload.fluid) {
+            man.adjacency
+                .insert(workload.fluid[down].id, workload.fluid[up].id);
+        }
+    }
+    man.fluid_kind = cfg.fluid_solver;
+    man.solid_kind = cfg.solid_solver;
+    man.keep_snapshots = cfg.keep_snapshots;
+    man.rebalance_every = cfg.rebalance_every;
+    man.run(cfg.steps, cfg.snapshot_every)?;
+
+    let (restart, restart_ok) = if cfg.measure_restart {
+        let mut fresh = Windows::new();
+        declare_windows_for(&mut fresh, cfg.fluid_solver, cfg.solid_solver)?;
+        register_and_init_for(&mut fresh, &workload, &mine, cfg.fluid_solver)?;
+        man.measure_restart(&mut fresh)?
+    } else {
+        (0.0, true)
+    };
+    let outcome = ClientOutcome {
+        comp: man.comp_time(),
+        io: man.io_time(),
+        restart,
+        restart_ok,
+        snapshots: man.snapshots_taken(),
+        global_snapshot_bytes: global_bytes,
+    };
+    man.io.finalize_all()?;
+    Ok(outcome)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_cfg(label: &str, io: IoChoice) -> GenxConfig {
+        let mut cfg = GenxConfig::new(
+            label,
+            WorkloadKind::LabScale {
+                seed: 7,
+                scale: 0.05,
+            },
+            io,
+        );
+        cfg.steps = 10;
+        cfg.snapshot_every = 5;
+        cfg
+    }
+
+    #[test]
+    fn rochdf_job_end_to_end() {
+        let fs = Arc::new(SharedFs::ideal());
+        let cfg = small_cfg("t-rochdf-e2e", IoChoice::Rochdf);
+        let report = run_genx(ClusterSpec::ideal(2), &fs, &cfg).unwrap();
+        assert_eq!(report.n_compute, 2);
+        assert_eq!(report.n_servers, 0);
+        assert_eq!(report.snapshots, 3);
+        assert!(report.restart_ok);
+        assert!(report.comp_time > 0.0);
+        assert!(report.visible_io > 0.0);
+        // 3 windows x 3 snapshots x 2 ranks.
+        assert_eq!(report.n_files, 18);
+        assert!(report.bytes_written > 0);
+    }
+
+    #[test]
+    fn trochdf_job_end_to_end() {
+        let fs = Arc::new(SharedFs::turing());
+        let cfg = small_cfg("t-trochdf-e2e", IoChoice::TRochdf);
+        let report = run_genx(ClusterSpec::turing(2), &fs, &cfg).unwrap();
+        assert!(report.restart_ok);
+        assert_eq!(report.n_files, 18);
+    }
+
+    #[test]
+    fn rocpanda_job_end_to_end() {
+        let fs = Arc::new(SharedFs::ideal());
+        let cfg = small_cfg(
+            "t-panda-e2e",
+            IoChoice::Rocpanda {
+                server_ranks: vec![0],
+            },
+        );
+        // 2 compute + 1 server.
+        let report = run_genx(ClusterSpec::ideal(3), &fs, &cfg).unwrap();
+        assert_eq!(report.n_compute, 2);
+        assert_eq!(report.n_servers, 1);
+        assert!(report.restart_ok);
+        // 3 windows x 3 snapshots x 1 server: fewer files than Rochdf.
+        assert_eq!(report.n_files, 9);
+    }
+
+    #[test]
+    fn cylinder_workload_runs() {
+        let fs = Arc::new(SharedFs::frost());
+        let mut cfg = GenxConfig::new(
+            "t-cyl",
+            WorkloadKind::Cylinder { seed: 3 },
+            IoChoice::Rochdf,
+        );
+        cfg.steps = 4;
+        cfg.snapshot_every = 4;
+        let report = run_genx(ClusterSpec::ideal(3), &fs, &cfg).unwrap();
+        assert!(report.restart_ok);
+        assert_eq!(report.snapshots, 2);
+        // Weak scaling: global bytes = 3 x per-proc bytes.
+        assert!(report.snapshot_bytes > 2 * 1024 * 1024);
+    }
+
+    #[test]
+    fn trochdf_hides_io_relative_to_rochdf() {
+        let fs1 = Arc::new(SharedFs::turing());
+        let fs2 = Arc::new(SharedFs::turing());
+        let blocking = run_genx(
+            ClusterSpec::turing(2),
+            &fs1,
+            &small_cfg("cmp-rochdf", IoChoice::Rochdf),
+        )
+        .unwrap();
+        let threaded = run_genx(
+            ClusterSpec::turing(2),
+            &fs2,
+            &small_cfg("cmp-trochdf", IoChoice::TRochdf),
+        )
+        .unwrap();
+        assert!(
+            threaded.visible_io < blocking.visible_io / 5.0,
+            "T-Rochdf {} not << Rochdf {}",
+            threaded.visible_io,
+            blocking.visible_io
+        );
+        // Computation time is independent of the I/O approach.
+        assert!((threaded.comp_time - blocking.comp_time).abs() < blocking.comp_time * 0.02);
+    }
+}

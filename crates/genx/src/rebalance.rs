@@ -1,0 +1,227 @@
+//! Dynamic load balancing: pane migration between compute ranks.
+//!
+//! The paper credits Charm++-style dynamic load balancing as a first-class
+//! citizen of the I/O design: "it allows dynamic load-balancing, where
+//! data blocks may be migrated among processors, without affecting how I/O
+//! is done. In turn, dynamic load-balancing in computation benefits
+//! parallel I/O performance" (§4.1). This module implements the
+//! computation side: measure per-rank work, compute a deterministic
+//! migration plan (every rank derives the same plan from an allgather),
+//! ship panes through the client communicator, and let the I/O layer pick
+//! up the new distribution automatically at the next snapshot.
+
+use rocio_core::{Result, RocError, SnapshotId};
+use rocnet::Comm;
+use roccom::{convert, AttrRef, Windows};
+use rocpanda::wire::BlockMsg;
+
+/// Tag used for migrated panes on the compute communicator.
+const MIGRATE_TAG: u32 = 0x0060_0010;
+
+/// One planned move: `(window, pane id, from rank, to rank)`.
+pub type Move = (String, u64, usize, usize);
+
+/// Work weight of a pane (elements; tets and cells cost alike here).
+fn pane_weight(pane: &roccom::Pane) -> u64 {
+    pane.mesh.n_elems() as u64
+}
+
+/// Serialize this rank's pane inventory: `(window, id, weight)*`.
+fn encode_inventory(windows: &Windows, names: &[&str]) -> Vec<u8> {
+    let mut out = Vec::new();
+    for name in names {
+        let Ok(w) = windows.window(name) else { continue };
+        for pane in w.panes() {
+            out.extend_from_slice(&(name.len() as u16).to_le_bytes());
+            out.extend_from_slice(name.as_bytes());
+            out.extend_from_slice(&pane.id.0.to_le_bytes());
+            out.extend_from_slice(&pane_weight(pane).to_le_bytes());
+        }
+    }
+    out
+}
+
+fn decode_inventory(bytes: &[u8]) -> Result<Vec<(String, u64, u64)>> {
+    let mut out = Vec::new();
+    let mut pos = 0;
+    while pos < bytes.len() {
+        let take = |pos: &mut usize, n: usize| -> Result<&[u8]> {
+            let s = bytes
+                .get(*pos..*pos + n)
+                .ok_or_else(|| RocError::Corrupt("inventory truncated".into()))?;
+            *pos += n;
+            Ok(s)
+        };
+        let wlen = u16::from_le_bytes(take(&mut pos, 2)?.try_into().unwrap()) as usize;
+        let window = String::from_utf8(take(&mut pos, wlen)?.to_vec())
+            .map_err(|_| RocError::Corrupt("inventory utf8".into()))?;
+        let id = u64::from_le_bytes(take(&mut pos, 8)?.try_into().unwrap());
+        let weight = u64::from_le_bytes(take(&mut pos, 8)?.try_into().unwrap());
+        out.push((window, id, weight));
+    }
+    Ok(out)
+}
+
+/// Compute a migration plan from the global inventory: repeatedly move the
+/// best-fitting pane from the heaviest rank to the lightest until the
+/// max/mean imbalance falls under `threshold` (or no move helps).
+///
+/// Deterministic: every rank runs this on identical input.
+pub fn plan_moves(
+    inventory: &[Vec<(String, u64, u64)>],
+    threshold: f64,
+) -> Vec<Move> {
+    let n = inventory.len();
+    let mut owned: Vec<Vec<(String, u64, u64)>> = inventory.to_vec();
+    let mut load: Vec<u64> = owned
+        .iter()
+        .map(|panes| panes.iter().map(|&(_, _, w)| w).sum())
+        .collect();
+    let total: u64 = load.iter().sum();
+    if n < 2 || total == 0 {
+        return Vec::new();
+    }
+    let mean = total as f64 / n as f64;
+    let mut moves = Vec::new();
+    for _ in 0..10_000 {
+        let hi = (0..n).max_by_key(|&r| load[r]).unwrap();
+        let lo = (0..n).min_by_key(|&r| load[r]).unwrap();
+        if load[hi] as f64 <= mean * threshold || hi == lo {
+            break;
+        }
+        // Best single pane: largest that still lowers the pairwise max.
+        let mut best: Option<(usize, u64)> = None;
+        for (pos, &(_, _, w)) in owned[hi].iter().enumerate() {
+            let new_hi = load[hi] - w;
+            let new_lo = load[lo] + w;
+            if new_hi.max(new_lo) < load[hi] {
+                let key = new_hi.max(new_lo);
+                if best.is_none_or(|(_, k)| key < k) {
+                    best = Some((pos, key));
+                }
+            }
+        }
+        let Some((pos, _)) = best else { break };
+        let (window, id, w) = owned[hi].remove(pos);
+        load[hi] -= w;
+        load[lo] += w;
+        moves.push((window.clone(), id, hi, lo));
+        owned[lo].push((window, id, w));
+    }
+    moves
+}
+
+/// One rebalance round over `windows`. Returns the number of panes that
+/// moved (same on every rank).
+///
+/// Burn panes shadow their solid pane, so they travel together: pass both
+/// window names with matching ids in `paired`.
+pub fn rebalance(
+    comm: &Comm,
+    windows: &mut Windows,
+    window_names: &[&str],
+    threshold: f64,
+) -> Result<usize> {
+    let inv_bytes = encode_inventory(windows, window_names);
+    let all = comm.allgather(&inv_bytes);
+    let inventory: Vec<Vec<(String, u64, u64)>> = all
+        .iter()
+        .map(|b| decode_inventory(b))
+        .collect::<Result<_>>()?;
+    let moves = plan_moves(&inventory, threshold);
+    let me = comm.rank();
+    // Ship outgoing panes (eager sends; order deterministic by plan).
+    for (window, id, from, to) in &moves {
+        if *from == me {
+            let w = windows.window_mut(window)?;
+            let pane = w.remove_pane(rocio_core::BlockId(*id))?;
+            let block = convert::pane_to_block(windows.window(window)?, &pane, &AttrRef::All)?;
+            let msg = BlockMsg {
+                snap: SnapshotId::new(0, 0), // routing only
+                window: window.clone(),
+                block,
+            };
+            comm.send(*to, MIGRATE_TAG, &msg.encode())?;
+        }
+    }
+    // Receive incoming panes. Arrival order may differ from plan order
+    // when several ranks ship to the same destination, so the message's
+    // own routing header decides where each pane lands.
+    let incoming = moves.iter().filter(|(_, _, _, to)| *to == me).count();
+    for _ in 0..incoming {
+        let m = comm.recv(None, Some(MIGRATE_TAG))?;
+        let bm = BlockMsg::decode(&m.payload)?;
+        convert::apply_block(windows.window_mut(&bm.window)?, &bm.block)?;
+    }
+    Ok(moves.len())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn inv(loads: &[&[u64]]) -> Vec<Vec<(String, u64, u64)>> {
+        loads
+            .iter()
+            .enumerate()
+            .map(|(r, panes)| {
+                panes
+                    .iter()
+                    .enumerate()
+                    .map(|(i, &w)| ("w".to_string(), (r * 100 + i) as u64, w))
+                    .collect()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn balanced_input_needs_no_moves() {
+        let moves = plan_moves(&inv(&[&[50, 50], &[100], &[99]]), 1.1);
+        assert!(moves.is_empty(), "{moves:?}");
+    }
+
+    #[test]
+    fn skewed_input_converges() {
+        let inventory = inv(&[&[40, 40, 40, 40], &[10], &[10]]);
+        let moves = plan_moves(&inventory, 1.05);
+        assert!(!moves.is_empty());
+        // Re-apply the plan and check final balance.
+        let mut load = [160u64, 10, 10];
+        for (_, _, from, to) in &moves {
+            // Weight lookup: ids encode (rank*100 + idx); all rank-0 panes
+            // weigh 40, the others 10.
+            let w = 40; // only rank 0's panes can move first
+            load[*from] -= w;
+            load[*to] += w;
+        }
+        let max = *load.iter().max().unwrap() as f64;
+        let mean = load.iter().sum::<u64>() as f64 / 3.0;
+        assert!(max / mean < 1.4, "loads {load:?}");
+    }
+
+    #[test]
+    fn empty_and_single_rank_plans_are_empty() {
+        assert!(plan_moves(&[], 1.05).is_empty());
+        assert!(plan_moves(&inv(&[&[10, 20]]), 1.05).is_empty());
+        assert!(plan_moves(&inv(&[&[], &[]]), 1.05).is_empty());
+    }
+
+    #[test]
+    fn inventory_round_trip() {
+        let mut ws = Windows::new();
+        let w = ws.create_window("fluid").unwrap();
+        w.register_pane(
+            rocio_core::BlockId(3),
+            roccom::PaneMesh::Structured {
+                dims: [2, 3, 4],
+                origin: [0.0; 3],
+                spacing: [1.0; 3],
+            },
+        )
+        .unwrap();
+        let bytes = encode_inventory(&ws, &["fluid", "ghost"]);
+        let inv = decode_inventory(&bytes).unwrap();
+        assert_eq!(inv, vec![("fluid".to_string(), 3, 24)]);
+        assert!(decode_inventory(&bytes[..bytes.len() - 1]).is_err());
+    }
+}

@@ -1,0 +1,206 @@
+//! Rocblas: pane-wise algebraic operators registered through Roccom.
+//!
+//! "Rocblas provides parallel algebraic operators for jump conditions"
+//! (§3.1). Here the operators work over every pane of a window attribute
+//! and are invoked dynamically by name through the function registry —
+//! the `COM_call_function` pattern.
+
+use rocio_core::Result;
+use roccom::{ComValue, FunctionRegistry};
+
+/// Register the Rocblas operator suite under `rocblas.*`.
+///
+/// * `rocblas.axpy(window, y_attr, alpha, x_attr)` — `y += alpha * x`.
+/// * `rocblas.scale(window, attr, alpha)` — `attr *= alpha`.
+/// * `rocblas.fill(window, attr, value)` — set every entry.
+/// * `rocblas.dot(window, a_attr, b_attr)` — local dot product (caller
+///   all-reduces across ranks).
+/// * `rocblas.norm2(window, attr)` — local squared 2-norm.
+pub fn register(reg: &mut FunctionRegistry<'_>) -> Result<()> {
+    reg.register(
+        "rocblas.axpy",
+        Box::new(|ws, args| {
+            let window = args[0].as_str()?.to_string();
+            let y_attr = args[1].as_str()?.to_string();
+            let alpha = args[2].as_float()?;
+            let x_attr = args[3].as_str()?.to_string();
+            let w = ws.window_mut(&window)?;
+            for pane in w.panes_mut() {
+                let x = pane.data(&x_attr)?.as_f64()?.to_vec();
+                let y = pane.data_mut(&y_attr)?.as_f64_mut()?;
+                for (yi, xi) in y.iter_mut().zip(&x) {
+                    *yi += alpha * xi;
+                }
+            }
+            Ok(ComValue::Unit)
+        }),
+    )?;
+    reg.register(
+        "rocblas.scale",
+        Box::new(|ws, args| {
+            let window = args[0].as_str()?.to_string();
+            let attr = args[1].as_str()?.to_string();
+            let alpha = args[2].as_float()?;
+            let w = ws.window_mut(&window)?;
+            for pane in w.panes_mut() {
+                for x in pane.data_mut(&attr)?.as_f64_mut()? {
+                    *x *= alpha;
+                }
+            }
+            Ok(ComValue::Unit)
+        }),
+    )?;
+    reg.register(
+        "rocblas.fill",
+        Box::new(|ws, args| {
+            let window = args[0].as_str()?.to_string();
+            let attr = args[1].as_str()?.to_string();
+            let value = args[2].as_float()?;
+            let w = ws.window_mut(&window)?;
+            for pane in w.panes_mut() {
+                for x in pane.data_mut(&attr)?.as_f64_mut()? {
+                    *x = value;
+                }
+            }
+            Ok(ComValue::Unit)
+        }),
+    )?;
+    reg.register(
+        "rocblas.dot",
+        Box::new(|ws, args| {
+            let window = args[0].as_str()?.to_string();
+            let a_attr = args[1].as_str()?.to_string();
+            let b_attr = args[2].as_str()?.to_string();
+            let w = ws.window(&window)?;
+            let mut acc = 0.0;
+            for pane in w.panes() {
+                let a = pane.data(&a_attr)?.as_f64()?;
+                let b = pane.data(&b_attr)?.as_f64()?;
+                acc += a.iter().zip(b).map(|(x, y)| x * y).sum::<f64>();
+            }
+            Ok(ComValue::Float(acc))
+        }),
+    )?;
+    reg.register(
+        "rocblas.norm2",
+        Box::new(|ws, args| {
+            let window = args[0].as_str()?.to_string();
+            let attr = args[1].as_str()?.to_string();
+            let w = ws.window(&window)?;
+            let mut acc = 0.0;
+            for pane in w.panes() {
+                let a = pane.data(&attr)?.as_f64()?;
+                acc += a.iter().map(|x| x * x).sum::<f64>();
+            }
+            Ok(ComValue::Float(acc))
+        }),
+    )?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rocio_core::{ArrayData, BlockId, DType};
+    use roccom::{AttrSpec, PaneMesh, Windows};
+
+    fn setup() -> (FunctionRegistry<'static>, Windows) {
+        let mut reg = FunctionRegistry::new();
+        register(&mut reg).unwrap();
+        let mut ws = Windows::new();
+        let w = ws.create_window("w").unwrap();
+        w.declare_attr(AttrSpec::element("x", DType::F64, 1)).unwrap();
+        w.declare_attr(AttrSpec::element("y", DType::F64, 1)).unwrap();
+        for id in 0..2u64 {
+            w.register_pane(
+                BlockId(id),
+                PaneMesh::Structured {
+                    dims: [2, 1, 1],
+                    origin: [0.0; 3],
+                    spacing: [1.0; 3],
+                },
+            )
+            .unwrap();
+            w.pane_mut(BlockId(id))
+                .unwrap()
+                .set_data("x", ArrayData::F64(vec![1.0 + id as f64, 2.0]))
+                .unwrap();
+            w.pane_mut(BlockId(id))
+                .unwrap()
+                .set_data("y", ArrayData::F64(vec![10.0, 20.0]))
+                .unwrap();
+        }
+        (reg, ws)
+    }
+
+    fn s(v: &str) -> ComValue {
+        ComValue::Str(v.into())
+    }
+
+    #[test]
+    fn axpy_updates_all_panes() {
+        let (mut reg, mut ws) = setup();
+        reg.call(
+            "rocblas.axpy",
+            &mut ws,
+            &[s("w"), s("y"), ComValue::Float(2.0), s("x")],
+        )
+        .unwrap();
+        let w = ws.window("w").unwrap();
+        assert_eq!(
+            w.pane(BlockId(0)).unwrap().data("y").unwrap().as_f64().unwrap(),
+            &[12.0, 24.0]
+        );
+        assert_eq!(
+            w.pane(BlockId(1)).unwrap().data("y").unwrap().as_f64().unwrap(),
+            &[14.0, 24.0]
+        );
+    }
+
+    #[test]
+    fn dot_and_norm_sum_across_panes() {
+        let (mut reg, mut ws) = setup();
+        let dot = reg
+            .call("rocblas.dot", &mut ws, &[s("w"), s("x"), s("y")])
+            .unwrap()
+            .as_float()
+            .unwrap();
+        // pane0: 1*10 + 2*20 = 50; pane1: 2*10 + 2*20 = 60.
+        assert_eq!(dot, 110.0);
+        let n2 = reg
+            .call("rocblas.norm2", &mut ws, &[s("w"), s("x")])
+            .unwrap()
+            .as_float()
+            .unwrap();
+        // pane0: 1 + 4; pane1: 4 + 4.
+        assert_eq!(n2, 13.0);
+    }
+
+    #[test]
+    fn scale_and_fill() {
+        let (mut reg, mut ws) = setup();
+        reg.call("rocblas.scale", &mut ws, &[s("w"), s("x"), ComValue::Float(10.0)])
+            .unwrap();
+        assert_eq!(
+            ws.window("w").unwrap().pane(BlockId(0)).unwrap().data("x").unwrap().as_f64().unwrap(),
+            &[10.0, 20.0]
+        );
+        reg.call("rocblas.fill", &mut ws, &[s("w"), s("x"), ComValue::Float(-1.0)])
+            .unwrap();
+        assert_eq!(
+            ws.window("w").unwrap().pane(BlockId(1)).unwrap().data("x").unwrap().as_f64().unwrap(),
+            &[-1.0, -1.0]
+        );
+    }
+
+    #[test]
+    fn wrong_attr_surfaces_error() {
+        let (mut reg, mut ws) = setup();
+        assert!(reg
+            .call("rocblas.norm2", &mut ws, &[s("w"), s("ghost")])
+            .is_err());
+        assert!(reg
+            .call("rocblas.norm2", &mut ws, &[s("nope"), s("x")])
+            .is_err());
+    }
+}

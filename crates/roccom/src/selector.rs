@@ -1,0 +1,111 @@
+//! `"window.attribute"` selectors for the high-level I/O interface.
+//!
+//! "The computation modules can simply tell the I/O library: 'write the
+//! mesh coordinates and the pressure value on all the mesh blocks'" (§5) —
+//! selectors are how they say it.
+
+use rocio_core::{Result, RocError};
+
+/// Which attribute(s) of a window a call refers to.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AttrRef {
+    /// The mesh plus every declared attribute (`"fluid.all"`).
+    All,
+    /// Only the mesh — coordinates and connectivity (`"fluid.mesh"`).
+    Mesh,
+    /// One named attribute (`"fluid.pressure"`).
+    Named(String),
+}
+
+/// A parsed `"window.attribute"` selector.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AttrSelector {
+    pub window: String,
+    pub attr: AttrRef,
+}
+
+impl AttrSelector {
+    /// Select everything in a window.
+    pub fn all(window: impl Into<String>) -> Self {
+        AttrSelector {
+            window: window.into(),
+            attr: AttrRef::All,
+        }
+    }
+
+    /// Select the mesh of a window.
+    pub fn mesh(window: impl Into<String>) -> Self {
+        AttrSelector {
+            window: window.into(),
+            attr: AttrRef::Mesh,
+        }
+    }
+
+    /// Select one named attribute.
+    pub fn named(window: impl Into<String>, attr: impl Into<String>) -> Self {
+        AttrSelector {
+            window: window.into(),
+            attr: AttrRef::Named(attr.into()),
+        }
+    }
+
+    /// Parse `"window.attr"`, where `attr` may be `all`, `mesh`, or a
+    /// declared attribute name.
+    pub fn parse(s: &str) -> Result<Self> {
+        let (window, attr) = s
+            .split_once('.')
+            .ok_or_else(|| RocError::Config(format!("selector '{s}' must be 'window.attr'")))?;
+        if window.is_empty() || attr.is_empty() {
+            return Err(RocError::Config(format!("selector '{s}' has empty parts")));
+        }
+        let attr = match attr {
+            "all" => AttrRef::All,
+            "mesh" => AttrRef::Mesh,
+            name => AttrRef::Named(name.to_string()),
+        };
+        Ok(AttrSelector {
+            window: window.to_string(),
+            attr,
+        })
+    }
+}
+
+impl std::fmt::Display for AttrSelector {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match &self.attr {
+            AttrRef::All => write!(f, "{}.all", self.window),
+            AttrRef::Mesh => write!(f, "{}.mesh", self.window),
+            AttrRef::Named(n) => write!(f, "{}.{}", self.window, n),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_all_mesh_named() {
+        assert_eq!(AttrSelector::parse("fluid.all").unwrap(), AttrSelector::all("fluid"));
+        assert_eq!(AttrSelector::parse("solid.mesh").unwrap(), AttrSelector::mesh("solid"));
+        assert_eq!(
+            AttrSelector::parse("fluid.pressure").unwrap(),
+            AttrSelector::named("fluid", "pressure")
+        );
+    }
+
+    #[test]
+    fn parse_rejects_malformed() {
+        assert!(AttrSelector::parse("fluid").is_err());
+        assert!(AttrSelector::parse(".pressure").is_err());
+        assert!(AttrSelector::parse("fluid.").is_err());
+        assert!(AttrSelector::parse("").is_err());
+    }
+
+    #[test]
+    fn display_round_trips() {
+        for s in ["fluid.all", "solid.mesh", "fluid.pressure"] {
+            assert_eq!(AttrSelector::parse(s).unwrap().to_string(), s);
+        }
+    }
+}

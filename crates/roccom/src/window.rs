@@ -1,0 +1,463 @@
+//! Windows, panes, and attribute registration.
+
+use std::collections::BTreeMap;
+
+use rocio_core::{ArrayData, BlockId, DType, Result, RocError};
+use rocmesh::{StructuredBlock, UnstructuredBlock};
+
+/// Where an attribute's values live on the mesh.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Location {
+    /// One value (per component) per mesh node.
+    Node,
+    /// One value (per component) per element/cell.
+    Element,
+    /// One value (per component) per pane (scalars like burn time).
+    Pane,
+}
+
+/// Declaration of one window attribute: name, mesh location, element type
+/// and number of components (1 = scalar, 3 = vector, 6 = symmetric
+/// tensor…).
+#[derive(Debug, Clone, PartialEq)]
+pub struct AttrSpec {
+    pub name: String,
+    pub location: Location,
+    pub dtype: DType,
+    pub ncomp: usize,
+}
+
+impl AttrSpec {
+    /// Scalar node field of `dtype`.
+    pub fn node(name: impl Into<String>, dtype: DType, ncomp: usize) -> Self {
+        AttrSpec {
+            name: name.into(),
+            location: Location::Node,
+            dtype,
+            ncomp,
+        }
+    }
+
+    /// Element/cell field.
+    pub fn element(name: impl Into<String>, dtype: DType, ncomp: usize) -> Self {
+        AttrSpec {
+            name: name.into(),
+            location: Location::Element,
+            dtype,
+            ncomp,
+        }
+    }
+
+    /// Pane-level field.
+    pub fn pane(name: impl Into<String>, dtype: DType, ncomp: usize) -> Self {
+        AttrSpec {
+            name: name.into(),
+            location: Location::Pane,
+            dtype,
+            ncomp,
+        }
+    }
+}
+
+/// The mesh geometry of one pane.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PaneMesh {
+    /// Logically Cartesian block: geometry is implicit in dims + origin +
+    /// spacing (no stored coordinates).
+    Structured {
+        dims: [usize; 3],
+        origin: [f64; 3],
+        spacing: [f64; 3],
+    },
+    /// Explicit coordinates + tetrahedral connectivity.
+    Unstructured { coords: Vec<f64>, conn: Vec<i32> },
+}
+
+impl PaneMesh {
+    /// Number of mesh nodes.
+    pub fn n_nodes(&self) -> usize {
+        match self {
+            PaneMesh::Structured { dims, .. } => (dims[0] + 1) * (dims[1] + 1) * (dims[2] + 1),
+            PaneMesh::Unstructured { coords, .. } => coords.len() / 3,
+        }
+    }
+
+    /// Number of elements (cells or tets).
+    pub fn n_elems(&self) -> usize {
+        match self {
+            PaneMesh::Structured { dims, .. } => dims[0] * dims[1] * dims[2],
+            PaneMesh::Unstructured { conn, .. } => conn.len() / 4,
+        }
+    }
+
+    /// Build from a structured mesh block.
+    pub fn from_structured(b: &StructuredBlock) -> Self {
+        PaneMesh::Structured {
+            dims: [b.ni, b.nj, b.nk],
+            origin: b.origin,
+            spacing: b.spacing,
+        }
+    }
+
+    /// Build from an unstructured mesh block.
+    pub fn from_unstructured(b: &UnstructuredBlock) -> Self {
+        PaneMesh::Unstructured {
+            coords: b.coords.clone(),
+            conn: b.conn.clone(),
+        }
+    }
+}
+
+/// One pane: a mesh block plus the buffers of every registered attribute.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Pane {
+    pub id: BlockId,
+    pub mesh: PaneMesh,
+    /// Attribute name → data buffer (length = location count × ncomp).
+    data: BTreeMap<String, ArrayData>,
+}
+
+impl Pane {
+    /// Buffer of one attribute.
+    pub fn data(&self, attr: &str) -> Result<&ArrayData> {
+        self.data
+            .get(attr)
+            .ok_or_else(|| RocError::NotFound(format!("attribute '{attr}' on pane {}", self.id)))
+    }
+
+    /// Mutable buffer of one attribute.
+    pub fn data_mut(&mut self, attr: &str) -> Result<&mut ArrayData> {
+        let id = self.id;
+        self.data
+            .get_mut(attr)
+            .ok_or_else(|| RocError::NotFound(format!("attribute '{attr}' on pane {id}")))
+    }
+
+    /// Replace an attribute buffer (used by restart). Length and dtype
+    /// must match the existing buffer.
+    pub fn set_data(&mut self, attr: &str, value: ArrayData) -> Result<()> {
+        let cur = self.data_mut(attr)?;
+        if cur.dtype() != value.dtype() || cur.len() != value.len() {
+            return Err(RocError::Mismatch(format!(
+                "attribute '{attr}': cannot replace {}x{} with {}x{}",
+                cur.dtype().name(),
+                cur.len(),
+                value.dtype().name(),
+                value.len()
+            )));
+        }
+        *cur = value;
+        Ok(())
+    }
+}
+
+/// A window: a uniform schema of attributes over a set of panes.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Window {
+    name: String,
+    schema: Vec<AttrSpec>,
+    panes: BTreeMap<BlockId, Pane>,
+}
+
+impl Window {
+    /// Create an empty window.
+    pub fn new(name: impl Into<String>) -> Self {
+        Window {
+            name: name.into(),
+            schema: Vec::new(),
+            panes: BTreeMap::new(),
+        }
+    }
+
+    /// The window's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The declared attribute schema, in declaration order.
+    pub fn schema(&self) -> &[AttrSpec] {
+        &self.schema
+    }
+
+    /// Look up one attribute's declaration.
+    pub fn attr_spec(&self, name: &str) -> Result<&AttrSpec> {
+        self.schema
+            .iter()
+            .find(|s| s.name == name)
+            .ok_or_else(|| {
+                RocError::NotFound(format!("attribute '{name}' in window '{}'", self.name))
+            })
+    }
+
+    /// Declare a new attribute. Existing panes get zero-filled buffers —
+    /// modules may declare attributes in any order relative to pane
+    /// registration, which is what lets independently developed modules
+    /// extend each other's windows.
+    pub fn declare_attr(&mut self, spec: AttrSpec) -> Result<()> {
+        if spec.ncomp == 0 {
+            return Err(RocError::Config(format!(
+                "attribute '{}' must have >=1 component",
+                spec.name
+            )));
+        }
+        if self.schema.iter().any(|s| s.name == spec.name) {
+            return Err(RocError::AlreadyExists(format!(
+                "attribute '{}' in window '{}'",
+                spec.name, self.name
+            )));
+        }
+        for pane in self.panes.values_mut() {
+            let n = buffer_len(&spec, &pane.mesh);
+            pane.data
+                .insert(spec.name.clone(), ArrayData::zeros(spec.dtype, n));
+        }
+        self.schema.push(spec);
+        Ok(())
+    }
+
+    /// Register a pane with its mesh; buffers for all declared attributes
+    /// are allocated zero-filled.
+    pub fn register_pane(&mut self, id: BlockId, mesh: PaneMesh) -> Result<()> {
+        if self.panes.contains_key(&id) {
+            return Err(RocError::AlreadyExists(format!(
+                "pane {id} in window '{}'",
+                self.name
+            )));
+        }
+        let mut data = BTreeMap::new();
+        for spec in &self.schema {
+            let n = buffer_len(spec, &mesh);
+            data.insert(spec.name.clone(), ArrayData::zeros(spec.dtype, n));
+        }
+        self.panes.insert(id, Pane { id, mesh, data });
+        Ok(())
+    }
+
+    /// Delete a pane (block migrated away or fully burned).
+    pub fn remove_pane(&mut self, id: BlockId) -> Result<Pane> {
+        self.panes
+            .remove(&id)
+            .ok_or_else(|| RocError::NotFound(format!("pane {id} in window '{}'", self.name)))
+    }
+
+    /// Insert a previously removed pane (block migrated in). Schema must
+    /// match: the pane must carry exactly the declared attributes.
+    pub fn insert_pane(&mut self, pane: Pane) -> Result<()> {
+        if self.panes.contains_key(&pane.id) {
+            return Err(RocError::AlreadyExists(format!(
+                "pane {} in window '{}'",
+                pane.id, self.name
+            )));
+        }
+        for spec in &self.schema {
+            let buf = pane.data(&spec.name)?;
+            if buf.dtype() != spec.dtype {
+                return Err(RocError::Mismatch(format!(
+                    "pane {}: attribute '{}' dtype {} != declared {}",
+                    pane.id,
+                    spec.name,
+                    buf.dtype().name(),
+                    spec.dtype.name()
+                )));
+            }
+        }
+        if pane.data.len() != self.schema.len() {
+            return Err(RocError::Mismatch(format!(
+                "pane {} carries {} attributes, window '{}' declares {}",
+                pane.id,
+                pane.data.len(),
+                self.name,
+                self.schema.len()
+            )));
+        }
+        self.panes.insert(pane.id, pane);
+        Ok(())
+    }
+
+    /// Ids of all local panes, ascending.
+    pub fn pane_ids(&self) -> Vec<BlockId> {
+        self.panes.keys().copied().collect()
+    }
+
+    /// Number of local panes.
+    pub fn n_panes(&self) -> usize {
+        self.panes.len()
+    }
+
+    /// Borrow a pane.
+    pub fn pane(&self, id: BlockId) -> Result<&Pane> {
+        self.panes
+            .get(&id)
+            .ok_or_else(|| RocError::NotFound(format!("pane {id} in window '{}'", self.name)))
+    }
+
+    /// Borrow a pane mutably.
+    pub fn pane_mut(&mut self, id: BlockId) -> Result<&mut Pane> {
+        let name = self.name.clone();
+        self.panes
+            .get_mut(&id)
+            .ok_or_else(|| RocError::NotFound(format!("pane {id} in window '{name}'")))
+    }
+
+    /// Iterate panes in id order.
+    pub fn panes(&self) -> impl Iterator<Item = &Pane> {
+        self.panes.values()
+    }
+
+    /// Iterate panes mutably in id order.
+    pub fn panes_mut(&mut self) -> impl Iterator<Item = &mut Pane> {
+        self.panes.values_mut()
+    }
+}
+
+/// Buffer length for an attribute on a mesh.
+pub(crate) fn buffer_len(spec: &AttrSpec, mesh: &PaneMesh) -> usize {
+    let count = match spec.location {
+        Location::Node => mesh.n_nodes(),
+        Location::Element => mesh.n_elems(),
+        Location::Pane => 1,
+    };
+    count * spec.ncomp
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rocio_core::DType;
+
+    fn small_mesh() -> PaneMesh {
+        PaneMesh::Structured {
+            dims: [2, 2, 2],
+            origin: [0.0; 3],
+            spacing: [1.0; 3],
+        }
+    }
+
+    #[test]
+    fn declare_then_register_allocates_buffers() {
+        let mut w = Window::new("fluid");
+        w.declare_attr(AttrSpec::element("pressure", DType::F64, 1)).unwrap();
+        w.declare_attr(AttrSpec::node("velocity", DType::F64, 3)).unwrap();
+        w.register_pane(BlockId(1), small_mesh()).unwrap();
+        let p = w.pane(BlockId(1)).unwrap();
+        assert_eq!(p.data("pressure").unwrap().len(), 8);
+        assert_eq!(p.data("velocity").unwrap().len(), 27 * 3);
+    }
+
+    #[test]
+    fn register_then_declare_backfills() {
+        let mut w = Window::new("fluid");
+        w.register_pane(BlockId(1), small_mesh()).unwrap();
+        w.declare_attr(AttrSpec::element("temp", DType::F32, 1)).unwrap();
+        assert_eq!(w.pane(BlockId(1)).unwrap().data("temp").unwrap().len(), 8);
+    }
+
+    #[test]
+    fn duplicate_declarations_rejected() {
+        let mut w = Window::new("w");
+        w.declare_attr(AttrSpec::pane("t", DType::F64, 1)).unwrap();
+        assert!(matches!(
+            w.declare_attr(AttrSpec::pane("t", DType::F64, 1)),
+            Err(RocError::AlreadyExists(_))
+        ));
+        w.register_pane(BlockId(1), small_mesh()).unwrap();
+        assert!(matches!(
+            w.register_pane(BlockId(1), small_mesh()),
+            Err(RocError::AlreadyExists(_))
+        ));
+    }
+
+    #[test]
+    fn zero_component_attr_rejected() {
+        let mut w = Window::new("w");
+        assert!(matches!(
+            w.declare_attr(AttrSpec::node("bad", DType::F64, 0)),
+            Err(RocError::Config(_))
+        ));
+    }
+
+    #[test]
+    fn pane_location_gives_singleton_buffer() {
+        let mut w = Window::new("w");
+        w.declare_attr(AttrSpec::pane("burn_rate", DType::F64, 2)).unwrap();
+        w.register_pane(BlockId(3), small_mesh()).unwrap();
+        assert_eq!(w.pane(BlockId(3)).unwrap().data("burn_rate").unwrap().len(), 2);
+    }
+
+    #[test]
+    fn panes_may_differ_in_size_not_schema() {
+        let mut w = Window::new("w");
+        w.declare_attr(AttrSpec::element("p", DType::F64, 1)).unwrap();
+        w.register_pane(BlockId(1), small_mesh()).unwrap();
+        w.register_pane(
+            BlockId(2),
+            PaneMesh::Structured {
+                dims: [4, 4, 4],
+                origin: [0.0; 3],
+                spacing: [1.0; 3],
+            },
+        )
+        .unwrap();
+        assert_eq!(w.pane(BlockId(1)).unwrap().data("p").unwrap().len(), 8);
+        assert_eq!(w.pane(BlockId(2)).unwrap().data("p").unwrap().len(), 64);
+        assert_eq!(w.pane_ids(), vec![BlockId(1), BlockId(2)]);
+    }
+
+    #[test]
+    fn set_data_validates_shape_and_dtype() {
+        let mut w = Window::new("w");
+        w.declare_attr(AttrSpec::element("p", DType::F64, 1)).unwrap();
+        w.register_pane(BlockId(1), small_mesh()).unwrap();
+        let pane = w.pane_mut(BlockId(1)).unwrap();
+        pane.set_data("p", ArrayData::F64(vec![1.0; 8])).unwrap();
+        assert!(pane.set_data("p", ArrayData::F64(vec![1.0; 7])).is_err());
+        assert!(pane.set_data("p", ArrayData::F32(vec![1.0; 8])).is_err());
+        assert!(pane.set_data("q", ArrayData::F64(vec![1.0; 8])).is_err());
+    }
+
+    #[test]
+    fn remove_and_insert_pane_migration() {
+        let mut w = Window::new("w");
+        w.declare_attr(AttrSpec::element("p", DType::F64, 1)).unwrap();
+        w.register_pane(BlockId(1), small_mesh()).unwrap();
+        w.pane_mut(BlockId(1))
+            .unwrap()
+            .data_mut("p")
+            .unwrap()
+            .as_f64_mut()
+            .unwrap()[0] = 42.0;
+        let pane = w.remove_pane(BlockId(1)).unwrap();
+        assert_eq!(w.n_panes(), 0);
+        // "Migrate" it to another window instance (another rank's view).
+        let mut w2 = Window::new("w");
+        w2.declare_attr(AttrSpec::element("p", DType::F64, 1)).unwrap();
+        w2.insert_pane(pane).unwrap();
+        assert_eq!(
+            w2.pane(BlockId(1)).unwrap().data("p").unwrap().as_f64().unwrap()[0],
+            42.0
+        );
+    }
+
+    #[test]
+    fn insert_pane_enforces_schema() {
+        let mut w = Window::new("w");
+        w.declare_attr(AttrSpec::element("p", DType::F64, 1)).unwrap();
+        w.register_pane(BlockId(1), small_mesh()).unwrap();
+        let pane = w.remove_pane(BlockId(1)).unwrap();
+        let mut w2 = Window::new("w");
+        w2.declare_attr(AttrSpec::element("p", DType::F32, 1)).unwrap(); // dtype differs
+        assert!(w2.insert_pane(pane.clone()).is_err());
+        let mut w3 = Window::new("w");
+        w3.declare_attr(AttrSpec::element("p", DType::F64, 1)).unwrap();
+        w3.declare_attr(AttrSpec::element("q", DType::F64, 1)).unwrap(); // extra attr
+        assert!(w3.insert_pane(pane).is_err());
+    }
+
+    #[test]
+    fn unstructured_mesh_counts() {
+        let b = rocmesh::UnstructuredBlock::tet_box(BlockId(9), [2, 1, 1], [0.0; 3], [1.0; 3]);
+        let mesh = PaneMesh::from_unstructured(&b);
+        assert_eq!(mesh.n_nodes(), b.n_nodes());
+        assert_eq!(mesh.n_elems(), b.n_elems());
+    }
+}

@@ -1,0 +1,108 @@
+//! Property tests on the Roccom data plane: registration totality, pane
+//! serialization round-trips for arbitrary schemas and sizes.
+
+use proptest::prelude::*;
+use rocio_core::{ArrayData, BlockId, Checksum, DType};
+use roccom::{convert, AttrRef, AttrSpec, Location, PaneMesh, Window};
+
+fn arb_spec(idx: usize) -> impl Strategy<Value = AttrSpec> {
+    (
+        prop_oneof![
+            Just(Location::Node),
+            Just(Location::Element),
+            Just(Location::Pane)
+        ],
+        prop_oneof![Just(DType::F64), Just(DType::I32)],
+        1usize..4,
+    )
+        .prop_map(move |(location, dtype, ncomp)| AttrSpec {
+            name: format!("attr{idx}"),
+            location,
+            dtype,
+            ncomp,
+        })
+}
+
+fn arb_schema() -> impl Strategy<Value = Vec<AttrSpec>> {
+    (1usize..5).prop_flat_map(|n| {
+        (0..n).map(arb_spec).collect::<Vec<_>>()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn pane_block_round_trip_for_arbitrary_schemas(
+        schema in arb_schema(),
+        dims in (1usize..5, 1usize..5, 1usize..5),
+        fill in any::<i32>(),
+    ) {
+        let mut w = Window::new("w");
+        for spec in &schema {
+            w.declare_attr(spec.clone()).unwrap();
+        }
+        let id = BlockId(7);
+        w.register_pane(
+            id,
+            PaneMesh::Structured {
+                dims: [dims.0, dims.1, dims.2],
+                origin: [0.0; 3],
+                spacing: [0.5; 3],
+            },
+        )
+        .unwrap();
+        // Fill every buffer with a deterministic pattern.
+        for spec in &schema {
+            let pane = w.pane_mut(id).unwrap();
+            let buf = pane.data_mut(&spec.name).unwrap();
+            match buf {
+                ArrayData::F64(v) => {
+                    for (i, x) in v.iter_mut().enumerate() {
+                        *x = fill as f64 + i as f64 * 0.5;
+                    }
+                }
+                ArrayData::I32(v) => {
+                    for (i, x) in v.iter_mut().enumerate() {
+                        *x = fill.wrapping_add(i as i32);
+                    }
+                }
+                _ => unreachable!(),
+            }
+        }
+        let block = convert::pane_to_block(&w, w.pane(id).unwrap(), &AttrRef::All).unwrap();
+
+        // Fresh window, same schema: apply and compare bit-exactly.
+        let mut w2 = Window::new("w");
+        for spec in &schema {
+            w2.declare_attr(spec.clone()).unwrap();
+        }
+        convert::apply_block(&mut w2, &block).unwrap();
+        let block2 = convert::pane_to_block(&w2, w2.pane(id).unwrap(), &AttrRef::All).unwrap();
+        prop_assert_eq!(Checksum::of_block(&block), Checksum::of_block(&block2));
+    }
+
+    #[test]
+    fn buffer_lengths_follow_location_and_ncomp(
+        spec in arb_spec(0),
+        dims in (1usize..6, 1usize..6, 1usize..6),
+    ) {
+        let mut w = Window::new("w");
+        w.declare_attr(spec.clone()).unwrap();
+        let mesh = PaneMesh::Structured {
+            dims: [dims.0, dims.1, dims.2],
+            origin: [0.0; 3],
+            spacing: [1.0; 3],
+        };
+        let expect = match spec.location {
+            Location::Node => mesh.n_nodes() * spec.ncomp,
+            Location::Element => mesh.n_elems() * spec.ncomp,
+            Location::Pane => spec.ncomp,
+        };
+        w.register_pane(BlockId(1), mesh).unwrap();
+        prop_assert_eq!(
+            w.pane(BlockId(1)).unwrap().data(&spec.name).unwrap().len(),
+            expect
+        );
+    }
+}

@@ -1,0 +1,89 @@
+//! Property tests: partitioning tiles exactly, assignment is a partition
+//! of blocks, and tetrahedralization preserves volume.
+
+use proptest::prelude::*;
+use rocio_core::BlockId;
+use rocmesh::partition::partition_box;
+use rocmesh::{assign_blocks, Assignment, UnstructuredBlock};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn partition_tiles_for_arbitrary_inputs(
+        ni in 2usize..24,
+        nj in 2usize..24,
+        nk in 2usize..24,
+        frac in 1usize..100,
+        jitter in 0.0f64..0.45,
+        seed in any::<u64>(),
+    ) {
+        let cells = ni * nj * nk;
+        let n_blocks = (cells * frac / 100).clamp(1, cells);
+        let blocks = partition_box(0, [ni, nj, nk], [0.0; 3], [1.0; 3], n_blocks, jitter, seed);
+        prop_assert_eq!(blocks.len(), n_blocks);
+        let total: usize = blocks.iter().map(|b| b.n_cells()).sum();
+        prop_assert_eq!(total, cells);
+        // Ids consecutive from 0.
+        let ids: Vec<u64> = blocks.iter().map(|b| b.id.0).collect();
+        prop_assert_eq!(ids, (0..n_blocks as u64).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn assignment_is_exact_partition(
+        weights in prop::collection::vec(1usize..1000, 1..64),
+        n_ranks in 1usize..16,
+        greedy in any::<bool>(),
+    ) {
+        let strategy = if greedy { Assignment::Greedy } else { Assignment::RoundRobin };
+        let owners = assign_blocks(&weights, n_ranks, strategy);
+        prop_assert_eq!(owners.len(), n_ranks);
+        let mut seen: Vec<usize> = owners.iter().flatten().copied().collect();
+        seen.sort_unstable();
+        prop_assert_eq!(seen, (0..weights.len()).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn greedy_meets_the_lpt_bound(
+        weights in prop::collection::vec(1usize..1000, 4..64),
+        n_ranks in 2usize..8,
+    ) {
+        // LPT's classical guarantee: max load <= 4/3 * OPT, and OPT is at
+        // least max(mean load, largest item). (Round-robin can beat LPT
+        // on adversarial inputs, so comparing the two directly is not a
+        // valid property.)
+        let load = |owners: &Vec<Vec<usize>>| -> usize {
+            owners
+                .iter()
+                .map(|l| l.iter().map(|&i| weights[i]).sum::<usize>())
+                .max()
+                .unwrap()
+        };
+        let total: usize = weights.iter().sum();
+        let opt_lb = (total.div_ceil(n_ranks)).max(*weights.iter().max().unwrap());
+        let greedy = load(&assign_blocks(&weights, n_ranks, Assignment::Greedy));
+        prop_assert!(
+            3 * greedy <= 4 * opt_lb + 3,
+            "greedy {greedy} exceeds 4/3 x lower bound {opt_lb}"
+        );
+        // Balanced refinement never does worse than plain greedy.
+        let balanced = load(&assign_blocks(&weights, n_ranks, Assignment::Balanced));
+        prop_assert!(balanced <= greedy);
+    }
+
+    #[test]
+    fn tet_box_volume_is_exact(
+        ni in 1usize..6,
+        nj in 1usize..6,
+        nk in 1usize..6,
+        sx in 0.1f64..3.0,
+        sy in 0.1f64..3.0,
+        sz in 0.1f64..3.0,
+    ) {
+        let b = UnstructuredBlock::tet_box(BlockId(0), [ni, nj, nk], [1.0, -2.0, 0.5], [sx, sy, sz]);
+        b.validate().unwrap();
+        let expect = (ni as f64 * sx) * (nj as f64 * sy) * (nk as f64 * sz);
+        prop_assert!((b.volume() - expect).abs() < 1e-9 * expect.max(1.0));
+        prop_assert_eq!(b.n_elems(), ni * nj * nk * 5);
+    }
+}

@@ -1,0 +1,197 @@
+//! The shared message fabric: one mailbox per global rank.
+//!
+//! Delivery is physical (push + condvar notify); *when* a message counts as
+//! having arrived in virtual time is carried in its envelope, computed by
+//! the sender from the network model.
+
+use std::collections::VecDeque;
+
+use parking_lot::{Condvar, Mutex};
+use rocio_core::SimTime;
+
+use crate::cluster::ClusterSpec;
+
+/// A message in flight or queued at its destination.
+#[derive(Debug, Clone)]
+pub struct Envelope {
+    /// Communicator context the message belongs to.
+    pub ctx: u64,
+    /// Global rank of the sender.
+    pub src_global: usize,
+    /// Message tag.
+    pub tag: u32,
+    /// Payload bytes.
+    pub payload: Vec<u8>,
+    /// Virtual time at which the sender finished injecting the message.
+    pub sent: SimTime,
+    /// Virtual time at which the message is available at the receiver.
+    pub arrival: SimTime,
+}
+
+#[derive(Default)]
+struct Mailbox {
+    queue: Mutex<VecDeque<Envelope>>,
+    cv: Condvar,
+}
+
+/// The machine-wide fabric: cluster spec plus one mailbox per global rank.
+pub struct Fabric {
+    spec: ClusterSpec,
+    mailboxes: Vec<Mailbox>,
+}
+
+impl Fabric {
+    /// Build a fabric for every rank placed by `spec`.
+    pub fn new(spec: ClusterSpec) -> Self {
+        let n = spec.n_ranks();
+        Fabric {
+            spec,
+            mailboxes: (0..n).map(|_| Mailbox::default()).collect(),
+        }
+    }
+
+    /// The cluster description this fabric models.
+    pub fn spec(&self) -> &ClusterSpec {
+        &self.spec
+    }
+
+    /// Total number of global ranks.
+    pub fn n_ranks(&self) -> usize {
+        self.mailboxes.len()
+    }
+
+    /// Deliver an envelope to global rank `dst`.
+    pub fn deliver(&self, dst: usize, env: Envelope) {
+        let mb = &self.mailboxes[dst];
+        mb.queue.lock().push_back(env);
+        mb.cv.notify_all();
+    }
+
+    /// Remove and return the first envelope in `dst`'s mailbox matching
+    /// `pred`, blocking until one is available.
+    pub fn take_matching<F>(&self, dst: usize, mut pred: F) -> Envelope
+    where
+        F: FnMut(&Envelope) -> bool,
+    {
+        let mb = &self.mailboxes[dst];
+        let mut q = mb.queue.lock();
+        loop {
+            if let Some(idx) = q.iter().position(&mut pred) {
+                return q.remove(idx).expect("index just found");
+            }
+            mb.cv.wait(&mut q);
+        }
+    }
+
+    /// Non-blocking variant of [`Fabric::take_matching`].
+    pub fn try_take_matching<F>(&self, dst: usize, mut pred: F) -> Option<Envelope>
+    where
+        F: FnMut(&Envelope) -> bool,
+    {
+        let mut q = self.mailboxes[dst].queue.lock();
+        let idx = q.iter().position(&mut pred)?;
+        Some(q.remove(idx).expect("index just found"))
+    }
+
+    /// Peek the first matching envelope without removing it, blocking until
+    /// one is available. Returns `(src_global, tag, payload_len, arrival)`.
+    pub fn peek_matching<F>(&self, dst: usize, mut pred: F) -> (usize, u32, usize, SimTime)
+    where
+        F: FnMut(&Envelope) -> bool,
+    {
+        let mb = &self.mailboxes[dst];
+        let mut q = mb.queue.lock();
+        loop {
+            if let Some(env) = q.iter().find(|e| pred(e)) {
+                return (env.src_global, env.tag, env.payload.len(), env.arrival);
+            }
+            mb.cv.wait(&mut q);
+        }
+    }
+
+    /// Non-blocking variant of [`Fabric::peek_matching`].
+    pub fn try_peek_matching<F>(
+        &self,
+        dst: usize,
+        mut pred: F,
+    ) -> Option<(usize, u32, usize, SimTime)>
+    where
+        F: FnMut(&Envelope) -> bool,
+    {
+        let q = self.mailboxes[dst].queue.lock();
+        q.iter()
+            .find(|e| pred(e))
+            .map(|env| (env.src_global, env.tag, env.payload.len(), env.arrival))
+    }
+
+    /// Number of messages currently queued at `dst` (diagnostics).
+    pub fn queued(&self, dst: usize) -> usize {
+        self.mailboxes[dst].queue.lock().len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cluster::ClusterSpec;
+
+    fn env(src: usize, tag: u32, arrival: SimTime) -> Envelope {
+        Envelope {
+            ctx: 0,
+            src_global: src,
+            tag,
+            payload: vec![1, 2, 3],
+            sent: 0.0,
+            arrival,
+        }
+    }
+
+    #[test]
+    fn deliver_then_take_fifo() {
+        let f = Fabric::new(ClusterSpec::ideal(2));
+        f.deliver(1, env(0, 5, 0.1));
+        f.deliver(1, env(0, 5, 0.2));
+        let a = f.take_matching(1, |e| e.tag == 5);
+        let b = f.take_matching(1, |e| e.tag == 5);
+        assert_eq!(a.arrival, 0.1);
+        assert_eq!(b.arrival, 0.2);
+        assert_eq!(f.queued(1), 0);
+    }
+
+    #[test]
+    fn take_matching_skips_non_matching() {
+        let f = Fabric::new(ClusterSpec::ideal(2));
+        f.deliver(1, env(0, 1, 0.1));
+        f.deliver(1, env(0, 2, 0.2));
+        let m = f.take_matching(1, |e| e.tag == 2);
+        assert_eq!(m.tag, 2);
+        assert_eq!(f.queued(1), 1);
+    }
+
+    #[test]
+    fn try_take_returns_none_when_empty() {
+        let f = Fabric::new(ClusterSpec::ideal(1));
+        assert!(f.try_take_matching(0, |_| true).is_none());
+    }
+
+    #[test]
+    fn peek_does_not_remove() {
+        let f = Fabric::new(ClusterSpec::ideal(1));
+        f.deliver(0, env(0, 9, 0.5));
+        let (src, tag, len, arrival) = f.peek_matching(0, |e| e.tag == 9);
+        assert_eq!((src, tag, len, arrival), (0, 9, 3, 0.5));
+        assert_eq!(f.queued(0), 1);
+        assert!(f.try_peek_matching(0, |e| e.tag == 8).is_none());
+    }
+
+    #[test]
+    fn blocking_take_wakes_on_delivery() {
+        let f = std::sync::Arc::new(Fabric::new(ClusterSpec::ideal(2)));
+        let f2 = std::sync::Arc::clone(&f);
+        let h = std::thread::spawn(move || f2.take_matching(1, |e| e.tag == 3));
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        f.deliver(1, env(0, 3, 1.0));
+        let m = h.join().unwrap();
+        assert_eq!(m.tag, 3);
+    }
+}

@@ -1,0 +1,76 @@
+//! `mpirun` equivalent: spawn one thread per rank and collect results.
+
+use std::sync::Arc;
+
+use crate::cluster::ClusterSpec;
+use crate::comm::Comm;
+use crate::fabric::Fabric;
+
+/// Run `f` on `n` ranks of a fresh fabric built from `spec`, one OS thread
+/// per rank, and return the per-rank results in rank order.
+///
+/// `spec.placement` must place exactly `n` ranks.
+///
+/// Panics in any rank are propagated (the whole "job" aborts), matching
+/// MPI's error-everybody-out behaviour for the purposes of tests.
+pub fn run_ranks<T, F>(n: usize, spec: ClusterSpec, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(Comm) -> T + Send + Sync,
+{
+    assert_eq!(
+        spec.n_ranks(),
+        n,
+        "cluster spec places {} ranks, run_ranks asked for {n}",
+        spec.n_ranks()
+    );
+    let fabric = Arc::new(Fabric::new(spec));
+    run_on_fabric(&fabric, &f)
+}
+
+/// Like [`run_ranks`] but on a caller-provided fabric, so tests can inspect
+/// it afterwards or run several "jobs" on the same machine model.
+pub fn run_on_fabric<T, F>(fabric: &Arc<Fabric>, f: &F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(Comm) -> T + Send + Sync,
+{
+    let n = fabric.n_ranks();
+    std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(n);
+        for rank in 0..n {
+            let comm = Comm::world(Arc::clone(fabric), rank);
+            handles.push(scope.spawn(move || f(comm)));
+        }
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("rank thread panicked"))
+            .collect()
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_in_rank_order() {
+        let out = run_ranks(5, ClusterSpec::ideal(5), |comm| comm.rank() * 2);
+        assert_eq!(out, vec![0, 2, 4, 6, 8]);
+    }
+
+    #[test]
+    #[should_panic(expected = "places 3 ranks")]
+    fn mismatched_spec_panics() {
+        run_ranks(4, ClusterSpec::ideal(3), |_c| ());
+    }
+
+    #[test]
+    fn two_jobs_on_one_fabric() {
+        let fabric = Arc::new(Fabric::new(ClusterSpec::ideal(2)));
+        let a = run_on_fabric(&fabric, &|comm: Comm| comm.size());
+        let b = run_on_fabric(&fabric, &|comm: Comm| comm.rank());
+        assert_eq!(a, vec![2, 2]);
+        assert_eq!(b, vec![0, 1]);
+    }
+}

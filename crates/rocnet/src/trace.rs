@@ -1,0 +1,151 @@
+//! Per-rank event tracing: a virtual-time timeline of communication and
+//! compute, for performance analysis (one of the CSAR research areas the
+//! paper's introduction lists).
+//!
+//! Tracing is off by default and costs one branch per operation when off.
+//! Enable per communicator; events carry *virtual* timestamps so traces
+//! from different runs are directly comparable.
+//!
+//! ```
+//! use rocnet::cluster::ClusterSpec;
+//! use rocnet::run_ranks;
+//!
+//! let traces = run_ranks(2, ClusterSpec::turing(2), |comm| {
+//!     comm.enable_tracing();
+//!     if comm.rank() == 0 {
+//!         comm.compute(0.5);
+//!         comm.send(1, 7, &[0u8; 1024]).unwrap();
+//!     } else {
+//!         comm.recv(Some(0), Some(7)).unwrap();
+//!     }
+//!     comm.take_trace()
+//! });
+//! assert_eq!(traces[0].len(), 2); // compute + send
+//! assert_eq!(traces[1].len(), 1); // recv
+//! ```
+
+use rocio_core::SimTime;
+
+/// What happened.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize)]
+pub enum EventKind {
+    Send,
+    Recv,
+    Compute,
+}
+
+/// One timeline entry.
+#[derive(Debug, Clone, PartialEq, serde::Serialize)]
+pub struct TraceEvent {
+    pub kind: EventKind,
+    /// Peer rank (communicator-local) for Send/Recv.
+    pub peer: Option<usize>,
+    /// Message tag for Send/Recv.
+    pub tag: Option<u32>,
+    /// Payload bytes (0 for compute).
+    pub bytes: usize,
+    /// Virtual time at operation entry.
+    pub t_start: SimTime,
+    /// Virtual time at operation exit.
+    pub t_end: SimTime,
+}
+
+/// Serialize a trace as JSON (one array of events).
+pub fn trace_to_json(events: &[TraceEvent]) -> String {
+    serde_json::to_string_pretty(events).expect("trace serialization")
+}
+
+/// Aggregate a trace: (compute seconds, comm seconds, bytes sent).
+pub fn summarize(events: &[TraceEvent]) -> (SimTime, SimTime, usize) {
+    let mut compute = 0.0;
+    let mut comm = 0.0;
+    let mut sent = 0;
+    for e in events {
+        let dt = e.t_end - e.t_start;
+        match e.kind {
+            EventKind::Compute => compute += dt,
+            EventKind::Send => {
+                comm += dt;
+                sent += e.bytes;
+            }
+            EventKind::Recv => comm += dt,
+        }
+    }
+    (compute, comm, sent)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cluster::ClusterSpec;
+    use crate::harness::run_ranks;
+
+    #[test]
+    fn events_record_in_order_with_monotone_times() {
+        let traces = run_ranks(2, ClusterSpec::turing(2), |comm| {
+            comm.enable_tracing();
+            if comm.rank() == 0 {
+                comm.compute(0.25);
+                comm.send(1, 3, &[0u8; 2048]).unwrap();
+                comm.compute(0.25);
+                comm.send(1, 3, &[0u8; 16]).unwrap();
+            } else {
+                comm.recv(Some(0), Some(3)).unwrap();
+                comm.recv(Some(0), Some(3)).unwrap();
+            }
+            comm.take_trace()
+        });
+        let t0 = &traces[0];
+        assert_eq!(t0.len(), 4);
+        assert_eq!(t0[0].kind, EventKind::Compute);
+        assert_eq!(t0[1].kind, EventKind::Send);
+        assert_eq!(t0[1].peer, Some(1));
+        assert_eq!(t0[1].bytes, 2048);
+        let mut prev = 0.0;
+        for e in t0 {
+            assert!(e.t_start >= prev);
+            assert!(e.t_end >= e.t_start);
+            prev = e.t_end;
+        }
+        let t1 = &traces[1];
+        assert_eq!(t1.len(), 2);
+        assert!(t1[0].t_end > 0.25, "recv waited for the send");
+    }
+
+    #[test]
+    fn summarize_partitions_time() {
+        let traces = run_ranks(1, ClusterSpec::turing(1), |comm| {
+            comm.enable_tracing();
+            comm.compute(1.0);
+            comm.send(0, 1, &[0u8; 512]).unwrap();
+            comm.recv(Some(0), Some(1)).unwrap();
+            comm.take_trace()
+        });
+        let (compute, comm_t, sent) = summarize(&traces[0]);
+        assert!((compute - 1.0).abs() < 1e-12);
+        assert!(comm_t > 0.0);
+        assert_eq!(sent, 512);
+    }
+
+    #[test]
+    fn tracing_off_records_nothing() {
+        let traces = run_ranks(1, ClusterSpec::ideal(1), |comm| {
+            comm.compute(1.0);
+            comm.take_trace()
+        });
+        assert!(traces[0].is_empty());
+    }
+
+    #[test]
+    fn json_export_is_valid() {
+        let traces = run_ranks(1, ClusterSpec::ideal(1), |comm| {
+            comm.enable_tracing();
+            comm.compute(0.5);
+            comm.take_trace()
+        });
+        let json = trace_to_json(&traces[0]);
+        let parsed: serde_json::Value = serde_json::from_str(&json).unwrap();
+        assert_eq!(parsed.as_array().unwrap().len(), 1);
+        assert_eq!(parsed[0]["kind"], "Compute");
+    }
+}

@@ -1,0 +1,90 @@
+//! Property tests on the fabric: per-(source,tag) FIFO delivery, clock
+//! monotonicity, and collective agreement under arbitrary payloads.
+
+use proptest::prelude::*;
+use rocnet::cluster::ClusterSpec;
+use rocnet::run_ranks;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn per_source_fifo_under_arbitrary_tags(
+        msgs in prop::collection::vec((0u32..4, any::<u8>()), 1..40),
+    ) {
+        // Rank 0 sends a random tag sequence; rank 1 receives per tag and
+        // must see each tag's subsequence in order.
+        let msgs2 = msgs.clone();
+        let out = run_ranks(2, ClusterSpec::ideal(2), move |comm| {
+            if comm.rank() == 0 {
+                for (i, (tag, byte)) in msgs2.iter().enumerate() {
+                    comm.send(1, *tag, &[*byte, i as u8]).unwrap();
+                }
+                Vec::new()
+            } else {
+                let mut got: Vec<(u32, u8, u8)> = Vec::new();
+                for _ in 0..msgs2.len() {
+                    let m = comm.recv(Some(0), None).unwrap();
+                    got.push((m.tag, m.payload[0], m.payload[1]));
+                }
+                got
+            }
+        });
+        let got = &out[1];
+        prop_assert_eq!(got.len(), msgs.len());
+        // Wildcard recv sees the global send order (FIFO per source).
+        for (i, (tag, byte)) in msgs.iter().enumerate() {
+            prop_assert_eq!(got[i], (*tag, *byte, i as u8));
+        }
+    }
+
+    #[test]
+    fn allreduce_agreement(values in prop::collection::vec(-1e6f64..1e6, 2..6)) {
+        let n = values.len();
+        let v2 = values.clone();
+        let out = run_ranks(n, ClusterSpec::ideal(n), move |comm| {
+            let x = v2[comm.rank()];
+            (comm.allreduce_sum_f64(x), comm.allreduce_max_f64(x))
+        });
+        let sum: f64 = values.iter().sum();
+        let max = values.iter().cloned().fold(f64::MIN, f64::max);
+        for (s, m) in &out {
+            prop_assert!((s - sum).abs() < 1e-6 * sum.abs().max(1.0));
+            prop_assert_eq!(*m, max);
+        }
+    }
+
+    #[test]
+    fn clocks_never_regress(work in prop::collection::vec(0.0f64..2.0, 3..8)) {
+        let n = work.len();
+        let w2 = work.clone();
+        let ok = run_ranks(n, ClusterSpec::turing(n), move |comm| {
+            let mut prev = comm.now();
+            comm.compute(w2[comm.rank()]);
+            let mut monotone = comm.now() >= prev;
+            prev = comm.now();
+            comm.barrier();
+            monotone &= comm.now() >= prev;
+            prev = comm.now();
+            let _ = comm.allgather(&[comm.rank() as u8]);
+            monotone &= comm.now() >= prev;
+            monotone
+        });
+        prop_assert!(ok.iter().all(|&b| b));
+    }
+
+    #[test]
+    fn barrier_clock_dominates_all_entries(work in prop::collection::vec(0.0f64..5.0, 2..6)) {
+        let n = work.len();
+        let w2 = work.clone();
+        let out = run_ranks(n, ClusterSpec::ideal(n), move |comm| {
+            comm.compute(w2[comm.rank()]);
+            comm.barrier();
+            comm.now()
+        });
+        let max_work = work.iter().cloned().fold(0.0, f64::max);
+        for t in &out {
+            prop_assert!(*t >= max_work - 1e-12);
+        }
+    }
+}

@@ -1,0 +1,584 @@
+//! The Rocpanda client side: the [`IoService`] the simulation sees.
+
+use std::collections::HashSet;
+
+use rocio_core::{Result, RocError, SnapshotId};
+use rocnet::Comm;
+
+use crate::config::RocpandaConfig;
+use crate::wire::{self, tag, BlockMsg, ReadReq, WriteReq};
+use roccom::{AttrSelector, IoService, Windows};
+
+/// A Rocpanda compute client.
+///
+/// `write_attribute` ships this process's blocks to its assigned server
+/// and returns as soon as the server has *buffered* them (active
+/// buffering): "the clients return to computation when all the output data
+/// are buffered at the servers" (§6.1). One ACK per block provides flow
+/// control, so a slow or busy server back-pressures its clients — the
+/// handshaking cost the paper observes on Turing.
+pub struct PandaClient<'a> {
+    world: &'a Comm,
+    client_comm: Comm,
+    cfg: RocpandaConfig,
+    my_server: usize,
+    server_ranks: Vec<usize>,
+    visible_io: f64,
+    finalized: bool,
+}
+
+impl<'a> PandaClient<'a> {
+    pub(crate) fn new(
+        world: &'a Comm,
+        client_comm: Comm,
+        cfg: RocpandaConfig,
+        my_server: usize,
+        server_ranks: Vec<usize>,
+    ) -> Self {
+        PandaClient {
+            world,
+            client_comm,
+            cfg,
+            my_server,
+            server_ranks,
+            visible_io: 0.0,
+            finalized: false,
+        }
+    }
+
+    /// The client sub-communicator. "When existing simulation codes are
+    /// adapted to use Rocpanda, all the instances of `MPI_COMM_WORLD` need
+    /// to be replaced by the client communicator returned by the Rocpanda
+    /// initialization routine" (§4.2).
+    pub fn client_comm(&self) -> &Comm {
+        &self.client_comm
+    }
+
+    /// World rank of this client's assigned server.
+    pub fn server_rank(&self) -> usize {
+        self.my_server
+    }
+
+    /// Total visible I/O time this rank has spent in output calls.
+    pub fn visible_io(&self) -> f64 {
+        self.visible_io
+    }
+}
+
+impl IoService for PandaClient<'_> {
+    fn service_name(&self) -> &'static str {
+        "rocpanda"
+    }
+
+    fn write_attribute(
+        &mut self,
+        windows: &Windows,
+        sel: &AttrSelector,
+        snap: SnapshotId,
+    ) -> Result<()> {
+        let t_enter = self.world.now();
+        let window = windows.window(&sel.window)?;
+        let blocks = roccom::convert::window_to_blocks(window, &sel.attr)?;
+        if std::env::var("PANDA_TRACE").is_ok() {
+            eprintln!("[client g{}] write_attribute {} snap={snap} blocks={}", self.world.global_rank(), sel.window, blocks.len());
+        }
+        // Announce (collective: even a pane-less client announces, so the
+        // server knows when a file is complete).
+        let req = WriteReq {
+            snap,
+            window: sel.window.clone(),
+            n_blocks: blocks.len() as u32,
+        };
+        self.world.send(self.my_server, tag::WRITE_REQ, &req.encode())?;
+        let window = self.cfg.ack_window.max(1);
+        let mut in_flight = 0usize;
+        for block in blocks {
+            let msg = BlockMsg {
+                snap,
+                window: sel.window.clone(),
+                block,
+            };
+            let payload = msg.encode();
+            // Client-side packing cost.
+            self.world
+                .advance(payload.len() as f64 / self.cfg.client_pack_bw);
+            // Flow control: at most `window` unacknowledged blocks.
+            while in_flight >= window {
+                self.world.recv(Some(self.my_server), Some(tag::ACK))?;
+                in_flight -= 1;
+            }
+            self.world.send(self.my_server, tag::BLOCK, &payload)?;
+            in_flight += 1;
+        }
+        while in_flight > 0 {
+            self.world.recv(Some(self.my_server), Some(tag::ACK))?;
+            in_flight -= 1;
+        }
+        self.world.recv(Some(self.my_server), Some(tag::DONE))?;
+        if std::env::var("PANDA_TRACE").is_ok() {
+            eprintln!(
+                "[client g{}] write {} snap={snap} took {:.4}s (t_enter={:.3})",
+                self.world.global_rank(),
+                sel.window,
+                self.world.now() - t_enter,
+                t_enter
+            );
+        }
+        self.visible_io += self.world.now() - t_enter;
+        Ok(())
+    }
+
+    fn read_attribute(
+        &mut self,
+        windows: &mut Windows,
+        sel: &AttrSelector,
+        snap: SnapshotId,
+    ) -> Result<()> {
+        let wanted: Vec<u64> = windows
+            .window(&sel.window)?
+            .pane_ids()
+            .iter()
+            .map(|b| b.0)
+            .collect();
+        if std::env::var("PANDA_TRACE").is_ok() {
+            eprintln!("[client g{}] read_attribute {} snap={snap} ids={}", self.world.global_rank(), sel.window, wanted.len());
+        }
+        let req = ReadReq {
+            snap,
+            window: sel.window.clone(),
+            ids: wanted.clone(),
+        };
+        // Collective: every client asks every server; the files may have
+        // been written by a run with a different server count.
+        let payload = req.encode();
+        for &s in &self.server_ranks {
+            self.world.send(s, tag::READ_REQ, &payload)?;
+        }
+        let mut dones = 0usize;
+        let mut expected: u64 = 0;
+        let mut got: u64 = 0;
+        let mut seen: HashSet<u64> = HashSet::new();
+        while dones < self.server_ranks.len() || got < expected {
+            let msg = self.world.recv(None, None)?;
+            match msg.tag {
+                tag::READ_BLOCK => {
+                    let bm = BlockMsg::decode(&msg.payload)?;
+                    if !seen.insert(bm.block.id.0) {
+                        return Err(RocError::Corrupt(format!(
+                            "restart: block {} delivered twice",
+                            bm.block.id
+                        )));
+                    }
+                    roccom::convert::apply_block(windows.window_mut(&sel.window)?, &bm.block)?;
+                    got += 1;
+                }
+                tag::READ_DONE => {
+                    expected += wire::decode_read_done(&msg.payload)? as u64;
+                    dones += 1;
+                }
+                other => {
+                    return Err(RocError::Comm(format!(
+                        "panda client: unexpected tag {other:#x} during restart"
+                    )))
+                }
+            }
+        }
+        if got != wanted.len() as u64 {
+            return Err(RocError::NotFound(format!(
+                "restart: wanted {} blocks of '{}', received {}",
+                wanted.len(),
+                sel.window,
+                got
+            )));
+        }
+        Ok(())
+    }
+
+    fn sync(&mut self) -> Result<()> {
+        self.world.send(self.my_server, tag::SYNC, &[])?;
+        let ack = self.world.recv(Some(self.my_server), Some(tag::SYNC_ACK))?;
+        // The ack carries the server's disk-durability watermark.
+        if ack.payload.len() == 8 {
+            self.world
+                .clock()
+                .merge(f64::from_le_bytes(ack.payload[..8].try_into().unwrap()));
+        }
+        Ok(())
+    }
+
+    fn retire(&mut self, snap: SnapshotId) -> Result<()> {
+        // One client per server group requests the deletion; everyone
+        // synchronizes so no client proceeds while files vanish.
+        self.client_comm.barrier();
+        if self.client_comm.rank() == 0 {
+            for &s in &self.server_ranks.clone() {
+                self.world.send(s, tag::RETIRE, &wire::encode_retire(snap))?;
+                self.world.recv(Some(s), Some(tag::RETIRE_ACK))?;
+            }
+        }
+        self.client_comm.barrier();
+        Ok(())
+    }
+
+    fn finalize(&mut self) -> Result<()> {
+        if self.finalized {
+            return Ok(());
+        }
+        self.finalized = true;
+        // Collective: wait for every client to finish writing BEFORE any
+        // sync reaches a server (a premature flush would interleave disk
+        // drains with another client's in-flight blocks), then sync, then
+        // one client delivers the shutdowns.
+        self.client_comm.barrier();
+        self.sync()?;
+        self.client_comm.barrier();
+        if self.client_comm.rank() == 0 {
+            for &s in &self.server_ranks.clone() {
+                self.world.send(s, tag::SHUTDOWN, &[])?;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{init, Role, RocpandaConfig};
+    use rocio_core::{ArrayData, BlockId, DType, SnapshotId};
+    use rocnet::cluster::ClusterSpec;
+    use rocnet::run_ranks;
+    use roccom::{AttrSelector, AttrSpec, IoService, PaneMesh, Windows};
+    use rocstore::SharedFs;
+
+    fn build_windows(client_index: usize, n_panes: usize) -> Windows {
+        let mut ws = Windows::new();
+        let w = ws.create_window("fluid").unwrap();
+        w.declare_attr(AttrSpec::element("pressure", DType::F64, 1)).unwrap();
+        for i in 0..n_panes {
+            let id = BlockId((client_index * 100 + i) as u64);
+            w.register_pane(
+                id,
+                PaneMesh::Structured {
+                    dims: [3, 3, 3],
+                    origin: [0.0; 3],
+                    spacing: [1.0; 3],
+                },
+            )
+            .unwrap();
+            w.pane_mut(id)
+                .unwrap()
+                .set_data("pressure", ArrayData::F64(vec![id.0 as f64; 27]))
+                .unwrap();
+        }
+        ws
+    }
+
+    fn sum_pressure(ws: &Windows) -> f64 {
+        ws.window("fluid")
+            .unwrap()
+            .panes()
+            .map(|p| p.data("pressure").unwrap().as_f64().unwrap().iter().sum::<f64>())
+            .sum()
+    }
+
+    /// 4 clients + 2 servers: write a snapshot, verify files, restart.
+    #[test]
+    fn collective_write_and_restart() {
+        let fs = SharedFs::ideal();
+        let snap = SnapshotId::new(0, 0);
+        let servers = [0usize, 3];
+        let sums = run_ranks(6, ClusterSpec::ideal(6), |comm| {
+            let role = init(&comm, &fs, RocpandaConfig::default(), &servers).unwrap();
+            match role {
+                Role::Server(mut s) => {
+                    s.run().unwrap();
+                    -1.0
+                }
+                Role::Client { io: mut c, comm: app } => {
+                    let idx = app.rank();
+                    let ws = build_windows(idx, 2);
+                    c.write_attribute(&ws, &AttrSelector::all("fluid"), snap).unwrap();
+                    let sum = sum_pressure(&ws);
+                    c.finalize().unwrap();
+                    sum
+                }
+            }
+        });
+        // One file per server (factor-of-2 reduction vs 4 clients).
+        assert_eq!(fs.list("out/").len(), 2);
+        let written_sum: f64 = sums.iter().filter(|&&s| s >= 0.0).sum();
+
+        // Restart with the same distribution.
+        let restored = run_ranks(6, ClusterSpec::ideal(6), |comm| {
+            let role = init(&comm, &fs, RocpandaConfig::default(), &servers).unwrap();
+            match role {
+                Role::Server(mut s) => {
+                    s.run().unwrap();
+                    -1.0
+                }
+                Role::Client { io: mut c, comm: app } => {
+                    let idx = app.rank();
+                    let mut ws = build_windows(idx, 2);
+                    for pane in ws.window_mut("fluid").unwrap().panes_mut() {
+                        for x in pane.data_mut("pressure").unwrap().as_f64_mut().unwrap() {
+                            *x = -7.0;
+                        }
+                    }
+                    c.read_attribute(&mut ws, &AttrSelector::all("fluid"), snap).unwrap();
+                    let sum = sum_pressure(&ws);
+                    c.finalize().unwrap();
+                    sum
+                }
+            }
+        });
+        let restored_sum: f64 = restored.iter().filter(|&&s| s >= 0.0).sum();
+        assert_eq!(written_sum, restored_sum);
+    }
+
+    /// Restart with a different server count and a different block
+    /// distribution than the writing run (§4.1's flexibility claims).
+    #[test]
+    fn restart_with_different_servers_and_distribution() {
+        let fs = SharedFs::ideal();
+        let snap = SnapshotId::new(50, 1);
+        // Write: 4 clients + 2 servers.
+        run_ranks(6, ClusterSpec::ideal(6), |comm| {
+            match init(&comm, &fs, RocpandaConfig::default(), &[0, 3]).unwrap() {
+                Role::Server(mut s) => {
+                    s.run().unwrap();
+                }
+                Role::Client { io: mut c, comm: app } => {
+                    let ws = build_windows(app.rank(), 2);
+                    c.write_attribute(&ws, &AttrSelector::all("fluid"), snap).unwrap();
+                    c.finalize().unwrap();
+                }
+            }
+        });
+        // Restart: 2 clients + 1 server; each new client owns two old
+        // clients' blocks.
+        let ok = run_ranks(3, ClusterSpec::ideal(3), |comm| {
+            match init(&comm, &fs, RocpandaConfig::default(), &[0]).unwrap() {
+                Role::Server(mut s) => {
+                    s.run().unwrap();
+                    true
+                }
+                Role::Client { io: mut c, comm: app } => {
+                    let me = app.rank();
+                    let mut ws = Windows::new();
+                    let w = ws.create_window("fluid").unwrap();
+                    w.declare_attr(AttrSpec::element("pressure", DType::F64, 1)).unwrap();
+                    for old in [me * 2, me * 2 + 1] {
+                        for i in 0..2usize {
+                            w.register_pane(
+                                BlockId((old * 100 + i) as u64),
+                                PaneMesh::Structured {
+                                    dims: [3, 3, 3],
+                                    origin: [0.0; 3],
+                                    spacing: [1.0; 3],
+                                },
+                            )
+                            .unwrap();
+                        }
+                    }
+                    c.read_attribute(&mut ws, &AttrSelector::all("fluid"), snap).unwrap();
+                    let ok = ws.window("fluid").unwrap().panes().all(|p| {
+                        p.data("pressure")
+                            .unwrap()
+                            .as_f64()
+                            .unwrap()
+                            .iter()
+                            .all(|&x| x == p.id.0 as f64)
+                    });
+                    c.finalize().unwrap();
+                    ok
+                }
+            }
+        });
+        assert!(ok.iter().all(|&b| b));
+    }
+
+    /// Active buffering hides the write cost: on a slow file system the
+    /// client's visible time must be far below the actual write time.
+    #[test]
+    fn active_buffering_hides_write_cost() {
+        let snap = SnapshotId::new(0, 0);
+        let visible_with = run_panda(true, snap);
+        let visible_without = run_panda(false, snap);
+        assert!(
+            visible_with < visible_without / 3.0,
+            "buffered {visible_with} not << unbuffered {visible_without}"
+        );
+    }
+
+    fn run_panda(active_buffering: bool, snap: SnapshotId) -> f64 {
+        let fs = SharedFs::turing();
+        let cfg = RocpandaConfig {
+            active_buffering,
+            ..Default::default()
+        };
+        let out = run_ranks(3, ClusterSpec::turing(3), move |comm| {
+            match init(&comm, &fs, cfg.clone(), &[0]).unwrap() {
+                Role::Server(mut s) => {
+                    s.run().unwrap();
+                    -1.0
+                }
+                Role::Client { io: mut c, comm: app } => {
+                    // Large blocks so disk time dominates protocol overhead.
+                    let mut ws = Windows::new();
+                    let w = ws.create_window("fluid").unwrap();
+                    w.declare_attr(AttrSpec::element("pressure", DType::F64, 1)).unwrap();
+                    for i in 0..8u64 {
+                        w.register_pane(
+                            BlockId(app.rank() as u64 * 100 + i),
+                            PaneMesh::Structured {
+                                dims: [20, 20, 20],
+                                origin: [0.0; 3],
+                                spacing: [1.0; 3],
+                            },
+                        )
+                        .unwrap();
+                    }
+                    c.write_attribute(&ws, &AttrSelector::all("fluid"), snap).unwrap();
+                    let v = c.visible_io();
+                    c.finalize().unwrap();
+                    v
+                }
+            }
+        });
+        out.into_iter().filter(|&v| v >= 0.0).fold(0.0f64, f64::max)
+    }
+
+    /// sync() waits for buffered data to be durable.
+    #[test]
+    fn sync_flushes_buffers() {
+        let fs = SharedFs::turing();
+        let snap = SnapshotId::new(0, 0);
+        run_ranks(2, ClusterSpec::turing(2), |comm| {
+            match init(&comm, &fs, RocpandaConfig::default(), &[0]).unwrap() {
+                Role::Server(mut s) => {
+                    let stats = s.run().unwrap();
+                    assert_eq!(stats.blocks_written, stats.blocks_buffered);
+                    assert!(stats.files_finished >= 1);
+                }
+                Role::Client { io: mut c, comm: _app } => {
+                    let ws = build_windows(0, 8);
+                    c.write_attribute(&ws, &AttrSelector::all("fluid"), snap).unwrap();
+                    let before = comm.now();
+                    c.sync().unwrap();
+                    assert!(comm.now() > before, "sync must cost time on a slow FS");
+                    c.finalize().unwrap();
+                }
+            }
+        });
+        // After shutdown, the file must be complete and readable.
+        let files = fs.list("out/");
+        assert_eq!(files.len(), 1);
+        let (r, _) = rocsdf::SdfFileReader::open(
+            &fs,
+            &files[0],
+            rocsdf::LibraryModel::hdf4(),
+            0,
+            0.0,
+        )
+        .unwrap();
+        assert_eq!(r.block_ids().len(), 8);
+    }
+
+    /// Tiny buffer capacity forces graceful overflow, and nothing is lost.
+    #[test]
+    fn buffer_overflow_writes_through() {
+        let fs = SharedFs::ideal();
+        let snap = SnapshotId::new(0, 0);
+        let cfg = RocpandaConfig {
+            buffer_capacity: 4096, // a couple of blocks at most
+            ..Default::default()
+        };
+        let stats = run_ranks(2, ClusterSpec::ideal(2), move |comm| {
+            match init(&comm, &fs, cfg.clone(), &[0]).unwrap() {
+                Role::Server(mut s) => {
+                    let st = s.run().unwrap();
+                    Some(st)
+                }
+                Role::Client { io: mut c, comm: _app } => {
+                    let ws = build_windows(0, 12);
+                    c.write_attribute(&ws, &AttrSelector::all("fluid"), snap).unwrap();
+                    c.finalize().unwrap();
+                    None
+                }
+            }
+        });
+        let st = stats[0].unwrap();
+        assert!(st.buffer_overflows > 0, "tiny buffer must overflow");
+        assert_eq!(st.blocks_written, 12);
+        assert_eq!(st.files_finished, 1);
+    }
+
+    /// Non-divisible client:server ratios: the client→server assignment
+    /// must agree with the servers' own group partition (regression for a
+    /// deadlock found by the protocol property test), including the
+    /// degenerate more-servers-than-clients case where some groups are
+    /// empty.
+    #[test]
+    fn uneven_and_empty_server_groups_round_trip() {
+        for (n_clients, server_ranks) in [
+            (3usize, vec![3usize, 4]),    // 3 clients, 2 servers (3/2 uneven)
+            (1, vec![1, 2]),              // 1 client, 2 servers (one group empty)
+            (5, vec![5, 6, 7]),           // 5 clients, 3 servers
+        ] {
+            let fs = SharedFs::ideal();
+            let snap = SnapshotId::new(0, 0);
+            let total = n_clients + server_ranks.len();
+            let sr = server_ranks.clone();
+            let ok = run_ranks(total, ClusterSpec::ideal(total), move |comm| {
+                match init(&comm, &fs, RocpandaConfig::default(), &sr).unwrap() {
+                    Role::Server(mut s) => {
+                        s.run().unwrap();
+                        true
+                    }
+                    Role::Client { io: mut c, comm: app } => {
+                        let mut ws = build_windows(app.rank(), 2);
+                        c.write_attribute(&ws, &AttrSelector::all("fluid"), snap).unwrap();
+                        for pane in ws.window_mut("fluid").unwrap().panes_mut() {
+                            for x in pane.data_mut("pressure").unwrap().as_f64_mut().unwrap() {
+                                *x = -3.0;
+                            }
+                        }
+                        c.read_attribute(&mut ws, &AttrSelector::all("fluid"), snap).unwrap();
+                        let ok = ws.window("fluid").unwrap().panes().all(|p| {
+                            p.data("pressure")
+                                .unwrap()
+                                .as_f64()
+                                .unwrap()
+                                .iter()
+                                .all(|&x| x == p.id.0 as f64)
+                        });
+                        c.finalize().unwrap();
+                        ok
+                    }
+                }
+            });
+            assert!(ok.iter().all(|&b| b), "{n_clients} clients failed");
+        }
+    }
+
+    /// Clients with zero panes still participate collectively.
+    #[test]
+    fn empty_client_participates() {
+        let fs = SharedFs::ideal();
+        let snap = SnapshotId::new(0, 0);
+        run_ranks(3, ClusterSpec::ideal(3), |comm| {
+            match init(&comm, &fs, RocpandaConfig::default(), &[0]).unwrap() {
+                Role::Server(mut s) => {
+                    s.run().unwrap();
+                }
+                Role::Client { io: mut c, comm: app } => {
+                    let n_panes = if app.rank() == 0 { 3 } else { 0 };
+                    let ws = build_windows(c.client_comm().rank(), n_panes);
+                    c.write_attribute(&ws, &AttrSelector::all("fluid"), snap).unwrap();
+                    c.finalize().unwrap();
+                }
+            }
+        });
+        assert_eq!(fs.list("out/").len(), 1);
+    }
+}

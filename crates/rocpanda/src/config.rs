@@ -1,0 +1,101 @@
+//! Rocpanda configuration.
+
+use rocsdf::LibraryModel;
+
+/// Tunables of the Rocpanda library.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RocpandaConfig {
+    /// Scientific-library cost model for the files servers write.
+    pub lib: LibraryModel,
+    /// Directory prefix for output files.
+    pub dir: String,
+    /// Server-side active-buffer capacity in bytes. "Active buffering can
+    /// use whatever memory available and handles buffer overflow
+    /// gracefully" — when exceeded, the server writes buffered blocks out
+    /// to make room (§6.1). GENx's servers "have enough idle memory to
+    /// hold all the output data with typical client-server
+    /// configurations", so the default is generous.
+    pub buffer_capacity: usize,
+    /// Active buffering on/off (ablation). Off = servers write each block
+    /// through to the file system before acknowledging it.
+    pub active_buffering: bool,
+    /// Responsive (adaptive) probing on/off (ablation). On = the paper's
+    /// scheme: non-blocking probe between background writes so new client
+    /// requests preempt draining. Off = the server drains its entire
+    /// buffer before looking at the network again.
+    pub responsive_probe: bool,
+    /// Modelled server CPU cost to process one incoming block message
+    /// (unpack, registry bookkeeping, buffer insertion). Calibrated so
+    /// Fig. 3(a)'s apparent-throughput curve lands near the paper's.
+    pub server_block_overhead: f64,
+    /// Modelled memory-copy bandwidth for buffering a block at the server.
+    pub server_copy_bw: f64,
+    /// Modelled client-side cost per byte of packing panes into messages.
+    pub client_pack_bw: f64,
+    /// Flow-control window: how many unacknowledged blocks a client may
+    /// have in flight. 1 = strict request/response (the conservative
+    /// default); larger windows pipeline injection against server
+    /// processing at the cost of transient buffering in the transport.
+    pub ack_window: usize,
+}
+
+impl Default for RocpandaConfig {
+    fn default() -> Self {
+        RocpandaConfig {
+            lib: LibraryModel::hdf4(),
+            dir: "out".into(),
+            buffer_capacity: 512 << 20,
+            active_buffering: true,
+            responsive_probe: true,
+            server_block_overhead: 0.80e-3,
+            server_copy_bw: 300e6,
+            client_pack_bw: 200e6,
+            ack_window: 1,
+        }
+    }
+}
+
+impl RocpandaConfig {
+    /// File path for `(window, snap, server_index)`.
+    pub fn path(&self, window: &str, snap: rocio_core::SnapshotId, server_index: usize) -> String {
+        format!(
+            "{}/{}",
+            self.dir,
+            rocio_core::snapshot_file_name(window, snap, server_index)
+        )
+    }
+
+    /// Path prefix of all servers' files for `(window, snap)`.
+    pub fn prefix(&self, window: &str, snap: rocio_core::SnapshotId) -> String {
+        format!(
+            "{}/{}",
+            self.dir,
+            rocio_core::snapshot_file_prefix(window, snap)
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rocio_core::SnapshotId;
+
+    #[test]
+    fn default_enables_the_papers_optimizations() {
+        let c = RocpandaConfig::default();
+        assert!(c.active_buffering);
+        assert!(c.responsive_probe);
+        assert!(c.buffer_capacity > 100 << 20);
+    }
+
+    #[test]
+    fn paths_use_server_index() {
+        let c = RocpandaConfig::default();
+        let snap = SnapshotId::new(50, 1);
+        let p0 = c.path("fluid", snap, 0);
+        let p1 = c.path("fluid", snap, 1);
+        assert_ne!(p0, p1);
+        assert!(p0.starts_with(&c.prefix("fluid", snap)));
+        assert!(p1.starts_with(&c.prefix("fluid", snap)));
+    }
+}

@@ -1,0 +1,179 @@
+//! # rocpanda
+//!
+//! **Rocpanda**: the paper's client-server collective parallel I/O library
+//! (§4.1, §6.1) — "a special edition of the Panda parallel I/O library"
+//! supporting "collective I/O with individual arrays on each client" in
+//! place of Panda's regular HPF-style global arrays.
+//!
+//! ## Architecture
+//!
+//! A job of `n + m` processors splits at initialization into `n` compute
+//! clients and `m` dedicated I/O servers ("the processors split into two
+//! MPI communicators"). Each server owns an equal-sized group of clients.
+//! On collective output, clients ship their data blocks to their server;
+//! with **active buffering** the server merely buffers them and the
+//! clients return to computation, while the server writes buffered blocks
+//! out in the background, staying responsive by alternating between a
+//! non-blocking probe (while it has writes pending) and a blocking probe
+//! (when idle, letting the OS use the CPU — the Fig. 3(b) effect).
+//!
+//! Rocpanda writes one file per server per window per snapshot, which is
+//! how it "reduces the number of output files by a factor of 8" at the
+//! paper's 8:1 client:server ratio.
+//!
+//! ## Restart
+//!
+//! Restart is collective and server-count independent (§4.1): clients send
+//! their block-id lists to every server; snapshot files are assigned to
+//! servers round-robin; each server scans its files and ships requested
+//! blocks to their (possibly new) owners — so "users can restart with a
+//! different number of servers than used in the previous run".
+
+pub mod client;
+pub mod config;
+pub mod server;
+pub mod wire;
+
+pub use client::PandaClient;
+pub use config::RocpandaConfig;
+pub use server::PandaServer;
+
+use rocio_core::{Result, RocError};
+use rocnet::Comm;
+
+/// What this rank became after Rocpanda initialization.
+pub enum Role<'a> {
+    /// A compute client. `comm` is the client sub-communicator the rest of
+    /// the simulation must use in place of the world communicator ("all
+    /// the instances of MPI_COMM_WORLD need to be replaced by the client
+    /// communicator returned by the Rocpanda initialization routine",
+    /// §4.2); `io` keeps its own duplicate for the library's internal
+    /// collective steps.
+    Client { io: PandaClient<'a>, comm: Comm },
+    /// A dedicated I/O server; call [`PandaServer::run`] and, when it
+    /// returns (shutdown), the rank is done.
+    Server(PandaServer<'a>),
+}
+
+/// Collective Rocpanda initialization over the world communicator.
+///
+/// `server_ranks` lists the world ranks dedicated as I/O servers (the
+/// paper places rank `0, n/m, 2n/m, …` on SMPs so each lands on its own
+/// node — see [`rocnet::cluster::smp_server_placement`]).
+pub fn init<'a>(
+    world: &'a Comm,
+    fs: &'a rocstore::SharedFs,
+    cfg: RocpandaConfig,
+    server_ranks: &[usize],
+) -> Result<Role<'a>> {
+    if server_ranks.is_empty() {
+        return Err(RocError::Config("Rocpanda needs at least one server".into()));
+    }
+    let mut servers: Vec<usize> = server_ranks.to_vec();
+    servers.sort_unstable();
+    servers.dedup();
+    if servers.iter().any(|&r| r >= world.size()) {
+        return Err(RocError::Config(format!(
+            "server rank out of range (world size {})",
+            world.size()
+        )));
+    }
+    if servers.len() >= world.size() {
+        return Err(RocError::Config("no compute clients left".into()));
+    }
+    let my_rank = world.rank();
+    let is_server = servers.binary_search(&my_rank).is_ok();
+    // "After MPI initialization, all processors perform Rocpanda
+    // initialization, where the processors split into two MPI
+    // communicators, for the clients and the servers respectively."
+    // Two splits: one communicator for the library's internal use, one
+    // handed to the application (MPI_Comm_dup semantics).
+    let color = if is_server { 1u32 } else { 0u32 };
+    let lib_sub = world
+        .split(Some(color), my_rank as i64)
+        .expect("split with Some color always yields a communicator");
+    let app_sub = world
+        .split(Some(color), my_rank as i64)
+        .expect("split with Some color always yields a communicator");
+    let clients: Vec<usize> = (0..world.size()).filter(|r| !servers.contains(r)).collect();
+    if is_server {
+        let server_index = servers.iter().position(|&r| r == my_rank).unwrap();
+        // This server's client group: equal contiguous slices.
+        let (n, m) = (clients.len(), servers.len());
+        let lo = server_index * n / m;
+        let hi = (server_index + 1) * n / m;
+        Ok(Role::Server(PandaServer::new(
+            world,
+            lib_sub,
+            fs,
+            cfg,
+            server_index,
+            servers.clone(),
+            clients[lo..hi].to_vec(),
+            clients.len(),
+        )))
+    } else {
+        let client_index = clients.iter().position(|&r| r == my_rank).unwrap();
+        let (n, m) = (clients.len(), servers.len());
+        // The client's server must come from the same group partition the
+        // servers use (slices [i*n/m, (i+1)*n/m)) — a different rounding
+        // here would strand requests at a server that does not count this
+        // client in its group.
+        let my_server = (0..m)
+            .find(|&i| client_index >= i * n / m && client_index < (i + 1) * n / m)
+            .map(|i| servers[i])
+            .expect("every client index falls in exactly one server group");
+        Ok(Role::Client {
+            io: PandaClient::new(world, lib_sub, cfg, my_server, servers),
+            comm: app_sub,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rocnet::cluster::ClusterSpec;
+    use rocnet::run_ranks;
+    use rocstore::SharedFs;
+
+    #[test]
+    fn init_splits_roles_and_groups() {
+        let fs = SharedFs::ideal();
+        // 8 clients + 2 servers at ranks 0 and 5 (paper-style spread).
+        let out = run_ranks(10, ClusterSpec::ideal(10), |comm| {
+            let role = init(
+                &comm,
+                &fs,
+                RocpandaConfig::default(),
+                &[0, 5],
+            )
+            .unwrap();
+            match role {
+                Role::Server(s) => format!("S{}:{:?}", s.server_index(), s.client_ranks()),
+                Role::Client { io, comm } => {
+                    format!("C->{}:{}", io.server_rank(), comm.size())
+                }
+            }
+        });
+        assert_eq!(out[0], "S0:[1, 2, 3, 4]");
+        assert_eq!(out[5], "S1:[6, 7, 8, 9]");
+        for r in [1, 2, 3, 4] {
+            assert_eq!(out[r], "C->0:8");
+        }
+        for r in [6, 7, 8, 9] {
+            assert_eq!(out[r], "C->5:8");
+        }
+    }
+
+    #[test]
+    fn init_rejects_bad_configs() {
+        let fs = SharedFs::ideal();
+        let out = run_ranks(2, ClusterSpec::ideal(2), |comm| {
+            let no_servers = init(&comm, &fs, RocpandaConfig::default(), &[]).is_err();
+            let oob = init(&comm, &fs, RocpandaConfig::default(), &[7]).is_err();
+            no_servers && oob
+        });
+        assert!(out.iter().all(|&b| b));
+    }
+}

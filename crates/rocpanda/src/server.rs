@@ -1,0 +1,435 @@
+//! The Rocpanda server routine: active buffering + adaptive probing.
+
+use std::collections::{HashMap, VecDeque};
+
+use rocio_core::{DataBlock, Result, RocError, SnapshotId};
+use rocnet::{Comm, Message};
+use rocsdf::{SdfFileReader, SdfFileWriter};
+use rocstore::SharedFs;
+
+use crate::config::RocpandaConfig;
+use crate::wire::{self, tag, BlockMsg, ReadReq, WriteReq};
+
+/// Key of one output file: (snapshot, window).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+struct FileKey {
+    snap: SnapshotId,
+    window: String,
+}
+
+/// Per-file progress at the server.
+struct FileState<'fs> {
+    writer: Option<SdfFileWriter<'fs>>,
+    /// Sum of block counts announced by WRITE_REQs so far.
+    expected_blocks: u32,
+    /// WRITE_REQs received (file is complete once every group client has
+    /// announced and every announced block is written).
+    reqs_received: usize,
+    blocks_received: u32,
+    blocks_written: u32,
+    finished: bool,
+}
+
+impl Default for FileState<'_> {
+    fn default() -> Self {
+        FileState {
+            writer: None,
+            expected_blocks: 0,
+            reqs_received: 0,
+            blocks_received: 0,
+            blocks_written: 0,
+            finished: false,
+        }
+    }
+}
+
+/// Aggregate server statistics for experiment reports.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct ServerStats {
+    pub blocks_buffered: u64,
+    pub blocks_written: u64,
+    pub files_finished: u64,
+    pub buffer_overflows: u64,
+    pub restart_blocks_sent: u64,
+}
+
+/// A dedicated I/O server. Constructed by [`crate::init`]; drive it with
+/// [`PandaServer::run`], which returns after a client-initiated shutdown.
+pub struct PandaServer<'a> {
+    world: &'a Comm,
+    /// Communicator over the server group (restart-time coordination).
+    server_comm: Comm,
+    fs: &'a SharedFs,
+    cfg: RocpandaConfig,
+    server_index: usize,
+    server_ranks: Vec<usize>,
+    my_clients: Vec<usize>,
+    n_clients_total: usize,
+    files: HashMap<FileKey, FileState<'a>>,
+    write_queue: VecDeque<(FileKey, DataBlock)>,
+    buffered_bytes: usize,
+    /// (client world rank, file key) → blocks still expected from them.
+    client_pending: HashMap<(usize, FileKey), u32>,
+    /// Restart requests collected per file key.
+    read_reqs: HashMap<FileKey, Vec<(usize, Vec<u64>)>>,
+    /// Latest virtual completion time of any disk write this server
+    /// issued. Background writes charge the server CPU only a submit
+    /// cost; the disk ledger carries the transfer, and this watermark is
+    /// merged into the clock at durability points (sync, restart,
+    /// shutdown).
+    disk_completion: f64,
+    stats: ServerStats,
+}
+
+impl<'a> PandaServer<'a> {
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn new(
+        world: &'a Comm,
+        server_comm: Comm,
+        fs: &'a SharedFs,
+        cfg: RocpandaConfig,
+        server_index: usize,
+        server_ranks: Vec<usize>,
+        my_clients: Vec<usize>,
+        n_clients_total: usize,
+    ) -> Self {
+        PandaServer {
+            world,
+            server_comm,
+            fs,
+            cfg,
+            server_index,
+            server_ranks,
+            my_clients,
+            n_clients_total,
+            files: HashMap::new(),
+            write_queue: VecDeque::new(),
+            buffered_bytes: 0,
+            client_pending: HashMap::new(),
+            read_reqs: HashMap::new(),
+            disk_completion: 0.0,
+            stats: ServerStats::default(),
+        }
+    }
+
+    /// This server's index among the servers (names its output files).
+    pub fn server_index(&self) -> usize {
+        self.server_index
+    }
+
+    /// World ranks of the clients in this server's group.
+    pub fn client_ranks(&self) -> &[usize] {
+        &self.my_clients
+    }
+
+    /// Statistics so far.
+    pub fn stats(&self) -> ServerStats {
+        self.stats
+    }
+
+    /// The server main loop (§6.1): handle requests, and between handling
+    /// them write buffered blocks out. "When there are data to write,
+    /// servers use the non-blocking MPI probe interface … when there are no
+    /// data to write, the servers use the blocking probe interface, so that
+    /// the server processes block until new client messages arrive and the
+    /// operating system can use the server CPUs."
+    pub fn run(&mut self) -> Result<ServerStats> {
+        loop {
+            let msg = if self.write_queue.is_empty() {
+                // Idle: block until something arrives.
+                let _ = self.world.probe(None, None);
+                Some(self.world.recv(None, None)?)
+            } else if self.cfg.responsive_probe {
+                // Writing, but stay responsive: peek, else write one block.
+                if self.world.iprobe(None, None).is_some() {
+                    Some(self.world.recv(None, None)?)
+                } else {
+                    self.write_one()?;
+                    None
+                }
+            } else {
+                // Ablation: drain everything before looking at the network.
+                while !self.write_queue.is_empty() {
+                    self.write_one()?;
+                }
+                None
+            };
+            if let Some(msg) = msg {
+                if !self.handle(msg)? {
+                    break;
+                }
+            }
+        }
+        Ok(self.stats)
+    }
+
+    fn handle(&mut self, msg: Message) -> Result<bool> {
+        if std::env::var("PANDA_TRACE").is_ok() {
+            eprintln!("[server {}] tag={:#x} from {} clock={:.4} arrival={:.4}", self.server_index, msg.tag, msg.src, self.world.now(), msg.arrival);
+        }
+        match msg.tag {
+            tag::WRITE_REQ => {
+                let req = WriteReq::decode(&msg.payload)?;
+                let key = FileKey {
+                    snap: req.snap,
+                    window: req.window,
+                };
+                let st = self.files.entry(key.clone()).or_default();
+                st.expected_blocks += req.n_blocks;
+                st.reqs_received += 1;
+                if req.n_blocks == 0 {
+                    // Nothing coming from this client: release it now.
+                    self.world.send(msg.src, tag::DONE, &[])?;
+                } else {
+                    self.client_pending.insert((msg.src, key.clone()), req.n_blocks);
+                }
+                self.maybe_finish(&key)?;
+                Ok(true)
+            }
+            tag::BLOCK => {
+                let bm = BlockMsg::decode(&msg.payload)?;
+                let key = FileKey {
+                    snap: bm.snap,
+                    window: bm.window.clone(),
+                };
+                // Server CPU cost of taking the block in.
+                let bytes = msg.payload.len();
+                self.world.advance(
+                    self.cfg.server_block_overhead + bytes as f64 / self.cfg.server_copy_bw,
+                );
+                self.files.entry(key.clone()).or_default().blocks_received += 1;
+                if self.cfg.active_buffering {
+                    self.buffered_bytes += bytes;
+                    self.stats.blocks_buffered += 1;
+                    self.write_queue.push_back((key.clone(), bm.block));
+                    // Graceful overflow: write old data out to make room.
+                    while self.buffered_bytes > self.cfg.buffer_capacity
+                        && !self.write_queue.is_empty()
+                    {
+                        self.stats.buffer_overflows += 1;
+                        self.write_one()?;
+                    }
+                } else {
+                    self.write_block(&key, &bm.block)?;
+                }
+                self.world.send(msg.src, tag::ACK, &[])?;
+                let pending_key = (msg.src, key.clone());
+                if let Some(rem) = self.client_pending.get_mut(&pending_key) {
+                    *rem -= 1;
+                    if *rem == 0 {
+                        self.client_pending.remove(&pending_key);
+                        self.world.send(msg.src, tag::DONE, &[])?;
+                    }
+                }
+                self.maybe_finish(&key)?;
+                Ok(true)
+            }
+            tag::SYNC => {
+                self.flush_all()?;
+                // Durability is reported in the payload rather than by
+                // advancing this server's clock: another client may still
+                // be mid-write, and charging the shared clock with disk
+                // time would inflate its acknowledgement stamps.
+                self.world.send(
+                    msg.src,
+                    tag::SYNC_ACK,
+                    &self.disk_completion.to_le_bytes(),
+                )?;
+                Ok(true)
+            }
+            tag::READ_REQ => {
+                let req = ReadReq::decode(&msg.payload)?;
+                let key = FileKey {
+                    snap: req.snap,
+                    window: req.window,
+                };
+                let entry = self.read_reqs.entry(key.clone()).or_default();
+                entry.push((msg.src, req.ids));
+                if entry.len() == self.n_clients_total {
+                    self.serve_restart(&key)?;
+                }
+                Ok(true)
+            }
+            tag::RETIRE => {
+                let snap = wire::decode_retire(&msg.payload)?;
+                // Deleting requires durability of that snapshot first.
+                self.flush_all()?;
+                let keys: Vec<FileKey> = self
+                    .files
+                    .keys()
+                    .filter(|k| k.snap == snap)
+                    .cloned()
+                    .collect();
+                for key in keys {
+                    let st = self.files.get(&key).unwrap();
+                    if st.finished {
+                        let path = self.cfg.path(&key.window, key.snap, self.server_index);
+                        if self.fs.exists(&path) {
+                            self.fs.delete(&path)?;
+                        }
+                        self.files.remove(&key);
+                    }
+                }
+                self.world.send(msg.src, tag::RETIRE_ACK, &[])?;
+                Ok(true)
+            }
+            tag::SHUTDOWN => {
+                self.flush_all()?;
+                Ok(false)
+            }
+            other => Err(RocError::Comm(format!(
+                "panda server: unexpected tag {other:#x} from rank {}",
+                msg.src
+            ))),
+        }
+    }
+
+    /// Write the oldest buffered block out.
+    fn write_one(&mut self) -> Result<()> {
+        if std::env::var("PANDA_TRACE").is_ok() {
+            eprintln!("[server {}] write_one clock={:.4} qlen={}", self.server_index, self.world.now(), self.write_queue.len());
+        }
+        if let Some((key, block)) = self.write_queue.pop_front() {
+            self.buffered_bytes = self.buffered_bytes.saturating_sub(block.encoded_size());
+            self.write_block(&key, &block)?;
+            self.maybe_finish(&key)?;
+        }
+        Ok(())
+    }
+
+    fn write_block(&mut self, key: &FileKey, block: &DataBlock) -> Result<()> {
+        let path = self.cfg.path(&key.window, key.snap, self.server_index);
+        let client_id = self.world.global_rank() as u64;
+        // All dedicated servers write concurrently.
+        self.fs.declare_writers(self.server_ranks.len());
+        // CPU submit cost: encode + hand the bytes to the file system.
+        self.world
+            .advance(block.encoded_size() as f64 / self.cfg.server_copy_bw);
+        let synchronous = !self.cfg.active_buffering;
+        let st = self.files.entry(key.clone()).or_default();
+        if st.writer.is_none() {
+            let (w, t) =
+                SdfFileWriter::create(self.fs, &path, self.cfg.lib, client_id, self.world.now())?;
+            self.disk_completion = self.disk_completion.max(t);
+            st.writer = Some(w);
+        }
+        let writer = st.writer.as_mut().unwrap();
+        let t = writer.append_block(block, self.world.now())?;
+        self.disk_completion = self.disk_completion.max(t);
+        if synchronous {
+            // Write-through mode (ablation): the block is durable before
+            // the server acknowledges it.
+            self.world.clock().merge(t);
+        }
+        st.blocks_written += 1;
+        self.stats.blocks_written += 1;
+        Ok(())
+    }
+
+    /// Finish (index + close) a file once every group client has announced
+    /// and every announced block is on disk.
+    fn maybe_finish(&mut self, key: &FileKey) -> Result<()> {
+        let Some(st) = self.files.get_mut(key) else {
+            return Ok(());
+        };
+        if !st.finished
+            && st.reqs_received == self.my_clients.len()
+            && st.blocks_written == st.expected_blocks
+        {
+            if let Some(mut w) = st.writer.take() {
+                let t = w.finish(self.world.now())?;
+                self.disk_completion = self.disk_completion.max(t);
+                if !self.cfg.active_buffering {
+                    self.world.clock().merge(t);
+                }
+            }
+            st.finished = true;
+            self.stats.files_finished += 1;
+        }
+        Ok(())
+    }
+
+    /// Drain the buffer and finish every completable file. Durability is
+    /// tracked in `disk_completion`; the server clock is deliberately not
+    /// advanced (see the SYNC handler).
+    fn flush_all(&mut self) -> Result<()> {
+        while !self.write_queue.is_empty() {
+            self.write_one()?;
+        }
+        let keys: Vec<FileKey> = self.files.keys().cloned().collect();
+        for key in keys {
+            self.maybe_finish(&key)?;
+        }
+        Ok(())
+    }
+
+    /// Collective restart: every client's id list is in. Scan this
+    /// server's round-robin share of the snapshot files and ship requested
+    /// blocks to their owners (§4.1).
+    fn serve_restart(&mut self, key: &FileKey) -> Result<()> {
+        // Everything buffered must be durable (files finished, indexes
+        // written) before any file can be scanned, and the scan cannot
+        // begin before the disk is done.
+        self.flush_all()?;
+        self.world.clock().merge(self.disk_completion);
+        // The round-robin file assignment makes a server read files that
+        // *other* servers wrote, so every server must have flushed before
+        // anyone scans: synchronize the server group.
+        self.server_comm.barrier();
+        // All servers scan their file shares concurrently.
+        self.fs.declare_readers(self.server_ranks.len());
+        self.fs.declare_writers(0);
+        let requests = self.read_reqs.remove(key).expect("serve_restart without reqs");
+        // Block id → requesting client.
+        let mut owner: HashMap<u64, usize> = HashMap::new();
+        for (client, ids) in &requests {
+            for id in ids {
+                if owner.insert(*id, *client).is_some() {
+                    return Err(RocError::InvalidState(format!(
+                        "restart: block {id} requested by two clients"
+                    )));
+                }
+            }
+        }
+        // "The restart files are assigned to the servers in a round-robin
+        // manner."
+        let files = self.fs.list(&self.cfg.prefix(&key.window, key.snap));
+        if files.is_empty() {
+            return Err(RocError::Storage(format!(
+                "restart: no files for {}/{}",
+                key.window, key.snap
+            )));
+        }
+        let m = self.server_ranks.len();
+        let mut sent_per_client: HashMap<usize, u32> = HashMap::new();
+        let client_id = self.world.global_rank() as u64;
+        for (i, path) in files.iter().enumerate() {
+            if i % m != self.server_index {
+                continue;
+            }
+            let (reader, t) =
+                SdfFileReader::open(self.fs, path, self.cfg.lib, client_id, self.world.now())?;
+            self.world.clock().merge(t);
+            for id in reader.block_ids() {
+                if let Some(&client) = owner.get(&id.0) {
+                    let (block, t) = reader.read_block(id, self.world.now())?;
+                    self.world.clock().merge(t);
+                    let msg = BlockMsg {
+                        snap: key.snap,
+                        window: key.window.clone(),
+                        block,
+                    };
+                    self.world.send(client, tag::READ_BLOCK, &msg.encode())?;
+                    *sent_per_client.entry(client).or_insert(0) += 1;
+                    self.stats.restart_blocks_sent += 1;
+                }
+            }
+        }
+        for (client, _) in &requests {
+            let n = sent_per_client.get(client).copied().unwrap_or(0);
+            self.world
+                .send(*client, tag::READ_DONE, &wire::encode_read_done(n))?;
+        }
+        Ok(())
+    }
+}

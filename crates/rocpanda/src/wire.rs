@@ -1,0 +1,323 @@
+//! Rocpanda's client↔server wire protocol.
+//!
+//! Message kind is carried in the message *tag* (so servers can dispatch
+//! off a probe without touching the payload); fields are encoded
+//! little-endian in the payload. Data blocks travel as sequences of SDF
+//! dataset records — the same self-describing encoding the files use.
+
+use rocio_core::{DataBlock, Result, RocError, SnapshotId};
+use rocsdf::format::{
+    block_meta_dataset, block_prefix, decode_dataset, encode_dataset, parse_block_meta, BLOCK_META,
+};
+
+/// Message tags. All below [`rocnet::comm::TAG_USER_MAX`].
+pub mod tag {
+    /// Client → server: announce a collective write (header).
+    pub const WRITE_REQ: u32 = 0x0050_0001;
+    /// Client → server: one encoded data block.
+    pub const BLOCK: u32 = 0x0050_0002;
+    /// Server → client: per-block flow-control ack (block is buffered).
+    pub const ACK: u32 = 0x0050_0003;
+    /// Server → client: all of this client's blocks for the snapshot are
+    /// buffered; the client may return to computation.
+    pub const DONE: u32 = 0x0050_0004;
+    /// Client → server: restart request with wanted block ids.
+    pub const READ_REQ: u32 = 0x0050_0005;
+    /// Server → client: one encoded data block (restart).
+    pub const READ_BLOCK: u32 = 0x0050_0006;
+    /// Server → client: this server has sent everything it had for you.
+    pub const READ_DONE: u32 = 0x0050_0007;
+    /// Client → server: flush everything durable, then ack.
+    pub const SYNC: u32 = 0x0050_0008;
+    /// Server → client: sync complete.
+    pub const SYNC_ACK: u32 = 0x0050_0009;
+    /// Client → server: finalize and exit the server loop.
+    pub const SHUTDOWN: u32 = 0x0050_000A;
+    /// Client → server: delete the files of an old snapshot.
+    pub const RETIRE: u32 = 0x0050_000B;
+    /// Server → client: retire complete.
+    pub const RETIRE_ACK: u32 = 0x0050_000C;
+}
+
+fn put_str(out: &mut Vec<u8>, s: &str) {
+    out.extend_from_slice(&(s.len() as u16).to_le_bytes());
+    out.extend_from_slice(s.as_bytes());
+}
+
+fn take<'a>(bytes: &'a [u8], pos: &mut usize, n: usize) -> Result<&'a [u8]> {
+    let s = bytes
+        .get(*pos..*pos + n)
+        .ok_or_else(|| RocError::Corrupt("panda wire: truncated".into()))?;
+    *pos += n;
+    Ok(s)
+}
+
+fn get_str(bytes: &[u8], pos: &mut usize) -> Result<String> {
+    let n = u16::from_le_bytes(take(bytes, pos, 2)?.try_into().unwrap()) as usize;
+    String::from_utf8(take(bytes, pos, n)?.to_vec())
+        .map_err(|_| RocError::Corrupt("panda wire: bad utf8".into()))
+}
+
+fn put_snap(out: &mut Vec<u8>, snap: SnapshotId) {
+    out.extend_from_slice(&snap.step.to_le_bytes());
+    out.extend_from_slice(&snap.ordinal.to_le_bytes());
+}
+
+fn get_snap(bytes: &[u8], pos: &mut usize) -> Result<SnapshotId> {
+    let step = u64::from_le_bytes(take(bytes, pos, 8)?.try_into().unwrap());
+    let ordinal = u32::from_le_bytes(take(bytes, pos, 4)?.try_into().unwrap());
+    Ok(SnapshotId::new(step, ordinal))
+}
+
+/// Header of a collective write: which snapshot/window, how many blocks
+/// this client will send.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WriteReq {
+    pub snap: SnapshotId,
+    pub window: String,
+    pub n_blocks: u32,
+}
+
+impl WriteReq {
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        put_snap(&mut out, self.snap);
+        put_str(&mut out, &self.window);
+        out.extend_from_slice(&self.n_blocks.to_le_bytes());
+        out
+    }
+
+    pub fn decode(bytes: &[u8]) -> Result<Self> {
+        let mut pos = 0;
+        let snap = get_snap(bytes, &mut pos)?;
+        let window = get_str(bytes, &mut pos)?;
+        let n_blocks = u32::from_le_bytes(take(bytes, &mut pos, 4)?.try_into().unwrap());
+        Ok(WriteReq {
+            snap,
+            window,
+            n_blocks,
+        })
+    }
+}
+
+/// Restart request: which snapshot/window, which block ids this client
+/// needs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReadReq {
+    pub snap: SnapshotId,
+    pub window: String,
+    pub ids: Vec<u64>,
+}
+
+impl ReadReq {
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        put_snap(&mut out, self.snap);
+        put_str(&mut out, &self.window);
+        out.extend_from_slice(&(self.ids.len() as u32).to_le_bytes());
+        for id in &self.ids {
+            out.extend_from_slice(&id.to_le_bytes());
+        }
+        out
+    }
+
+    pub fn decode(bytes: &[u8]) -> Result<Self> {
+        let mut pos = 0;
+        let snap = get_snap(bytes, &mut pos)?;
+        let window = get_str(bytes, &mut pos)?;
+        let n = u32::from_le_bytes(take(bytes, &mut pos, 4)?.try_into().unwrap()) as usize;
+        if n > bytes.len().saturating_sub(pos) / 8 {
+            return Err(RocError::Corrupt("panda wire: id list exceeds message".into()));
+        }
+        let mut ids = Vec::with_capacity(n);
+        for _ in 0..n {
+            ids.push(u64::from_le_bytes(take(bytes, &mut pos, 8)?.try_into().unwrap()));
+        }
+        Ok(ReadReq { snap, window, ids })
+    }
+}
+
+/// A block on the wire, prefixed with its snapshot/window routing header.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BlockMsg {
+    pub snap: SnapshotId,
+    pub window: String,
+    pub block: DataBlock,
+}
+
+impl BlockMsg {
+    /// Encode: routing header, then the block's `__meta__` dataset and its
+    /// member datasets as SDF records (prefixed names).
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        put_snap(&mut out, self.snap);
+        put_str(&mut out, &self.window);
+        out.extend_from_slice(&(1 + self.block.datasets.len() as u32).to_le_bytes());
+        out.extend(encode_dataset(&block_meta_dataset(&self.block)));
+        let prefix = block_prefix(self.block.id);
+        for ds in &self.block.datasets {
+            let mut named = ds.clone();
+            named.name = format!("{prefix}{}", ds.name);
+            out.extend(encode_dataset(&named));
+        }
+        out
+    }
+
+    pub fn decode(bytes: &[u8]) -> Result<Self> {
+        let mut pos = 0;
+        let snap = get_snap(bytes, &mut pos)?;
+        let window = get_str(bytes, &mut pos)?;
+        let n = u32::from_le_bytes(take(bytes, &mut pos, 4)?.try_into().unwrap()) as usize;
+        if n == 0 {
+            return Err(RocError::Corrupt("panda wire: empty block".into()));
+        }
+        let meta = decode_dataset(bytes, &mut pos)?;
+        if !meta.name.ends_with(BLOCK_META) {
+            return Err(RocError::Corrupt(format!(
+                "panda wire: expected block meta first, got '{}'",
+                meta.name
+            )));
+        }
+        let (id, win_of_block, attrs) = parse_block_meta(&meta)?;
+        let mut block = DataBlock::new(id, win_of_block);
+        block.attrs = attrs;
+        let prefix = block_prefix(id);
+        for _ in 1..n {
+            let mut ds = decode_dataset(bytes, &mut pos)?;
+            ds.name = ds
+                .name
+                .strip_prefix(&prefix)
+                .ok_or_else(|| {
+                    RocError::Corrupt(format!("panda wire: dataset '{}' outside block", ds.name))
+                })?
+                .to_string();
+            block.push_dataset(ds)?;
+        }
+        Ok(BlockMsg {
+            snap,
+            window,
+            block,
+        })
+    }
+}
+
+/// `RETIRE` payload: the snapshot to delete.
+pub fn encode_retire(snap: SnapshotId) -> Vec<u8> {
+    let mut out = Vec::new();
+    put_snap(&mut out, snap);
+    out
+}
+
+/// Decode a `RETIRE` payload.
+pub fn decode_retire(bytes: &[u8]) -> Result<SnapshotId> {
+    get_snap(bytes, &mut 0)
+}
+
+/// `READ_DONE` payload: how many blocks this server shipped to the client.
+pub fn encode_read_done(n_sent: u32) -> Vec<u8> {
+    n_sent.to_le_bytes().to_vec()
+}
+
+/// Decode a `READ_DONE` payload.
+pub fn decode_read_done(bytes: &[u8]) -> Result<u32> {
+    Ok(u32::from_le_bytes(bytes.get(..4).ok_or_else(|| {
+        RocError::Corrupt("panda wire: short READ_DONE".into())
+    })?.try_into()
+    .unwrap()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rocio_core::{BlockId, Dataset};
+
+    fn block() -> DataBlock {
+        DataBlock::new(BlockId(12), "fluid")
+            .with_dataset(Dataset::vector("pressure", vec![1.0f64, 2.0]).with_attr("units", "Pa"))
+            .with_dataset(Dataset::vector("ids", vec![7i32]))
+            .with_attr("material", "gas")
+    }
+
+    #[test]
+    fn write_req_round_trip() {
+        let r = WriteReq {
+            snap: SnapshotId::new(50, 1),
+            window: "fluid".into(),
+            n_blocks: 16,
+        };
+        assert_eq!(WriteReq::decode(&r.encode()).unwrap(), r);
+    }
+
+    #[test]
+    fn read_req_round_trip() {
+        let r = ReadReq {
+            snap: SnapshotId::new(100, 2),
+            window: "solid".into(),
+            ids: vec![3, 1, 4, 159],
+        };
+        assert_eq!(ReadReq::decode(&r.encode()).unwrap(), r);
+        let empty = ReadReq {
+            snap: SnapshotId::new(0, 0),
+            window: "w".into(),
+            ids: vec![],
+        };
+        assert_eq!(ReadReq::decode(&empty.encode()).unwrap(), empty);
+    }
+
+    #[test]
+    fn block_msg_round_trip() {
+        let m = BlockMsg {
+            snap: SnapshotId::new(50, 1),
+            window: "fluid".into(),
+            block: block(),
+        };
+        let dec = BlockMsg::decode(&m.encode()).unwrap();
+        assert_eq!(dec, m);
+    }
+
+    #[test]
+    fn truncated_messages_rejected() {
+        let m = BlockMsg {
+            snap: SnapshotId::new(0, 0),
+            window: "fluid".into(),
+            block: block(),
+        };
+        let enc = m.encode();
+        assert!(BlockMsg::decode(&enc[..enc.len() - 3]).is_err());
+        assert!(WriteReq::decode(&[1, 2, 3]).is_err());
+        assert!(ReadReq::decode(&[]).is_err());
+        assert!(decode_read_done(&[1]).is_err());
+    }
+
+    #[test]
+    fn read_done_round_trip() {
+        assert_eq!(decode_read_done(&encode_read_done(42)).unwrap(), 42);
+    }
+
+    #[test]
+    fn retire_round_trip() {
+        let snap = SnapshotId::new(150, 3);
+        assert_eq!(decode_retire(&encode_retire(snap)).unwrap(), snap);
+        assert!(decode_retire(&[0u8; 3]).is_err());
+    }
+
+    #[test]
+    fn tags_are_in_user_space() {
+        for t in [
+            tag::WRITE_REQ,
+            tag::BLOCK,
+            tag::ACK,
+            tag::DONE,
+            tag::READ_REQ,
+            tag::READ_BLOCK,
+            tag::READ_DONE,
+            tag::SYNC,
+            tag::SYNC_ACK,
+            tag::SHUTDOWN,
+            tag::RETIRE,
+            tag::RETIRE_ACK,
+        ] {
+            assert!(t <= rocnet::comm::TAG_USER_MAX);
+        }
+    }
+}

@@ -1,0 +1,178 @@
+//! Library cost models: HDF4-like vs HDF5-like dataset management overhead.
+//!
+//! Two empirical facts from the paper are parameterized here:
+//!
+//! * "the relatively small blocks used in GENx present a further
+//!   performance problem with HDF as the internal overhead of managing the
+//!   datasets is significant" \[13\] — the *create* costs;
+//! * "HDF4 read/write performance does not scale well as the number of
+//!   datasets increases in a file (unlike HDF5)" (§4.2) — the *lookup*
+//!   costs, linear in the dataset count for HDF4, logarithmic for HDF5.
+//!
+//! The lookup constants are calibrated against Table 1's restart rows (see
+//! EXPERIMENTS.md): with them, Rochdf's restart from many small files and
+//! Rocpanda's restart from few dataset-dense files land near the paper's
+//! measurements, including Rocpanda's ~13x higher restart latency at 16
+//! processors.
+
+use rocio_core::SimTime;
+
+/// Per-dataset overhead model of the underlying scientific I/O library.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub enum LibraryModel {
+    /// HDF4-like: linear dataset index. Costs grow with the number of
+    /// datasets already in the file.
+    Hdf4 {
+        create_base: SimTime,
+        create_per_ds: SimTime,
+        lookup_base: SimTime,
+        lookup_per_ds: SimTime,
+    },
+    /// HDF5-like: B-tree index. Costs grow logarithmically.
+    Hdf5 {
+        create_base: SimTime,
+        create_per_log: SimTime,
+        lookup_base: SimTime,
+        lookup_per_log: SimTime,
+    },
+    /// No library overhead (raw binary) — baseline for ablations.
+    Raw,
+}
+
+impl LibraryModel {
+    /// HDF4 with constants calibrated against the paper's Table 1.
+    pub fn hdf4() -> Self {
+        LibraryModel::Hdf4 {
+            create_base: 0.3e-3,
+            create_per_ds: 2.0e-6,
+            lookup_base: 30.4e-3,
+            lookup_per_ds: 18.6e-6,
+        }
+    }
+
+    /// HDF5 with the same base costs but logarithmic growth.
+    pub fn hdf5() -> Self {
+        LibraryModel::Hdf5 {
+            create_base: 0.3e-3,
+            create_per_log: 0.02e-3,
+            lookup_base: 8.0e-3,
+            lookup_per_log: 0.4e-3,
+        }
+    }
+
+    /// CPU cost of creating the `n_existing+1`-th dataset in a file.
+    pub fn create_cost(&self, n_existing: usize) -> SimTime {
+        match *self {
+            LibraryModel::Hdf4 {
+                create_base,
+                create_per_ds,
+                ..
+            } => create_base + create_per_ds * n_existing as f64,
+            LibraryModel::Hdf5 {
+                create_base,
+                create_per_log,
+                ..
+            } => create_base + create_per_log * ((n_existing + 2) as f64).log2(),
+            LibraryModel::Raw => 0.0,
+        }
+    }
+
+    /// CPU + protocol cost of locating one dataset in a file holding
+    /// `n_in_file` datasets.
+    pub fn lookup_cost(&self, n_in_file: usize) -> SimTime {
+        match *self {
+            LibraryModel::Hdf4 {
+                lookup_base,
+                lookup_per_ds,
+                ..
+            } => lookup_base + lookup_per_ds * n_in_file as f64,
+            LibraryModel::Hdf5 {
+                lookup_base,
+                lookup_per_log,
+                ..
+            } => lookup_base + lookup_per_log * ((n_in_file + 2) as f64).log2(),
+            LibraryModel::Raw => 0.0,
+        }
+    }
+
+    /// Model name for reports.
+    pub fn name(&self) -> &'static str {
+        match self {
+            LibraryModel::Hdf4 { .. } => "hdf4",
+            LibraryModel::Hdf5 { .. } => "hdf5",
+            LibraryModel::Raw => "raw",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hdf4_costs_grow_linearly() {
+        let m = LibraryModel::hdf4();
+        let c0 = m.lookup_cost(0);
+        let c100 = m.lookup_cost(100);
+        let c200 = m.lookup_cost(200);
+        assert!((c200 - c100) - (c100 - c0) < 1e-12); // linear
+        assert!(c200 > c100 && c100 > c0);
+    }
+
+    #[test]
+    fn hdf5_costs_grow_sublinearly() {
+        let m = LibraryModel::hdf5();
+        let d1 = m.lookup_cost(200) - m.lookup_cost(100);
+        let d2 = m.lookup_cost(2000) - m.lookup_cost(1000);
+        // Equal count ratios give (nearly) equal log increments — the +2
+        // offset makes the second slightly larger; absolute growth per
+        // added dataset shrinks.
+        assert!((d1 - d2).abs() < 1e-5);
+        assert!(m.lookup_cost(10_000) < LibraryModel::hdf4().lookup_cost(10_000));
+    }
+
+    #[test]
+    fn hdf4_much_slower_than_hdf5_on_dense_files() {
+        // A Rocpanda restart file holds >1000 datasets; per-dataset lookup
+        // in HDF4 must be several times the HDF5 cost there.
+        let h4 = LibraryModel::hdf4().lookup_cost(1280);
+        let h5 = LibraryModel::hdf5().lookup_cost(1280);
+        assert!(h4 / h5 > 4.0, "h4={h4}, h5={h5}");
+    }
+
+    #[test]
+    fn raw_is_free() {
+        assert_eq!(LibraryModel::Raw.create_cost(1000), 0.0);
+        assert_eq!(LibraryModel::Raw.lookup_cost(1000), 0.0);
+    }
+
+    #[test]
+    fn monotone_in_dataset_count() {
+        for m in [LibraryModel::hdf4(), LibraryModel::hdf5()] {
+            let mut prev_c = 0.0;
+            let mut prev_l = 0.0;
+            for n in (0..5000).step_by(250) {
+                let c = m.create_cost(n);
+                let l = m.lookup_cost(n);
+                assert!(c >= prev_c && l >= prev_l, "{} at n={n}", m.name());
+                prev_c = c;
+                prev_l = l;
+            }
+        }
+    }
+
+    #[test]
+    fn calibration_reproduces_restart_ratio() {
+        // Table 1, 16 compute processors: Rochdf restart reads 160 datasets
+        // from files of 160; Rocpanda (2 servers) reads 1280 datasets from
+        // files of 1280. Paper ratio: 69.9 / 5.33 ≈ 13.1.
+        let m = LibraryModel::hdf4();
+        let rochdf = 160.0 * m.lookup_cost(160);
+        let rocpanda = 1280.0 * m.lookup_cost(1280);
+        let ratio = rocpanda / rochdf;
+        assert!(
+            (10.0..17.0).contains(&ratio),
+            "restart cost ratio {ratio} outside the paper's ballpark"
+        );
+    }
+}

@@ -1,0 +1,392 @@
+//! Reading SDF files through the storage simulator.
+
+use std::collections::BTreeMap;
+
+use rocio_core::{BlockId, DataBlock, Dataset, Result, RocError, SimTime};
+use rocstore::SharedFs;
+
+use crate::cost::LibraryModel;
+use crate::format::{
+    check_header, decode_dataset, decode_index, decode_trailer, parse_block_id, parse_block_meta,
+    BLOCK_META, HEADER_LEN, TRAILER_LEN,
+};
+
+/// An open SDF file being read.
+///
+/// Opening parses the trailing index (two small reads); each dataset access
+/// is charged the library's lookup cost — linear in the file's dataset
+/// count for HDF4, which is exactly why restart from dataset-dense Rocpanda
+/// files is expensive (Table 1).
+pub struct SdfFileReader<'fs> {
+    fs: &'fs SharedFs,
+    path: String,
+    client: u64,
+    lib: LibraryModel,
+    index: Vec<crate::format::IndexEntry>,
+    by_name: BTreeMap<String, usize>,
+}
+
+impl<'fs> SdfFileReader<'fs> {
+    /// Open `path` and parse its index. Returns the reader and the virtual
+    /// completion time of the open.
+    pub fn open(
+        fs: &'fs SharedFs,
+        path: &str,
+        lib: LibraryModel,
+        client: u64,
+        now: SimTime,
+    ) -> Result<(Self, SimTime)> {
+        let size = fs.file_size(path)?;
+        if size < HEADER_LEN + TRAILER_LEN {
+            return Err(RocError::Corrupt(format!("SDF '{path}': too short")));
+        }
+        let (header, t1) = fs.read(path, 0, HEADER_LEN, client, now)?;
+        check_header(&header)?;
+        let (trailer, t2) = fs.read(path, size - TRAILER_LEN, TRAILER_LEN, client, t1)?;
+        let idx_off = decode_trailer(&trailer)? as usize;
+        if idx_off < HEADER_LEN || idx_off > size - TRAILER_LEN {
+            return Err(RocError::Corrupt(format!(
+                "SDF '{path}': index offset {idx_off} out of range"
+            )));
+        }
+        let (idx_bytes, t3) = fs.read(path, idx_off, size - TRAILER_LEN - idx_off, client, t2)?;
+        let index = decode_index(&idx_bytes)?;
+        let by_name = index
+            .iter()
+            .enumerate()
+            .map(|(i, e)| (e.name.clone(), i))
+            .collect();
+        Ok((
+            SdfFileReader {
+                fs,
+                path: path.to_string(),
+                client,
+                lib,
+                index,
+                by_name,
+            },
+            t3,
+        ))
+    }
+
+    /// Number of datasets in the file.
+    pub fn n_datasets(&self) -> usize {
+        self.index.len()
+    }
+
+    /// Names of all datasets, in file order.
+    pub fn dataset_names(&self) -> Vec<&str> {
+        self.index.iter().map(|e| e.name.as_str()).collect()
+    }
+
+    /// Whether the file contains a dataset of this name.
+    pub fn contains(&self, name: &str) -> bool {
+        self.by_name.contains_key(name)
+    }
+
+    /// Ids of all blocks stored in the file, in first-appearance order.
+    pub fn block_ids(&self) -> Vec<BlockId> {
+        let mut seen = std::collections::HashSet::new();
+        let mut out = Vec::new();
+        for e in &self.index {
+            if let Some(id) = parse_block_id(&e.name) {
+                if seen.insert(id) {
+                    out.push(id);
+                }
+            }
+        }
+        out
+    }
+
+    /// Read one dataset by name. Returns the dataset and completion time.
+    pub fn read_dataset(&self, name: &str, now: SimTime) -> Result<(Dataset, SimTime)> {
+        let &i = self
+            .by_name
+            .get(name)
+            .ok_or_else(|| RocError::NotFound(format!("dataset '{name}' in '{}'", self.path)))?;
+        let e = &self.index[i];
+        let lookup = self.lib.lookup_cost(self.index.len());
+        let (bytes, t) = self.fs.read(
+            &self.path,
+            e.offset as usize,
+            e.len as usize,
+            self.client,
+            now + lookup,
+        )?;
+        let ds = decode_dataset(&bytes, &mut 0)?;
+        Ok((ds, t))
+    }
+
+    /// Read a whole data block (its `__meta__` plus all member datasets),
+    /// reconstructing names without the group prefix.
+    pub fn read_block(&self, id: BlockId, now: SimTime) -> Result<(DataBlock, SimTime)> {
+        let prefix = crate::format::block_prefix(id);
+        let meta_name = format!("{prefix}{BLOCK_META}");
+        let (meta, mut t) = self.read_dataset(&meta_name, now)?;
+        let (got_id, window, attrs) = parse_block_meta(&meta)?;
+        if got_id != id {
+            return Err(RocError::Corrupt(format!(
+                "block meta id {got_id} != requested {id}"
+            )));
+        }
+        let mut block = DataBlock::new(id, window);
+        block.attrs = attrs;
+        // Member datasets in file order.
+        for e in &self.index {
+            if let Some(member) = e.name.strip_prefix(&prefix) {
+                if member == BLOCK_META {
+                    continue;
+                }
+                let (mut ds, t2) = self.read_dataset(&e.name, t)?;
+                t = t2;
+                ds.name = member.to_string();
+                block.push_dataset(ds)?;
+            }
+        }
+        Ok((block, t))
+    }
+
+    /// Read a contiguous element range of one dataset without transferring
+    /// the whole record — the hyperslab-style partial access
+    /// post-processing tools use on large arrays.
+    ///
+    /// `start..start+n` indexes flat elements; the returned dataset has
+    /// shape `[n]` (possibly `[n, ncomp]` flattened away).
+    pub fn read_dataset_range(
+        &self,
+        name: &str,
+        start: usize,
+        n: usize,
+        now: SimTime,
+    ) -> Result<(Dataset, SimTime)> {
+        let &i = self
+            .by_name
+            .get(name)
+            .ok_or_else(|| RocError::NotFound(format!("dataset '{name}' in '{}'", self.path)))?;
+        let e = &self.index[i];
+        let lookup = self.lib.lookup_cost(self.index.len());
+        // Read the record header (grow until it parses), then just the
+        // requested payload bytes.
+        let mut header_guess = 256usize.min(e.len as usize);
+        let (header, mut t) = loop {
+            let (bytes, t) = self.fs.read(
+                &self.path,
+                e.offset as usize,
+                header_guess,
+                self.client,
+                now + lookup,
+            )?;
+            match crate::format::decode_dataset_header(&bytes) {
+                Ok(h) => break (h, t),
+                Err(_) if header_guess < e.len as usize => {
+                    header_guess = (header_guess * 2).min(e.len as usize);
+                }
+                Err(err) => return Err(err),
+            }
+        };
+        let total_elems: usize = header.shape.iter().product();
+        if start + n > total_elems {
+            return Err(RocError::Mismatch(format!(
+                "range {start}..{} beyond dataset '{name}' ({total_elems} elems)",
+                start + n
+            )));
+        }
+        let esize = header.dtype.size();
+        let payload_off = e.offset as usize + header.header_len;
+        let (bytes, t2) = self.fs.read(
+            &self.path,
+            payload_off + start * esize,
+            n * esize,
+            self.client,
+            t,
+        )?;
+        t = t2;
+        let data = rocio_core::ArrayData::from_le_bytes(header.dtype, n, &bytes)?;
+        Ok((Dataset::new(name, vec![n], data)?, t))
+    }
+
+    /// Read every block in the file.
+    pub fn read_all_blocks(&self, now: SimTime) -> Result<(Vec<DataBlock>, SimTime)> {
+        let mut t = now;
+        let mut out = Vec::new();
+        for id in self.block_ids() {
+            let (b, t2) = self.read_block(id, t)?;
+            t = t2;
+            out.push(b);
+        }
+        Ok((out, t))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::writer::SdfFileWriter;
+    use rocio_core::ArrayData;
+
+    fn write_sample(fs: &SharedFs) -> Vec<DataBlock> {
+        let blocks: Vec<DataBlock> = (0..3)
+            .map(|i| {
+                DataBlock::new(BlockId(i * 7), "fluid")
+                    .with_dataset(
+                        Dataset::vector("pressure", vec![i as f64; 4 + i as usize])
+                            .with_attr("units", "Pa"),
+                    )
+                    .with_dataset(Dataset::vector("ids", vec![i as i32, 2, 3]))
+                    .with_attr("material", "gas")
+            })
+            .collect();
+        let (mut w, mut t) =
+            SdfFileWriter::create(fs, "snap.sdf", LibraryModel::hdf4(), 0, 0.0).unwrap();
+        for b in &blocks {
+            t = w.append_block(b, t).unwrap();
+        }
+        w.finish(t).unwrap();
+        blocks
+    }
+
+    #[test]
+    fn open_reads_index() {
+        let fs = SharedFs::ideal();
+        write_sample(&fs);
+        let (r, t) = SdfFileReader::open(&fs, "snap.sdf", LibraryModel::hdf4(), 1, 0.0).unwrap();
+        assert_eq!(r.n_datasets(), 9); // 3 blocks x (meta + 2 datasets)
+        assert!(t >= 0.0);
+        assert!(r.contains("blk000007/pressure"));
+        assert!(!r.contains("nope"));
+    }
+
+    #[test]
+    fn read_dataset_round_trips() {
+        let fs = SharedFs::ideal();
+        let blocks = write_sample(&fs);
+        let (r, t) = SdfFileReader::open(&fs, "snap.sdf", LibraryModel::hdf4(), 1, 0.0).unwrap();
+        let (ds, _) = r.read_dataset("blk000007/pressure", t).unwrap();
+        assert_eq!(ds.data, blocks[1].dataset("pressure").unwrap().data);
+        assert_eq!(ds.attrs["units"].as_str().unwrap(), "Pa");
+    }
+
+    #[test]
+    fn read_block_round_trips_exactly() {
+        let fs = SharedFs::ideal();
+        let blocks = write_sample(&fs);
+        let (r, t) = SdfFileReader::open(&fs, "snap.sdf", LibraryModel::hdf4(), 1, 0.0).unwrap();
+        for want in &blocks {
+            let (got, _) = r.read_block(want.id, t).unwrap();
+            assert_eq!(&got, want, "block {} must round-trip", want.id);
+        }
+    }
+
+    #[test]
+    fn read_all_blocks_in_file_order() {
+        let fs = SharedFs::ideal();
+        let blocks = write_sample(&fs);
+        let (r, t) = SdfFileReader::open(&fs, "snap.sdf", LibraryModel::hdf4(), 1, 0.0).unwrap();
+        let (all, _) = r.read_all_blocks(t).unwrap();
+        assert_eq!(all, blocks);
+        assert_eq!(
+            r.block_ids(),
+            vec![BlockId(0), BlockId(7), BlockId(14)]
+        );
+    }
+
+    #[test]
+    fn missing_dataset_is_not_found() {
+        let fs = SharedFs::ideal();
+        write_sample(&fs);
+        let (r, t) = SdfFileReader::open(&fs, "snap.sdf", LibraryModel::hdf4(), 1, 0.0).unwrap();
+        assert!(matches!(
+            r.read_dataset("ghost", t),
+            Err(RocError::NotFound(_))
+        ));
+        assert!(r.read_block(BlockId(999), t).is_err());
+    }
+
+    #[test]
+    fn corrupt_file_rejected_on_open() {
+        let fs = SharedFs::ideal();
+        fs.create("bad.sdf", 0, 0.0);
+        fs.append("bad.sdf", b"not an sdf file at all....", 0, 0.0)
+            .unwrap();
+        assert!(SdfFileReader::open(&fs, "bad.sdf", LibraryModel::hdf4(), 0, 0.0).is_err());
+        assert!(SdfFileReader::open(&fs, "absent.sdf", LibraryModel::hdf4(), 0, 0.0).is_err());
+    }
+
+    #[test]
+    fn hdf4_lookup_cost_grows_with_file_density() {
+        // Same dataset payloads; a dense file must take longer to read one
+        // dataset from than a sparse file, on an ideal disk (pure library
+        // overhead).
+        let fs = SharedFs::ideal();
+        for (path, n) in [("sparse.sdf", 10usize), ("dense.sdf", 500)] {
+            let (mut w, mut t) =
+                SdfFileWriter::create(&fs, path, LibraryModel::hdf4(), 0, 0.0).unwrap();
+            for i in 0..n {
+                t = w
+                    .append_dataset(&Dataset::vector(format!("d{i}"), vec![0.0f64; 8]), t)
+                    .unwrap();
+            }
+            w.finish(t).unwrap();
+        }
+        let (rs, t1) = SdfFileReader::open(&fs, "sparse.sdf", LibraryModel::hdf4(), 0, 0.0).unwrap();
+        let (rd, t2) = SdfFileReader::open(&fs, "dense.sdf", LibraryModel::hdf4(), 0, 0.0).unwrap();
+        let (_, ts) = rs.read_dataset("d5", t1).unwrap();
+        let (_, td) = rd.read_dataset("d5", t2).unwrap();
+        assert!(td - t2 > ts - t1, "dense lookup {} <= sparse {}", td - t2, ts - t1);
+    }
+
+    #[test]
+    fn partial_read_matches_full_read() {
+        let fs = SharedFs::ideal();
+        let values: Vec<f64> = (0..1000).map(|i| i as f64 * 0.25).collect();
+        let block = DataBlock::new(BlockId(2), "w")
+            .with_dataset(Dataset::vector("series", values.clone()).with_attr("units", "m/s"));
+        let (mut w, t) = SdfFileWriter::create(&fs, "p.sdf", LibraryModel::hdf4(), 0, 0.0).unwrap();
+        let t = w.append_block(&block, t).unwrap();
+        w.finish(t).unwrap();
+        let (r, t) = SdfFileReader::open(&fs, "p.sdf", LibraryModel::hdf4(), 1, 0.0).unwrap();
+        let (slice, t2) = r.read_dataset_range("blk000002/series", 100, 50, t).unwrap();
+        assert!(t2 > t);
+        assert_eq!(slice.data.as_f64().unwrap(), &values[100..150]);
+        // Edges.
+        let (head, _) = r.read_dataset_range("blk000002/series", 0, 1, t).unwrap();
+        assert_eq!(head.data.as_f64().unwrap(), &values[0..1]);
+        let (tail, _) = r.read_dataset_range("blk000002/series", 999, 1, t).unwrap();
+        assert_eq!(tail.data.as_f64().unwrap(), &values[999..]);
+        // Out of range and missing name.
+        assert!(r.read_dataset_range("blk000002/series", 990, 20, t).is_err());
+        assert!(r.read_dataset_range("ghost", 0, 1, t).is_err());
+    }
+
+    #[test]
+    fn partial_read_charges_fewer_bytes_than_full() {
+        let fs = SharedFs::ideal();
+        let block = DataBlock::new(BlockId(1), "w")
+            .with_dataset(Dataset::vector("big", vec![1.0f64; 100_000]));
+        let (mut w, t) = SdfFileWriter::create(&fs, "q.sdf", LibraryModel::Raw, 0, 0.0).unwrap();
+        let t = w.append_block(&block, t).unwrap();
+        w.finish(t).unwrap();
+        let before = fs.stats().bytes_read;
+        let (r, _) = SdfFileReader::open(&fs, "q.sdf", LibraryModel::Raw, 1, 0.0).unwrap();
+        let after_open = fs.stats().bytes_read;
+        r.read_dataset_range("blk000001/big", 50_000, 10, 0.0).unwrap();
+        let after_slice = fs.stats().bytes_read;
+        // The slice read moved ~ header + 80 bytes, nowhere near 800 KB.
+        assert!(after_slice - after_open < 2048, "read {} bytes", after_slice - after_open);
+        let _ = before;
+    }
+
+    #[test]
+    fn big_array_survives() {
+        let fs = SharedFs::ideal();
+        let big: Vec<f64> = (0..100_000).map(|i| i as f64 * 0.5).collect();
+        let block = DataBlock::new(BlockId(1), "w")
+            .with_dataset(Dataset::new("v", vec![100, 1000], ArrayData::F64(big)).unwrap());
+        let (mut w, t) = SdfFileWriter::create(&fs, "big.sdf", LibraryModel::Raw, 0, 0.0).unwrap();
+        let t = w.append_block(&block, t).unwrap();
+        w.finish(t).unwrap();
+        let (r, t) = SdfFileReader::open(&fs, "big.sdf", LibraryModel::Raw, 0, 0.0).unwrap();
+        let (got, _) = r.read_block(BlockId(1), t).unwrap();
+        assert_eq!(got, block);
+    }
+}

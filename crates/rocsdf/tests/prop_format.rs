@@ -1,0 +1,110 @@
+//! Property tests: SDF files round-trip arbitrary block collections and
+//! stay self-describing; the inspector agrees with the reader.
+
+use proptest::prelude::*;
+use rocio_core::{ArrayData, BlockId, DataBlock, Dataset};
+use rocsdf::{describe, LibraryModel, SdfFileReader, SdfFileWriter};
+use rocstore::SharedFs;
+
+fn arb_block(id: u64) -> impl Strategy<Value = DataBlock> {
+    (
+        prop::collection::vec(
+            (
+                "[a-z][a-z0-9_]{0,8}",
+                prop_oneof![
+                    prop::collection::vec(any::<f64>(), 1..32).prop_map(ArrayData::F64),
+                    prop::collection::vec(any::<i32>(), 1..32).prop_map(ArrayData::I32),
+                ],
+            ),
+            1..5,
+        ),
+        prop::collection::vec(("[a-z]{1,6}", any::<i64>()), 0..3),
+    )
+        .prop_map(move |(datasets, attrs)| {
+            let mut b = DataBlock::new(BlockId(id), "fluid");
+            for (name, data) in datasets {
+                if b.dataset(&name).is_err() {
+                    let mut ds = Dataset::vector(name, vec![0u8; 0]);
+                    ds.shape = vec![data.len()];
+                    ds.data = data;
+                    b.push_dataset(ds).unwrap();
+                }
+            }
+            for (k, v) in attrs {
+                b.attrs.insert(k, v.into());
+            }
+            b
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn file_round_trips_arbitrary_blocks(
+        blocks in prop::collection::vec(any::<u8>(), 1..6)
+            .prop_flat_map(|ids| {
+                let uniq: Vec<u64> = {
+                    let mut v: Vec<u64> = ids.iter().map(|&b| b as u64).collect();
+                    v.sort_unstable();
+                    v.dedup();
+                    v
+                };
+                uniq.into_iter().map(arb_block).collect::<Vec<_>>()
+            })
+    ) {
+        let fs = SharedFs::ideal();
+        let (mut w, mut t) =
+            SdfFileWriter::create(&fs, "prop.sdf", LibraryModel::hdf4(), 0, 0.0).unwrap();
+        for b in &blocks {
+            t = w.append_block(b, t).unwrap();
+        }
+        w.finish(t).unwrap();
+
+        let (r, t) = SdfFileReader::open(&fs, "prop.sdf", LibraryModel::hdf4(), 1, 0.0).unwrap();
+        prop_assert_eq!(r.block_ids().len(), blocks.len());
+        let (read, _) = r.read_all_blocks(t).unwrap();
+        for (a, b) in blocks.iter().zip(&read) {
+            prop_assert_eq!(
+                rocio_core::Checksum::of_block(a),
+                rocio_core::Checksum::of_block(b)
+            );
+        }
+
+        // Self-describing: the stand-alone inspector sees the same
+        // structure without the index.
+        let (bytes, _) = fs.read_all("prop.sdf", 0, 0.0).unwrap();
+        let desc = describe(&bytes).unwrap();
+        prop_assert!(desc.index_present);
+        prop_assert_eq!(desc.blocks.len(), blocks.len());
+        let n_datasets: usize = blocks.iter().map(|b| b.datasets.len() + 1).sum();
+        prop_assert_eq!(desc.datasets.len(), n_datasets);
+    }
+
+    #[test]
+    fn truncated_files_never_panic(
+        len in 0usize..200,
+        junk in prop::collection::vec(any::<u8>(), 0..64),
+    ) {
+        let fs = SharedFs::ideal();
+        let (mut w, t) =
+            SdfFileWriter::create(&fs, "t.sdf", LibraryModel::Raw, 0, 0.0).unwrap();
+        let t = w
+            .append_dataset(&Dataset::vector("d", vec![1.0f64; 16]), t)
+            .unwrap();
+        w.finish(t).unwrap();
+        let (mut bytes, _) = fs.read_all("t.sdf", 0, 0.0).unwrap();
+        bytes.truncate(len.min(bytes.len()));
+        bytes.extend(junk);
+        let _ = describe(&bytes); // must not panic, may Err
+    }
+
+    #[test]
+    fn cost_models_monotone(n1 in 0usize..5000, n2 in 0usize..5000) {
+        let (lo, hi) = (n1.min(n2), n1.max(n2));
+        for m in [LibraryModel::hdf4(), LibraryModel::hdf5()] {
+            prop_assert!(m.lookup_cost(hi) >= m.lookup_cost(lo));
+            prop_assert!(m.create_cost(hi) >= m.create_cost(lo));
+        }
+    }
+}

@@ -1,0 +1,510 @@
+//! The shared file system: real bytes, modelled time.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use parking_lot::Mutex;
+use rocio_core::{Result, RocError, SimTime};
+
+use crate::model::DiskModel;
+
+/// Aggregate statistics of a file system instance.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct FsStats {
+    pub bytes_written: u64,
+    pub bytes_read: u64,
+    pub write_ops: u64,
+    pub read_ops: u64,
+    pub files_created: u64,
+}
+
+#[derive(Default)]
+struct ServerState {
+    /// Total service time accumulated by writes (diagnostics).
+    busy_time: SimTime,
+    /// Latest virtual write-completion time seen (diagnostics).
+    last_completion: SimTime,
+    /// client -> virtual end time of its last write.
+    write_activity: HashMap<u64, SimTime>,
+    /// client -> virtual end time of its last read.
+    read_activity: HashMap<u64, SimTime>,
+}
+
+impl ServerState {
+    fn count_active(map: &mut HashMap<u64, SimTime>, client: u64, now: SimTime, window: SimTime) -> usize {
+        map.retain(|_, &mut end| end > now - window);
+        let mut n = map.len();
+        if !map.contains_key(&client) {
+            n += 1;
+        }
+        n
+    }
+}
+
+/// A shared parallel file system with `n` storage servers.
+///
+/// Files are assigned to servers by a stable hash of their path. Writes
+/// are served **processor-sharing** style: with `w` concurrent writers,
+/// each op's service time is `(seek + bytes/bw) · w · thrash(w)`, so the
+/// server's aggregate bandwidth is bounded by `bw / thrash(w)` while the
+/// result stays independent of operation arrival order — essential for
+/// deterministic virtual times when the host serializes rank threads
+/// arbitrarily. Reads are served concurrently (client-side caching,
+/// read-ahead) under a milder direct contention curve.
+///
+/// All timing is virtual: operations take and return [`SimTime`]s and never
+/// sleep. All contents are real: bytes written are the bytes read back.
+pub struct SharedFs {
+    model: DiskModel,
+    servers: Vec<Mutex<ServerState>>,
+    files: Mutex<HashMap<String, Vec<u8>>>,
+    stats: Mutex<FsStats>,
+    /// Caller-declared concurrent-writer count (see
+    /// [`SharedFs::declare_writers`]); 0 = rely on the activity window.
+    write_hint: AtomicUsize,
+    /// Caller-declared concurrent-reader count.
+    read_hint: AtomicUsize,
+    /// Capacity limit in bytes (usize::MAX = unlimited). Writes that would
+    /// exceed it fail with [`RocError::Storage`] — disk-full injection.
+    quota: AtomicUsize,
+}
+
+impl SharedFs {
+    /// A file system with `n_servers` servers of the given model.
+    pub fn new(model: DiskModel, n_servers: usize) -> Self {
+        assert!(n_servers >= 1, "need at least one storage server");
+        SharedFs {
+            model,
+            servers: (0..n_servers).map(|_| Mutex::new(ServerState::default())).collect(),
+            files: Mutex::new(HashMap::new()),
+            stats: Mutex::new(FsStats::default()),
+            write_hint: AtomicUsize::new(0),
+            read_hint: AtomicUsize::new(0),
+            quota: AtomicUsize::new(usize::MAX),
+        }
+    }
+
+    /// Impose a capacity limit in bytes (disk-full injection). Existing
+    /// contents count against it.
+    pub fn set_quota(&self, bytes: usize) {
+        self.quota.store(bytes, Ordering::Relaxed);
+    }
+
+    /// Total bytes currently stored.
+    pub fn used_bytes(&self) -> usize {
+        self.files.lock().values().map(|f| f.len()).sum()
+    }
+
+    fn check_quota(&self, additional: usize) -> Result<()> {
+        let quota = self.quota.load(Ordering::Relaxed);
+        if quota != usize::MAX && self.used_bytes() + additional > quota {
+            return Err(RocError::Storage(format!(
+                "disk full: quota {quota} bytes, {} used, {additional} requested",
+                self.used_bytes()
+            )));
+        }
+        Ok(())
+    }
+
+    /// Declare how many clients are writing concurrently (in virtual
+    /// time). The activity-window heuristic under-counts when the host
+    /// serializes rank threads, so collective I/O layers — which know
+    /// their own parallelism — declare it explicitly; contention is then
+    /// `max(declared, observed)`. Pass 0 to reset.
+    pub fn declare_writers(&self, n: usize) {
+        self.write_hint.store(n, Ordering::Relaxed);
+    }
+
+    /// Declare how many clients are reading concurrently; see
+    /// [`SharedFs::declare_writers`].
+    pub fn declare_readers(&self, n: usize) {
+        self.read_hint.store(n, Ordering::Relaxed);
+    }
+
+    /// Turing's shared file system: NFS through a single server.
+    pub fn turing() -> Self {
+        SharedFs::new(DiskModel::nfs_turing(), 1)
+    }
+
+    /// Frost's GPFS: two server nodes.
+    pub fn frost() -> Self {
+        SharedFs::new(DiskModel::gpfs_frost(), 2)
+    }
+
+    /// An effectively free file system for semantics-only tests.
+    pub fn ideal() -> Self {
+        SharedFs::new(DiskModel::ideal(), 1)
+    }
+
+    /// The disk model in use.
+    pub fn model(&self) -> &DiskModel {
+        &self.model
+    }
+
+    /// Number of storage servers.
+    pub fn n_servers(&self) -> usize {
+        self.servers.len()
+    }
+
+    fn server_of(&self, path: &str) -> usize {
+        // FNV-1a over the path, stable across runs.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in path.as_bytes() {
+            h ^= *b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        (h % self.servers.len() as u64) as usize
+    }
+
+    /// Charge a write of `bytes` to `path`'s server and return its virtual
+    /// completion time (processor sharing — see the type docs).
+    fn charge_write(&self, path: &str, bytes: usize, client: u64, now: SimTime) -> SimTime {
+        let mut srv = self.servers[self.server_of(path)].lock();
+        // The declared hint counts writers across the whole file system;
+        // each server sees its share.
+        let hinted = self.write_hint.load(Ordering::Relaxed).div_ceil(self.servers.len());
+        let active =
+            ServerState::count_active(&mut srv.write_activity, client, now, self.model.activity_window)
+                .max(hinted);
+        let dur = self.model.write_time(bytes, active);
+        let end = now + dur;
+        srv.busy_time += dur;
+        srv.last_completion = srv.last_completion.max(end);
+        srv.write_activity.insert(client, end);
+        end
+    }
+
+    /// Charge a read of `bytes` from `path`'s server and return its virtual
+    /// completion time. Reads do not serialize through the write ledger.
+    fn charge_read(&self, path: &str, bytes: usize, client: u64, now: SimTime) -> SimTime {
+        let mut srv = self.servers[self.server_of(path)].lock();
+        let hinted = self.read_hint.load(Ordering::Relaxed).div_ceil(self.servers.len());
+        let active =
+            ServerState::count_active(&mut srv.read_activity, client, now, self.model.activity_window)
+                .max(hinted);
+        let end = now + self.model.read_time(bytes, active);
+        srv.read_activity.insert(client, end);
+        end
+    }
+
+    /// Create (or truncate) a file. Returns the virtual completion time.
+    pub fn create(&self, path: &str, client: u64, now: SimTime) -> SimTime {
+        self.files.lock().insert(path.to_string(), Vec::new());
+        self.stats.lock().files_created += 1;
+        let end = self.charge_write(path, 0, client, now);
+        end + self.model.open_cost
+    }
+
+    /// Append bytes to a file (must exist). Returns the completion time.
+    pub fn append(&self, path: &str, data: &[u8], client: u64, now: SimTime) -> Result<SimTime> {
+        self.check_quota(data.len())?;
+        {
+            let mut files = self.files.lock();
+            let f = files
+                .get_mut(path)
+                .ok_or_else(|| RocError::Storage(format!("append: no such file '{path}'")))?;
+            f.extend_from_slice(data);
+        }
+        let mut stats = self.stats.lock();
+        stats.bytes_written += data.len() as u64;
+        stats.write_ops += 1;
+        drop(stats);
+        Ok(self.charge_write(path, data.len(), client, now))
+    }
+
+    /// Overwrite bytes at `offset` (extends the file if needed).
+    pub fn write_at(
+        &self,
+        path: &str,
+        offset: usize,
+        data: &[u8],
+        client: u64,
+        now: SimTime,
+    ) -> Result<SimTime> {
+        self.check_quota(data.len())?;
+        {
+            let mut files = self.files.lock();
+            let f = files
+                .get_mut(path)
+                .ok_or_else(|| RocError::Storage(format!("write_at: no such file '{path}'")))?;
+            if f.len() < offset + data.len() {
+                f.resize(offset + data.len(), 0);
+            }
+            f[offset..offset + data.len()].copy_from_slice(data);
+        }
+        let mut stats = self.stats.lock();
+        stats.bytes_written += data.len() as u64;
+        stats.write_ops += 1;
+        drop(stats);
+        Ok(self.charge_write(path, data.len(), client, now))
+    }
+
+    /// Close/commit a file. Returns the completion time.
+    pub fn close(&self, path: &str, _client: u64, now: SimTime) -> Result<SimTime> {
+        if !self.files.lock().contains_key(path) {
+            return Err(RocError::Storage(format!("close: no such file '{path}'")));
+        }
+        Ok(now + self.model.close_cost)
+    }
+
+    /// Read `len` bytes at `offset`. Returns the bytes and completion time.
+    pub fn read(
+        &self,
+        path: &str,
+        offset: usize,
+        len: usize,
+        client: u64,
+        now: SimTime,
+    ) -> Result<(Vec<u8>, SimTime)> {
+        let data = {
+            let files = self.files.lock();
+            let f = files
+                .get(path)
+                .ok_or_else(|| RocError::Storage(format!("read: no such file '{path}'")))?;
+            if offset + len > f.len() {
+                return Err(RocError::Storage(format!(
+                    "read: range {offset}..{} beyond EOF {} in '{path}'",
+                    offset + len,
+                    f.len()
+                )));
+            }
+            f[offset..offset + len].to_vec()
+        };
+        let mut stats = self.stats.lock();
+        stats.bytes_read += len as u64;
+        stats.read_ops += 1;
+        drop(stats);
+        let end = self.charge_read(path, len, client, now);
+        Ok((data, end))
+    }
+
+    /// Read a whole file.
+    pub fn read_all(&self, path: &str, client: u64, now: SimTime) -> Result<(Vec<u8>, SimTime)> {
+        let len = self.file_size(path)?;
+        self.read(path, 0, len, client, now)
+    }
+
+    /// Size of a file in bytes (metadata operation, no time charged).
+    pub fn file_size(&self, path: &str) -> Result<usize> {
+        self.files
+            .lock()
+            .get(path)
+            .map(|f| f.len())
+            .ok_or_else(|| RocError::Storage(format!("stat: no such file '{path}'")))
+    }
+
+    /// Whether a file exists.
+    pub fn exists(&self, path: &str) -> bool {
+        self.files.lock().contains_key(path)
+    }
+
+    /// All file paths with the given prefix, sorted.
+    pub fn list(&self, prefix: &str) -> Vec<String> {
+        let files = self.files.lock();
+        let mut out: Vec<String> = files
+            .keys()
+            .filter(|p| p.starts_with(prefix))
+            .cloned()
+            .collect();
+        out.sort();
+        out
+    }
+
+    /// Delete a file.
+    pub fn delete(&self, path: &str) -> Result<()> {
+        self.files
+            .lock()
+            .remove(path)
+            .map(|_| ())
+            .ok_or_else(|| RocError::Storage(format!("delete: no such file '{path}'")))
+    }
+
+    /// Number of files currently stored.
+    pub fn n_files(&self) -> usize {
+        self.files.lock().len()
+    }
+
+    /// Aggregate statistics so far.
+    pub fn stats(&self) -> FsStats {
+        *self.stats.lock()
+    }
+
+    /// Diagnostics: per-server (latest write completion, accumulated write
+    /// service time).
+    pub fn server_times(&self) -> Vec<(SimTime, SimTime)> {
+        self.servers
+            .iter()
+            .map(|s| {
+                let s = s.lock();
+                (s.last_completion, s.busy_time)
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn create_write_read_round_trip() {
+        let fs = SharedFs::ideal();
+        fs.create("a.sdf", 0, 0.0);
+        fs.append("a.sdf", b"hello ", 0, 0.0).unwrap();
+        fs.append("a.sdf", b"world", 0, 0.0).unwrap();
+        let (data, _t) = fs.read_all("a.sdf", 0, 0.0).unwrap();
+        assert_eq!(data, b"hello world");
+        assert_eq!(fs.file_size("a.sdf").unwrap(), 11);
+    }
+
+    #[test]
+    fn write_at_extends_and_overwrites() {
+        let fs = SharedFs::ideal();
+        fs.create("f", 0, 0.0);
+        fs.write_at("f", 4, b"abcd", 0, 0.0).unwrap();
+        assert_eq!(fs.file_size("f").unwrap(), 8);
+        fs.write_at("f", 0, b"XY", 0, 0.0).unwrap();
+        let (data, _) = fs.read_all("f", 0, 0.0).unwrap();
+        assert_eq!(&data[..2], b"XY");
+        assert_eq!(&data[4..], b"abcd");
+    }
+
+    #[test]
+    fn missing_file_errors() {
+        let fs = SharedFs::ideal();
+        assert!(fs.append("nope", b"x", 0, 0.0).is_err());
+        assert!(fs.read("nope", 0, 1, 0, 0.0).is_err());
+        assert!(fs.file_size("nope").is_err());
+        assert!(fs.delete("nope").is_err());
+        assert!(fs.close("nope", 0, 0.0).is_err());
+        assert!(!fs.exists("nope"));
+    }
+
+    #[test]
+    fn read_beyond_eof_errors() {
+        let fs = SharedFs::ideal();
+        fs.create("f", 0, 0.0);
+        fs.append("f", b"abc", 0, 0.0).unwrap();
+        assert!(fs.read("f", 2, 5, 0, 0.0).is_err());
+        assert!(fs.read("f", 0, 3, 0, 0.0).is_ok());
+    }
+
+    #[test]
+    fn create_truncates() {
+        let fs = SharedFs::ideal();
+        fs.create("f", 0, 0.0);
+        fs.append("f", b"data", 0, 0.0).unwrap();
+        fs.create("f", 0, 1.0);
+        assert_eq!(fs.file_size("f").unwrap(), 0);
+    }
+
+    #[test]
+    fn list_filters_and_sorts() {
+        let fs = SharedFs::ideal();
+        for p in ["b/2", "a/1", "b/1"] {
+            fs.create(p, 0, 0.0);
+        }
+        assert_eq!(fs.list("b/"), vec!["b/1".to_string(), "b/2".to_string()]);
+        assert_eq!(fs.list("").len(), 3);
+        assert_eq!(fs.n_files(), 3);
+        fs.delete("b/1").unwrap();
+        assert_eq!(fs.n_files(), 2);
+    }
+
+    #[test]
+    fn concurrent_writes_share_the_server() {
+        // Two clients writing at the same virtual instant each see ~2x the
+        // solo service time (fair sharing + thrash), and the result does
+        // not depend on which op reached the file system first.
+        let solo = {
+            let fs = SharedFs::turing();
+            fs.create("x", 1, 0.0);
+            fs.append("x", &vec![0u8; 1 << 20], 1, 0.0).unwrap()
+        };
+        let fs = SharedFs::turing();
+        fs.create("x", 1, 0.0);
+        fs.declare_writers(2);
+        let e1 = fs.append("x", &vec![0u8; 1 << 20], 1, 0.0).unwrap();
+        let e2 = fs.append("x", &vec![0u8; 1 << 20], 2, 0.0).unwrap();
+        assert!((e1 - e2).abs() < 1e-9, "order-independent: {e1} vs {e2}");
+        assert!(e1 > 1.9 * solo, "shared write {e1} not ~2x solo {solo}");
+        assert!(e1 < 4.0 * solo, "shared write {e1} unreasonably slow");
+    }
+
+    #[test]
+    fn reads_do_not_serialize() {
+        let fs = SharedFs::turing();
+        fs.create("x", 0, 0.0);
+        fs.append("x", &vec![0u8; 1 << 20], 0, 0.0).unwrap();
+        let (_, r1) = fs.read_all("x", 1, 100.0).unwrap();
+        let (_, r2) = fs.read_all("x", 2, 100.0).unwrap();
+        let single = r1 - 100.0;
+        let second = r2 - 100.0;
+        // Both reads overlap; the second is slightly slower (contention)
+        // but nowhere near serialized.
+        assert!(second < single * 1.5);
+    }
+
+    #[test]
+    fn contention_grows_write_time_per_byte() {
+        let fs = SharedFs::turing();
+        fs.create("solo", 0, 0.0);
+        let solo = fs.append("solo", &vec![0u8; 1 << 20], 0, 0.0).unwrap();
+        // Same write with 31 other recently-active writers: the
+        // activity-window heuristic alone (no hint) must slow it well
+        // beyond the solo service time.
+        let fs2 = SharedFs::turing();
+        fs2.create("busy", 0, 0.0);
+        for c in 1..32u64 {
+            fs2.append("busy", &vec![0u8; 1024], c, 0.0).unwrap();
+        }
+        let t0 = 0.5; // still within the activity window
+        let busy_end = fs2.append("busy", &vec![0u8; 1 << 20], 0, t0).unwrap();
+        assert!(busy_end - t0 > solo * 2.0);
+    }
+
+    #[test]
+    fn multi_server_fs_spreads_files() {
+        let fs = SharedFs::frost();
+        assert_eq!(fs.n_servers(), 2);
+        // With many files, both servers should own some.
+        let mut owners = std::collections::HashSet::new();
+        for i in 0..32 {
+            owners.insert(fs.server_of(&format!("file{i}.sdf")));
+        }
+        assert_eq!(owners.len(), 2);
+    }
+
+    #[test]
+    fn quota_rejects_writes_when_full() {
+        let fs = SharedFs::ideal();
+        fs.set_quota(100);
+        fs.create("f", 0, 0.0);
+        fs.append("f", &[0u8; 60], 0, 0.0).unwrap();
+        assert_eq!(fs.used_bytes(), 60);
+        // Next write would exceed the quota.
+        let err = fs.append("f", &[0u8; 60], 0, 0.0);
+        assert!(matches!(err, Err(RocError::Storage(_))));
+        // Small writes still fit; reads unaffected.
+        fs.append("f", &[0u8; 40], 0, 0.0).unwrap();
+        assert!(fs.read_all("f", 0, 0.0).is_ok());
+        // Deleting frees space.
+        fs.delete("f").unwrap();
+        fs.create("g", 0, 0.0);
+        fs.append("g", &[0u8; 90], 0, 0.0).unwrap();
+    }
+
+    #[test]
+    fn stats_accumulate() {
+        let fs = SharedFs::ideal();
+        fs.create("f", 0, 0.0);
+        fs.append("f", b"abcd", 0, 0.0).unwrap();
+        fs.read("f", 0, 2, 0, 0.0).unwrap();
+        let s = fs.stats();
+        assert_eq!(s.files_created, 1);
+        assert_eq!(s.bytes_written, 4);
+        assert_eq!(s.bytes_read, 2);
+        assert_eq!(s.write_ops, 1);
+        assert_eq!(s.read_ops, 1);
+    }
+}

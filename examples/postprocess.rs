@@ -1,0 +1,52 @@
+//! Post-processing with the Rocketeer-like summarizer: run a short
+//! simulation, then analyze its final snapshot straight from the SDF
+//! files — the workflow of CSAR's visualization pipeline.
+//!
+//! ```text
+//! cargo run --release --example postprocess
+//! ```
+
+use std::sync::Arc;
+
+use genx_repro::genx::rocketeer;
+use genx_repro::genx::{run_genx, GenxConfig, IoChoice, WorkloadKind};
+use genx_repro::rocnet::cluster::ClusterSpec;
+use genx_repro::rocsdf::LibraryModel;
+use genx_repro::rocstore::SharedFs;
+
+fn main() {
+    let fs = Arc::new(SharedFs::turing());
+    let mut cfg = GenxConfig::new(
+        "postprocess",
+        WorkloadKind::LabScale {
+            seed: 4,
+            scale: 0.1,
+        },
+        IoChoice::Rocpanda {
+            server_ranks: vec![4],
+        },
+    );
+    cfg.steps = 30;
+    cfg.snapshot_every = 15;
+    cfg.measure_restart = false;
+    let report = run_genx(ClusterSpec::turing(5), &fs, &cfg).expect("run");
+    println!(
+        "simulated {} steps on {} procs (+{} I/O server); {} snapshots, {} files\n",
+        report.steps, report.n_compute, report.n_servers, report.snapshots, report.n_files
+    );
+
+    let snap = genx_repro::core::SnapshotId::new(30, 2);
+    for window in ["fluid", "solid", "burn"] {
+        let (summary, _) = rocketeer::summarize_window(
+            &fs,
+            &cfg.out_dir,
+            window,
+            snap,
+            LibraryModel::hdf4(),
+            0.0,
+        )
+        .expect("summarize");
+        print!("{}", rocketeer::render(&summary));
+    }
+    println!("\n(both Rocpanda and Rochdf layouts post-process identically — same SDF)");
+}

@@ -1,0 +1,81 @@
+//! Performance analysis with the rocnet event tracer: run a short
+//! Rocpanda job with per-rank tracing and print each rank's virtual-time
+//! breakdown (compute vs communication) plus the full JSON timeline of
+//! one rank.
+//!
+//! ```text
+//! cargo run --release --example profiling
+//! ```
+
+use genx_repro::core::SnapshotId;
+use genx_repro::roccom::{AttrSelector, AttrSpec, IoService, PaneMesh, Windows};
+use genx_repro::rocnet::cluster::ClusterSpec;
+use genx_repro::rocnet::{run_ranks, trace};
+use genx_repro::rocpanda::{self, Role, RocpandaConfig};
+use genx_repro::rocstore::SharedFs;
+use rocio_core::{ArrayData, BlockId, DType};
+
+fn main() {
+    let fs = SharedFs::turing();
+    let traces = run_ranks(5, ClusterSpec::turing(5), |comm| {
+        comm.enable_tracing();
+        match rocpanda::init(&comm, &fs, RocpandaConfig::default(), &[0]).unwrap() {
+            Role::Server(mut s) => {
+                s.run().unwrap();
+                (comm.rank(), "server", comm.take_trace())
+            }
+            Role::Client { io: mut c, comm: app } => {
+                let mut ws = Windows::new();
+                let w = ws.create_window("fluid").unwrap();
+                w.declare_attr(AttrSpec::element("p", DType::F64, 1)).unwrap();
+                for i in 0..6u64 {
+                    let id = BlockId(app.rank() as u64 * 100 + i);
+                    w.register_pane(
+                        id,
+                        PaneMesh::Structured {
+                            dims: [8, 8, 8],
+                            origin: [0.0; 3],
+                            spacing: [1.0; 3],
+                        },
+                    )
+                    .unwrap();
+                    w.pane_mut(id)
+                        .unwrap()
+                        .set_data("p", ArrayData::F64(vec![id.0 as f64; 512]))
+                        .unwrap();
+                }
+                // Compute / snapshot / compute, like one period of GENx.
+                comm.compute(0.5);
+                c.write_attribute(&ws, &AttrSelector::all("fluid"), SnapshotId::new(10, 0))
+                    .unwrap();
+                comm.compute(0.5);
+                c.write_attribute(&ws, &AttrSelector::all("fluid"), SnapshotId::new(20, 1))
+                    .unwrap();
+                c.finalize().unwrap();
+                (comm.rank(), "client", comm.take_trace())
+            }
+        }
+    });
+
+    println!("per-rank virtual-time breakdown:");
+    for (rank, role, events) in &traces {
+        let (compute, comm_t, sent) = trace::summarize(events);
+        println!(
+            "  rank {rank} ({role:<6}): {:>4} events, compute {:>7.3} s, comm {:>7.3} s, sent {}",
+            events.len(),
+            compute,
+            comm_t,
+            genx_repro::core::fmt_bytes(sent)
+        );
+    }
+    let client_events = &traces.iter().find(|(_, role, _)| *role == "client").unwrap().2;
+    println!(
+        "\nfirst 5 events of one client (full JSON via rocnet::trace::trace_to_json):"
+    );
+    for e in client_events.iter().take(5) {
+        println!(
+            "  {:?} peer={:?} bytes={:<8} [{:.6} .. {:.6}]",
+            e.kind, e.peer, e.bytes, e.t_start, e.t_end
+        );
+    }
+}

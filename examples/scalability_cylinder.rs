@@ -1,0 +1,108 @@
+//! The paper's Fig. 3 scenario at example scale: the extendible-cylinder
+//! weak-scaling test on the Frost model (16-way SMP nodes, GPFS), showing
+//! apparent write throughput growth with Rocpanda and the 16NS/15NS/15S
+//! computation-time effect.
+//!
+//! ```text
+//! cargo run --release --example scalability_cylinder [max_nodes]
+//! ```
+
+use bench_shim::*;
+
+// The bench crate is not a dependency of the umbrella crate, so the
+// example carries a minimal local copy of the two point functions.
+mod bench_shim {
+    use std::sync::Arc;
+
+    pub use genx_repro::genx::RunReport;
+    use genx_repro::genx::{run_genx, GenxConfig, IoChoice, WorkloadKind};
+    use genx_repro::rocnet::cluster::{smp_server_placement, ClusterSpec, NodeUsage};
+    use genx_repro::rocstore::SharedFs;
+    pub use genx_repro::rocnet::cluster::NodeUsage as Usage;
+
+    pub fn throughput_point(n_compute: usize, steps: u64) -> RunReport {
+        let fs = Arc::new(SharedFs::frost());
+        let m = n_compute.div_ceil(15);
+        let (placement, server_ranks) = smp_server_placement(n_compute, m, 16);
+        let mut cfg = GenxConfig::new(
+            format!("cyl-{n_compute}"),
+            WorkloadKind::Cylinder { seed: 7 },
+            IoChoice::Rocpanda { server_ranks },
+        );
+        cfg.steps = steps;
+        cfg.snapshot_every = steps;
+        cfg.measure_restart = false;
+        run_genx(ClusterSpec::frost(placement, NodeUsage::SpareServer), &fs, &cfg).unwrap()
+    }
+
+    pub fn comp_point(nodes: usize, usage: Usage, steps: u64) -> RunReport {
+        let fs = Arc::new(SharedFs::frost());
+        let (cluster, io, label) = match usage {
+            Usage::AllCompute => {
+                let n = nodes * 16;
+                (
+                    ClusterSpec::frost((0..n).map(|r| r / 16).collect(), usage),
+                    IoChoice::Rochdf,
+                    format!("16NS-{nodes}"),
+                )
+            }
+            Usage::SpareIdle => {
+                let n = nodes * 15;
+                (
+                    ClusterSpec::frost((0..n).map(|r| r / 15).collect(), usage),
+                    IoChoice::Rochdf,
+                    format!("15NS-{nodes}"),
+                )
+            }
+            Usage::SpareServer => {
+                let n = nodes * 15;
+                let (placement, server_ranks) = smp_server_placement(n, nodes, 16);
+                (
+                    ClusterSpec::frost(placement, usage),
+                    IoChoice::Rocpanda { server_ranks },
+                    format!("15S-{nodes}"),
+                )
+            }
+        };
+        let mut cfg = GenxConfig::new(label, WorkloadKind::Cylinder { seed: 7 }, io);
+        cfg.steps = steps;
+        cfg.snapshot_every = steps;
+        cfg.measure_restart = false;
+        run_genx(cluster, &fs, &cfg).unwrap()
+    }
+}
+
+fn main() {
+    let max_nodes: usize = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(4);
+
+    println!("apparent aggregate write throughput (Rocpanda, 15 clients + 1 server per node):");
+    for nodes in [1usize, 2, 4].into_iter().filter(|&k| k <= max_nodes) {
+        let r = throughput_point(nodes * 15, 4);
+        println!(
+            "  {:>3} compute procs: {:>8.1} MB/s apparent ({:.3} s visible for {})",
+            r.n_compute,
+            r.apparent_write_mb_s,
+            r.visible_io,
+            genx_repro::core::fmt_bytes((r.snapshot_bytes * r.snapshots as u64) as usize),
+        );
+    }
+
+    println!("\ncomputation time per node configuration (the paper's Fig 3(b) effect):");
+    println!("  config  16 CPUs compute | 15 compute + 1 idle | 15 compute + 1 I/O server");
+    for nodes in [1usize, 2, 4].into_iter().filter(|&k| k <= max_nodes) {
+        let a = comp_point(nodes, Usage::AllCompute, 8);
+        let b = comp_point(nodes, Usage::SpareIdle, 8);
+        let c = comp_point(nodes, Usage::SpareServer, 8);
+        println!(
+            "  {nodes} node(s):  16NS {:.3} s   15NS {:.3} s   15S {:.3} s   (16NS/15S = {:.3})",
+            a.comp_time,
+            b.comp_time,
+            c.comp_time,
+            a.comp_time / c.comp_time
+        );
+        assert!(a.comp_time > c.comp_time, "16NS must be slowest");
+        assert!(c.comp_time >= b.comp_time, "15S sits just above 15NS");
+    }
+    println!("\ndedicating one CPU per node to I/O *speeds up* the computation —");
+    println!("OS daemons migrate to the mostly-idle server CPU (paper §4.1).");
+}

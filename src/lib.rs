@@ -1,0 +1,14 @@
+//! Umbrella crate for the GENx parallel-I/O reproduction workspace.
+//!
+//! Re-exports every member crate so examples and integration tests can use
+//! one dependency. See `README.md` and `DESIGN.md` at the repository root.
+
+pub use genx;
+pub use roccom;
+pub use rochdf;
+pub use rocio_core as core;
+pub use rocmesh;
+pub use rocnet;
+pub use rocpanda;
+pub use rocsdf;
+pub use rocstore;

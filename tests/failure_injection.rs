@@ -1,0 +1,162 @@
+//! Failure injection: corrupted and missing snapshot files must surface
+//! clean errors, never bad data or hangs on the error-free paths.
+
+use std::sync::Arc;
+
+use genx_repro::core::{snapshot_file_name, ArrayData, BlockId, DType, SnapshotId};
+use genx_repro::roccom::{AttrSpec, IoService, PaneMesh, Windows};
+use genx_repro::rocnet::cluster::ClusterSpec;
+use genx_repro::rocnet::run_ranks;
+use genx_repro::rocsdf::{describe, LibraryModel, SdfFileReader};
+use genx_repro::rocstore::SharedFs;
+use genx_repro::rochdf::{Rochdf, RochdfConfig};
+
+fn write_one_snapshot(fs: &SharedFs) -> SnapshotId {
+    let snap = SnapshotId::new(10, 1);
+    run_ranks(1, ClusterSpec::ideal(1), |comm| {
+        let mut ws = Windows::new();
+        let w = ws.create_window("fluid").unwrap();
+        w.declare_attr(AttrSpec::element("p", DType::F64, 1)).unwrap();
+        w.register_pane(
+            BlockId(3),
+            PaneMesh::Structured {
+                dims: [2, 2, 2],
+                origin: [0.0; 3],
+                spacing: [1.0; 3],
+            },
+        )
+        .unwrap();
+        w.pane_mut(BlockId(3))
+            .unwrap()
+            .set_data("p", ArrayData::F64(vec![7.0; 8]))
+            .unwrap();
+        let mut io = Rochdf::new(fs, &comm, RochdfConfig::default());
+        io.write_attribute(&ws, &genx_repro::roccom::AttrSelector::all("fluid"), snap)
+            .unwrap();
+    });
+    snap
+}
+
+#[test]
+fn corrupted_trailer_fails_open_cleanly() {
+    let fs = SharedFs::ideal();
+    let snap = write_one_snapshot(&fs);
+    let path = format!("out/{}", snapshot_file_name("fluid", snap, 0));
+    // Flip bytes in the trailer (index offset + magic).
+    let len = fs.file_size(&path).unwrap();
+    fs.write_at(&path, len - 6, b"XXXX", 0, 0.0).unwrap();
+    let err = SdfFileReader::open(&fs, &path, LibraryModel::hdf4(), 0, 0.0);
+    assert!(err.is_err());
+    // The sequential inspector still recovers the record prefix.
+    let (bytes, _) = fs.read_all(&path, 0, 0.0).unwrap();
+    let desc = describe(&bytes).unwrap();
+    assert_eq!(desc.datasets.len(), 3); // meta + nc + p
+}
+
+#[test]
+fn corrupted_payload_fails_block_read() {
+    let fs = SharedFs::ideal();
+    let snap = write_one_snapshot(&fs);
+    let path = format!("out/{}", snapshot_file_name("fluid", snap, 0));
+    // Smash the middle of the file (inside the records region) with a
+    // pattern that cannot be a valid record marker.
+    fs.write_at(&path, 40, &[0xAB; 12], 0, 0.0).unwrap();
+    let opened = SdfFileReader::open(&fs, &path, LibraryModel::hdf4(), 0, 0.0);
+    match opened {
+        Err(_) => {} // index region shifted — fine
+        Ok((r, t)) => {
+            // The record CRC catches damage even when the structure still
+            // parses: at least one dataset read must fail, and no read may
+            // return silently-wrong bytes.
+            let mut any_err = false;
+            for name in r.dataset_names() {
+                if r.read_dataset(name, t).is_err() {
+                    any_err = true;
+                }
+            }
+            assert!(any_err, "corruption must be detected by the CRC");
+        }
+    }
+}
+
+#[test]
+fn restart_missing_block_is_reported() {
+    let fs = SharedFs::ideal();
+    let snap = write_one_snapshot(&fs);
+    run_ranks(1, ClusterSpec::ideal(1), |comm| {
+        let mut ws = Windows::new();
+        let w = ws.create_window("fluid").unwrap();
+        w.declare_attr(AttrSpec::element("p", DType::F64, 1)).unwrap();
+        // Ask for a block that was never written.
+        w.register_pane(
+            BlockId(99),
+            PaneMesh::Structured {
+                dims: [1, 1, 1],
+                origin: [0.0; 3],
+                spacing: [1.0; 3],
+            },
+        )
+        .unwrap();
+        let mut io = Rochdf::new(&fs, &comm, RochdfConfig::default());
+        let err = io.read_attribute(&mut ws, &genx_repro::roccom::AttrSelector::all("fluid"), snap);
+        assert!(matches!(err, Err(genx_repro::core::RocError::NotFound(_))));
+    });
+}
+
+#[test]
+fn schema_evolution_reads_old_snapshots() {
+    // "The data management and I/O implementation need to shield
+    // developers from updates" (§3.2): a snapshot written under an old
+    // schema restarts into a window that has since gained an attribute —
+    // the new attribute keeps its initial values.
+    let fs = SharedFs::ideal();
+    let snap = write_one_snapshot(&fs); // schema v1: just "p"
+    run_ranks(1, ClusterSpec::ideal(1), |comm| {
+        let mut ws = Windows::new();
+        let w = ws.create_window("fluid").unwrap();
+        w.declare_attr(AttrSpec::element("p", DType::F64, 1)).unwrap();
+        w.declare_attr(AttrSpec::element("q_new", DType::F64, 1)).unwrap(); // added in v2
+        w.register_pane(
+            BlockId(3),
+            PaneMesh::Structured {
+                dims: [2, 2, 2],
+                origin: [0.0; 3],
+                spacing: [1.0; 3],
+            },
+        )
+        .unwrap();
+        let mut io = Rochdf::new(&fs, &comm, RochdfConfig::default());
+        io.read_attribute(&mut ws, &genx_repro::roccom::AttrSelector::all("fluid"), snap)
+            .unwrap();
+        let w = ws.window("fluid").unwrap();
+        let pane = w.pane(BlockId(3)).unwrap();
+        assert_eq!(pane.data("p").unwrap().as_f64().unwrap(), &[7.0; 8]);
+        // The attribute unknown to the old file stays zero-initialized.
+        assert_eq!(pane.data("q_new").unwrap().as_f64().unwrap(), &[0.0; 8]);
+    });
+}
+
+#[test]
+fn disk_full_surfaces_as_storage_error() {
+    use genx_repro::genx::{run_genx, GenxConfig, IoChoice, WorkloadKind};
+    let fs = Arc::new(SharedFs::ideal());
+    fs.set_quota(512 * 1024); // far less than one snapshot
+    let mut cfg = GenxConfig::new(
+        "disk-full",
+        WorkloadKind::LabScale {
+            seed: 1,
+            scale: 0.05,
+        },
+        IoChoice::Rochdf,
+    );
+    cfg.steps = 2;
+    cfg.snapshot_every = 2;
+    // Single rank: the failure path has no collective partner to strand.
+    let err = run_genx(ClusterSpec::ideal(1), &fs, &cfg);
+    match err {
+        Err(genx_repro::core::RocError::Storage(msg)) => {
+            assert!(msg.contains("disk full"), "{msg}")
+        }
+        other => panic!("expected Storage(disk full), got {other:?}"),
+    }
+}
