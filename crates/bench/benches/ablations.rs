@@ -28,7 +28,7 @@ fn bench_ablations(c: &mut Criterion) {
     let mut group = c.benchmark_group("ablations");
     group.sample_size(10);
     for buffering in [true, false] {
-        group.bench_function(format!("buffering-{buffering}"), |b| {
+        group.bench_function(&format!("buffering-{buffering}"), |b| {
             b.iter(|| {
                 let mut cfg = panda_cfg("crit-ab-buf");
                 cfg.rocpanda.active_buffering = buffering;
@@ -38,7 +38,7 @@ fn bench_ablations(c: &mut Criterion) {
         });
     }
     for responsive in [true, false] {
-        group.bench_function(format!("responsive-{responsive}"), |b| {
+        group.bench_function(&format!("responsive-{responsive}"), |b| {
             b.iter(|| {
                 let mut cfg = panda_cfg("crit-ab-probe");
                 cfg.rocpanda.responsive_probe = responsive;

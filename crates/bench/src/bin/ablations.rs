@@ -9,12 +9,13 @@
 //! 5. **Buffer capacity sweep** — graceful-overflow behaviour.
 //!
 //! ```text
-//! cargo run --release -p bench --bin ablations [scale]
+//! cargo run --release -p bench --bin ablations [scale] [--trace out.json]
 //! ```
 
 use std::sync::Arc;
 
-use genx::{run_genx, GenxConfig, IoChoice, RunReport, WorkloadKind};
+use bench::TraceSink;
+use genx::{run_genx_traced, GenxConfig, IoChoice, RunReport, WorkloadKind};
 use rocnet::cluster::ClusterSpec;
 use rocsdf::LibraryModel;
 use rocstore::SharedFs;
@@ -32,14 +33,17 @@ fn base_cfg(label: &str, scale: f64, n: usize, m: usize) -> GenxConfig {
     cfg
 }
 
-fn run(cfg: &GenxConfig, n: usize, m: usize) -> RunReport {
-    let fs = Arc::new(SharedFs::turing());
-    run_genx(ClusterSpec::turing(n + m), &fs, cfg).expect("ablation run")
+fn run(cfg: &GenxConfig, n: usize, m: usize, sink: &mut TraceSink) -> RunReport {
+    sink.run(|tc| {
+        let fs = Arc::new(SharedFs::turing());
+        run_genx_traced(ClusterSpec::turing(n + m), &fs, cfg, tc).expect("ablation run")
+    })
 }
 
 fn main() {
-    let scale: f64 = std::env::args()
-        .nth(1)
+    let (args, mut sink) = TraceSink::from_env_args();
+    let scale: f64 = args
+        .first()
         .map(|s| s.parse().expect("scale must be a float"))
         .unwrap_or(0.5);
     let (n, m) = (16usize, 2usize);
@@ -49,7 +53,7 @@ fn main() {
     for buffering in [true, false] {
         let mut cfg = base_cfg(&format!("ab-buffering-{buffering}"), scale, n, m);
         cfg.rocpanda.active_buffering = buffering;
-        let r = run(&cfg, n, m);
+        let r = run(&cfg, n, m, &mut sink);
         println!(
             "  active_buffering={buffering:<5}  visible-io={:>8.3}s  restart={:>7.2}s",
             r.visible_io, r.restart_time
@@ -64,7 +68,7 @@ fn main() {
         // Small buffer forces draining to overlap with new requests, which
         // is where responsiveness matters.
         cfg.rocpanda.buffer_capacity = 4 << 20;
-        let r = run(&cfg, n, m);
+        let r = run(&cfg, n, m, &mut sink);
         println!(
             "  responsive_probe={responsive:<5}  visible-io={:>8.3}s",
             r.visible_io
@@ -78,7 +82,7 @@ fn main() {
         let servers = clients / ratio;
         let mut cfg = base_cfg(&format!("ab-ratio-{ratio}"), scale, clients, servers);
         cfg.label = format!("ratio {ratio}:1");
-        let r = run(&cfg, clients, servers);
+        let r = run(&cfg, clients, servers, &mut sink);
         println!(
             "  {:>2}:1 ({servers} servers)  visible-io={:>8.3}s  files={:<4} restart={:>7.2}s",
             ratio, r.visible_io, r.n_files, r.restart_time
@@ -90,7 +94,7 @@ fn main() {
     for (name, lib) in [("hdf4", LibraryModel::hdf4()), ("hdf5", LibraryModel::hdf5())] {
         let mut cfg = base_cfg(&format!("ab-lib-{name}"), scale, n, m);
         cfg.rocpanda.lib = lib;
-        let r = run(&cfg, n, m);
+        let r = run(&cfg, n, m, &mut sink);
         println!(
             "  {name}: rocpanda restart={:>7.2}s  visible-io={:>7.3}s",
             r.restart_time, r.visible_io
@@ -106,8 +110,10 @@ fn main() {
         hcfg.steps = 50;
         hcfg.snapshot_every = 25;
         hcfg.rochdf.lib = lib;
-        let fs = Arc::new(SharedFs::turing());
-        let r = run_genx(ClusterSpec::turing(n), &fs, &hcfg).expect("rochdf ablation");
+        let r = sink.run(|tc| {
+            let fs = Arc::new(SharedFs::turing());
+            run_genx_traced(ClusterSpec::turing(n), &fs, &hcfg, tc).expect("rochdf ablation")
+        });
         println!("  {name}: rochdf   restart={:>7.2}s", r.restart_time);
         all.push(r);
     }
@@ -116,7 +122,7 @@ fn main() {
     for cap_mb in [1usize, 4, 16, 512] {
         let mut cfg = base_cfg(&format!("ab-cap-{cap_mb}"), scale, n, m);
         cfg.rocpanda.buffer_capacity = cap_mb << 20;
-        let r = run(&cfg, n, m);
+        let r = run(&cfg, n, m, &mut sink);
         println!(
             "  capacity={cap_mb:>4} MiB  visible-io={:>8.3}s",
             r.visible_io
@@ -128,7 +134,7 @@ fn main() {
     for window in [1usize, 2, 4, 8] {
         let mut cfg = base_cfg(&format!("ab-window-{window}"), scale, n, m);
         cfg.rocpanda.ack_window = window;
-        let r = run(&cfg, n, m);
+        let r = run(&cfg, n, m, &mut sink);
         println!("  ack_window={window:<3} visible-io={:>8.3}s", r.visible_io);
         all.push(r);
     }
@@ -165,6 +171,7 @@ fn main() {
     for r in &all {
         assert!(r.restart_ok, "{}: restart mismatch", r.label);
     }
-    bench::write_json("ablations", &all);
+    sink.write_json("ablations", &all);
+    sink.finish();
     println!("\nall ablation restarts verified bit-exact");
 }

@@ -4,15 +4,16 @@
 //! node) vs Rochdf (direct GPFS writes).
 //!
 //! ```text
-//! cargo run --release -p bench --bin fig3a [max_procs]
+//! cargo run --release -p bench --bin fig3a [max_procs] [--trace out.json]
 //! ```
 
-use bench::{fig3a_point, paper, row, write_json};
+use bench::{fig3a_point_traced, paper, row, TraceSink};
 use genx::RunReport;
 
 fn main() {
-    let max: usize = std::env::args()
-        .nth(1)
+    let (args, mut sink) = TraceSink::from_env_args();
+    let max: usize = args
+        .first()
         .map(|s| s.parse().expect("max_procs must be an integer"))
         .unwrap_or(480);
     // Paper sweep: within one node (1..15 compute procs), then 15/node.
@@ -44,8 +45,8 @@ fn main() {
         )
     );
     for &n in &points {
-        let panda = fig3a_point(n, true, steps);
-        let rochdf = fig3a_point(n, false, steps);
+        let panda = sink.run(|tc| fig3a_point_traced(n, true, steps, tc));
+        let rochdf = sink.run(|tc| fig3a_point_traced(n, false, steps, tc));
         println!(
             "{}",
             row(
@@ -64,8 +65,9 @@ fn main() {
         reports.push(panda);
         reports.push(rochdf);
     }
-    write_json("fig3a", &reports);
+    sink.write_json("fig3a", &reports);
     bench::write_csv("fig3a", &reports);
+    sink.finish();
     let peak = reports
         .iter()
         .filter(|r| r.io_module == "rocpanda")

@@ -8,16 +8,17 @@
 //!   probe, so it absorbs the daemons almost as well as an idle CPU).
 //!
 //! ```text
-//! cargo run --release -p bench --bin fig3b [max_nodes]
+//! cargo run --release -p bench --bin fig3b [max_nodes] [--trace out.json]
 //! ```
 
-use bench::{fig3b_point, row, write_json};
+use bench::{fig3b_point_traced, row, TraceSink};
 use genx::RunReport;
 use rocnet::cluster::NodeUsage;
 
 fn main() {
-    let max_nodes: usize = std::env::args()
-        .nth(1)
+    let (args, mut sink) = TraceSink::from_env_args();
+    let max_nodes: usize = args
+        .first()
         .map(|s| s.parse().expect("max_nodes must be an integer"))
         .unwrap_or(32);
     let mut nodes = vec![1usize, 2, 4, 8, 16, 32];
@@ -43,9 +44,9 @@ fn main() {
         )
     );
     for &k in &nodes {
-        let ns16 = fig3b_point(k, NodeUsage::AllCompute, steps);
-        let ns15 = fig3b_point(k, NodeUsage::SpareIdle, steps);
-        let s15 = fig3b_point(k, NodeUsage::SpareServer, steps);
+        let ns16 = sink.run(|tc| fig3b_point_traced(k, NodeUsage::AllCompute, steps, tc));
+        let ns15 = sink.run(|tc| fig3b_point_traced(k, NodeUsage::SpareIdle, steps, tc));
+        let s15 = sink.run(|tc| fig3b_point_traced(k, NodeUsage::SpareServer, steps, tc));
         println!(
             "{}",
             row(
@@ -66,8 +67,9 @@ fn main() {
         reports.push(ns15);
         reports.push(s15);
     }
-    write_json("fig3b", &reports);
+    sink.write_json("fig3b", &reports);
     bench::write_csv("fig3b", &reports);
+    sink.finish();
 
     let worst_gap = nodes
         .iter()

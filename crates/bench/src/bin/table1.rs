@@ -3,17 +3,22 @@
 //! processors and the three I/O implementations.
 //!
 //! ```text
-//! cargo run --release -p bench --bin table1 [scale]
+//! cargo run --release -p bench --bin table1 [scale] [--trace out.json]
 //! ```
 //!
 //! `scale` (default 1.0) shrinks the problem for quick checks.
+//! `--trace <path>` records virtual-time spans: per-cell aggregate
+//! tables land in `results/table1.json`, and the final cell's Chrome
+//! `trace_event` timeline is written to `<path>` (open in
+//! `chrome://tracing` or Perfetto).
 
-use bench::{paper, row, table1_cell, write_json, Table1Io};
+use bench::{paper, row, table1_cell_traced, Table1Io, TraceSink};
 use genx::RunReport;
 
 fn main() {
-    let scale: f64 = std::env::args()
-        .nth(1)
+    let (args, mut sink) = TraceSink::from_env_args();
+    let scale: f64 = args
+        .first()
         .map(|s| s.parse().expect("scale must be a float"))
         .unwrap_or(1.0);
     let (steps, every) = (200u64, 50u64);
@@ -27,10 +32,10 @@ fn main() {
     for &n in &procs {
         for io in [Table1Io::Rochdf, Table1Io::TRochdf, Table1Io::Rocpanda] {
             eprintln!("running {} x {n}...", io.name());
-            reports.push(table1_cell(n, io, scale, steps, every));
+            reports.push(sink.run(|tc| table1_cell_traced(n, io, scale, steps, every, tc)));
         }
     }
-    write_json("table1", &reports);
+    sink.write_json("table1", &reports);
     bench::write_csv("table1", &reports);
 
     let get = |n: usize, io: &str| -> &RunReport {
@@ -92,5 +97,6 @@ fn main() {
     for r in &reports {
         assert!(r.restart_ok, "{}: restart mismatch", r.label);
     }
+    sink.finish();
     println!("\nall restarts verified bit-exact");
 }

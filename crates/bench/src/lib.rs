@@ -6,10 +6,12 @@
 //! calibrated models (DESIGN.md §4); the comparisons against the paper's
 //! numbers live in EXPERIMENTS.md.
 
+use std::path::PathBuf;
 use std::sync::Arc;
 
-use genx::{run_genx, GenxConfig, IoChoice, RunReport, WorkloadKind};
+use genx::{run_genx_traced, GenxConfig, IoChoice, RunReport, WorkloadKind};
 use rocnet::cluster::{smp_server_placement, ClusterSpec, NodeUsage};
+use rocobs::TraceCollector;
 use rocstore::SharedFs;
 
 /// Paper reference values for Table 1 (seconds).
@@ -44,6 +46,18 @@ pub fn table1_cell(
     steps: u64,
     every: u64,
 ) -> RunReport {
+    table1_cell_traced(n_compute, io, scale, steps, every, None)
+}
+
+/// [`table1_cell`] with optional span tracing (`--trace` support).
+pub fn table1_cell_traced(
+    n_compute: usize,
+    io: Table1Io,
+    scale: f64,
+    steps: u64,
+    every: u64,
+    collector: Option<&TraceCollector>,
+) -> RunReport {
     let fs = Arc::new(SharedFs::turing());
     let (choice, total) = match io {
         Table1Io::Rochdf => (IoChoice::Rochdf, n_compute),
@@ -67,7 +81,7 @@ pub fn table1_cell(
     );
     cfg.steps = steps;
     cfg.snapshot_every = every;
-    run_genx(ClusterSpec::turing(total), &fs, &cfg).expect("table1 run")
+    run_genx_traced(ClusterSpec::turing(total), &fs, &cfg, collector).expect("table1 run")
 }
 
 /// The three I/O columns of Table 1.
@@ -92,6 +106,16 @@ impl Table1Io {
 /// model with `n_compute` compute processors. With Rocpanda, 15 compute
 /// CPUs + 1 server CPU per 16-way node; with Rochdf, no servers.
 pub fn fig3a_point(n_compute: usize, rocpanda: bool, steps: u64) -> RunReport {
+    fig3a_point_traced(n_compute, rocpanda, steps, None)
+}
+
+/// [`fig3a_point`] with optional span tracing (`--trace` support).
+pub fn fig3a_point_traced(
+    n_compute: usize,
+    rocpanda: bool,
+    steps: u64,
+    collector: Option<&TraceCollector>,
+) -> RunReport {
     let fs = Arc::new(SharedFs::frost());
     let cpus = 16;
     let (cluster, choice) = if rocpanda {
@@ -121,12 +145,22 @@ pub fn fig3a_point(n_compute: usize, rocpanda: bool, steps: u64) -> RunReport {
     cfg.steps = steps;
     cfg.snapshot_every = steps;
     cfg.measure_restart = false;
-    run_genx(cluster, &fs, &cfg).expect("fig3a run")
+    run_genx_traced(cluster, &fs, &cfg, collector).expect("fig3a run")
 }
 
 /// One point of Fig. 3(b): computation time of the scalability test under
 /// the three per-node CPU configurations.
 pub fn fig3b_point(nodes: usize, usage: NodeUsage, steps: u64) -> RunReport {
+    fig3b_point_traced(nodes, usage, steps, None)
+}
+
+/// [`fig3b_point`] with optional span tracing (`--trace` support).
+pub fn fig3b_point_traced(
+    nodes: usize,
+    usage: NodeUsage,
+    steps: u64,
+    collector: Option<&TraceCollector>,
+) -> RunReport {
     let fs = Arc::new(SharedFs::frost());
     let cpus = 16;
     let (cluster, choice, label) = match usage {
@@ -165,7 +199,110 @@ pub fn fig3b_point(nodes: usize, usage: NodeUsage, steps: u64) -> RunReport {
     cfg.steps = steps;
     cfg.snapshot_every = steps;
     cfg.measure_restart = false;
-    run_genx(cluster, &fs, &cfg).expect("fig3b run")
+    run_genx_traced(cluster, &fs, &cfg, collector).expect("fig3b run")
+}
+
+/// One experiment report together with its optional trace aggregates —
+/// the element type of `results/*.json` when a binary runs with
+/// `--trace`.
+#[derive(Debug, Clone, PartialEq, serde::Serialize)]
+pub struct TracedRunReport {
+    pub report: RunReport,
+    pub trace: Option<rocobs::TraceSummary>,
+}
+
+/// `--trace <path>` support shared by the bench binaries: strips the flag
+/// from the CLI, traces each run when it is present, merges per-run
+/// aggregate tables into the JSON report, and writes the most recent
+/// run's Chrome `trace_event` file to the requested path.
+pub struct TraceSink {
+    path: Option<PathBuf>,
+    summaries: Vec<Option<rocobs::TraceSummary>>,
+    last: Option<rocobs::Trace>,
+}
+
+impl TraceSink {
+    /// Parse the process arguments: returns the positional arguments with
+    /// `--trace <path>` removed, plus the sink.
+    pub fn from_env_args() -> (Vec<String>, TraceSink) {
+        let mut args: Vec<String> = std::env::args().skip(1).collect();
+        let mut path = None;
+        if let Some(i) = args.iter().position(|a| a == "--trace") {
+            assert!(i + 1 < args.len(), "--trace requires a file path");
+            path = Some(PathBuf::from(args.remove(i + 1)));
+            args.remove(i);
+        }
+        (
+            args,
+            TraceSink {
+                path,
+                summaries: Vec::new(),
+                last: None,
+            },
+        )
+    }
+
+    /// A sink that never traces (binaries without CLI parsing).
+    pub fn disabled() -> TraceSink {
+        TraceSink {
+            path: None,
+            summaries: Vec::new(),
+            last: None,
+        }
+    }
+
+    pub fn enabled(&self) -> bool {
+        self.path.is_some()
+    }
+
+    /// Run one experiment cell. When tracing, the cell gets a fresh
+    /// collector and its aggregate summary is retained for the JSON
+    /// report; the full trace of the **latest** cell is what `finish`
+    /// writes out (cells reuse rank ids and restart virtual time at
+    /// zero, so overlaying them in one timeline would be misleading).
+    pub fn run(&mut self, f: impl FnOnce(Option<&TraceCollector>) -> RunReport) -> RunReport {
+        if self.enabled() {
+            let tc = TraceCollector::new();
+            let report = f(Some(&tc));
+            let trace = tc.finish();
+            self.summaries.push(Some(trace.summary()));
+            self.last = Some(trace);
+            report
+        } else {
+            let report = f(None);
+            self.summaries.push(None);
+            report
+        }
+    }
+
+    /// Write `results/<name>.json`: a plain report array normally, or
+    /// report+trace-summary pairs when tracing.
+    pub fn write_json(&self, name: &str, reports: &[RunReport]) {
+        if self.enabled() {
+            let rows: Vec<TracedRunReport> = reports
+                .iter()
+                .enumerate()
+                .map(|(i, r)| TracedRunReport {
+                    report: r.clone(),
+                    trace: self.summaries.get(i).cloned().flatten(),
+                })
+                .collect();
+            write_json(name, &rows);
+        } else {
+            write_json(name, &reports.to_vec());
+        }
+    }
+
+    /// Write the Chrome trace of the most recent traced run to the
+    /// `--trace` path (no-op when tracing is off).
+    pub fn finish(self) {
+        if let (Some(path), Some(trace)) = (&self.path, &self.last) {
+            trace
+                .write_chrome_trace(path)
+                .unwrap_or_else(|e| panic!("write {}: {e}", path.display()));
+            eprintln!("wrote {} ({} spans)", path.display(), trace.len());
+        }
+    }
 }
 
 /// Write a JSON artifact under `results/`.

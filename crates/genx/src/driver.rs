@@ -131,6 +131,18 @@ struct ClientOutcome {
 /// aggregate report. `cluster.n_ranks()` must equal compute processors
 /// plus dedicated servers.
 pub fn run_genx(cluster: ClusterSpec, fs: &Arc<SharedFs>, cfg: &GenxConfig) -> Result<RunReport> {
+    run_genx_traced(cluster, fs, cfg, None)
+}
+
+/// Like [`run_genx`], but when a collector is supplied every rank thread
+/// installs a span-recording handle for it, so the run produces a full
+/// [`rocobs::Trace`] (compute, messaging, probing, buffering, disk).
+pub fn run_genx_traced(
+    cluster: ClusterSpec,
+    fs: &Arc<SharedFs>,
+    cfg: &GenxConfig,
+    collector: Option<&rocobs::TraceCollector>,
+) -> Result<RunReport> {
     let n_ranks = cluster.n_ranks();
     let n_servers = cfg.io.n_servers();
     let n_compute = n_ranks - n_servers;
@@ -141,6 +153,11 @@ pub fn run_genx(cluster: ClusterSpec, fs: &Arc<SharedFs>, cfg: &GenxConfig) -> R
     let bytes_before = fs.stats().bytes_written;
 
     let outcomes = run_ranks(n_ranks, cluster, |world| -> Result<Option<ClientOutcome>> {
+        let _obs_guard = collector.map(|tc| {
+            let rank = world.global_rank();
+            let node = world.cluster().node_of(rank);
+            tc.handle(rank, rocobs::LANE_MAIN, node).install()
+        });
         match &cfg.io {
             IoChoice::Rocpanda { server_ranks } => {
                 let mut panda_cfg = cfg.rocpanda.clone();

@@ -46,6 +46,6 @@ pub mod rocman;
 pub mod setup;
 pub mod solid;
 
-pub use driver::{run_genx, GenxConfig, IoChoice, WorkloadKind};
+pub use driver::{run_genx, run_genx_traced, GenxConfig, IoChoice, WorkloadKind};
 pub use report::RunReport;
 pub use rocman::Rocman;

@@ -106,9 +106,9 @@ pub fn summarize_window(
                         [f64::NEG_INFINITY; 3],
                     ));
                     for p in coords.chunks_exact(3) {
-                        for d in 0..3 {
-                            bounds.0[d] = bounds.0[d].min(p[d]);
-                            bounds.1[d] = bounds.1[d].max(p[d]);
+                        for (d, &c) in p.iter().enumerate() {
+                            bounds.0[d] = bounds.0[d].min(c);
+                            bounds.1[d] = bounds.1[d].max(c);
                         }
                     }
                     continue;

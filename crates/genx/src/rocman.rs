@@ -265,7 +265,17 @@ impl<'c, 'io> Rocman<'c, 'io> {
             self.io
                 .write_attribute(&self.windows, &AttrSelector::all(window), snap)?;
         }
+        let t_barrier = self.comm.now();
         self.comm.barrier();
+        if rocobs::enabled() {
+            rocobs::record(
+                rocobs::SpanCategory::SnapshotBarrier,
+                "snapshot",
+                t_barrier,
+                self.comm.now(),
+                &format!("snap={}/{}", snap.ordinal, snap.step),
+            );
+        }
         self.io_time += self.comm.now() - t0;
         self.snapshots_taken += 1;
         self.last_snapshot = Some(snap);
@@ -321,6 +331,15 @@ impl<'c, 'io> Rocman<'c, 'io> {
                 .read_attribute(fresh, &AttrSelector::all(window), snap)?;
         }
         let latency = self.comm.now() - t0;
+        if rocobs::enabled() {
+            rocobs::record(
+                rocobs::SpanCategory::RestartRead,
+                "measure_restart",
+                t0,
+                self.comm.now(),
+                &format!("snap={}/{}", snap.ordinal, snap.step),
+            );
+        }
         // Bit-exact comparison of every pane of every window.
         let mut ok = true;
         for window in self.window_names() {

@@ -71,9 +71,14 @@ impl<'a> TRochdf<'a> {
         let thread_fs = Arc::clone(&fs);
         let client = comm.global_rank() as u64;
         let lib = cfg.lib;
+        // If the spawning rank is being traced, the I/O thread records on
+        // the same rank's background lane (disk-write spans land there,
+        // never on the main thread's lane).
+        let obs = rocobs::current_handle().map(|h| h.with_lane(rocobs::LANE_BACKGROUND));
         let handle = std::thread::Builder::new()
             .name(format!("trochdf-io-{client}"))
             .spawn(move || {
+                let _obs_guard = obs.as_ref().map(|h| h.install());
                 for job in rx {
                     match job {
                         Job::Shutdown => break,
@@ -193,6 +198,17 @@ impl IoService for TRochdf<'_> {
                 issue: self.comm.now(),
             })
             .map_err(|_| RocError::InvalidState("T-Rochdf I/O thread is gone".into()))?;
+        if rocobs::enabled() {
+            // The main thread only pays the buffer-copy handoff; the disk
+            // write itself shows up on the background lane.
+            rocobs::record(
+                rocobs::SpanCategory::DiskSubmit,
+                "handoff",
+                t_enter,
+                self.comm.now(),
+                &format!("bytes={bytes}"),
+            );
+        }
         self.visible_io += self.comm.now() - t_enter;
         Ok(())
     }
@@ -205,8 +221,18 @@ impl IoService for TRochdf<'_> {
     ) -> Result<()> {
         // Restart must not race pending writes.
         self.drain()?;
+        let t0 = self.comm.now();
         let t = read_attribute_individual(&self.fs, self.comm, &self.cfg, windows, sel, snap)?;
         self.comm.clock().merge(t);
+        if rocobs::enabled() {
+            rocobs::record(
+                rocobs::SpanCategory::RestartRead,
+                "restart_read",
+                t0,
+                self.comm.now(),
+                &format!("window={}", sel.window),
+            );
+        }
         Ok(())
     }
 

@@ -162,6 +162,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(clippy::identity_op)] // spelled-out (k*nj + j)*ni + i formula
     fn indexing_is_consistent() {
         let b = block();
         assert_eq!(b.node_index(0, 0, 0), 0);

@@ -61,9 +61,9 @@ impl Comm {
         if self.rank() == root {
             let mut out: Vec<Vec<u8>> = vec![Vec::new(); self.size()];
             out[root] = data.to_vec();
-            for src in 0..self.size() {
+            for (src, slot) in out.iter_mut().enumerate() {
                 if src != root {
-                    out[src] = self.recv(Some(src), Some(tag)).expect("gather recv").payload;
+                    *slot = self.recv(Some(src), Some(tag)).expect("gather recv").payload;
                 }
             }
             Some(out)
@@ -80,8 +80,8 @@ impl Comm {
         if self.rank() == 0 {
             let mut out: Vec<Vec<u8>> = vec![Vec::new(); self.size()];
             out[0] = data.to_vec();
-            for src in 1..self.size() {
-                out[src] = self.recv(Some(src), Some(up)).expect("allgather recv").payload;
+            for (src, slot) in out.iter_mut().enumerate().skip(1) {
+                *slot = self.recv(Some(src), Some(up)).expect("allgather recv").payload;
             }
             // Flatten with length prefixes and fan out.
             let mut flat = Vec::new();
@@ -139,9 +139,9 @@ impl Comm {
         }
         let mut out: Vec<Vec<u8>> = vec![Vec::new(); self.size()];
         out[self.rank()] = parts[self.rank()].clone();
-        for src in 0..self.size() {
+        for (src, slot) in out.iter_mut().enumerate() {
             if src != self.rank() {
-                out[src] = self.recv(Some(src), Some(tag)).expect("alltoall recv").payload;
+                *slot = self.recv(Some(src), Some(tag)).expect("alltoall recv").payload;
             }
         }
         out

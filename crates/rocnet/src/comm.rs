@@ -74,13 +74,16 @@ impl Comm {
         assert!(rank < n, "rank {rank} out of range for {n}-rank fabric");
         let group: Vec<usize> = (0..n).collect();
         let reverse: HashMap<usize, usize> = group.iter().map(|&g| (g, g)).collect();
+        // The fabric owns the rank clocks: wildcard matching is gated on a
+        // scan of every rank's virtual time (see `fabric` module docs).
+        let clock = fabric.clock_of(rank);
         Comm {
             fabric,
             ctx: 0,
             group: Arc::new(group),
             reverse: Arc::new(reverse),
             my_local: rank,
-            clock: Arc::new(VClock::new()),
+            clock,
             coll_seq: Cell::new(0),
             split_seq: Cell::new(0),
             stats: CommStats::default(),
@@ -168,6 +171,15 @@ impl Comm {
         let t0 = self.clock.now();
         self.clock.advance(self.fabric.spec().compute_time(work));
         self.record(EventKind::Compute, None, None, 0, t0);
+        if rocobs::enabled() {
+            rocobs::record(
+                rocobs::SpanCategory::Compute,
+                "compute",
+                t0,
+                self.clock.now(),
+                &format!("work={work}"),
+            );
+        }
     }
 
     /// Communication statistics so far.
@@ -203,6 +215,19 @@ impl Comm {
             );
         self.stats.on_send(payload.len());
         self.record(EventKind::Send, Some(dst), Some(tag), payload.len(), t_send_start);
+        if rocobs::enabled() {
+            rocobs::record(
+                rocobs::SpanCategory::Send,
+                "send",
+                t_send_start,
+                self.clock.now(),
+                &format!("dst={dst} tag={tag:#x} bytes={}", payload.len()),
+            );
+        }
+        // Gate invariant: the clock must not advance between stamping
+        // `arrival` above and handing the envelope to the fabric — the
+        // safety scan relies on a sender's published clock never exceeding
+        // the arrival of a delivery it still has in flight.
         self.fabric.deliver(
             self.group[dst],
             Envelope {
@@ -254,6 +279,10 @@ impl Comm {
 
     /// Blocking receive. `src`/`tag` of `None` are wildcards; a wildcard
     /// tag only matches user tags (≤ [`TAG_USER_MAX`]).
+    ///
+    /// A wildcard-source receive resolves in virtual order (earliest
+    /// arrival, sender id breaking ties) behind the fabric's conservative
+    /// gate, so the match is independent of OS thread scheduling.
     pub fn recv(&self, src: Option<usize>, tag: Option<u32>) -> Result<Message> {
         if let Some(s) = src {
             if s >= self.size() {
@@ -264,19 +293,36 @@ impl Comm {
             }
         }
         let t0 = self.clock.now();
-        let env = self
-            .fabric
-            .take_matching(self.global_rank(), self.matcher(src, tag));
+        let env = if src.is_none() {
+            self.fabric.take_any(self.global_rank(), self.matcher(src, tag))
+        } else {
+            self.fabric
+                .take_matching(self.global_rank(), self.matcher(src, tag))
+        };
         let msg = self.to_message(env);
         self.record(EventKind::Recv, Some(msg.src), Some(msg.tag), msg.payload.len(), t0);
+        if rocobs::enabled() {
+            rocobs::record(
+                rocobs::SpanCategory::Recv,
+                "recv",
+                t0,
+                self.clock.now(),
+                &format!("src={} tag={:#x} bytes={}", msg.src, msg.tag, msg.payload.len()),
+            );
+        }
         Ok(msg)
     }
 
-    /// Non-blocking receive.
+    /// Non-blocking receive: takes the virtual-order first matching
+    /// message that has arrived by the current virtual time, or `None`
+    /// once no rank can still produce one. Never consumes virtual time
+    /// (though the determinism gate may wait in wall-clock time).
     pub fn try_recv(&self, src: Option<usize>, tag: Option<u32>) -> Option<Message> {
-        let env = self
-            .fabric
-            .try_take_matching(self.global_rank(), self.matcher(src, tag))?;
+        let env = self.fabric.try_take_at(
+            self.global_rank(),
+            self.matcher(src, tag),
+            self.clock.now(),
+        )?;
         Some(self.to_message(env))
     }
 
@@ -285,10 +331,23 @@ impl Comm {
     /// servers rely on so "the operating system can use the server CPUs",
     /// §6.1) and reports it without removing it.
     pub fn probe(&self, src: Option<usize>, tag: Option<u32>) -> ProbeInfo {
-        let (src_global, tag, bytes, arrival) = self
-            .fabric
-            .peek_matching(self.global_rank(), self.matcher(src, tag));
+        let t0 = self.clock.now();
+        let (src_global, tag, bytes, arrival) = if src.is_none() {
+            self.fabric.peek_any(self.global_rank(), self.matcher(src, tag))
+        } else {
+            self.fabric
+                .peek_matching(self.global_rank(), self.matcher(src, tag))
+        };
         self.clock.merge(arrival);
+        if rocobs::enabled() {
+            rocobs::record(
+                rocobs::SpanCategory::ProbeBlocking,
+                "probe",
+                t0,
+                self.clock.now(),
+                &format!("src={} tag={tag:#x} bytes={bytes}", self.reverse[&src_global]),
+            );
+        }
         ProbeInfo {
             src: self.reverse[&src_global],
             tag,
@@ -296,12 +355,25 @@ impl Comm {
         }
     }
 
-    /// Non-blocking probe (`MPI_Iprobe`): reports a matching queued message
-    /// without blocking or removing it.
+    /// Non-blocking probe (`MPI_Iprobe`): reports the virtual-order first
+    /// matching message that has arrived by the current virtual time,
+    /// without consuming virtual time or removing the message. A `None`
+    /// answer is final for this instant: no rank can still produce a
+    /// matching message arriving this early.
     pub fn iprobe(&self, src: Option<usize>, tag: Option<u32>) -> Option<ProbeInfo> {
-        let (src_global, tag, bytes, _arrival) = self
-            .fabric
-            .try_peek_matching(self.global_rank(), self.matcher(src, tag))?;
+        let peeked = self.fabric.try_peek_at(
+            self.global_rank(),
+            self.matcher(src, tag),
+            self.clock.now(),
+        );
+        if rocobs::enabled() {
+            // Instantaneous poll: zero-length span, recorded whether or
+            // not a message was waiting (the poll itself is the event).
+            let now = self.clock.now();
+            let detail = if peeked.is_some() { "hit" } else { "miss" };
+            rocobs::record(rocobs::SpanCategory::ProbeNonBlocking, "iprobe", now, now, detail);
+        }
+        let (src_global, tag, bytes, _arrival) = peeked?;
         Some(ProbeInfo {
             src: self.reverse[&src_global],
             tag,

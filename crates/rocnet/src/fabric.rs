@@ -3,13 +3,46 @@
 //! Delivery is physical (push + condvar notify); *when* a message counts as
 //! having arrived in virtual time is carried in its envelope, computed by
 //! the sender from the network model.
+//!
+//! # Determinism
+//!
+//! Rank threads are scheduled by the OS, so the *physical* order in which
+//! envelopes land in a mailbox varies from run to run. Matching must not:
+//! a wildcard receive that simply took the first physical match would make
+//! the Rocpanda server's handling order — and with it every virtual
+//! timestamp downstream — depend on the scheduler. The fabric therefore
+//! resolves wildcard matches in **virtual order** with a conservative gate
+//! (classic conservative discrete-event rule):
+//!
+//! * Candidate: for each source, only its first matching message is
+//!   eligible (MPI non-overtaking); among those heads, the one minimizing
+//!   `(arrival, sender)` wins.
+//! * Gate: the candidate is committed only when no other rank can still
+//!   produce an earlier arrival — each is either blocked with a published
+//!   commitment ≥ the candidate's arrival, or its clock has already
+//!   reached it. Clocks are monotone and `Comm::send` stamps the arrival
+//!   no lower than the sender's clock at delivery, so the scan is sound.
+//!
+//! Single-source matching needs no gate: per-source delivery order equals
+//! send order. With a network model whose costs are nonzero (e.g.
+//! `ClusterSpec::turing`) the virtual order is strict and every run of the
+//! same program yields bit-identical virtual times; zero-cost models can
+//! tie on arrival, where semantic results are still deterministic but
+//! timestamps may not be.
 
 use std::collections::VecDeque;
+use std::sync::Arc;
+use std::time::Duration;
 
 use parking_lot::{Condvar, Mutex};
 use rocio_core::SimTime;
 
 use crate::cluster::ClusterSpec;
+use crate::vtime::VClock;
+
+/// How long gate waiters sleep between safety re-scans: clock advances on
+/// other ranks do not notify any condvar, so gated operations poll.
+const GATE_POLL: Duration = Duration::from_micros(100);
 
 /// A message in flight or queued at its destination.
 #[derive(Debug, Clone)]
@@ -28,16 +61,63 @@ pub struct Envelope {
     pub arrival: SimTime,
 }
 
-#[derive(Default)]
-struct Mailbox {
-    queue: Mutex<VecDeque<Envelope>>,
-    cv: Condvar,
+/// What a rank is doing, as seen by other ranks' safety scans.
+#[derive(Clone, Copy, Debug)]
+enum RankWait {
+    /// Executing: may advance its clock and send at any moment; its next
+    /// send's arrival is never below its current clock.
+    Running,
+    /// Parked in a blocking receive/probe, or finished: produces nothing
+    /// before `bound` (`INFINITY` when it cannot act at all without a new
+    /// delivery). Deliveries lower the bound conservatively until the
+    /// rank wakes and re-evaluates.
+    Blocked { bound: SimTime },
 }
 
-/// The machine-wide fabric: cluster spec plus one mailbox per global rank.
+struct FabricState {
+    queues: Vec<VecDeque<Envelope>>,
+    wait: Vec<RankWait>,
+}
+
+/// The machine-wide fabric: cluster spec, one mailbox and one virtual
+/// clock per global rank, and the conservative-order gate state.
 pub struct Fabric {
     spec: ClusterSpec,
-    mailboxes: Vec<Mailbox>,
+    clocks: Vec<Arc<VClock>>,
+    state: Mutex<FabricState>,
+    cvs: Vec<Condvar>,
+}
+
+/// Virtual-order candidate: for each source only its first matching
+/// message is eligible (non-overtaking); among those heads, pick the one
+/// minimizing `(arrival, src_global)`. Returns the queue index.
+fn select_virtual<F>(q: &VecDeque<Envelope>, pred: &mut F) -> Option<usize>
+where
+    F: FnMut(&Envelope) -> bool,
+{
+    let mut seen: Vec<usize> = Vec::new();
+    let mut best: Option<usize> = None;
+    for (i, e) in q.iter().enumerate() {
+        if seen.contains(&e.src_global) || !pred(e) {
+            continue;
+        }
+        seen.push(e.src_global);
+        let better = match best {
+            None => true,
+            Some(b) => {
+                let cur = &q[b];
+                match e.arrival.total_cmp(&cur.arrival) {
+                    std::cmp::Ordering::Less => true,
+                    std::cmp::Ordering::Equal => e.src_global < cur.src_global,
+                    std::cmp::Ordering::Greater => false,
+                }
+            }
+        };
+        if better {
+            best = Some(i);
+        }
+    }
+    best
 }
 
 impl Fabric {
@@ -46,7 +126,12 @@ impl Fabric {
         let n = spec.n_ranks();
         Fabric {
             spec,
-            mailboxes: (0..n).map(|_| Mailbox::default()).collect(),
+            clocks: (0..n).map(|_| Arc::new(VClock::new())).collect(),
+            state: Mutex::new(FabricState {
+                queues: (0..n).map(|_| VecDeque::new()).collect(),
+                wait: vec![RankWait::Running; n],
+            }),
+            cvs: (0..n).map(|_| Condvar::new()).collect(),
         }
     }
 
@@ -57,59 +142,209 @@ impl Fabric {
 
     /// Total number of global ranks.
     pub fn n_ranks(&self) -> usize {
-        self.mailboxes.len()
+        self.clocks.len()
+    }
+
+    /// The shared virtual clock of global rank `rank`. The fabric owns the
+    /// clocks so the safety scan can read every rank's time.
+    pub fn clock_of(&self, rank: usize) -> Arc<VClock> {
+        Arc::clone(&self.clocks[rank])
+    }
+
+    /// Mark every rank runnable again (a fresh "job" on this fabric).
+    pub fn begin_job(&self) {
+        let mut st = self.state.lock();
+        for w in st.wait.iter_mut() {
+            *w = RankWait::Running;
+        }
+    }
+
+    /// Mark `rank`'s thread as done: it will never send again, so gates on
+    /// other ranks must not wait for its clock.
+    pub fn finish_rank(&self, rank: usize) {
+        let mut st = self.state.lock();
+        st.wait[rank] = RankWait::Blocked {
+            bound: SimTime::INFINITY,
+        };
+        drop(st);
+        for cv in &self.cvs {
+            cv.notify_all();
+        }
+    }
+
+    /// Can a wildcard match with arrival `bound` at `me` be committed? Only
+    /// if no other rank can still produce an earlier arrival: each is
+    /// either blocked with a commitment ≥ `bound` or its clock has already
+    /// reached `bound`.
+    fn scan_safe(&self, st: &FabricState, me: usize, bound: SimTime) -> bool {
+        st.wait.iter().enumerate().all(|(s, w)| {
+            s == me
+                || match *w {
+                    RankWait::Blocked { bound: b } => b >= bound,
+                    RankWait::Running => self.clocks[s].now() >= bound,
+                }
+        })
     }
 
     /// Deliver an envelope to global rank `dst`.
     pub fn deliver(&self, dst: usize, env: Envelope) {
-        let mb = &self.mailboxes[dst];
-        mb.queue.lock().push_back(env);
-        mb.cv.notify_all();
+        let mut st = self.state.lock();
+        if let RankWait::Blocked { bound } = &mut st.wait[dst] {
+            // Conservative: the parked rank may act on this message as
+            // soon as it wakes; its published commitment shrinks until it
+            // re-evaluates under the lock.
+            if env.arrival < *bound {
+                *bound = env.arrival;
+            }
+        }
+        st.queues[dst].push_back(env);
+        self.cvs[dst].notify_all();
     }
 
     /// Remove and return the first envelope in `dst`'s mailbox matching
     /// `pred`, blocking until one is available.
+    ///
+    /// Per-source delivery order equals send order, so with a
+    /// single-source predicate this is deterministic without a gate.
+    /// Wildcard-source receives must use [`Fabric::take_any`] instead.
     pub fn take_matching<F>(&self, dst: usize, mut pred: F) -> Envelope
     where
         F: FnMut(&Envelope) -> bool,
     {
-        let mb = &self.mailboxes[dst];
-        let mut q = mb.queue.lock();
+        let mut st = self.state.lock();
         loop {
-            if let Some(idx) = q.iter().position(&mut pred) {
-                return q.remove(idx).expect("index just found");
+            if let Some(idx) = st.queues[dst].iter().position(&mut pred) {
+                st.wait[dst] = RankWait::Running;
+                return st.queues[dst].remove(idx).expect("index just found");
             }
-            mb.cv.wait(&mut q);
+            st.wait[dst] = RankWait::Blocked {
+                bound: SimTime::INFINITY,
+            };
+            self.cvs[dst].wait(&mut st);
+            st.wait[dst] = RankWait::Running;
         }
     }
 
-    /// Non-blocking variant of [`Fabric::take_matching`].
+    /// Remove and return the virtual-order first matching envelope (see
+    /// the module docs), blocking both for a candidate and for the safety
+    /// gate. This is the wildcard receive: selection is a pure function of
+    /// virtual time, not of the wall-clock order in which rank threads
+    /// happened to deliver.
+    pub fn take_any<F>(&self, dst: usize, mut pred: F) -> Envelope
+    where
+        F: FnMut(&Envelope) -> bool,
+    {
+        let mut st = self.state.lock();
+        loop {
+            match select_virtual(&st.queues[dst], &mut pred) {
+                Some(idx) => {
+                    let bound = st.queues[dst][idx].arrival;
+                    if self.scan_safe(&st, dst, bound) {
+                        st.wait[dst] = RankWait::Running;
+                        return st.queues[dst].remove(idx).expect("index just found");
+                    }
+                    // Publish the candidate as a commitment — the gate's
+                    // induction needs waiting receivers to promise they
+                    // produce nothing earlier than what they will take.
+                    st.wait[dst] = RankWait::Blocked { bound };
+                    self.cvs[dst].wait_for(&mut st, GATE_POLL);
+                    st.wait[dst] = RankWait::Running;
+                }
+                None => {
+                    st.wait[dst] = RankWait::Blocked {
+                        bound: SimTime::INFINITY,
+                    };
+                    self.cvs[dst].wait(&mut st);
+                    st.wait[dst] = RankWait::Running;
+                }
+            }
+        }
+    }
+
+    /// Non-blocking, ungated variant of [`Fabric::take_matching`]
+    /// (first physical match; diagnostics and single-source polling).
     pub fn try_take_matching<F>(&self, dst: usize, mut pred: F) -> Option<Envelope>
     where
         F: FnMut(&Envelope) -> bool,
     {
-        let mut q = self.mailboxes[dst].queue.lock();
-        let idx = q.iter().position(&mut pred)?;
-        Some(q.remove(idx).expect("index just found"))
+        let mut st = self.state.lock();
+        let idx = st.queues[dst].iter().position(&mut pred)?;
+        Some(st.queues[dst].remove(idx).expect("index just found"))
     }
 
-    /// Peek the first matching envelope without removing it, blocking until
-    /// one is available. Returns `(src_global, tag, payload_len, arrival)`.
+    /// Deterministic non-blocking take at virtual time `now`: returns the
+    /// virtual-order first matching envelope that has arrived by `now`, or
+    /// `None` once no rank can still produce one. May block wall-clock
+    /// time (never virtual time) until that answer is stable.
+    pub fn try_take_at<F>(&self, dst: usize, mut pred: F, now: SimTime) -> Option<Envelope>
+    where
+        F: FnMut(&Envelope) -> bool,
+    {
+        let mut st = self.state.lock();
+        loop {
+            if self.scan_safe(&st, dst, now) {
+                let idx = select_virtual(&st.queues[dst], &mut pred)
+                    .filter(|&i| st.queues[dst][i].arrival <= now);
+                return idx.map(|i| st.queues[dst].remove(i).expect("index just found"));
+            }
+            self.cvs[dst].wait_for(&mut st, GATE_POLL);
+        }
+    }
+
+    /// Peek the first matching envelope without removing it, blocking
+    /// until one is available. Returns `(src_global, tag, payload_len,
+    /// arrival)`. Single-source counterpart of [`Fabric::peek_any`].
     pub fn peek_matching<F>(&self, dst: usize, mut pred: F) -> (usize, u32, usize, SimTime)
     where
         F: FnMut(&Envelope) -> bool,
     {
-        let mb = &self.mailboxes[dst];
-        let mut q = mb.queue.lock();
+        let mut st = self.state.lock();
         loop {
-            if let Some(env) = q.iter().find(|e| pred(e)) {
-                return (env.src_global, env.tag, env.payload.len(), env.arrival);
+            if let Some(env) = st.queues[dst].iter().find(|e| pred(e)) {
+                let found = (env.src_global, env.tag, env.payload.len(), env.arrival);
+                st.wait[dst] = RankWait::Running;
+                return found;
             }
-            mb.cv.wait(&mut q);
+            st.wait[dst] = RankWait::Blocked {
+                bound: SimTime::INFINITY,
+            };
+            self.cvs[dst].wait(&mut st);
+            st.wait[dst] = RankWait::Running;
         }
     }
 
-    /// Non-blocking variant of [`Fabric::peek_matching`].
+    /// Gated wildcard peek: blocking probe counterpart of
+    /// [`Fabric::take_any`].
+    pub fn peek_any<F>(&self, dst: usize, mut pred: F) -> (usize, u32, usize, SimTime)
+    where
+        F: FnMut(&Envelope) -> bool,
+    {
+        let mut st = self.state.lock();
+        loop {
+            match select_virtual(&st.queues[dst], &mut pred) {
+                Some(idx) => {
+                    let env = &st.queues[dst][idx];
+                    let found = (env.src_global, env.tag, env.payload.len(), env.arrival);
+                    if self.scan_safe(&st, dst, found.3) {
+                        st.wait[dst] = RankWait::Running;
+                        return found;
+                    }
+                    st.wait[dst] = RankWait::Blocked { bound: found.3 };
+                    self.cvs[dst].wait_for(&mut st, GATE_POLL);
+                    st.wait[dst] = RankWait::Running;
+                }
+                None => {
+                    st.wait[dst] = RankWait::Blocked {
+                        bound: SimTime::INFINITY,
+                    };
+                    self.cvs[dst].wait(&mut st);
+                    st.wait[dst] = RankWait::Running;
+                }
+            }
+        }
+    }
+
+    /// Non-blocking, ungated variant of [`Fabric::peek_matching`].
     pub fn try_peek_matching<F>(
         &self,
         dst: usize,
@@ -118,15 +353,43 @@ impl Fabric {
     where
         F: FnMut(&Envelope) -> bool,
     {
-        let q = self.mailboxes[dst].queue.lock();
-        q.iter()
+        let st = self.state.lock();
+        st.queues[dst]
+            .iter()
             .find(|e| pred(e))
             .map(|env| (env.src_global, env.tag, env.payload.len(), env.arrival))
     }
 
+    /// Deterministic `MPI_Iprobe` at virtual time `now`: reports the
+    /// virtual-order first matching message that has arrived by `now`, or
+    /// `None` once no rank can still produce one (see
+    /// [`Fabric::try_take_at`]).
+    pub fn try_peek_at<F>(
+        &self,
+        dst: usize,
+        mut pred: F,
+        now: SimTime,
+    ) -> Option<(usize, u32, usize, SimTime)>
+    where
+        F: FnMut(&Envelope) -> bool,
+    {
+        let mut st = self.state.lock();
+        loop {
+            if self.scan_safe(&st, dst, now) {
+                return select_virtual(&st.queues[dst], &mut pred)
+                    .filter(|&i| st.queues[dst][i].arrival <= now)
+                    .map(|i| {
+                        let e = &st.queues[dst][i];
+                        (e.src_global, e.tag, e.payload.len(), e.arrival)
+                    });
+            }
+            self.cvs[dst].wait_for(&mut st, GATE_POLL);
+        }
+    }
+
     /// Number of messages currently queued at `dst` (diagnostics).
     pub fn queued(&self, dst: usize) -> usize {
-        self.mailboxes[dst].queue.lock().len()
+        self.state.lock().queues[dst].len()
     }
 }
 
@@ -193,5 +456,77 @@ mod tests {
         f.deliver(1, env(0, 3, 1.0));
         let m = h.join().unwrap();
         assert_eq!(m.tag, 3);
+    }
+
+    #[test]
+    fn take_any_follows_virtual_order_not_delivery_order() {
+        let f = Fabric::new(ClusterSpec::ideal(3));
+        // The receiver is rank 1; make the other ranks permanently safe so
+        // the gate passes immediately.
+        f.finish_rank(0);
+        f.finish_rank(2);
+        // Physical delivery order: 0.9 (src 0), 0.5 (src 2), 0.1 (src 0).
+        f.deliver(1, env(0, 7, 0.9));
+        f.deliver(1, env(2, 7, 0.5));
+        f.deliver(1, env(0, 7, 0.1));
+        // Virtual order respects per-source FIFO: src 0's head is 0.9, so
+        // 0.1 is not eligible until 0.9 has been taken.
+        let a = f.take_any(1, |e| e.tag == 7);
+        let b = f.take_any(1, |e| e.tag == 7);
+        let c = f.take_any(1, |e| e.tag == 7);
+        assert_eq!(
+            (a.arrival, b.arrival, c.arrival),
+            (0.5, 0.9, 0.1),
+            "candidates must be per-source heads ordered by arrival"
+        );
+    }
+
+    #[test]
+    fn take_any_ties_break_by_sender() {
+        let f = Fabric::new(ClusterSpec::ideal(3));
+        f.finish_rank(0);
+        f.finish_rank(2);
+        f.deliver(1, env(2, 7, 0.5));
+        f.deliver(1, env(0, 7, 0.5));
+        let a = f.take_any(1, |e| e.tag == 7);
+        assert_eq!(a.src_global, 0);
+    }
+
+    #[test]
+    fn take_any_waits_for_lagging_rank_clock() {
+        let f = std::sync::Arc::new(Fabric::new(ClusterSpec::ideal(2)));
+        f.deliver(1, env(0, 7, 1.0));
+        // Rank 0 is running with clock 0.0 < 1.0: the gate must hold until
+        // its clock passes the candidate's arrival.
+        let f2 = std::sync::Arc::clone(&f);
+        let h = std::thread::spawn(move || f2.take_any(1, |e| e.tag == 7));
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        assert!(!h.is_finished(), "gate must wait on rank 0's clock");
+        f.clock_of(0).merge(2.0);
+        let m = h.join().unwrap();
+        assert_eq!(m.arrival, 1.0);
+    }
+
+    #[test]
+    fn try_peek_at_hides_future_messages() {
+        let f = Fabric::new(ClusterSpec::ideal(2));
+        f.finish_rank(0);
+        f.deliver(1, env(0, 7, 3.0));
+        // At virtual time 1.0 the message has not arrived yet.
+        assert!(f.try_peek_at(1, |e| e.tag == 7, 1.0).is_none());
+        // At 3.0 it has.
+        assert!(f.try_peek_at(1, |e| e.tag == 7, 3.0).is_some());
+        assert_eq!(f.queued(1), 1);
+    }
+
+    #[test]
+    fn try_take_at_removes_only_arrived_messages() {
+        let f = Fabric::new(ClusterSpec::ideal(2));
+        f.finish_rank(0);
+        f.deliver(1, env(0, 7, 3.0));
+        assert!(f.try_take_at(1, |e| e.tag == 7, 2.9).is_none());
+        let m = f.try_take_at(1, |e| e.tag == 7, 3.0).unwrap();
+        assert_eq!(m.arrival, 3.0);
+        assert_eq!(f.queued(1), 0);
     }
 }

@@ -36,11 +36,25 @@ where
     F: Fn(Comm) -> T + Send + Sync,
 {
     let n = fabric.n_ranks();
+    fabric.begin_job();
     std::thread::scope(|scope| {
         let mut handles = Vec::with_capacity(n);
         for rank in 0..n {
             let comm = Comm::world(Arc::clone(fabric), rank);
-            handles.push(scope.spawn(move || f(comm)));
+            let fab = Arc::clone(fabric);
+            handles.push(scope.spawn(move || {
+                // On return *or unwind* the rank must stop gating others:
+                // wildcard receivers wait on every running rank's clock,
+                // and a vanished thread's clock never advances again.
+                struct Finished(Arc<Fabric>, usize);
+                impl Drop for Finished {
+                    fn drop(&mut self) {
+                        self.0.finish_rank(self.1);
+                    }
+                }
+                let _done = Finished(fab, rank);
+                f(comm)
+            }));
         }
         handles
             .into_iter()

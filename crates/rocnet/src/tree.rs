@@ -59,7 +59,7 @@ impl Comm {
         let mut acc = mine.to_vec();
         let mut step = 1;
         while step < size {
-            if rank % (2 * step) == 0 {
+            if rank.is_multiple_of(2 * step) {
                 let peer = rank + step;
                 if peer < size {
                     let m = self.recv(Some(peer), Some(tag)).expect("tree reduce recv");
@@ -96,7 +96,7 @@ impl Comm {
                 data = m.payload;
                 received = true;
             }
-            if received && rank % (2 * step) == 0 {
+            if received && rank.is_multiple_of(2 * step) {
                 let peer = rank + step;
                 if peer < size {
                     self.send(peer, tag, &data).expect("tree bcast send");

@@ -1,0 +1,141 @@
+//! Property tests: the span-recorder query API (`total`, `overlap`,
+//! `max_concurrent`, `gaps`) must agree with brute-force interval
+//! arithmetic on arbitrary span populations.
+//!
+//! The brute force decomposes the time axis into *elementary intervals*
+//! between consecutive span endpoints; on each elementary interval the
+//! coverage of a category is a simple count, from which every queried
+//! quantity follows directly. Span times are multiples of 0.25 (exact in
+//! f64), so agreement is checked to 1e-9.
+
+use proptest::prelude::*;
+use rocobs::{Span, SpanCategory, Trace, LANE_MAIN};
+
+const CATS: [SpanCategory; 3] = [
+    SpanCategory::Compute,
+    SpanCategory::DiskWrite,
+    SpanCategory::Send,
+];
+
+fn build(raw: &[(u8, u8, u8, u8)]) -> Vec<Span> {
+    raw.iter()
+        .map(|&(c, start, dur, rank)| {
+            let t0 = start as f64 * 0.25;
+            Span {
+                category: CATS[(c % CATS.len() as u8) as usize],
+                label: "prop".into(),
+                t_start: t0,
+                t_end: t0 + dur as f64 * 0.25,
+                rank: (rank % 4) as usize,
+                lane: LANE_MAIN,
+                detail: String::new(),
+            }
+        })
+        .collect()
+}
+
+/// All distinct span endpoints, sorted: the elementary-interval grid.
+fn grid(spans: &[Span]) -> Vec<f64> {
+    let mut pts: Vec<f64> = spans
+        .iter()
+        .flat_map(|s| [s.t_start, s.t_end])
+        .collect();
+    pts.sort_by(f64::total_cmp);
+    pts.dedup();
+    pts
+}
+
+/// How many positive-length spans of `cat` fully cover `[lo, hi]`.
+fn coverage(spans: &[Span], cat: SpanCategory, lo: f64, hi: f64) -> usize {
+    spans
+        .iter()
+        .filter(|s| {
+            s.category == cat && s.t_end > s.t_start && s.t_start <= lo && s.t_end >= hi
+        })
+        .count()
+}
+
+fn approx(a: f64, b: f64) -> bool {
+    (a - b).abs() < 1e-9
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn queries_match_brute_force(
+        raw in prop::collection::vec(
+            (any::<u8>(), 0u8..120, 0u8..16, any::<u8>()),
+            0..40,
+        ),
+    ) {
+        let spans = build(&raw);
+        let trace = Trace::from_spans(spans.clone());
+        let pts = grid(&spans);
+        let cells: Vec<(f64, f64)> = pts.windows(2).map(|w| (w[0], w[1])).collect();
+
+        for cat in CATS {
+            // total = union length.
+            let brute_total: f64 = cells
+                .iter()
+                .filter(|&&(lo, hi)| coverage(&spans, cat, lo, hi) > 0)
+                .map(|(lo, hi)| hi - lo)
+                .sum();
+            prop_assert!(
+                approx(trace.total(cat), brute_total),
+                "total({cat}): {} vs brute {brute_total}", trace.total(cat)
+            );
+
+            // max_concurrent = peak coverage count.
+            let brute_peak = cells
+                .iter()
+                .map(|&(lo, hi)| coverage(&spans, cat, lo, hi))
+                .max()
+                .unwrap_or(0);
+            prop_assert_eq!(trace.max_concurrent(cat), brute_peak);
+
+            // gaps = maximal uncovered stretches strictly inside the
+            // category's extent.
+            let covered: Vec<(f64, f64)> = cells
+                .iter()
+                .filter(|&&(lo, hi)| coverage(&spans, cat, lo, hi) > 0)
+                .cloned()
+                .collect();
+            // Consecutive covered cells delimit each gap exactly: the
+            // uncovered stretch between them is one maximal gap.
+            let mut brute_gaps: Vec<(f64, f64)> = Vec::new();
+            for w in covered.windows(2) {
+                let (prev_end, next_start) = (w[0].1, w[1].0);
+                if next_start > prev_end {
+                    brute_gaps.push((prev_end, next_start));
+                }
+            }
+            let got = trace.gaps(cat);
+            prop_assert_eq!(got.len(), brute_gaps.len(), "gaps({cat})");
+            for (g, b) in got.iter().zip(&brute_gaps) {
+                prop_assert!(approx(g.0, b.0) && approx(g.1, b.1));
+            }
+        }
+
+        // overlap = intersection length of two category unions, for every
+        // category pair.
+        for a in CATS {
+            for b in CATS {
+                let brute: f64 = cells
+                    .iter()
+                    .filter(|&&(lo, hi)| {
+                        coverage(&spans, a, lo, hi) > 0 && coverage(&spans, b, lo, hi) > 0
+                    })
+                    .map(|(lo, hi)| hi - lo)
+                    .sum();
+                prop_assert!(
+                    approx(trace.overlap(a, b), brute),
+                    "overlap({a},{b}): {} vs brute {brute}", trace.overlap(a, b)
+                );
+                // And overlap is symmetric, bounded by each side's total.
+                prop_assert!(approx(trace.overlap(a, b), trace.overlap(b, a)));
+                prop_assert!(trace.overlap(a, b) <= trace.total(a) + 1e-9);
+            }
+        }
+    }
+}

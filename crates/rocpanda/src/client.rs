@@ -154,10 +154,12 @@ impl IoService for PandaClient<'_> {
         for &s in &self.server_ranks {
             self.world.send(s, tag::READ_REQ, &payload)?;
         }
+        let t_read0 = self.world.now();
         let mut dones = 0usize;
         let mut expected: u64 = 0;
         let mut got: u64 = 0;
         let mut seen: HashSet<u64> = HashSet::new();
+        let mut server_err: Option<RocError> = None;
         while dones < self.server_ranks.len() || got < expected {
             let msg = self.world.recv(None, None)?;
             match msg.tag {
@@ -176,12 +178,35 @@ impl IoService for PandaClient<'_> {
                     expected += wire::decode_read_done(&msg.payload)? as u64;
                     dones += 1;
                 }
+                tag::READ_ERR => {
+                    // The server's scan failed; it reports instead of
+                    // shipping. Keep draining so every server's terminal
+                    // message is consumed, then surface the first error.
+                    let text = String::from_utf8_lossy(&msg.payload).into_owned();
+                    server_err.get_or_insert(RocError::Storage(format!(
+                        "restart failed at server rank {}: {text}",
+                        msg.src
+                    )));
+                    dones += 1;
+                }
                 other => {
                     return Err(RocError::Comm(format!(
                         "panda client: unexpected tag {other:#x} during restart"
                     )))
                 }
             }
+        }
+        if rocobs::enabled() {
+            rocobs::record(
+                rocobs::SpanCategory::RestartRead,
+                "read_attribute",
+                t_read0,
+                self.world.now(),
+                &format!("window={} blocks={got}", sel.window),
+            );
+        }
+        if let Some(e) = server_err {
+            return Err(e);
         }
         if got != wanted.len() as u64 {
             return Err(RocError::NotFound(format!(
@@ -485,12 +510,16 @@ mod tests {
     }
 
     /// Tiny buffer capacity forces graceful overflow, and nothing is lost.
+    /// The wide ACK window lets every block be legitimately in flight at
+    /// once — with the default window of 1 the per-block handshake paces
+    /// the client to the server's writes and the buffer can never fill.
     #[test]
     fn buffer_overflow_writes_through() {
         let fs = SharedFs::ideal();
         let snap = SnapshotId::new(0, 0);
         let cfg = RocpandaConfig {
             buffer_capacity: 4096, // a couple of blocks at most
+            ack_window: 64,
             ..Default::default()
         };
         let stats = run_ranks(2, ClusterSpec::ideal(2), move |comm| {

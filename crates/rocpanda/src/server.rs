@@ -18,6 +18,7 @@ struct FileKey {
 }
 
 /// Per-file progress at the server.
+#[derive(Default)]
 struct FileState<'fs> {
     writer: Option<SdfFileWriter<'fs>>,
     /// Sum of block counts announced by WRITE_REQs so far.
@@ -28,19 +29,6 @@ struct FileState<'fs> {
     blocks_received: u32,
     blocks_written: u32,
     finished: bool,
-}
-
-impl Default for FileState<'_> {
-    fn default() -> Self {
-        FileState {
-            writer: None,
-            expected_blocks: 0,
-            reqs_received: 0,
-            blocks_received: 0,
-            blocks_written: 0,
-            finished: false,
-        }
-    }
 }
 
 /// Aggregate server statistics for experiment reports.
@@ -194,6 +182,7 @@ impl<'a> PandaServer<'a> {
                 };
                 // Server CPU cost of taking the block in.
                 let bytes = msg.payload.len();
+                let t_fill0 = self.world.now();
                 self.world.advance(
                     self.cfg.server_block_overhead + bytes as f64 / self.cfg.server_copy_bw,
                 );
@@ -202,6 +191,19 @@ impl<'a> PandaServer<'a> {
                     self.buffered_bytes += bytes;
                     self.stats.blocks_buffered += 1;
                     self.write_queue.push_back((key.clone(), bm.block));
+                    if rocobs::enabled() {
+                        rocobs::record(
+                            rocobs::SpanCategory::BufferFill,
+                            "buffer_fill",
+                            t_fill0,
+                            self.world.now(),
+                            &format!(
+                                "bytes={bytes} occupancy={} queued={}",
+                                self.buffered_bytes,
+                                self.write_queue.len()
+                            ),
+                        );
+                    }
                     // Graceful overflow: write old data out to make room.
                     while self.buffered_bytes > self.cfg.buffer_capacity
                         && !self.write_queue.is_empty()
@@ -290,8 +292,23 @@ impl<'a> PandaServer<'a> {
             eprintln!("[server {}] write_one clock={:.4} qlen={}", self.server_index, self.world.now(), self.write_queue.len());
         }
         if let Some((key, block)) = self.write_queue.pop_front() {
-            self.buffered_bytes = self.buffered_bytes.saturating_sub(block.encoded_size());
+            let t0 = self.world.now();
+            let bytes = block.encoded_size();
+            self.buffered_bytes = self.buffered_bytes.saturating_sub(bytes);
             self.write_block(&key, &block)?;
+            if rocobs::enabled() {
+                rocobs::record(
+                    rocobs::SpanCategory::BufferDrain,
+                    "buffer_drain",
+                    t0,
+                    self.world.now(),
+                    &format!(
+                        "bytes={bytes} occupancy={} queued={}",
+                        self.buffered_bytes,
+                        self.write_queue.len()
+                    ),
+                );
+            }
             self.maybe_finish(&key)?;
         }
         Ok(())
@@ -303,8 +320,18 @@ impl<'a> PandaServer<'a> {
         // All dedicated servers write concurrently.
         self.fs.declare_writers(self.server_ranks.len());
         // CPU submit cost: encode + hand the bytes to the file system.
+        let t_submit0 = self.world.now();
         self.world
             .advance(block.encoded_size() as f64 / self.cfg.server_copy_bw);
+        if rocobs::enabled() {
+            rocobs::record(
+                rocobs::SpanCategory::DiskSubmit,
+                "disk_submit",
+                t_submit0,
+                self.world.now(),
+                &format!("bytes={}", block.encoded_size()),
+            );
+        }
         let synchronous = !self.cfg.active_buffering;
         let st = self.files.entry(key.clone()).or_default();
         if st.writer.is_none() {
@@ -366,23 +393,44 @@ impl<'a> PandaServer<'a> {
     /// Collective restart: every client's id list is in. Scan this
     /// server's round-robin share of the snapshot files and ship requested
     /// blocks to their owners (§4.1).
+    ///
+    /// Failures (missing, truncated or corrupted files) are *reported* to
+    /// the requesting clients as `READ_ERR` rather than propagated: the
+    /// clients surface the error from `read_attribute` and this server
+    /// stays alive to serve the eventual sync/shutdown, so nobody hangs.
     fn serve_restart(&mut self, key: &FileKey) -> Result<()> {
+        let requests = self.read_reqs.remove(key).expect("serve_restart without reqs");
         // Everything buffered must be durable (files finished, indexes
         // written) before any file can be scanned, and the scan cannot
         // begin before the disk is done.
-        self.flush_all()?;
+        let prep = self.flush_all();
         self.world.clock().merge(self.disk_completion);
         // The round-robin file assignment makes a server read files that
         // *other* servers wrote, so every server must have flushed before
-        // anyone scans: synchronize the server group.
+        // anyone scans: synchronize the server group. Reached even when
+        // the flush failed — a sibling blocked in this barrier must not
+        // deadlock on our error.
         self.server_comm.barrier();
+        let result = prep.and_then(|_| self.scan_and_ship(key, &requests));
+        if let Err(e) = result {
+            let text = e.to_string();
+            for (client, _) in &requests {
+                self.world.send(*client, tag::READ_ERR, text.as_bytes())?;
+            }
+        }
+        Ok(())
+    }
+
+    /// The fallible part of [`Self::serve_restart`]: scan this server's
+    /// file share and ship requested blocks, ending each client with
+    /// `READ_DONE`.
+    fn scan_and_ship(&mut self, key: &FileKey, requests: &[(usize, Vec<u64>)]) -> Result<()> {
         // All servers scan their file shares concurrently.
         self.fs.declare_readers(self.server_ranks.len());
         self.fs.declare_writers(0);
-        let requests = self.read_reqs.remove(key).expect("serve_restart without reqs");
         // Block id → requesting client.
         let mut owner: HashMap<u64, usize> = HashMap::new();
-        for (client, ids) in &requests {
+        for (client, ids) in requests {
             for id in ids {
                 if owner.insert(*id, *client).is_some() {
                     return Err(RocError::InvalidState(format!(
@@ -425,7 +473,7 @@ impl<'a> PandaServer<'a> {
                 }
             }
         }
-        for (client, _) in &requests {
+        for (client, _) in requests {
             let n = sent_per_client.get(client).copied().unwrap_or(0);
             self.world
                 .send(*client, tag::READ_DONE, &wire::encode_read_done(n))?;

@@ -37,6 +37,10 @@ pub mod tag {
     pub const RETIRE: u32 = 0x0050_000B;
     /// Server → client: retire complete.
     pub const RETIRE_ACK: u32 = 0x0050_000C;
+    /// Server → client: restart failed at the server (payload: UTF-8
+    /// error text). Sent instead of `READ_DONE` so clients surface a
+    /// clean error rather than waiting forever on a dead restart.
+    pub const READ_ERR: u32 = 0x0050_000D;
 }
 
 fn put_str(out: &mut Vec<u8>, s: &str) {
@@ -316,6 +320,7 @@ mod tests {
             tag::SHUTDOWN,
             tag::RETIRE,
             tag::RETIRE_ACK,
+            tag::READ_ERR,
         ] {
             assert!(t <= rocnet::comm::TAG_USER_MAX);
         }

@@ -171,6 +171,16 @@ impl SharedFs {
         srv.busy_time += dur;
         srv.last_completion = srv.last_completion.max(end);
         srv.write_activity.insert(client, end);
+        drop(srv);
+        if rocobs::enabled() {
+            rocobs::record(
+                rocobs::SpanCategory::DiskWrite,
+                "disk_write",
+                now,
+                end,
+                &format!("path={path} bytes={bytes} active={active}"),
+            );
+        }
         end
     }
 
@@ -184,6 +194,16 @@ impl SharedFs {
                 .max(hinted);
         let end = now + self.model.read_time(bytes, active);
         srv.read_activity.insert(client, end);
+        drop(srv);
+        if rocobs::enabled() {
+            rocobs::record(
+                rocobs::SpanCategory::DiskRead,
+                "disk_read",
+                now,
+                end,
+                &format!("path={path} bytes={bytes} active={active}"),
+            );
+        }
         end
     }
 

@@ -9,6 +9,7 @@ pub use rochdf;
 pub use rocio_core as core;
 pub use rocmesh;
 pub use rocnet;
+pub use rocobs;
 pub use rocpanda;
 pub use rocsdf;
 pub use rocstore;

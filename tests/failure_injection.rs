@@ -136,6 +136,140 @@ fn schema_evolution_reads_old_snapshots() {
     });
 }
 
+// ---------------------------------------------------------------------
+// Rocpanda path: a damaged snapshot must surface a clean error through
+// the server→client restart protocol — never a hang. The server reports
+// its scan failure with READ_ERR and stays alive, so `finalize` (and the
+// run itself) still completes on every rank.
+// ---------------------------------------------------------------------
+
+use genx_repro::rocpanda::{init as panda_init, Role, RocpandaConfig};
+
+fn panda_windows(idx: usize, n_panes: usize) -> Windows {
+    let mut ws = Windows::new();
+    let w = ws.create_window("fluid").unwrap();
+    w.declare_attr(AttrSpec::element("p", DType::F64, 1)).unwrap();
+    for i in 0..n_panes {
+        let id = BlockId((idx * 100 + i) as u64);
+        w.register_pane(
+            id,
+            PaneMesh::Structured {
+                dims: [3, 3, 3],
+                origin: [0.0; 3],
+                spacing: [1.0; 3],
+            },
+        )
+        .unwrap();
+        w.pane_mut(id)
+            .unwrap()
+            .set_data("p", ArrayData::F64(vec![id.0 as f64; 27]))
+            .unwrap();
+    }
+    ws
+}
+
+/// 2 clients + the given servers write one snapshot through Rocpanda.
+fn write_panda_snapshot(fs: &SharedFs, servers: &[usize]) -> SnapshotId {
+    let snap = SnapshotId::new(20, 2);
+    let total = 2 + servers.len();
+    let sv = servers.to_vec();
+    run_ranks(total, ClusterSpec::ideal(total), move |comm| {
+        match panda_init(&comm, fs, RocpandaConfig::default(), &sv).unwrap() {
+            Role::Server(mut s) => {
+                s.run().unwrap();
+            }
+            Role::Client { io: mut c, comm: app } => {
+                let ws = panda_windows(app.rank(), 2);
+                c.write_attribute(&ws, &genx_repro::roccom::AttrSelector::all("fluid"), snap)
+                    .unwrap();
+                c.finalize().unwrap();
+            }
+        }
+    });
+    snap
+}
+
+/// Restart the same population. Returns one entry per client: `None` if
+/// `read_attribute` succeeded, `Some(error text)` if it failed. The run
+/// itself must complete — servers keep serving after a failed restart, so
+/// `finalize` is still collective and nobody hangs.
+fn panda_restart(fs: &SharedFs, servers: &[usize], snap: SnapshotId) -> Vec<String> {
+    let total = 2 + servers.len();
+    let sv = servers.to_vec();
+    let out = run_ranks(total, ClusterSpec::ideal(total), move |comm| {
+        match panda_init(&comm, fs, RocpandaConfig::default(), &sv).unwrap() {
+            Role::Server(mut s) => {
+                s.run().unwrap();
+                None
+            }
+            Role::Client { io: mut c, comm: app } => {
+                let mut ws = panda_windows(app.rank(), 2);
+                let res =
+                    c.read_attribute(&mut ws, &genx_repro::roccom::AttrSelector::all("fluid"), snap);
+                c.finalize().unwrap();
+                Some(res.err().map(|e| e.to_string()).unwrap_or_default())
+            }
+        }
+    });
+    out.into_iter().flatten().collect()
+}
+
+#[test]
+fn panda_restart_truncated_file_errors_cleanly() {
+    let fs = SharedFs::ideal();
+    let snap = write_panda_snapshot(&fs, &[0]);
+    let files = fs.list("out/");
+    assert_eq!(files.len(), 1);
+    // Chop the trailer (and then some) off the snapshot file.
+    let (bytes, _) = fs.read_all(&files[0], 0, 0.0).unwrap();
+    fs.create(&files[0], 0, 0.0);
+    fs.write_at(&files[0], 0, &bytes[..bytes.len() - 10], 0, 0.0).unwrap();
+    let errs = panda_restart(&fs, &[0], snap);
+    assert_eq!(errs.len(), 2);
+    for e in errs {
+        assert!(
+            e.contains("restart failed at server"),
+            "client must see a clean server error, got '{e}'"
+        );
+    }
+}
+
+#[test]
+fn panda_restart_corrupted_checksum_errors_cleanly() {
+    let fs = SharedFs::ideal();
+    // Two servers: only one scans the damaged file, yet both must pass the
+    // pre-scan barrier and every client must still get a terminal message.
+    let snap = write_panda_snapshot(&fs, &[0, 3]);
+    let files = fs.list("out/");
+    assert_eq!(files.len(), 2);
+    // Round-robin assignment: server 0 scans files[0]. Smash the middle of
+    // the records region so either the record structure or its CRC breaks.
+    let mid = fs.file_size(&files[0]).unwrap() / 2;
+    fs.write_at(&files[0], mid, &[0xAB; 32], 0, 0.0).unwrap();
+    let errs = panda_restart(&fs, &[0, 3], snap);
+    assert_eq!(errs.len(), 2);
+    for e in errs {
+        assert!(
+            e.contains("restart failed at server"),
+            "client must see a clean server error, got '{e}'"
+        );
+    }
+}
+
+#[test]
+fn panda_restart_missing_files_errors_cleanly() {
+    let fs = SharedFs::ideal();
+    let snap = write_panda_snapshot(&fs, &[0]);
+    for f in fs.list("out/") {
+        fs.delete(&f).unwrap();
+    }
+    let errs = panda_restart(&fs, &[0], snap);
+    assert_eq!(errs.len(), 2);
+    for e in errs {
+        assert!(e.contains("restart failed at server"), "got '{e}'");
+    }
+}
+
 #[test]
 fn disk_full_surfaces_as_storage_error() {
     use genx_repro::genx::{run_genx, GenxConfig, IoChoice, WorkloadKind};

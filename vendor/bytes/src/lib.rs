@@ -1,0 +1,48 @@
+//! Offline shim for the `bytes` crate.
+//!
+//! The workspace declares `bytes` as a dependency for future zero-copy
+//! work but currently uses no API from it, so this shim only has to
+//! exist and compile. `Bytes` is provided as a plain owned buffer in
+//! case a downstream crate starts using the common subset.
+
+/// Cheaply cloneable contiguous byte buffer (owned here; the real crate
+/// shares the allocation).
+#[derive(Debug, Clone, Default, PartialEq, Eq, Hash)]
+pub struct Bytes(Vec<u8>);
+
+impl Bytes {
+    pub fn new() -> Self {
+        Bytes(Vec::new())
+    }
+
+    pub fn copy_from_slice(data: &[u8]) -> Self {
+        Bytes(data.to_vec())
+    }
+
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(v: Vec<u8>) -> Self {
+        Bytes(v)
+    }
+}
+
+impl std::ops::Deref for Bytes {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.0
+    }
+}
+
+impl AsRef<[u8]> for Bytes {
+    fn as_ref(&self) -> &[u8] {
+        &self.0
+    }
+}

@@ -1,0 +1,710 @@
+//! Offline shim for `proptest`.
+//!
+//! Generates random cases deterministically (seeded per test name and
+//! case index) and runs them without shrinking: a failing case panics
+//! with the generated inputs' debug output left to the assertion
+//! message. The covered surface is exactly what this workspace's
+//! property tests use:
+//!
+//! * `proptest! { #![proptest_config(...)] #[test] fn f(x in strat, ...) {...} }`
+//! * `prop_assert!` / `prop_assert_eq!` / `prop_assert_ne!` / `prop_oneof!`
+//! * strategies: numeric ranges, `Just`, regex-subset string literals,
+//!   tuples, `Vec<S>`, `prop::collection::vec`, `any::<T>()`,
+//!   `prop::sample::Index`, `.prop_map`, `.prop_flat_map`
+
+pub mod test_runner {
+    /// Subset of proptest's config: only `cases` is honored.
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig { cases: 256 }
+        }
+    }
+
+    /// Failure raised by `prop_assert*` inside a case body.
+    #[derive(Debug)]
+    pub struct TestCaseError(String);
+
+    impl TestCaseError {
+        pub fn fail(msg: String) -> Self {
+            TestCaseError(msg)
+        }
+    }
+
+    impl std::fmt::Display for TestCaseError {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.write_str(&self.0)
+        }
+    }
+
+    /// Deterministic generator: splitmix64 seeded from the test's path
+    /// and the case index, so every `cargo test` run explores the same
+    /// cases — reruns of a red test always reproduce it.
+    #[derive(Debug, Clone)]
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        pub fn for_case(test_path: &str, case: u32) -> Self {
+            // FNV-1a over the path, mixed with the case index.
+            let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+            for b in test_path.bytes() {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x100_0000_01b3);
+            }
+            TestRng {
+                state: h ^ ((case as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15)),
+            }
+        }
+
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+
+        /// Uniform in [0, 1).
+        pub fn next_unit_f64(&mut self) -> f64 {
+            (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+        }
+
+        /// Uniform in [0, bound).
+        pub fn below(&mut self, bound: u64) -> u64 {
+            assert!(bound > 0, "empty range");
+            self.next_u64() % bound
+        }
+    }
+}
+
+pub mod strategy {
+    use crate::test_runner::TestRng;
+
+    /// Value generator. Unlike real proptest there is no shrinking, so
+    /// a strategy is just "produce one value from the RNG".
+    pub trait Strategy {
+        type Value;
+
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> O,
+        {
+            Map { inner: self, f }
+        }
+
+        fn prop_flat_map<S, F>(self, f: F) -> FlatMap<Self, F>
+        where
+            Self: Sized,
+            S: Strategy,
+            F: Fn(Self::Value) -> S,
+        {
+            FlatMap { inner: self, f }
+        }
+
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            BoxedStrategy(Box::new(self))
+        }
+    }
+
+    /// Object-safe core used by [`BoxedStrategy`].
+    trait DynStrategy<T> {
+        fn generate_dyn(&self, rng: &mut TestRng) -> T;
+    }
+
+    impl<S: Strategy> DynStrategy<S::Value> for S {
+        fn generate_dyn(&self, rng: &mut TestRng) -> S::Value {
+            self.generate(rng)
+        }
+    }
+
+    /// Type-erased strategy (what `prop_oneof!` arms are coerced to).
+    pub struct BoxedStrategy<T>(Box<dyn DynStrategy<T>>);
+
+    impl<T> Strategy for BoxedStrategy<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            self.0.generate_dyn(rng)
+        }
+    }
+
+    /// Always yields a clone of the given value.
+    #[derive(Debug, Clone)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn generate(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+        type Value = O;
+        fn generate(&self, rng: &mut TestRng) -> O {
+            (self.f)(self.inner.generate(rng))
+        }
+    }
+
+    pub struct FlatMap<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S: Strategy, S2: Strategy, F: Fn(S::Value) -> S2> Strategy for FlatMap<S, F> {
+        type Value = S2::Value;
+        fn generate(&self, rng: &mut TestRng) -> S2::Value {
+            (self.f)(self.inner.generate(rng)).generate(rng)
+        }
+    }
+
+    /// Uniform choice between boxed alternatives (`prop_oneof!`).
+    pub struct Union<T>(Vec<BoxedStrategy<T>>);
+
+    impl<T> Union<T> {
+        pub fn new(options: Vec<BoxedStrategy<T>>) -> Self {
+            assert!(!options.is_empty(), "prop_oneof! needs at least one arm");
+            Union(options)
+        }
+    }
+
+    impl<T> Strategy for Union<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            let i = rng.below(self.0.len() as u64) as usize;
+            self.0[i].generate(rng)
+        }
+    }
+
+    // Numeric range strategies.
+    macro_rules! int_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for std::ops::Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range");
+                    let span = (self.end as i128 - self.start as i128) as u64;
+                    (self.start as i128 + rng.below(span) as i128) as $t
+                }
+            }
+            impl Strategy for std::ops::RangeInclusive<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    let (lo, hi) = (*self.start(), *self.end());
+                    assert!(lo <= hi, "empty range");
+                    let span = (hi as i128 - lo as i128 + 1) as u64;
+                    (lo as i128 + rng.below(span) as i128) as $t
+                }
+            }
+        )*};
+    }
+
+    int_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    macro_rules! float_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for std::ops::Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range");
+                    self.start + (rng.next_unit_f64() as $t) * (self.end - self.start)
+                }
+            }
+            impl Strategy for std::ops::RangeInclusive<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    let (lo, hi) = (*self.start(), *self.end());
+                    assert!(lo <= hi, "empty range");
+                    lo + (rng.next_unit_f64() as $t) * (hi - lo)
+                }
+            }
+        )*};
+    }
+
+    float_strategy!(f32, f64);
+
+    // A string literal is a regex-subset strategy.
+    impl Strategy for &'static str {
+        type Value = String;
+        fn generate(&self, rng: &mut TestRng) -> String {
+            crate::string::generate_from_pattern(self, rng)
+        }
+    }
+
+    // A Vec of strategies yields a Vec of values (used by prop_flat_map
+    // closures that build per-index strategies).
+    impl<S: Strategy> Strategy for Vec<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            self.iter().map(|s| s.generate(rng)).collect()
+        }
+    }
+
+    macro_rules! tuple_strategy {
+        ($(($($name:ident : $idx:tt),+))*) => {$(
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    ($(self.$idx.generate(rng),)+)
+                }
+            }
+        )*};
+    }
+
+    tuple_strategy! {
+        (A: 0)
+        (A: 0, B: 1)
+        (A: 0, B: 1, C: 2)
+        (A: 0, B: 1, C: 2, D: 3)
+        (A: 0, B: 1, C: 2, D: 3, E: 4)
+        (A: 0, B: 1, C: 2, D: 3, E: 4, F: 5)
+    }
+}
+
+pub mod arbitrary {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use std::marker::PhantomData;
+
+    /// Types with a canonical "any value" strategy.
+    pub trait Arbitrary: Sized {
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    pub struct Any<T>(PhantomData<T>);
+
+    /// The `any::<T>()` strategy.
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any(PhantomData)
+    }
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+
+    macro_rules! arb_int {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut TestRng) -> $t {
+                    rng.next_u64() as $t
+                }
+            }
+        )*};
+    }
+
+    arb_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    /// Finite floats across many magnitudes (like real proptest, no NaN
+    /// or infinities from `any`).
+    fn arb_float(rng: &mut TestRng) -> f64 {
+        match rng.below(8) {
+            0 => 0.0,
+            1 => -0.0,
+            2 => rng.next_unit_f64(),
+            3 => -rng.next_unit_f64(),
+            _ => {
+                let exp = rng.below(161) as i32 - 80;
+                let mantissa = rng.next_unit_f64() * 2.0 - 1.0;
+                mantissa * (exp as f64).exp2()
+            }
+        }
+    }
+
+    impl Arbitrary for f64 {
+        fn arbitrary(rng: &mut TestRng) -> f64 {
+            arb_float(rng)
+        }
+    }
+
+    impl Arbitrary for f32 {
+        fn arbitrary(rng: &mut TestRng) -> f32 {
+            arb_float(rng) as f32
+        }
+    }
+}
+
+pub mod collection {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// Element-count bound for collection strategies.
+    #[derive(Debug, Clone)]
+    pub struct SizeRange {
+        min: usize,
+        max_exclusive: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { min: n, max_exclusive: n + 1 }
+        }
+    }
+
+    impl From<std::ops::Range<usize>> for SizeRange {
+        fn from(r: std::ops::Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty size range");
+            SizeRange { min: r.start, max_exclusive: r.end }
+        }
+    }
+
+    impl From<std::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: std::ops::RangeInclusive<usize>) -> Self {
+            SizeRange { min: *r.start(), max_exclusive: *r.end() + 1 }
+        }
+    }
+
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// `prop::collection::vec(element, len_range)`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy { element, size: size.into() }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let span = (self.size.max_exclusive - self.size.min) as u64;
+            let n = self.size.min + rng.below(span.max(1)) as usize;
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+pub mod sample {
+    use crate::arbitrary::Arbitrary;
+    use crate::test_runner::TestRng;
+
+    /// An index into a collection of not-yet-known length.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct Index(usize);
+
+    impl Index {
+        pub fn index(&self, len: usize) -> usize {
+            assert!(len > 0, "Index::index on empty collection");
+            self.0 % len
+        }
+    }
+
+    impl Arbitrary for Index {
+        fn arbitrary(rng: &mut TestRng) -> Self {
+            Index(rng.next_u64() as usize)
+        }
+    }
+}
+
+pub mod string {
+    use crate::test_runner::TestRng;
+
+    struct Piece {
+        chars: Vec<char>,
+        min: usize,
+        max: usize, // inclusive
+    }
+
+    /// Generate a string from the regex subset the workspace's patterns
+    /// use: literal chars, `[...]` classes with ranges, and `{n}` /
+    /// `{m,n}` / `?` / `+` / `*` quantifiers.
+    pub fn generate_from_pattern(pattern: &str, rng: &mut TestRng) -> String {
+        let pieces = parse(pattern);
+        let mut out = String::new();
+        for p in &pieces {
+            let n = p.min + rng.below((p.max - p.min + 1) as u64) as usize;
+            for _ in 0..n {
+                out.push(p.chars[rng.below(p.chars.len() as u64) as usize]);
+            }
+        }
+        out
+    }
+
+    fn parse(pattern: &str) -> Vec<Piece> {
+        let chars: Vec<char> = pattern.chars().collect();
+        let mut pieces = Vec::new();
+        let mut i = 0;
+        while i < chars.len() {
+            let set = match chars[i] {
+                '[' => {
+                    let close = chars[i..]
+                        .iter()
+                        .position(|&c| c == ']')
+                        .unwrap_or_else(|| panic!("unclosed `[` in pattern {pattern:?}"));
+                    let set = expand_class(&chars[i + 1..i + close]);
+                    i += close + 1;
+                    set
+                }
+                '\\' => {
+                    i += 1;
+                    let c = chars[i];
+                    i += 1;
+                    vec![c]
+                }
+                c => {
+                    i += 1;
+                    vec![c]
+                }
+            };
+            let (min, max) = match chars.get(i) {
+                Some('{') => {
+                    let close = chars[i..]
+                        .iter()
+                        .position(|&c| c == '}')
+                        .unwrap_or_else(|| panic!("unclosed `{{` in pattern {pattern:?}"));
+                    let body: String = chars[i + 1..i + close].iter().collect();
+                    i += close + 1;
+                    match body.split_once(',') {
+                        Some((lo, hi)) => (
+                            lo.trim().parse().expect("bad quantifier"),
+                            hi.trim().parse().expect("bad quantifier"),
+                        ),
+                        None => {
+                            let n = body.trim().parse().expect("bad quantifier");
+                            (n, n)
+                        }
+                    }
+                }
+                Some('?') => {
+                    i += 1;
+                    (0, 1)
+                }
+                Some('+') => {
+                    i += 1;
+                    (1, 8)
+                }
+                Some('*') => {
+                    i += 1;
+                    (0, 8)
+                }
+                _ => (1, 1),
+            };
+            assert!(min <= max, "bad quantifier in pattern {pattern:?}");
+            pieces.push(Piece { chars: set, min, max });
+        }
+        pieces
+    }
+
+    fn expand_class(body: &[char]) -> Vec<char> {
+        let mut set = Vec::new();
+        let mut i = 0;
+        while i < body.len() {
+            if i + 2 < body.len() && body[i + 1] == '-' {
+                let (lo, hi) = (body[i] as u32, body[i + 2] as u32);
+                assert!(lo <= hi, "bad range in char class");
+                for c in lo..=hi {
+                    set.push(char::from_u32(c).expect("bad char range"));
+                }
+                i += 3;
+            } else {
+                set.push(body[i]);
+                i += 1;
+            }
+        }
+        assert!(!set.is_empty(), "empty char class");
+        set
+    }
+}
+
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy, Union};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+
+    /// The `prop::` module alias (`prop::collection::vec`,
+    /// `prop::sample::Index`, ...).
+    pub mod prop {
+        pub use crate::collection;
+        pub use crate::sample;
+    }
+}
+
+/// Top-level entry: a block of property test functions sharing an
+/// optional `#![proptest_config(...)]`.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_fns!{ ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns!{ ($crate::test_runner::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fns {
+    (($cfg:expr)) => {};
+    (($cfg:expr)
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::test_runner::ProptestConfig = $cfg;
+            for __case in 0..config.cases {
+                let mut __rng = $crate::test_runner::TestRng::for_case(
+                    concat!(module_path!(), "::", stringify!($name)),
+                    __case,
+                );
+                $(let $arg = $crate::strategy::Strategy::generate(&($strat), &mut __rng);)+
+                let __result: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
+                    (|| {
+                        $body
+                        ::std::result::Result::Ok(())
+                    })();
+                if let ::std::result::Result::Err(e) = __result {
+                    panic!("case {} of {}: {}", __case, stringify!($name), e);
+                }
+            }
+        }
+        $crate::__proptest_fns!{ ($cfg) $($rest)* }
+    };
+}
+
+/// Assert inside a proptest body; failure aborts only this case with a
+/// message (no shrinking in the shim).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                ::std::format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__l, __r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *__l == *__r,
+            "assertion failed: `{:?} == {:?}`",
+            __l,
+            __r
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (__l, __r) = (&$left, &$right);
+        $crate::prop_assert!(*__l == *__r, $($fmt)+);
+    }};
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__l, __r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *__l != *__r,
+            "assertion failed: `{:?} != {:?}`",
+            __l,
+            __r
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (__l, __r) = (&$left, &$right);
+        $crate::prop_assert!(*__l != *__r, $($fmt)+);
+    }};
+}
+
+/// Uniform choice among strategies yielding the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(::std::vec![
+            $($crate::strategy::Strategy::boxed($strat)),+
+        ])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn ranges_stay_in_bounds(x in 3usize..17, y in -2.5f64..2.5, z in any::<u8>()) {
+            prop_assert!((3..17).contains(&x));
+            prop_assert!((-2.5..2.5).contains(&y));
+            let _ = z;
+        }
+
+        #[test]
+        fn strings_match_pattern(s in "[a-z][a-z0-9_]{0,8}") {
+            prop_assert!(!s.is_empty() && s.len() <= 9);
+            let first = s.chars().next().unwrap();
+            prop_assert!(first.is_ascii_lowercase());
+            prop_assert!(s.chars().all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '_'));
+        }
+
+        #[test]
+        fn combinators_compose(
+            v in prop::collection::vec((0u32..4, any::<bool>()), 1..10),
+            pick in any::<prop::sample::Index>(),
+            tagged in prop_oneof![Just(0u8), (1u8..4), Just(9u8)],
+        ) {
+            prop_assert!(!v.is_empty() && v.len() < 10);
+            prop_assert!(pick.index(v.len()) < v.len());
+            prop_assert!(tagged == 0 || (1..4).contains(&tagged) || tagged == 9);
+        }
+
+        #[test]
+        fn flat_map_builds_dependent_vecs(
+            vs in (1usize..5).prop_flat_map(|n| {
+                (0..n).map(|i| (i * 10..i * 10 + 5)).collect::<Vec<_>>()
+            })
+        ) {
+            for (i, &x) in vs.iter().enumerate() {
+                prop_assert!(x >= i * 10 && x < i * 10 + 5);
+            }
+        }
+    }
+
+    #[test]
+    fn cases_are_deterministic() {
+        let mut a = crate::test_runner::TestRng::for_case("t", 3);
+        let mut b = crate::test_runner::TestRng::for_case("t", 3);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+}

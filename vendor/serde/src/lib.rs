@@ -1,0 +1,449 @@
+//! Offline shim for `serde`.
+//!
+//! Instead of the real crate's serializer/deserializer visitor
+//! machinery, everything funnels through one self-describing data model,
+//! [`Content`] — a JSON-shaped tree. `Serialize` renders a value into a
+//! `Content`; `Deserialize` rebuilds a value from one. The companion
+//! `serde_json` shim then maps `Content` to and from JSON text (and
+//! re-exports `Content` as its `Value`).
+//!
+//! The `derive` feature re-exports `#[derive(Serialize, Deserialize)]`
+//! from the in-tree `serde_derive` proc-macro, which targets exactly
+//! this trait pair.
+
+use std::collections::{BTreeMap, HashMap};
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Self-describing value tree (the shim's entire data model).
+///
+/// Maps are ordered (`Vec` of pairs) so that serialization output is
+/// deterministic — load-bearing for the repo's determinism tests.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Content {
+    Null,
+    Bool(bool),
+    I64(i64),
+    U64(u64),
+    F64(f64),
+    Str(String),
+    Seq(Vec<Content>),
+    Map(Vec<(String, Content)>),
+}
+
+/// Error produced when a [`Content`] tree does not match the expected
+/// shape of the target type.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeError(String);
+
+impl DeError {
+    pub fn custom(msg: impl Into<String>) -> Self {
+        DeError(msg.into())
+    }
+}
+
+impl std::fmt::Display for DeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "deserialization error: {}", self.0)
+    }
+}
+
+impl std::error::Error for DeError {}
+
+/// Render `self` into the [`Content`] data model.
+pub trait Serialize {
+    fn serialize(&self) -> Content;
+}
+
+/// Rebuild `Self` from the [`Content`] data model.
+pub trait Deserialize: Sized {
+    fn deserialize(c: &Content) -> Result<Self, DeError>;
+}
+
+// ---------------------------------------------------------------------
+// Content accessors (also serve as the serde_json::Value API).
+
+impl Content {
+    pub fn as_array(&self) -> Option<&Vec<Content>> {
+        match self {
+            Content::Seq(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    pub fn as_map(&self) -> Option<&[(String, Content)]> {
+        match self {
+            Content::Map(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    /// Alias of [`Content::as_map`] under serde_json's name.
+    pub fn as_object(&self) -> Option<&[(String, Content)]> {
+        self.as_map()
+    }
+
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Content::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Content::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Content::F64(x) => Some(*x),
+            Content::I64(x) => Some(*x as f64),
+            Content::U64(x) => Some(*x as f64),
+            _ => None,
+        }
+    }
+
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Content::I64(x) => Some(*x),
+            Content::U64(x) => i64::try_from(*x).ok(),
+            _ => None,
+        }
+    }
+
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Content::U64(x) => Some(*x),
+            Content::I64(x) => u64::try_from(*x).ok(),
+            _ => None,
+        }
+    }
+
+    pub fn is_null(&self) -> bool {
+        matches!(self, Content::Null)
+    }
+
+    /// Map lookup (serde_json `Value::get` for object keys).
+    pub fn get(&self, key: &str) -> Option<&Content> {
+        self.as_map()
+            .and_then(|m| m.iter().find(|(k, _)| k == key).map(|(_, v)| v))
+    }
+}
+
+static NULL: Content = Content::Null;
+
+impl std::ops::Index<usize> for Content {
+    type Output = Content;
+    fn index(&self, idx: usize) -> &Content {
+        match self {
+            Content::Seq(v) => v.get(idx).unwrap_or(&NULL),
+            _ => &NULL,
+        }
+    }
+}
+
+impl std::ops::Index<&str> for Content {
+    type Output = Content;
+    fn index(&self, key: &str) -> &Content {
+        self.get(key).unwrap_or(&NULL)
+    }
+}
+
+impl PartialEq<str> for Content {
+    fn eq(&self, other: &str) -> bool {
+        self.as_str() == Some(other)
+    }
+}
+
+impl PartialEq<&str> for Content {
+    fn eq(&self, other: &&str) -> bool {
+        self.as_str() == Some(*other)
+    }
+}
+
+impl PartialEq<Content> for &str {
+    fn eq(&self, other: &Content) -> bool {
+        other.as_str() == Some(*self)
+    }
+}
+
+// ---------------------------------------------------------------------
+// Serialize impls for primitives and containers.
+
+impl Serialize for Content {
+    fn serialize(&self) -> Content {
+        self.clone()
+    }
+}
+
+impl Deserialize for Content {
+    fn deserialize(c: &Content) -> Result<Self, DeError> {
+        Ok(c.clone())
+    }
+}
+
+impl Serialize for bool {
+    fn serialize(&self) -> Content {
+        Content::Bool(*self)
+    }
+}
+
+macro_rules! ser_int {
+    ($($t:ty),* => $variant:ident as $cast:ty) => {$(
+        impl Serialize for $t {
+            fn serialize(&self) -> Content {
+                Content::$variant(*self as $cast)
+            }
+        }
+    )*};
+}
+
+ser_int!(i8, i16, i32, i64, isize => I64 as i64);
+ser_int!(u8, u16, u32, u64, usize => U64 as u64);
+
+impl Serialize for f32 {
+    fn serialize(&self) -> Content {
+        Content::F64(*self as f64)
+    }
+}
+
+impl Serialize for f64 {
+    fn serialize(&self) -> Content {
+        Content::F64(*self)
+    }
+}
+
+impl Serialize for str {
+    fn serialize(&self) -> Content {
+        Content::Str(self.to_string())
+    }
+}
+
+impl Serialize for String {
+    fn serialize(&self) -> Content {
+        Content::Str(self.clone())
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn serialize(&self) -> Content {
+        (**self).serialize()
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn serialize(&self) -> Content {
+        match self {
+            None => Content::Null,
+            Some(v) => v.serialize(),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn serialize(&self) -> Content {
+        Content::Seq(self.iter().map(Serialize::serialize).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize(&self) -> Content {
+        self.as_slice().serialize()
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn serialize(&self) -> Content {
+        self.as_slice().serialize()
+    }
+}
+
+impl<A: Serialize, B: Serialize> Serialize for (A, B) {
+    fn serialize(&self) -> Content {
+        Content::Seq(vec![self.0.serialize(), self.1.serialize()])
+    }
+}
+
+impl<A: Serialize, B: Serialize, C: Serialize> Serialize for (A, B, C) {
+    fn serialize(&self) -> Content {
+        Content::Seq(vec![self.0.serialize(), self.1.serialize(), self.2.serialize()])
+    }
+}
+
+impl<V: Serialize> Serialize for BTreeMap<String, V> {
+    fn serialize(&self) -> Content {
+        Content::Map(self.iter().map(|(k, v)| (k.clone(), v.serialize())).collect())
+    }
+}
+
+impl<V: Serialize> Serialize for HashMap<String, V> {
+    fn serialize(&self) -> Content {
+        // Sort for deterministic output — HashMap iteration order is not
+        // stable across processes, and trace artifacts must be.
+        let mut pairs: Vec<(String, Content)> =
+            self.iter().map(|(k, v)| (k.clone(), v.serialize())).collect();
+        pairs.sort_by(|a, b| a.0.cmp(&b.0));
+        Content::Map(pairs)
+    }
+}
+
+// ---------------------------------------------------------------------
+// Deserialize impls.
+
+impl Deserialize for bool {
+    fn deserialize(c: &Content) -> Result<Self, DeError> {
+        c.as_bool().ok_or_else(|| DeError::custom("expected bool"))
+    }
+}
+
+macro_rules! de_int {
+    ($as:ident => $($t:ty),*) => {$(
+        impl Deserialize for $t {
+            fn deserialize(c: &Content) -> Result<Self, DeError> {
+                let wide = c.$as().ok_or_else(|| {
+                    DeError::custom(concat!("expected integer for ", stringify!($t)))
+                })?;
+                <$t>::try_from(wide)
+                    .map_err(|_| DeError::custom(concat!("integer out of range for ", stringify!($t))))
+            }
+        }
+    )*};
+}
+
+de_int!(as_i64 => i8, i16, i32, i64);
+de_int!(as_u64 => u8, u16, u32, u64, usize);
+
+impl Deserialize for f64 {
+    fn deserialize(c: &Content) -> Result<Self, DeError> {
+        c.as_f64().ok_or_else(|| DeError::custom("expected number"))
+    }
+}
+
+impl Deserialize for f32 {
+    fn deserialize(c: &Content) -> Result<Self, DeError> {
+        Ok(f64::deserialize(c)? as f32)
+    }
+}
+
+impl Deserialize for String {
+    fn deserialize(c: &Content) -> Result<Self, DeError> {
+        c.as_str()
+            .map(str::to_string)
+            .ok_or_else(|| DeError::custom("expected string"))
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn deserialize(c: &Content) -> Result<Self, DeError> {
+        match c {
+            Content::Null => Ok(None),
+            other => Ok(Some(T::deserialize(other)?)),
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn deserialize(c: &Content) -> Result<Self, DeError> {
+        c.as_array()
+            .ok_or_else(|| DeError::custom("expected array"))?
+            .iter()
+            .map(T::deserialize)
+            .collect()
+    }
+}
+
+impl<T: Deserialize, const N: usize> Deserialize for [T; N] {
+    fn deserialize(c: &Content) -> Result<Self, DeError> {
+        let v = Vec::<T>::deserialize(c)?;
+        let n = v.len();
+        v.try_into()
+            .map_err(|_| DeError::custom(format!("expected array of length {N}, got {n}")))
+    }
+}
+
+impl<A: Deserialize, B: Deserialize> Deserialize for (A, B) {
+    fn deserialize(c: &Content) -> Result<Self, DeError> {
+        let v = c.as_array().ok_or_else(|| DeError::custom("expected 2-tuple"))?;
+        if v.len() != 2 {
+            return Err(DeError::custom("expected 2-tuple"));
+        }
+        Ok((A::deserialize(&v[0])?, B::deserialize(&v[1])?))
+    }
+}
+
+impl<A: Deserialize, B: Deserialize, C: Deserialize> Deserialize for (A, B, C) {
+    fn deserialize(c: &Content) -> Result<Self, DeError> {
+        let v = c.as_array().ok_or_else(|| DeError::custom("expected 3-tuple"))?;
+        if v.len() != 3 {
+            return Err(DeError::custom("expected 3-tuple"));
+        }
+        Ok((A::deserialize(&v[0])?, B::deserialize(&v[1])?, C::deserialize(&v[2])?))
+    }
+}
+
+impl<V: Deserialize> Deserialize for BTreeMap<String, V> {
+    fn deserialize(c: &Content) -> Result<Self, DeError> {
+        c.as_map()
+            .ok_or_else(|| DeError::custom("expected map"))?
+            .iter()
+            .map(|(k, v)| Ok((k.clone(), V::deserialize(v)?)))
+            .collect()
+    }
+}
+
+impl<V: Deserialize> Deserialize for HashMap<String, V> {
+    fn deserialize(c: &Content) -> Result<Self, DeError> {
+        c.as_map()
+            .ok_or_else(|| DeError::custom("expected map"))?
+            .iter()
+            .map(|(k, v)| Ok((k.clone(), V::deserialize(v)?)))
+            .collect()
+    }
+}
+
+/// Look up `key` in a derive-produced map and deserialize it — the
+/// helper the `serde_derive` shim's generated code calls per field.
+pub fn de_field<T: Deserialize>(map: &[(String, Content)], key: &str) -> Result<T, DeError> {
+    let slot = map
+        .iter()
+        .find(|(k, _)| k == key)
+        .map(|(_, v)| v)
+        .ok_or_else(|| DeError::custom(format!("missing field `{key}`")))?;
+    T::deserialize(slot).map_err(|e| DeError::custom(format!("field `{key}`: {e}")))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_round_trip() {
+        assert_eq!(u64::deserialize(&7u64.serialize()).unwrap(), 7);
+        assert_eq!(i64::deserialize(&(-3i64).serialize()).unwrap(), -3);
+        assert_eq!(f64::deserialize(&1.5f64.serialize()).unwrap(), 1.5);
+        assert_eq!(String::deserialize(&"hi".serialize()).unwrap(), "hi");
+        assert_eq!(Option::<u32>::deserialize(&Content::Null).unwrap(), None);
+        let arr: [f64; 3] = Deserialize::deserialize(&[1.0, 2.0, 3.0].serialize()).unwrap();
+        assert_eq!(arr, [1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn indexing_and_str_eq() {
+        let v = Content::Seq(vec![Content::Map(vec![(
+            "kind".into(),
+            Content::Str("Compute".into()),
+        )])]);
+        assert_eq!(v[0]["kind"], "Compute");
+        assert!(v[9]["nope"].is_null());
+    }
+
+    #[test]
+    fn missing_field_is_reported_by_name() {
+        let err = de_field::<u64>(&[], "steps").unwrap_err();
+        assert!(err.to_string().contains("steps"));
+    }
+}

@@ -1,0 +1,344 @@
+//! Offline shim for `serde_derive`.
+//!
+//! A dependency-free derive implementation: the item's token stream is
+//! walked directly (no `syn`/`quote`), the generated impl is rendered
+//! as a source string, and `str::parse` turns it back into tokens.
+//!
+//! Supported shapes — exactly what this workspace derives on:
+//!
+//! * structs with named fields           → JSON object
+//! * newtype structs (`struct Id(u64)`)  → the inner value
+//! * enums of unit variants              → variant-name string
+//! * enums mixing unit and struct variants → string / `{"Variant": {…}}`
+//!
+//! Generics, tuple structs with >1 field, and tuple enum variants are
+//! rejected with a compile error naming the limitation.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+enum Shape {
+    NamedStruct { name: String, fields: Vec<String> },
+    NewtypeStruct { name: String },
+    Enum { name: String, variants: Vec<Variant> },
+}
+
+struct Variant {
+    name: String,
+    fields: Option<Vec<String>>, // None = unit, Some = struct variant
+}
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let shape = parse_shape(input);
+    gen_serialize(&shape).parse().expect("generated Serialize impl must parse")
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let shape = parse_shape(input);
+    gen_deserialize(&shape).parse().expect("generated Deserialize impl must parse")
+}
+
+// ---------------------------------------------------------------------
+// Parsing
+
+fn parse_shape(input: TokenStream) -> Shape {
+    let trees: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    skip_attrs_and_vis(&trees, &mut i);
+    let kind = match &trees[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("serde shim: expected `struct` or `enum`, found {other}"),
+    };
+    i += 1;
+    let name = match &trees[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("serde shim: expected type name, found {other}"),
+    };
+    i += 1;
+    if matches!(&trees.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("serde shim: generic types are not supported (deriving on `{name}`)");
+    }
+    match kind.as_str() {
+        "struct" => match &trees[i] {
+            TokenTree::Group(g) if g.delimiter() == Delimiter::Brace => Shape::NamedStruct {
+                name,
+                fields: parse_named_fields(g.stream()),
+            },
+            TokenTree::Group(g) if g.delimiter() == Delimiter::Parenthesis => {
+                let n = count_top_level_fields(g.stream());
+                if n != 1 {
+                    panic!(
+                        "serde shim: tuple struct `{name}` has {n} fields; only newtypes are supported"
+                    );
+                }
+                Shape::NewtypeStruct { name }
+            }
+            other => panic!("serde shim: unsupported struct body for `{name}`: {other}"),
+        },
+        "enum" => match &trees[i] {
+            TokenTree::Group(g) if g.delimiter() == Delimiter::Brace => Shape::Enum {
+                name,
+                variants: parse_variants(g.stream()),
+            },
+            other => panic!("serde shim: unsupported enum body for `{name}`: {other}"),
+        },
+        other => panic!("serde shim: cannot derive on `{other}` items"),
+    }
+}
+
+/// Advance past outer attributes (`#[...]`, doc comments) and a
+/// visibility qualifier (`pub`, `pub(crate)`, ...).
+fn skip_attrs_and_vis(trees: &[TokenTree], i: &mut usize) {
+    loop {
+        match trees.get(*i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                *i += 2; // `#` + bracketed attribute group
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                *i += 1;
+                if matches!(trees.get(*i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+                {
+                    *i += 1; // `(crate)` etc.
+                }
+            }
+            _ => return,
+        }
+    }
+}
+
+/// Field names from `{ a: T, b: U, ... }`. Commas inside `<...>` belong
+/// to the type, so track angle-bracket depth; other nesting is opaque
+/// inside `TokenTree::Group`s.
+fn parse_named_fields(stream: TokenStream) -> Vec<String> {
+    let trees: Vec<TokenTree> = stream.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < trees.len() {
+        skip_attrs_and_vis(&trees, &mut i);
+        if i >= trees.len() {
+            break;
+        }
+        let fname = match &trees[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => panic!("serde shim: expected field name, found {other}"),
+        };
+        i += 1;
+        match &trees[i] {
+            TokenTree::Punct(p) if p.as_char() == ':' => i += 1,
+            other => panic!("serde shim: expected `:` after field `{fname}`, found {other}"),
+        }
+        fields.push(fname);
+        let mut angle = 0i32;
+        while i < trees.len() {
+            match &trees[i] {
+                TokenTree::Punct(p) if p.as_char() == '<' => angle += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => angle -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 => {
+                    i += 1;
+                    break;
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+    }
+    fields
+}
+
+fn count_top_level_fields(stream: TokenStream) -> usize {
+    let trees: Vec<TokenTree> = stream.into_iter().collect();
+    if trees.is_empty() {
+        return 0;
+    }
+    let mut n = 1;
+    let mut angle = 0i32;
+    for t in &trees {
+        match t {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 => n += 1,
+            _ => {}
+        }
+    }
+    // A trailing comma would overcount; none of the derived types use one.
+    n
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let trees: Vec<TokenTree> = stream.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < trees.len() {
+        skip_attrs_and_vis(&trees, &mut i);
+        if i >= trees.len() {
+            break;
+        }
+        let vname = match &trees[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => panic!("serde shim: expected variant name, found {other}"),
+        };
+        i += 1;
+        let fields = match trees.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                i += 1;
+                Some(parse_named_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                panic!("serde shim: tuple enum variant `{vname}` is not supported");
+            }
+            _ => None,
+        };
+        if matches!(trees.get(i), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            i += 1;
+        }
+        variants.push(Variant { name: vname, fields });
+    }
+    variants
+}
+
+// ---------------------------------------------------------------------
+// Code generation
+
+fn gen_serialize(shape: &Shape) -> String {
+    match shape {
+        Shape::NamedStruct { name, fields } => {
+            let entries: String = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "(::std::string::String::from(\"{f}\"), ::serde::Serialize::serialize(&self.{f})),"
+                    )
+                })
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\
+                     fn serialize(&self) -> ::serde::Content {{\
+                         ::serde::Content::Map(::std::vec![{entries}])\
+                     }}\
+                 }}"
+            )
+        }
+        Shape::NewtypeStruct { name } => format!(
+            "impl ::serde::Serialize for {name} {{\
+                 fn serialize(&self) -> ::serde::Content {{\
+                     ::serde::Serialize::serialize(&self.0)\
+                 }}\
+             }}"
+        ),
+        Shape::Enum { name, variants } => {
+            let arms: String = variants
+                .iter()
+                .map(|v| {
+                    let vname = &v.name;
+                    match &v.fields {
+                        None => format!(
+                            "{name}::{vname} => ::serde::Content::Str(::std::string::String::from(\"{vname}\")),"
+                        ),
+                        Some(fields) => {
+                            let binds = fields.join(", ");
+                            let entries: String = fields
+                                .iter()
+                                .map(|f| {
+                                    format!(
+                                        "(::std::string::String::from(\"{f}\"), ::serde::Serialize::serialize({f})),"
+                                    )
+                                })
+                                .collect();
+                            format!(
+                                "{name}::{vname} {{ {binds} }} => ::serde::Content::Map(::std::vec![\
+                                     (::std::string::String::from(\"{vname}\"), ::serde::Content::Map(::std::vec![{entries}])),\
+                                 ]),"
+                            )
+                        }
+                    }
+                })
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\
+                     fn serialize(&self) -> ::serde::Content {{\
+                         match self {{ {arms} }}\
+                     }}\
+                 }}"
+            )
+        }
+    }
+}
+
+fn gen_deserialize(shape: &Shape) -> String {
+    match shape {
+        Shape::NamedStruct { name, fields } => {
+            let inits: String = fields
+                .iter()
+                .map(|f| format!("{f}: ::serde::de_field(map, \"{f}\")?,"))
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\
+                     fn deserialize(c: &::serde::Content) -> ::std::result::Result<Self, ::serde::DeError> {{\
+                         let map = c.as_map().ok_or_else(|| ::serde::DeError::custom(\"expected map for {name}\"))?;\
+                         ::std::result::Result::Ok({name} {{ {inits} }})\
+                     }}\
+                 }}"
+            )
+        }
+        Shape::NewtypeStruct { name } => format!(
+            "impl ::serde::Deserialize for {name} {{\
+                 fn deserialize(c: &::serde::Content) -> ::std::result::Result<Self, ::serde::DeError> {{\
+                     ::std::result::Result::Ok({name}(::serde::Deserialize::deserialize(c)?))\
+                 }}\
+             }}"
+        ),
+        Shape::Enum { name, variants } => {
+            let unit_arms: String = variants
+                .iter()
+                .filter(|v| v.fields.is_none())
+                .map(|v| {
+                    let vname = &v.name;
+                    format!("\"{vname}\" => ::std::result::Result::Ok({name}::{vname}),")
+                })
+                .collect();
+            let struct_arms: String = variants
+                .iter()
+                .filter_map(|v| v.fields.as_ref().map(|fields| (&v.name, fields)))
+                .map(|(vname, fields)| {
+                    let inits: String = fields
+                        .iter()
+                        .map(|f| format!("{f}: ::serde::de_field(inner, \"{f}\")?,"))
+                        .collect();
+                    format!(
+                        "\"{vname}\" => {{\
+                             let inner = v.as_map().ok_or_else(|| ::serde::DeError::custom(\"expected map payload for {name}::{vname}\"))?;\
+                             ::std::result::Result::Ok({name}::{vname} {{ {inits} }})\
+                         }}"
+                    )
+                })
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\
+                     fn deserialize(c: &::serde::Content) -> ::std::result::Result<Self, ::serde::DeError> {{\
+                         match c {{\
+                             ::serde::Content::Str(s) => match s.as_str() {{\
+                                 {unit_arms}\
+                                 other => ::std::result::Result::Err(::serde::DeError::custom(\
+                                     ::std::format!(\"unknown {name} variant `{{other}}`\"))),\
+                             }},\
+                             other => {{\
+                                 let map = other.as_map().ok_or_else(|| ::serde::DeError::custom(\"expected string or map for {name}\"))?;\
+                                 if map.len() != 1 {{\
+                                     return ::std::result::Result::Err(::serde::DeError::custom(\"expected single-variant map for {name}\"));\
+                                 }}\
+                                 let (k, v) = &map[0];\
+                                 let _ = v;\
+                                 match k.as_str() {{\
+                                     {struct_arms}\
+                                     other => ::std::result::Result::Err(::serde::DeError::custom(\
+                                         ::std::format!(\"unknown {name} variant `{{other}}`\"))),\
+                                 }}\
+                             }}\
+                         }}\
+                     }}\
+                 }}"
+            )
+        }
+    }
+}
