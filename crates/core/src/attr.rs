@@ -70,10 +70,10 @@ impl AttrValue {
             Ok(s)
         };
         let val = match tag {
-            0 => AttrValue::Int(i64::from_le_bytes(take(pos, 8)?.try_into().unwrap())),
-            1 => AttrValue::Float(f64::from_le_bytes(take(pos, 8)?.try_into().unwrap())),
+            0 => AttrValue::Int(crate::le::i64(take(pos, 8)?, "attr Int")?),
+            1 => AttrValue::Float(crate::le::f64(take(pos, 8)?, "attr Float")?),
             2 => {
-                let n = u32::from_le_bytes(take(pos, 4)?.try_into().unwrap()) as usize;
+                let n = crate::le::u32(take(pos, 4)?, "attr length")? as usize;
                 let s = take(pos, n)?;
                 AttrValue::Str(
                     String::from_utf8(s.to_vec())
@@ -81,24 +81,24 @@ impl AttrValue {
                 )
             }
             3 => {
-                let n = u32::from_le_bytes(take(pos, 4)?.try_into().unwrap()) as usize;
+                let n = crate::le::u32(take(pos, 4)?, "attr length")? as usize;
                 if n > bytes.len().saturating_sub(*pos) / 8 {
                     return Err(RocError::Corrupt("attr: IntVec length exceeds input".into()));
                 }
                 let mut v = Vec::with_capacity(n);
                 for _ in 0..n {
-                    v.push(i64::from_le_bytes(take(pos, 8)?.try_into().unwrap()));
+                    v.push(crate::le::i64(take(pos, 8)?, "attr IntVec element")?);
                 }
                 AttrValue::IntVec(v)
             }
             4 => {
-                let n = u32::from_le_bytes(take(pos, 4)?.try_into().unwrap()) as usize;
+                let n = crate::le::u32(take(pos, 4)?, "attr length")? as usize;
                 if n > bytes.len().saturating_sub(*pos) / 8 {
                     return Err(RocError::Corrupt("attr: FloatVec length exceeds input".into()));
                 }
                 let mut v = Vec::with_capacity(n);
                 for _ in 0..n {
-                    v.push(f64::from_le_bytes(take(pos, 8)?.try_into().unwrap()));
+                    v.push(crate::le::f64(take(pos, 8)?, "attr FloatVec element")?);
                 }
                 AttrValue::FloatVec(v)
             }

@@ -169,26 +169,26 @@ impl ArrayData {
             DType::I32 => ArrayData::I32(
                 bytes
                     .chunks_exact(4)
-                    .map(|c| i32::from_le_bytes(c.try_into().unwrap()))
-                    .collect(),
+                    .map(|c| crate::le::i32(c, "i32 array element"))
+                    .collect::<Result<_>>()?,
             ),
             DType::I64 => ArrayData::I64(
                 bytes
                     .chunks_exact(8)
-                    .map(|c| i64::from_le_bytes(c.try_into().unwrap()))
-                    .collect(),
+                    .map(|c| crate::le::i64(c, "i64 array element"))
+                    .collect::<Result<_>>()?,
             ),
             DType::F32 => ArrayData::F32(
                 bytes
                     .chunks_exact(4)
-                    .map(|c| f32::from_le_bytes(c.try_into().unwrap()))
-                    .collect(),
+                    .map(|c| crate::le::f32(c, "f32 array element"))
+                    .collect::<Result<_>>()?,
             ),
             DType::F64 => ArrayData::F64(
                 bytes
                     .chunks_exact(8)
-                    .map(|c| f64::from_le_bytes(c.try_into().unwrap()))
-                    .collect(),
+                    .map(|c| crate::le::f64(c, "f64 array element"))
+                    .collect::<Result<_>>()?,
             ),
         })
     }

@@ -1,0 +1,70 @@
+//! Checked little-endian decoding.
+//!
+//! Every wire message and file format in the workspace is little-endian.
+//! Decoders used to pair a bounds-checked `take` with
+//! `try_into().unwrap()` — correct, but an `unwrap` in library code all
+//! the same, and `roclint` deny-lists those. These helpers fold the
+//! length check into the conversion and surface short input as
+//! [`RocError::Corrupt`], so decode paths are `unwrap`-free end to end.
+//!
+//! Each helper reads from the *front* of the slice and ignores any
+//! excess, which lets callers pass either an exact `take(pos, n)?` slice
+//! or a wider `chunks_exact` window with a range applied.
+
+use crate::error::{Result, RocError};
+
+fn front<const N: usize>(b: &[u8], what: &str) -> Result<[u8; N]> {
+    b.get(..N)
+        .and_then(|s| s.try_into().ok())
+        .ok_or_else(|| {
+            RocError::Corrupt(format!(
+                "truncated {what}: need {N} bytes, have {}",
+                b.len()
+            ))
+        })
+}
+
+pub fn u16(b: &[u8], what: &str) -> Result<u16> {
+    Ok(u16::from_le_bytes(front(b, what)?))
+}
+
+pub fn u32(b: &[u8], what: &str) -> Result<u32> {
+    Ok(u32::from_le_bytes(front(b, what)?))
+}
+
+pub fn u64(b: &[u8], what: &str) -> Result<u64> {
+    Ok(u64::from_le_bytes(front(b, what)?))
+}
+
+pub fn i32(b: &[u8], what: &str) -> Result<i32> {
+    Ok(i32::from_le_bytes(front(b, what)?))
+}
+
+pub fn i64(b: &[u8], what: &str) -> Result<i64> {
+    Ok(i64::from_le_bytes(front(b, what)?))
+}
+
+pub fn f32(b: &[u8], what: &str) -> Result<f32> {
+    Ok(f32::from_le_bytes(front(b, what)?))
+}
+
+pub fn f64(b: &[u8], what: &str) -> Result<f64> {
+    Ok(f64::from_le_bytes(front(b, what)?))
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn decodes_from_front_and_ignores_excess() {
+        let b = [0x2a, 0, 0, 0, 0, 0, 0, 0, 0xff];
+        assert_eq!(super::u64(&b, "x").unwrap(), 42);
+        assert_eq!(super::u16(&b, "x").unwrap(), 42);
+    }
+
+    #[test]
+    fn short_input_is_corrupt() {
+        let e = super::f64(&[1, 2, 3], "density").unwrap_err();
+        let msg = e.to_string();
+        assert!(msg.contains("density") && msg.contains("need 8"), "{msg}");
+    }
+}

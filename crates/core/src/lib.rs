@@ -17,12 +17,15 @@
 //! Nothing in here depends on the message-passing fabric, the storage
 //! simulator, or the component framework; those all build on top.
 
+#![forbid(unsafe_code)]
+
 pub mod attr;
 pub mod block;
 pub mod checksum;
 pub mod dataset;
 pub mod dtype;
 pub mod error;
+pub mod le;
 pub mod snapshot;
 pub mod units;
 

@@ -52,11 +52,11 @@ fn decode_inventory(bytes: &[u8]) -> Result<Vec<(String, u64, u64)>> {
             *pos += n;
             Ok(s)
         };
-        let wlen = u16::from_le_bytes(take(&mut pos, 2)?.try_into().unwrap()) as usize;
+        let wlen = rocio_core::le::u16(take(&mut pos, 2)?, "inventory window length")? as usize;
         let window = String::from_utf8(take(&mut pos, wlen)?.to_vec())
             .map_err(|_| RocError::Corrupt("inventory utf8".into()))?;
-        let id = u64::from_le_bytes(take(&mut pos, 8)?.try_into().unwrap());
-        let weight = u64::from_le_bytes(take(&mut pos, 8)?.try_into().unwrap());
+        let id = rocio_core::le::u64(take(&mut pos, 8)?, "inventory block id")?;
+        let weight = rocio_core::le::u64(take(&mut pos, 8)?, "inventory weight")?;
         out.push((window, id, weight));
     }
     Ok(out)
@@ -84,8 +84,11 @@ pub fn plan_moves(
     let mean = total as f64 / n as f64;
     let mut moves = Vec::new();
     for _ in 0..10_000 {
-        let hi = (0..n).max_by_key(|&r| load[r]).unwrap();
-        let lo = (0..n).min_by_key(|&r| load[r]).unwrap();
+        let (Some(hi), Some(lo)) =
+            ((0..n).max_by_key(|&r| load[r]), (0..n).min_by_key(|&r| load[r]))
+        else {
+            break;
+        };
         if load[hi] as f64 <= mean * threshold || hi == lo {
             break;
         }

@@ -152,8 +152,8 @@ impl<'c, 'io> Rocman<'c, 'io> {
             let mut outlet_of = std::collections::HashMap::new();
             for part in &all {
                 for chunk in part.chunks_exact(16) {
-                    let id = u64::from_le_bytes(chunk[..8].try_into().unwrap());
-                    let rho = f64::from_le_bytes(chunk[8..].try_into().unwrap());
+                    let id = rocio_core::le::u64(&chunk[..8], "outlet id")?;
+                    let rho = rocio_core::le::f64(&chunk[8..], "outlet density")?;
                     outlet_of.insert(rocio_core::BlockId(id), rho);
                 }
             }
@@ -210,9 +210,9 @@ impl<'c, 'io> Rocman<'c, 'io> {
         for part in &all {
             for c in part.chunks_exact(24) {
                 global.push((
-                    u64::from_le_bytes(c[..8].try_into().unwrap()),
-                    f64::from_le_bytes(c[8..16].try_into().unwrap()),
-                    f64::from_le_bytes(c[16..24].try_into().unwrap()),
+                    rocio_core::le::u64(&c[..8], "reduction id")?,
+                    rocio_core::le::f64(&c[8..16], "reduction sum")?,
+                    rocio_core::le::f64(&c[16..24], "reduction count")?,
                 ));
             }
         }

@@ -128,7 +128,10 @@ impl<'a> IoDispatch<'a> {
             .active
             .clone()
             .ok_or_else(|| RocError::InvalidState("no I/O module loaded".into()))?;
-        Ok(self.modules.get_mut(&name).unwrap().as_mut())
+        self.modules
+            .get_mut(&name)
+            .map(|m| m.as_mut())
+            .ok_or_else(|| RocError::NotFound(format!("active I/O module '{name}'")))
     }
 
     /// Dispatch `write_attribute` to the active module.

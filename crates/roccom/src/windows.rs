@@ -26,8 +26,10 @@ impl Windows {
         if self.map.contains_key(name) {
             return Err(RocError::AlreadyExists(format!("window '{name}'")));
         }
-        self.map.insert(name.to_string(), Window::new(name));
-        Ok(self.map.get_mut(name).unwrap())
+        Ok(self
+            .map
+            .entry(name.to_string())
+            .or_insert_with(|| Window::new(name)))
     }
 
     /// Delete a window (module unloaded).

@@ -187,7 +187,9 @@ pub fn assign_blocks(weights: &[usize], n_ranks: usize, strategy: Assignment) ->
             order.sort_by_key(|&i| std::cmp::Reverse(weights[i]));
             let mut load = vec![0usize; n_ranks];
             for i in order {
-                let r = (0..n_ranks).min_by_key(|&r| (load[r], r)).unwrap();
+                let Some(r) = (0..n_ranks).min_by_key(|&r| (load[r], r)) else {
+                    break;
+                };
                 owners[r].push(i);
                 load[r] += weights[i];
             }
@@ -212,10 +214,14 @@ fn refine_balance(weights: &[usize], owners: &mut [Vec<usize>], load: &mut [usiz
         return;
     }
     for _ in 0..10_000 {
-        let hi = (0..n_ranks).max_by_key(|&r| load[r]).unwrap();
+        let Some(hi) = (0..n_ranks).max_by_key(|&r| load[r]) else {
+            return;
+        };
         let mut improved = false;
         // Move: any block from hi to the lightest rank, if that lowers max.
-        let lo = (0..n_ranks).min_by_key(|&r| load[r]).unwrap();
+        let Some(lo) = (0..n_ranks).min_by_key(|&r| load[r]) else {
+            return;
+        };
         if hi != lo {
             // Best single move: largest block that still helps.
             let mut best: Option<(usize, usize)> = None; // (pos in hi, new_max_delta)

@@ -44,6 +44,64 @@ use crate::vtime::VClock;
 /// other ranks do not notify any condvar, so gated operations poll.
 const GATE_POLL: Duration = Duration::from_micros(100);
 
+/// One matchable message at a wildcard choice point: the per-source head
+/// (MPI non-overtaking) of a source with at least one matching message.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Candidate {
+    /// Global rank of the sender.
+    pub src_global: usize,
+    /// Tag of the head message.
+    pub tag: u32,
+    /// Payload length of the head message.
+    pub payload_len: usize,
+    /// Virtual arrival time of the head message.
+    pub arrival: SimTime,
+}
+
+/// Which wildcard operation reached the choice point.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ChoiceKind {
+    /// A wildcard receive ([`Fabric::take_any`]): the chosen message is
+    /// removed from the mailbox.
+    Take,
+    /// A blocking wildcard probe ([`Fabric::peek_any`]): the chosen
+    /// message is only reported; a later receive decides again.
+    Peek,
+}
+
+/// A wildcard resolution decision handed to a [`ScheduleOracle`].
+///
+/// `candidates` is sorted by `(arrival, src_global)`, so index 0 is the
+/// message the conservative virtual-order gate would commit.
+#[derive(Debug, Clone)]
+pub struct ChoicePoint {
+    /// Global decision index within the current job (0, 1, 2, ...).
+    pub seq: u64,
+    /// Global rank of the receiver making the wildcard call.
+    pub dst: usize,
+    /// Take (receive) or Peek (probe).
+    pub kind: ChoiceKind,
+    /// Per-source matching heads, sorted by `(arrival, src_global)`.
+    pub candidates: Vec<Candidate>,
+}
+
+/// A controllable replacement for the conservative virtual-order gate.
+///
+/// With an oracle installed ([`Fabric::with_oracle`]) the fabric serializes
+/// all scheduling at *stable global states*: a wildcard choice is granted
+/// only once every rank is parked in a fabric call (or finished), so the
+/// candidate set at each decision is a pure function of the previous
+/// decisions — independent of OS thread scheduling. `choose` returns an
+/// index into `point.candidates`; returning 0 everywhere reproduces the
+/// gate's `(arrival, sender)` order.
+///
+/// `choose` is called with the fabric lock held: it must not call back
+/// into the fabric and should return quickly.
+pub trait ScheduleOracle: Send + Sync {
+    /// Pick which candidate resolves this wildcard operation.
+    fn choose(&self, point: &ChoicePoint) -> usize;
+}
+
 /// A message in flight or queued at its destination.
 #[derive(Debug, Clone)]
 pub struct Envelope {
@@ -74,9 +132,34 @@ enum RankWait {
     Blocked { bound: SimTime },
 }
 
+/// A registered, not-yet-granted wildcard choice point.
+#[derive(Debug, Clone)]
+struct PendingChoice {
+    kind: ChoiceKind,
+    candidates: Vec<Candidate>,
+}
+
 struct FabricState {
     queues: Vec<VecDeque<Envelope>>,
     wait: Vec<RankWait>,
+    // --- oracle-mode bookkeeping (unused without an oracle) ---
+    /// Rank's thread has returned (or unwound); it will never act again.
+    finished: Vec<bool>,
+    /// Rank re-validated its blocked state after the last delivery to it;
+    /// stability requires every unfinished rank blocked *and* confirmed.
+    confirmed: Vec<bool>,
+    /// Wildcard choice point the rank is parked on, if any.
+    pending: Vec<Option<PendingChoice>>,
+    /// Decision issued to the rank, not yet consumed by it.
+    granted: Vec<Option<Candidate>>,
+    /// Virtual time at which the rank waits inside `try_take_at` /
+    /// `try_peek_at` (deterministic gate waiters, not choice points).
+    gate_now: Vec<Option<SimTime>>,
+    /// Number of decisions granted this job.
+    seq: u64,
+    /// Set when a stable state with no possible progress was reached:
+    /// every fabric call panics with this message from then on.
+    poisoned: Option<String>,
 }
 
 /// The machine-wide fabric: cluster spec, one mailbox and one virtual
@@ -86,6 +169,7 @@ pub struct Fabric {
     clocks: Vec<Arc<VClock>>,
     state: Mutex<FabricState>,
     cvs: Vec<Condvar>,
+    oracle: Option<Arc<dyn ScheduleOracle>>,
 }
 
 /// Virtual-order candidate: for each source only its first matching
@@ -120,9 +204,48 @@ where
     best
 }
 
+/// Every per-source matching head in `q`, sorted by `(arrival, src)` —
+/// the full candidate set [`select_virtual`] picks its minimum from.
+fn candidate_set<F>(q: &VecDeque<Envelope>, pred: &mut F) -> Vec<Candidate>
+where
+    F: FnMut(&Envelope) -> bool,
+{
+    let mut seen: Vec<usize> = Vec::new();
+    let mut out: Vec<Candidate> = Vec::new();
+    for e in q {
+        if seen.contains(&e.src_global) || !pred(e) {
+            continue;
+        }
+        seen.push(e.src_global);
+        out.push(Candidate {
+            src_global: e.src_global,
+            tag: e.tag,
+            payload_len: e.payload.len(),
+            arrival: e.arrival,
+        });
+    }
+    out.sort_by(|a, b| {
+        a.arrival
+            .total_cmp(&b.arrival)
+            .then(a.src_global.cmp(&b.src_global))
+    });
+    out
+}
+
 impl Fabric {
     /// Build a fabric for every rank placed by `spec`.
     pub fn new(spec: ClusterSpec) -> Self {
+        Self::build(spec, None)
+    }
+
+    /// Build a fabric whose wildcard resolution is decided by `oracle`
+    /// instead of the conservative virtual-order gate (see
+    /// [`ScheduleOracle`]). Used by schedule exploration (`rocverify`).
+    pub fn with_oracle(spec: ClusterSpec, oracle: Arc<dyn ScheduleOracle>) -> Self {
+        Self::build(spec, Some(oracle))
+    }
+
+    fn build(spec: ClusterSpec, oracle: Option<Arc<dyn ScheduleOracle>>) -> Self {
         let n = spec.n_ranks();
         Fabric {
             spec,
@@ -130,8 +253,16 @@ impl Fabric {
             state: Mutex::new(FabricState {
                 queues: (0..n).map(|_| VecDeque::new()).collect(),
                 wait: vec![RankWait::Running; n],
+                finished: vec![false; n],
+                confirmed: vec![false; n],
+                pending: (0..n).map(|_| None).collect(),
+                granted: vec![None; n],
+                gate_now: vec![None; n],
+                seq: 0,
+                poisoned: None,
             }),
             cvs: (0..n).map(|_| Condvar::new()).collect(),
+            oracle,
         }
     }
 
@@ -154,9 +285,17 @@ impl Fabric {
     /// Mark every rank runnable again (a fresh "job" on this fabric).
     pub fn begin_job(&self) {
         let mut st = self.state.lock();
+        let n = st.wait.len();
         for w in st.wait.iter_mut() {
             *w = RankWait::Running;
         }
+        st.finished = vec![false; n];
+        st.confirmed = vec![false; n];
+        st.pending = (0..n).map(|_| None).collect();
+        st.granted = vec![None; n];
+        st.gate_now = vec![None; n];
+        st.seq = 0;
+        st.poisoned = None;
     }
 
     /// Mark `rank`'s thread as done: it will never send again, so gates on
@@ -166,9 +305,136 @@ impl Fabric {
         st.wait[rank] = RankWait::Blocked {
             bound: SimTime::INFINITY,
         };
+        st.finished[rank] = true;
+        st.pending[rank] = None;
+        st.gate_now[rank] = None;
+        self.oracle_step(&mut st);
         drop(st);
         for cv in &self.cvs {
             cv.notify_all();
+        }
+    }
+
+    /// Panic out of a fabric call once exploration has declared the job
+    /// dead (deadlock reached, or aborting after another rank's failure).
+    fn check_poison(&self, st: &FabricState) {
+        if let Some(msg) = &st.poisoned {
+            panic!("rocsched: {msg}");
+        }
+    }
+
+    /// Park `rank` as `Blocked {{ bound }}`; in oracle mode also mark it
+    /// confirmed and run the scheduler step, since this rank blocking may
+    /// complete a stable state.
+    fn block(&self, st: &mut FabricState, rank: usize, bound: SimTime) {
+        st.wait[rank] = RankWait::Blocked { bound };
+        if self.oracle.is_some() {
+            st.confirmed[rank] = true;
+            self.oracle_step(st);
+        }
+    }
+
+    /// Return `rank` to `Running` after a wake-up or on the return path of
+    /// a blocking call.
+    fn unblock(&self, st: &mut FabricState, rank: usize) {
+        st.wait[rank] = RankWait::Running;
+        st.confirmed[rank] = false;
+        st.pending[rank] = None;
+        st.gate_now[rank] = None;
+    }
+
+    /// Oracle-mode scheduler step, run under the state lock whenever a
+    /// rank blocks or finishes. If the global state is *stable* — every
+    /// unfinished rank parked in a fabric call and re-confirmed since its
+    /// last delivery, no decision still in flight — grant the
+    /// least-ranked pending wildcard choice via the oracle. If nothing is
+    /// grantable and no deterministic gate waiter can proceed either, the
+    /// job can never make progress again: poison it.
+    fn oracle_step(&self, st: &mut FabricState) {
+        let Some(oracle) = self.oracle.as_ref() else {
+            return;
+        };
+        if st.poisoned.is_some() {
+            return;
+        }
+        let n = self.clocks.len();
+        for r in 0..n {
+            if st.granted[r].is_some() {
+                return; // a granted rank is (logically) running
+            }
+            if st.finished[r] {
+                continue;
+            }
+            if matches!(st.wait[r], RankWait::Running) || !st.confirmed[r] {
+                return;
+            }
+        }
+        let chosen = (0..n).find_map(|r| {
+            if st.finished[r] {
+                return None;
+            }
+            match &st.pending[r] {
+                Some(p) if !p.candidates.is_empty() => Some((r, p.clone())),
+                _ => None,
+            }
+        });
+        if let Some((r, p)) = chosen {
+            let point = ChoicePoint {
+                seq: st.seq,
+                dst: r,
+                kind: p.kind,
+                candidates: p.candidates,
+            };
+            st.seq += 1;
+            let i = oracle.choose(&point);
+            assert!(
+                i < point.candidates.len(),
+                "oracle chose candidate {i} of {} at decision {}",
+                point.candidates.len(),
+                point.seq
+            );
+            st.granted[r] = Some(point.candidates[i]);
+            st.pending[r] = None;
+            // The grant makes r logically runnable; publishing Running
+            // keeps other ranks' safety scans conservative until it acts.
+            st.wait[r] = RankWait::Running;
+            st.confirmed[r] = false;
+            self.cvs[r].notify_all();
+            return;
+        }
+        // No wildcard to grant. A deterministic gate waiter whose safety
+        // scan passes will proceed on its next poll; bounds are fixed at
+        // a stable state, so evaluate the scans directly.
+        let gate_can_run = (0..n).any(|r| {
+            !st.finished[r]
+                && st
+                    .gate_now[r]
+                    .is_some_and(|now| self.scan_safe(st, r, now))
+        });
+        if gate_can_run {
+            return;
+        }
+        if (0..n).any(|r| !st.finished[r]) {
+            let stuck: Vec<String> = (0..n)
+                .filter(|&r| !st.finished[r])
+                .map(|r| {
+                    let what = match (&st.pending[r], st.gate_now[r]) {
+                        (Some(_), _) => "wildcard with no candidates",
+                        (None, Some(_)) => "virtual-time gate",
+                        (None, None) => "specific-source receive/probe",
+                    };
+                    format!("rank {r} ({what}, {} queued)", st.queues[r].len())
+                })
+                .collect();
+            let msg = format!(
+                "deadlock after {} decisions: no rank can make progress — {}",
+                st.seq,
+                stuck.join(", ")
+            );
+            st.poisoned = Some(msg);
+            for cv in &self.cvs {
+                cv.notify_all();
+            }
         }
     }
 
@@ -189,6 +455,7 @@ impl Fabric {
     /// Deliver an envelope to global rank `dst`.
     pub fn deliver(&self, dst: usize, env: Envelope) {
         let mut st = self.state.lock();
+        self.check_poison(&st);
         if let RankWait::Blocked { bound } = &mut st.wait[dst] {
             // Conservative: the parked rank may act on this message as
             // soon as it wakes; its published commitment shrinks until it
@@ -197,6 +464,9 @@ impl Fabric {
                 *bound = env.arrival;
             }
         }
+        // Oracle mode: the destination's registered choice point (if any)
+        // is now stale; no decision may be granted until it re-confirms.
+        st.confirmed[dst] = false;
         st.queues[dst].push_back(env);
         self.cvs[dst].notify_all();
     }
@@ -213,15 +483,17 @@ impl Fabric {
     {
         let mut st = self.state.lock();
         loop {
+            self.check_poison(&st);
             if let Some(idx) = st.queues[dst].iter().position(&mut pred) {
-                st.wait[dst] = RankWait::Running;
+                self.unblock(&mut st, dst);
                 return st.queues[dst].remove(idx).expect("index just found");
             }
-            st.wait[dst] = RankWait::Blocked {
-                bound: SimTime::INFINITY,
-            };
+            self.block(&mut st, dst, SimTime::INFINITY);
+            if st.poisoned.is_some() {
+                continue; // our own block() completed a dead stable state
+            }
             self.cvs[dst].wait(&mut st);
-            st.wait[dst] = RankWait::Running;
+            self.unblock(&mut st, dst);
         }
     }
 
@@ -234,6 +506,9 @@ impl Fabric {
     where
         F: FnMut(&Envelope) -> bool,
     {
+        if self.oracle.is_some() {
+            return self.take_any_oracle(dst, pred);
+        }
         let mut st = self.state.lock();
         loop {
             match select_virtual(&st.queues[dst], &mut pred) {
@@ -261,6 +536,47 @@ impl Fabric {
         }
     }
 
+    /// Oracle-mode wildcard receive: register the candidate set as a
+    /// choice point, park until a decision is granted at a stable state,
+    /// then take the granted source's head.
+    fn take_any_oracle<F>(&self, dst: usize, mut pred: F) -> Envelope
+    where
+        F: FnMut(&Envelope) -> bool,
+    {
+        let mut st = self.state.lock();
+        loop {
+            self.check_poison(&st);
+            if let Some(cand) = st.granted[dst].take() {
+                self.unblock(&mut st, dst);
+                let idx = st.queues[dst]
+                    .iter()
+                    .position(|e| e.src_global == cand.src_global && pred(e))
+                    .expect("granted candidate vanished from the mailbox");
+                return st.queues[dst].remove(idx).expect("index just found");
+            }
+            let candidates = candidate_set(&st.queues[dst], &mut pred);
+            let bound = candidates
+                .first()
+                .map(|c| c.arrival)
+                .unwrap_or(SimTime::INFINITY);
+            st.pending[dst] = Some(PendingChoice {
+                kind: ChoiceKind::Take,
+                candidates,
+            });
+            self.block(&mut st, dst, bound);
+            if st.granted[dst].is_some() || st.poisoned.is_some() {
+                continue; // oracle_step granted our own registration,
+                          // or declared the job dead as we parked
+            }
+            self.cvs[dst].wait(&mut st);
+            if st.granted[dst].is_none() {
+                // Woken by a delivery (or spuriously): re-register so the
+                // choice point reflects the new mailbox contents.
+                self.unblock(&mut st, dst);
+            }
+        }
+    }
+
     /// Non-blocking, ungated variant of [`Fabric::take_matching`]
     /// (first physical match; diagnostics and single-source polling).
     pub fn try_take_matching<F>(&self, dst: usize, mut pred: F) -> Option<Envelope>
@@ -268,6 +584,7 @@ impl Fabric {
         F: FnMut(&Envelope) -> bool,
     {
         let mut st = self.state.lock();
+        self.check_poison(&st);
         let idx = st.queues[dst].iter().position(&mut pred)?;
         Some(st.queues[dst].remove(idx).expect("index just found"))
     }
@@ -282,12 +599,28 @@ impl Fabric {
     {
         let mut st = self.state.lock();
         loop {
+            self.check_poison(&st);
             if self.scan_safe(&st, dst, now) {
+                if self.oracle.is_some() {
+                    self.unblock(&mut st, dst);
+                }
                 let idx = select_virtual(&st.queues[dst], &mut pred)
                     .filter(|&i| st.queues[dst][i].arrival <= now);
                 return idx.map(|i| st.queues[dst].remove(i).expect("index just found"));
             }
+            if self.oracle.is_some() {
+                // Publish the wait so stable states can form around this
+                // deterministic gate waiter; its own result needs no
+                // decision, so it is not a choice point. Sound bound: the
+                // caller's clock is `now`, so nothing earlier can follow.
+                st.gate_now[dst] = Some(now);
+                self.block(&mut st, dst, now);
+            }
             self.cvs[dst].wait_for(&mut st, GATE_POLL);
+            if self.oracle.is_some() {
+                st.wait[dst] = RankWait::Running;
+                st.confirmed[dst] = false;
+            }
         }
     }
 
@@ -300,16 +633,18 @@ impl Fabric {
     {
         let mut st = self.state.lock();
         loop {
+            self.check_poison(&st);
             if let Some(env) = st.queues[dst].iter().find(|e| pred(e)) {
                 let found = (env.src_global, env.tag, env.payload.len(), env.arrival);
-                st.wait[dst] = RankWait::Running;
+                self.unblock(&mut st, dst);
                 return found;
             }
-            st.wait[dst] = RankWait::Blocked {
-                bound: SimTime::INFINITY,
-            };
+            self.block(&mut st, dst, SimTime::INFINITY);
+            if st.poisoned.is_some() {
+                continue;
+            }
             self.cvs[dst].wait(&mut st);
-            st.wait[dst] = RankWait::Running;
+            self.unblock(&mut st, dst);
         }
     }
 
@@ -319,6 +654,9 @@ impl Fabric {
     where
         F: FnMut(&Envelope) -> bool,
     {
+        if self.oracle.is_some() {
+            return self.peek_any_oracle(dst, pred);
+        }
         let mut st = self.state.lock();
         loop {
             match select_virtual(&st.queues[dst], &mut pred) {
@@ -344,6 +682,39 @@ impl Fabric {
         }
     }
 
+    /// Oracle-mode blocking wildcard probe: like [`Fabric::take_any_oracle`]
+    /// but the granted candidate is only reported, never removed.
+    fn peek_any_oracle<F>(&self, dst: usize, mut pred: F) -> (usize, u32, usize, SimTime)
+    where
+        F: FnMut(&Envelope) -> bool,
+    {
+        let mut st = self.state.lock();
+        loop {
+            self.check_poison(&st);
+            if let Some(cand) = st.granted[dst].take() {
+                self.unblock(&mut st, dst);
+                return (cand.src_global, cand.tag, cand.payload_len, cand.arrival);
+            }
+            let candidates = candidate_set(&st.queues[dst], &mut pred);
+            let bound = candidates
+                .first()
+                .map(|c| c.arrival)
+                .unwrap_or(SimTime::INFINITY);
+            st.pending[dst] = Some(PendingChoice {
+                kind: ChoiceKind::Peek,
+                candidates,
+            });
+            self.block(&mut st, dst, bound);
+            if st.granted[dst].is_some() || st.poisoned.is_some() {
+                continue;
+            }
+            self.cvs[dst].wait(&mut st);
+            if st.granted[dst].is_none() {
+                self.unblock(&mut st, dst);
+            }
+        }
+    }
+
     /// Non-blocking, ungated variant of [`Fabric::peek_matching`].
     pub fn try_peek_matching<F>(
         &self,
@@ -354,6 +725,7 @@ impl Fabric {
         F: FnMut(&Envelope) -> bool,
     {
         let st = self.state.lock();
+        self.check_poison(&st);
         st.queues[dst]
             .iter()
             .find(|e| pred(e))
@@ -375,7 +747,11 @@ impl Fabric {
     {
         let mut st = self.state.lock();
         loop {
+            self.check_poison(&st);
             if self.scan_safe(&st, dst, now) {
+                if self.oracle.is_some() {
+                    self.unblock(&mut st, dst);
+                }
                 return select_virtual(&st.queues[dst], &mut pred)
                     .filter(|&i| st.queues[dst][i].arrival <= now)
                     .map(|i| {
@@ -383,7 +759,15 @@ impl Fabric {
                         (e.src_global, e.tag, e.payload.len(), e.arrival)
                     });
             }
+            if self.oracle.is_some() {
+                st.gate_now[dst] = Some(now);
+                self.block(&mut st, dst, now);
+            }
             self.cvs[dst].wait_for(&mut st, GATE_POLL);
+            if self.oracle.is_some() {
+                st.wait[dst] = RankWait::Running;
+                st.confirmed[dst] = false;
+            }
         }
     }
 
@@ -528,5 +912,127 @@ mod tests {
         let m = f.try_take_at(1, |e| e.tag == 7, 3.0).unwrap();
         assert_eq!(m.arrival, 3.0);
         assert_eq!(f.queued(1), 0);
+    }
+
+    /// Oracle that always picks the *last* candidate — the opposite of
+    /// the conservative gate's `(arrival, sender)` order.
+    struct LastOracle;
+    impl ScheduleOracle for LastOracle {
+        fn choose(&self, point: &ChoicePoint) -> usize {
+            point.candidates.len() - 1
+        }
+    }
+
+    /// Oracle that records every choice point and picks index 0.
+    struct LoggingOracle(Mutex<Vec<ChoicePoint>>);
+    impl ScheduleOracle for LoggingOracle {
+        fn choose(&self, point: &ChoicePoint) -> usize {
+            self.0.lock().push(point.clone());
+            0
+        }
+    }
+
+    #[test]
+    fn oracle_overrides_virtual_order() {
+        let f = Fabric::new(ClusterSpec::ideal(3));
+        f.finish_rank(0);
+        f.finish_rank(2);
+        f.deliver(1, env(0, 7, 0.1));
+        f.deliver(1, env(2, 7, 0.5));
+        let gate_first = f.take_any(1, |e| e.tag == 7);
+        assert_eq!(gate_first.src_global, 0, "gate picks the earliest arrival");
+
+        let f = Fabric::with_oracle(ClusterSpec::ideal(3), Arc::new(LastOracle));
+        f.finish_rank(0);
+        f.finish_rank(2);
+        f.deliver(1, env(0, 7, 0.1));
+        f.deliver(1, env(2, 7, 0.5));
+        let a = f.take_any(1, |e| e.tag == 7);
+        let b = f.take_any(1, |e| e.tag == 7);
+        assert_eq!(
+            (a.src_global, b.src_global),
+            (2, 0),
+            "the oracle may resolve a wildcard against virtual order"
+        );
+    }
+
+    #[test]
+    fn oracle_sees_sorted_candidates_and_seq() {
+        let oracle = Arc::new(LoggingOracle(Mutex::new(Vec::new())));
+        let f = Fabric::with_oracle(ClusterSpec::ideal(3), Arc::clone(&oracle) as _);
+        f.finish_rank(0);
+        f.finish_rank(2);
+        f.deliver(1, env(2, 7, 0.5));
+        f.deliver(1, env(0, 7, 0.9));
+        f.deliver(1, env(0, 7, 0.1)); // not a head: src 0's head is 0.9
+        let first = f.take_any(1, |e| e.tag == 7);
+        assert_eq!(first.arrival, 0.5);
+        let log = oracle.0.lock().clone();
+        assert_eq!(log.len(), 1);
+        let p = &log[0];
+        assert_eq!((p.seq, p.dst, p.kind), (0, 1, ChoiceKind::Take));
+        let order: Vec<(usize, SimTime)> =
+            p.candidates.iter().map(|c| (c.src_global, c.arrival)).collect();
+        assert_eq!(order, vec![(2, 0.5), (0, 0.9)]);
+    }
+
+    #[test]
+    fn oracle_peek_reports_without_removing() {
+        let f = Fabric::with_oracle(ClusterSpec::ideal(2), Arc::new(LastOracle));
+        f.finish_rank(0);
+        f.deliver(1, env(0, 9, 0.5));
+        let (src, tag, len, arrival) = f.peek_any(1, |e| e.tag == 9);
+        assert_eq!((src, tag, len, arrival), (0, 9, 3, 0.5));
+        assert_eq!(f.queued(1), 1);
+    }
+
+    #[test]
+    fn oracle_waits_for_stability_before_granting() {
+        // Rank 0 is still running: no decision may be granted until it
+        // parks, even though rank 1 already has a candidate.
+        let f = Arc::new(Fabric::with_oracle(
+            ClusterSpec::ideal(2),
+            Arc::new(LastOracle),
+        ));
+        f.deliver(1, env(0, 7, 1.0));
+        let f2 = Arc::clone(&f);
+        let h = std::thread::spawn(move || f2.take_any(1, |e| e.tag == 7));
+        std::thread::sleep(Duration::from_millis(20));
+        assert!(!h.is_finished(), "grant must wait for rank 0 to park");
+        f.finish_rank(0);
+        let m = h.join().unwrap();
+        assert_eq!(m.arrival, 1.0);
+    }
+
+    #[test]
+    fn oracle_poisons_deadlocked_job() {
+        let f = Arc::new(Fabric::with_oracle(
+            ClusterSpec::ideal(2),
+            Arc::new(LastOracle),
+        ));
+        let spawn_waiter = |rank: usize, tag: u32| {
+            let f = Arc::clone(&f);
+            std::thread::spawn(move || {
+                std::panic::catch_unwind(std::panic::AssertUnwindSafe(move || {
+                    f.take_matching(rank, move |e| e.tag == tag)
+                }))
+            })
+        };
+        // Both ranks wait for messages nobody will ever send.
+        let a = spawn_waiter(0, 1);
+        let b = spawn_waiter(1, 2);
+        let ra = a.join().unwrap();
+        let rb = b.join().unwrap();
+        for r in [ra, rb] {
+            let err = r.expect_err("deadlocked rank must panic");
+            let msg = err
+                .downcast_ref::<String>()
+                .cloned()
+                .unwrap_or_default();
+            assert!(
+                msg.contains("rocsched: deadlock"),
+                "poison message should name the deadlock, got: {msg}"
+            );
+        }
     }
 }

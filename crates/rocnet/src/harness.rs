@@ -58,7 +58,13 @@ where
         }
         handles
             .into_iter()
-            .map(|h| h.join().expect("rank thread panicked"))
+            .map(|h| match h.join() {
+                Ok(v) => v,
+                // Re-raise with the original payload so callers (tests,
+                // the rocsched explorer) see the rank's own message —
+                // e.g. a deadlock poison — instead of a generic wrapper.
+                Err(payload) => std::panic::resume_unwind(payload),
+            })
             .collect()
     })
 }

@@ -21,10 +21,14 @@
 //! * a per-category aggregate table ([`Trace::summary`]) merged into the
 //!   bench binaries' JSON reports.
 
+#![forbid(unsafe_code)]
+
 use std::cell::RefCell;
 use std::collections::BTreeMap;
 use std::fmt;
-use std::sync::{Arc, Mutex};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
 
 use serde::{Content, Serialize};
 
@@ -196,7 +200,7 @@ impl RankHandle {
         t_end: f64,
         detail: impl Into<String>,
     ) {
-        let mut sink = self.inner.sink.lock().expect("rocobs sink poisoned");
+        let mut sink = self.inner.sink.lock();
         sink.push(Span {
             category,
             label: label.to_string(),
@@ -268,7 +272,7 @@ impl TraceCollector {
 
     /// A recording handle for `rank` on `lane`, hosted on `node`.
     pub fn handle(&self, rank: usize, lane: usize, node: usize) -> RankHandle {
-        self.nodes.lock().expect("rocobs nodes poisoned").insert(rank, node);
+        self.nodes.lock().insert(rank, node);
         RankHandle {
             inner: HandleInner {
                 rank,
@@ -281,7 +285,7 @@ impl TraceCollector {
 
     /// Number of spans recorded so far.
     pub fn len(&self) -> usize {
-        self.sink.lock().expect("rocobs sink poisoned").len()
+        self.sink.lock().len()
     }
 
     pub fn is_empty(&self) -> bool {
@@ -293,9 +297,9 @@ impl TraceCollector {
     /// though rank threads interleave their pushes nondeterministically.
     pub fn finish(&self) -> Trace {
         let mut spans =
-            std::mem::take(&mut *self.sink.lock().expect("rocobs sink poisoned"));
+            std::mem::take(&mut *self.sink.lock());
         spans.sort_by(canonical_order);
-        let nodes = self.nodes.lock().expect("rocobs nodes poisoned").clone();
+        let nodes = self.nodes.lock().clone();
         Trace { spans, nodes }
     }
 }

@@ -226,7 +226,7 @@ impl IoService for PandaClient<'_> {
         if ack.payload.len() == 8 {
             self.world
                 .clock()
-                .merge(f64::from_le_bytes(ack.payload[..8].try_into().unwrap()));
+                .merge(rocio_core::le::f64(&ack.payload[..8], "sync ack watermark")?);
         }
         Ok(())
     }

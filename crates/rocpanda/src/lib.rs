@@ -29,6 +29,8 @@
 //! blocks to their (possibly new) owners — so "users can restart with a
 //! different number of servers than used in the previous run".
 
+#![forbid(unsafe_code)]
+
 pub mod client;
 pub mod config;
 pub mod server;
@@ -89,15 +91,19 @@ pub fn init<'a>(
     // Two splits: one communicator for the library's internal use, one
     // handed to the application (MPI_Comm_dup semantics).
     let color = if is_server { 1u32 } else { 0u32 };
-    let lib_sub = world
-        .split(Some(color), my_rank as i64)
-        .expect("split with Some color always yields a communicator");
-    let app_sub = world
-        .split(Some(color), my_rank as i64)
-        .expect("split with Some color always yields a communicator");
+    let subcomm = || {
+        world.split(Some(color), my_rank as i64).ok_or_else(|| {
+            RocError::Comm("split with Some color yielded no communicator".into())
+        })
+    };
+    let lib_sub = subcomm()?;
+    let app_sub = subcomm()?;
     let clients: Vec<usize> = (0..world.size()).filter(|r| !servers.contains(r)).collect();
     if is_server {
-        let server_index = servers.iter().position(|&r| r == my_rank).unwrap();
+        let server_index = servers
+            .iter()
+            .position(|&r| r == my_rank)
+            .ok_or_else(|| RocError::Config("server rank not in server list".into()))?;
         // This server's client group: equal contiguous slices.
         let (n, m) = (clients.len(), servers.len());
         let lo = server_index * n / m;
@@ -113,7 +119,10 @@ pub fn init<'a>(
             clients.len(),
         )))
     } else {
-        let client_index = clients.iter().position(|&r| r == my_rank).unwrap();
+        let client_index = clients
+            .iter()
+            .position(|&r| r == my_rank)
+            .ok_or_else(|| RocError::Config("client rank not in client list".into()))?;
         let (n, m) = (clients.len(), servers.len());
         // The client's server must come from the same group partition the
         // servers use (slices [i*n/m, (i+1)*n/m)) — a different rounding
@@ -122,7 +131,11 @@ pub fn init<'a>(
         let my_server = (0..m)
             .find(|&i| client_index >= i * n / m && client_index < (i + 1) * n / m)
             .map(|i| servers[i])
-            .expect("every client index falls in exactly one server group");
+            .ok_or_else(|| {
+                RocError::Config(format!(
+                    "client index {client_index} falls in no server group ({n} clients, {m} servers)"
+                ))
+            })?;
         Ok(Role::Client {
             io: PandaClient::new(world, lib_sub, cfg, my_server, servers),
             comm: app_sub,

@@ -263,7 +263,9 @@ impl<'a> PandaServer<'a> {
                     .cloned()
                     .collect();
                 for key in keys {
-                    let st = self.files.get(&key).unwrap();
+                    let Some(st) = self.files.get(&key) else {
+                        continue;
+                    };
                     if st.finished {
                         let path = self.cfg.path(&key.window, key.snap, self.server_index);
                         if self.fs.exists(&path) {
@@ -340,7 +342,9 @@ impl<'a> PandaServer<'a> {
             self.disk_completion = self.disk_completion.max(t);
             st.writer = Some(w);
         }
-        let writer = st.writer.as_mut().unwrap();
+        let writer = st.writer.as_mut().ok_or_else(|| {
+            RocError::InvalidState("panda server: writer missing after creation".into())
+        })?;
         let t = writer.append_block(block, self.world.now())?;
         self.disk_completion = self.disk_completion.max(t);
         if synchronous {
@@ -399,7 +403,9 @@ impl<'a> PandaServer<'a> {
     /// clients surface the error from `read_attribute` and this server
     /// stays alive to serve the eventual sync/shutdown, so nobody hangs.
     fn serve_restart(&mut self, key: &FileKey) -> Result<()> {
-        let requests = self.read_reqs.remove(key).expect("serve_restart without reqs");
+        let requests = self.read_reqs.remove(key).ok_or_else(|| {
+            RocError::InvalidState("serve_restart called with no queued read requests".into())
+        })?;
         // Everything buffered must be durable (files finished, indexes
         // written) before any file can be scanned, and the scan cannot
         // begin before the disk is done.

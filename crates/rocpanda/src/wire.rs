@@ -57,7 +57,7 @@ fn take<'a>(bytes: &'a [u8], pos: &mut usize, n: usize) -> Result<&'a [u8]> {
 }
 
 fn get_str(bytes: &[u8], pos: &mut usize) -> Result<String> {
-    let n = u16::from_le_bytes(take(bytes, pos, 2)?.try_into().unwrap()) as usize;
+    let n = rocio_core::le::u16(take(bytes, pos, 2)?, "panda wire string length")? as usize;
     String::from_utf8(take(bytes, pos, n)?.to_vec())
         .map_err(|_| RocError::Corrupt("panda wire: bad utf8".into()))
 }
@@ -68,8 +68,8 @@ fn put_snap(out: &mut Vec<u8>, snap: SnapshotId) {
 }
 
 fn get_snap(bytes: &[u8], pos: &mut usize) -> Result<SnapshotId> {
-    let step = u64::from_le_bytes(take(bytes, pos, 8)?.try_into().unwrap());
-    let ordinal = u32::from_le_bytes(take(bytes, pos, 4)?.try_into().unwrap());
+    let step = rocio_core::le::u64(take(bytes, pos, 8)?, "panda wire snapshot step")?;
+    let ordinal = rocio_core::le::u32(take(bytes, pos, 4)?, "panda wire snapshot ordinal")?;
     Ok(SnapshotId::new(step, ordinal))
 }
 
@@ -95,7 +95,7 @@ impl WriteReq {
         let mut pos = 0;
         let snap = get_snap(bytes, &mut pos)?;
         let window = get_str(bytes, &mut pos)?;
-        let n_blocks = u32::from_le_bytes(take(bytes, &mut pos, 4)?.try_into().unwrap());
+        let n_blocks = rocio_core::le::u32(take(bytes, &mut pos, 4)?, "panda wire block count")?;
         Ok(WriteReq {
             snap,
             window,
@@ -129,13 +129,13 @@ impl ReadReq {
         let mut pos = 0;
         let snap = get_snap(bytes, &mut pos)?;
         let window = get_str(bytes, &mut pos)?;
-        let n = u32::from_le_bytes(take(bytes, &mut pos, 4)?.try_into().unwrap()) as usize;
+        let n = rocio_core::le::u32(take(bytes, &mut pos, 4)?, "panda wire count")? as usize;
         if n > bytes.len().saturating_sub(pos) / 8 {
             return Err(RocError::Corrupt("panda wire: id list exceeds message".into()));
         }
         let mut ids = Vec::with_capacity(n);
         for _ in 0..n {
-            ids.push(u64::from_le_bytes(take(bytes, &mut pos, 8)?.try_into().unwrap()));
+            ids.push(rocio_core::le::u64(take(bytes, &mut pos, 8)?, "panda wire block id")?);
         }
         Ok(ReadReq { snap, window, ids })
     }
@@ -171,7 +171,7 @@ impl BlockMsg {
         let mut pos = 0;
         let snap = get_snap(bytes, &mut pos)?;
         let window = get_str(bytes, &mut pos)?;
-        let n = u32::from_le_bytes(take(bytes, &mut pos, 4)?.try_into().unwrap()) as usize;
+        let n = rocio_core::le::u32(take(bytes, &mut pos, 4)?, "panda wire count")? as usize;
         if n == 0 {
             return Err(RocError::Corrupt("panda wire: empty block".into()));
         }
@@ -224,10 +224,7 @@ pub fn encode_read_done(n_sent: u32) -> Vec<u8> {
 
 /// Decode a `READ_DONE` payload.
 pub fn decode_read_done(bytes: &[u8]) -> Result<u32> {
-    Ok(u32::from_le_bytes(bytes.get(..4).ok_or_else(|| {
-        RocError::Corrupt("panda wire: short READ_DONE".into())
-    })?.try_into()
-    .unwrap()))
+    rocio_core::le::u32(bytes, "READ_DONE count")
 }
 
 #[cfg(test)]

@@ -89,7 +89,7 @@ pub fn check_header(bytes: &[u8]) -> Result<()> {
     if bytes.len() < HEADER_LEN || &bytes[..4] != MAGIC {
         return Err(RocError::Corrupt("SDF: bad magic".into()));
     }
-    let version = u16::from_le_bytes(bytes[4..6].try_into().unwrap());
+    let version = rocio_core::le::u16(&bytes[4..6], "SDF version")?;
     if version != VERSION {
         return Err(RocError::Corrupt(format!(
             "SDF: unsupported version {version}"
@@ -129,11 +129,11 @@ fn take<'a>(bytes: &'a [u8], pos: &mut usize, n: usize) -> Result<&'a [u8]> {
 }
 
 fn take_u16(bytes: &[u8], pos: &mut usize) -> Result<u16> {
-    Ok(u16::from_le_bytes(take(bytes, pos, 2)?.try_into().unwrap()))
+    rocio_core::le::u16(take(bytes, pos, 2)?, "SDF u16 field")
 }
 
 fn take_u64(bytes: &[u8], pos: &mut usize) -> Result<u64> {
-    Ok(u64::from_le_bytes(take(bytes, pos, 8)?.try_into().unwrap()))
+    rocio_core::le::u64(take(bytes, pos, 8)?, "SDF u64 field")
 }
 
 fn take_str(bytes: &[u8], pos: &mut usize, n: usize) -> Result<String> {
@@ -286,7 +286,7 @@ pub fn decode_trailer(trailer: &[u8]) -> Result<u64> {
     if trailer.len() != TRAILER_LEN || &trailer[8..12] != MAGIC {
         return Err(RocError::Corrupt("SDF: bad trailer".into()));
     }
-    Ok(u64::from_le_bytes(trailer[..8].try_into().unwrap()))
+    rocio_core::le::u64(&trailer[..8], "SDF index offset")
 }
 
 /// Decode the index region (from its offset up to the trailer).

@@ -19,6 +19,8 @@
 //! on interleaved writers. Callers merge that completion time into their
 //! rank's virtual clock.
 
+#![forbid(unsafe_code)]
+
 pub mod fs;
 pub mod model;
 

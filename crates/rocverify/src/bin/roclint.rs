@@ -1,0 +1,74 @@
+//! roclint — workspace lint driver.
+//!
+//! Usage: `cargo run -p rocverify --bin roclint [-- --root <dir>]`
+//!
+//! Scans every crate's `src/` tree with the deny-by-default rule set in
+//! `rocverify::lint`, applies the `roclint.allow` allowlist, and exits
+//! nonzero on any finding or stale allowlist entry.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use rocverify::lint::{lint_workspace, LintConfig};
+
+fn main() -> ExitCode {
+    let mut root: Option<PathBuf> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--root" => root = args.next().map(PathBuf::from),
+            "--help" | "-h" => {
+                println!("roclint: static determinism/robustness lints for the workspace");
+                println!("  --root <dir>   workspace root (default: CARGO_MANIFEST_DIR/../..)");
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("roclint: unknown argument `{other}` (try --help)");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    let root = root.unwrap_or_else(|| {
+        // The binary lives in crates/rocverify; the workspace root is
+        // two levels up from its manifest.
+        let manifest = std::env::var("CARGO_MANIFEST_DIR")
+            .unwrap_or_else(|_| ".".to_string());
+        PathBuf::from(manifest).join("../..")
+    });
+
+    let report = match lint_workspace(&root, &LintConfig::default()) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("roclint: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    for f in &report.findings {
+        println!("{f}");
+    }
+    for s in &report.stale_allow {
+        println!(
+            "roclint.allow:{}: stale entry (matched nothing): {} | {} | {}",
+            s.lineno,
+            s.rule.name(),
+            s.path,
+            s.needle
+        );
+    }
+    if report.clean() {
+        println!(
+            "roclint: clean — {} files scanned, 0 findings",
+            report.files_scanned
+        );
+        ExitCode::SUCCESS
+    } else {
+        println!(
+            "roclint: {} finding(s), {} stale allowlist entr(ies) across {} files",
+            report.findings.len(),
+            report.stale_allow.len(),
+            report.files_scanned
+        );
+        ExitCode::FAILURE
+    }
+}

@@ -1,0 +1,120 @@
+//! rocsched — schedule exploration driver.
+//!
+//! Usage:
+//!   cargo run --release -p rocverify --bin rocsched -- [--scenario NAME]
+//!       [--depth N] [--max-runs N] [--branch-on-peeks] [--trace-dir DIR]
+//!       [--smoke] [--expect-failures]
+//!
+//! Scenarios: `panda-handshake` (2 servers x 4 clients), `trochdf-handoff`
+//! (3 ranks, double-buffer), `lost-ack-toy` (known-buggy regression
+//! probe). Default: both protocol scenarios. `--smoke` caps work so the
+//! CI job finishes well under its 30 s budget.
+
+use std::process::ExitCode;
+
+use rocverify::scenarios::{LostAckToy, PandaHandshake, TrochdfHandoff};
+use rocverify::sched::{assert_all_schedules_pass, explore, ExploreOptions, Scenario};
+
+fn main() -> ExitCode {
+    let mut names: Vec<String> = Vec::new();
+    let mut opts = ExploreOptions::default();
+    let mut smoke = false;
+    let mut expect_failures = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--scenario" => {
+                if let Some(n) = args.next() {
+                    names.push(n);
+                }
+            }
+            "--depth" => {
+                opts.depth_budget = parse(args.next(), "--depth");
+            }
+            "--max-runs" => {
+                opts.max_runs = parse(args.next(), "--max-runs");
+            }
+            "--branch-on-peeks" => opts.branch_on_peeks = true,
+            "--trace-dir" => opts.trace_dir = args.next().map(std::path::PathBuf::from),
+            "--smoke" => smoke = true,
+            "--expect-failures" => expect_failures = true,
+            "--help" | "-h" => {
+                println!(
+                    "rocsched: exhaustive schedule exploration\n\
+                     scenarios: panda-handshake | trochdf-handoff | lost-ack-toy\n\
+                     flags: --scenario NAME (repeatable), --depth N, --max-runs N,\n\
+                     --branch-on-peeks, --trace-dir DIR, --smoke, --expect-failures"
+                );
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("rocsched: unknown argument `{other}` (try --help)");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    if names.is_empty() {
+        names = vec!["panda-handshake".into(), "trochdf-handoff".into()];
+    }
+    if smoke {
+        // CI budget: bound the tree rather than trusting it to be small.
+        // The issue-scale trees exhaust far below these caps (panda:
+        // 144 runs, depth 26; handoff: 8 runs); the caps only matter if
+        // a regression blows the tree up, in which case `exhausted:
+        // false` is printed and the smoke run still passes the
+        // schedules it visited.
+        opts.depth_budget = opts.depth_budget.min(40);
+        opts.max_runs = opts.max_runs.min(1024);
+    }
+
+    let mut failed = false;
+    for name in &names {
+        let scenario: Box<dyn Scenario> = match name.as_str() {
+            "panda-handshake" => Box::new(PandaHandshake::issue_scale()),
+            "trochdf-handoff" => Box::new(TrochdfHandoff::issue_scale()),
+            "lost-ack-toy" => Box::new(LostAckToy),
+            other => {
+                eprintln!("rocsched: unknown scenario `{other}` (try --help)");
+                return ExitCode::FAILURE;
+            }
+        };
+        println!("rocsched: exploring {name} ...");
+        let report = explore(scenario.as_ref(), &opts);
+        println!("rocsched: {name}: {}", report.summary());
+        if expect_failures {
+            if report.failures.is_empty() {
+                eprintln!("rocsched: {name}: expected failing schedules, found none");
+                failed = true;
+            } else {
+                for f in &report.failures {
+                    println!("  found expected failure: {}", f.message);
+                    if let Some(p) = &f.trace_path {
+                        println!("    trace: {p}");
+                    }
+                }
+            }
+        } else if !report.failures.is_empty() {
+            // Prints decisions + trace paths, then panics; catch to keep
+            // iterating over remaining scenarios with a clean exit path.
+            let r = std::panic::catch_unwind(|| assert_all_schedules_pass(&report));
+            if let Err(payload) = r {
+                if let Some(m) = payload.downcast_ref::<String>() {
+                    eprintln!("rocsched: {name}: {m}");
+                }
+                failed = true;
+            }
+        }
+    }
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+fn parse(v: Option<String>, flag: &str) -> usize {
+    v.and_then(|s| s.parse().ok()).unwrap_or_else(|| {
+        eprintln!("rocsched: {flag} needs a number");
+        std::process::exit(2);
+    })
+}

@@ -1,0 +1,25 @@
+//! rocverify — workspace verification tooling.
+//!
+//! Two instruments, one goal: keeping the simulation honest.
+//!
+//! * [`lint`] (driven by the `roclint` binary) statically enforces the
+//!   workspace's determinism and robustness contracts: no wall-clock or
+//!   RNG reads inside simulation crates, no threads outside the
+//!   registered T-Rochdf/server lanes, no `unwrap`/`expect`/`panic!` in
+//!   library code, disciplined rocobs span categories, and
+//!   `#![forbid(unsafe_code)]` in every library crate. Exceptions live
+//!   in `roclint.allow` at the workspace root, each with a reason.
+//! * [`sched`] (driven by the `rocsched` binary) dynamically explores
+//!   every wildcard-receive resolution order of the concurrency
+//!   protocols in [`scenarios`], replacing the fabric's conservative
+//!   virtual-order gate with a replayable decision oracle, and asserts
+//!   snapshot byte-identity plus deadlock-freedom across all schedules.
+//!
+//! See DESIGN.md § Verification for the soundness argument.
+
+#![forbid(unsafe_code)]
+
+pub mod lexer;
+pub mod lint;
+pub mod scenarios;
+pub mod sched;

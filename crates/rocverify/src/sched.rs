@@ -1,0 +1,443 @@
+//! `rocsched`: exhaustive schedule exploration over the fabric's
+//! decision-oracle hook.
+//!
+//! # How exploration relates to the PR 1 determinism gate
+//!
+//! The conservative virtual-order gate makes every run take the *same*
+//! schedule: wildcard receives/probes resolve to the `(arrival, sender)`
+//! minimum. Exploration asks the stronger question — is the protocol
+//! correct under **every** resolution order MPI semantics permit? With a
+//! [`rocnet::fabric::ScheduleOracle`] installed, the fabric serializes
+//! execution at stable global states (all ranks parked in fabric calls)
+//! and asks the oracle to resolve the least-ranked pending wildcard. The
+//! explored object is therefore a *decision tree*: node = stable state,
+//! edge = candidate chosen.
+//!
+//! # DPOR-style pruning
+//!
+//! The stable-state serialization is itself the partial-order reduction:
+//! deterministic transitions (local compute, sends, specific-source
+//! receives, collectives) are never interleaved — they commute with every
+//! other rank's transitions under virtual-time semantics, so only
+//! wildcard resolutions branch. On top of that, `Peek` decisions are
+//! pruned sleep-set-style by default: a blocking probe only reports a
+//! message (the protocol code in this workspace never matches on the
+//! probed source), so its choice commutes with everything except the
+//! co-located `Take`, whose candidate set is explored in full. Both
+//! reductions can be disabled (`branch_on_peeks`) for protocols that act
+//! on probe results. A depth budget bounds the frontier; anything dropped
+//! by it is counted, never silent.
+//!
+//! # What is asserted
+//!
+//! After every schedule: (a) the run completes — reaching a stable state
+//! with no possible progress poisons the fabric and fails the schedule
+//! (deadlock / lost-ack); (b) the scenario's canonical snapshot bytes are
+//! identical to the reference run's (schedules may reorder block append
+//! order inside a server file, so scenarios canonicalize before
+//! comparing — see [`crate::scenarios`]). Failing schedules dump a
+//! Chrome trace of the offending interleaving via rocobs.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+use rocnet::fabric::{ChoiceKind, ChoicePoint, ScheduleOracle};
+
+/// What the oracle saw and decided at one choice point, recorded for
+/// replay validation and branching.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DecisionRecord {
+    /// Fingerprint of `(dst, kind, candidates)` — replayed prefixes must
+    /// see the identical choice point or the run is not reproducible.
+    pub sig: u64,
+    /// Receiver rank (for reporting).
+    pub dst: usize,
+    /// Take or Peek.
+    pub kind: ChoiceKind,
+    /// Number of candidates at this decision.
+    pub arity: usize,
+    /// Index chosen.
+    pub chosen: usize,
+    /// Human-readable candidate list, e.g. `src2@0.50`.
+    pub describe: String,
+}
+
+fn fnv(h: &mut u64, bytes: &[u8]) {
+    for &b in bytes {
+        *h ^= b as u64;
+        *h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+}
+
+fn point_sig(p: &ChoicePoint) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    fnv(&mut h, &p.dst.to_le_bytes());
+    fnv(&mut h, &[matches!(p.kind, ChoiceKind::Peek) as u8]);
+    for c in &p.candidates {
+        fnv(&mut h, &c.src_global.to_le_bytes());
+        fnv(&mut h, &c.tag.to_le_bytes());
+        fnv(&mut h, &c.payload_len.to_le_bytes());
+        fnv(&mut h, &c.arrival.to_bits().to_le_bytes());
+    }
+    h
+}
+
+fn describe_point(p: &ChoicePoint) -> String {
+    let cands: Vec<String> = p
+        .candidates
+        .iter()
+        .map(|c| format!("src{}tag{:#x}@{:.6}", c.src_global, c.tag, c.arrival))
+        .collect();
+    format!(
+        "{:?} at rank {} among [{}]",
+        p.kind,
+        p.dst,
+        cands.join(", ")
+    )
+}
+
+/// A [`ScheduleOracle`] that replays a fixed choice prefix (validating
+/// each choice point against the recorded signature) and picks index 0 —
+/// the conservative gate's choice — beyond it.
+pub struct ReplayOracle {
+    prefix: Vec<(u64, usize)>,
+    log: Mutex<Vec<DecisionRecord>>,
+}
+
+impl ReplayOracle {
+    pub fn new(prefix: Vec<(u64, usize)>) -> Self {
+        ReplayOracle {
+            prefix,
+            log: Mutex::new(Vec::new()),
+        }
+    }
+
+    pub fn take_log(&self) -> Vec<DecisionRecord> {
+        std::mem::take(&mut self.log.lock())
+    }
+}
+
+impl ScheduleOracle for ReplayOracle {
+    fn choose(&self, point: &ChoicePoint) -> usize {
+        let mut log = self.log.lock();
+        let i = log.len();
+        let sig = point_sig(point);
+        let chosen = match self.prefix.get(i) {
+            Some(&(want_sig, choice)) => {
+                assert_eq!(
+                    want_sig, sig,
+                    "rocsched replay divergence at decision {i}: \
+                     prefix recorded a different choice point than {}",
+                    describe_point(point)
+                );
+                assert!(
+                    choice < point.candidates.len(),
+                    "rocsched replay divergence at decision {i}: choice {choice} \
+                     out of range for {}",
+                    describe_point(point)
+                );
+                choice
+            }
+            None => 0,
+        };
+        log.push(DecisionRecord {
+            sig,
+            dst: point.dst,
+            kind: point.kind,
+            arity: point.candidates.len(),
+            chosen,
+            describe: describe_point(point),
+        });
+        chosen
+    }
+}
+
+/// How one schedule ended.
+pub enum RunResult {
+    /// Scenario completed; canonical snapshot fingerprint bytes.
+    Done(Vec<u8>),
+    /// A rank panicked — deadlock poison or an assertion inside the
+    /// scenario. The message is the panic payload.
+    Failed(String),
+}
+
+/// One failing schedule, with enough context to reproduce and inspect it.
+pub struct ScheduleFailure {
+    /// Decision list of the failing schedule.
+    pub decisions: Vec<DecisionRecord>,
+    /// Panic message (deadlock description or assertion text).
+    pub message: String,
+    /// Where the Chrome trace of the interleaving was written, if a trace
+    /// directory was configured.
+    pub trace_path: Option<String>,
+}
+
+/// Exploration policy.
+pub struct ExploreOptions {
+    /// Branch only on decisions with `seq < depth_budget`; beyond it the
+    /// default (gate-order) choice is taken and the skipped alternatives
+    /// are counted in `budget_pruned`.
+    pub depth_budget: usize,
+    /// Hard cap on schedules run (safety valve; exhaustion is reported).
+    pub max_runs: usize,
+    /// Also branch on `Peek` decisions (off by default — see module docs).
+    pub branch_on_peeks: bool,
+    /// Directory for counterexample Chrome traces (created on demand).
+    pub trace_dir: Option<std::path::PathBuf>,
+}
+
+impl Default for ExploreOptions {
+    fn default() -> Self {
+        ExploreOptions {
+            depth_budget: usize::MAX,
+            max_runs: 4096,
+            branch_on_peeks: false,
+            trace_dir: None,
+        }
+    }
+}
+
+/// Exploration outcome.
+pub struct ExploreReport {
+    /// Schedules executed.
+    pub runs: usize,
+    /// Total decisions granted across all runs.
+    pub decisions: usize,
+    /// Branch points encountered (decisions with arity > 1 that were
+    /// eligible for branching).
+    pub branch_points: usize,
+    /// Alternatives skipped by the depth budget.
+    pub budget_pruned: usize,
+    /// Alternatives skipped by the peek reduction.
+    pub peek_pruned: usize,
+    /// Deepest decision sequence seen.
+    pub max_depth: usize,
+    /// The tree was fully explored (nothing dropped by depth budget or
+    /// the run cap).
+    pub exhausted: bool,
+    /// Schedules that deadlocked, panicked, or produced a snapshot
+    /// differing from the reference run.
+    pub failures: Vec<ScheduleFailure>,
+}
+
+impl ExploreReport {
+    pub fn summary(&self) -> String {
+        format!(
+            "{} schedules ({} decisions, {} branch points, max depth {}), \
+             pruned {} by peek-reduction + {} by budget, exhausted: {}, failures: {}",
+            self.runs,
+            self.decisions,
+            self.branch_points,
+            self.max_depth,
+            self.peek_pruned,
+            self.budget_pruned,
+            self.exhausted,
+            self.failures.len()
+        )
+    }
+}
+
+/// A concurrency scenario rocsched can explore: build a fresh world on
+/// the given oracle, run the protocol, return a canonical fingerprint of
+/// the externally visible outcome (snapshot bytes, file sets, counters).
+///
+/// `run` must be deterministic given the oracle's decisions, must install
+/// the collector's rank handles if tracing is wanted on failure, and must
+/// express *all* cross-rank nondeterminism through fabric wildcard calls.
+pub trait Scenario: Sync {
+    fn name(&self) -> &'static str;
+    /// Execute once against `oracle`; return the canonical outcome bytes.
+    /// Panics (assertion failures, fabric deadlock poison) fail the
+    /// schedule.
+    fn run(&self, oracle: Arc<dyn ScheduleOracle>, collector: &rocobs::TraceCollector) -> Vec<u8>;
+}
+
+/// Run one schedule: execute the scenario with the given decision prefix,
+/// catching rank panics (harness propagates them) and collecting the
+/// decision log and trace.
+fn run_one(
+    scenario: &dyn Scenario,
+    prefix: Vec<(u64, usize)>,
+) -> (RunResult, Vec<DecisionRecord>, rocobs::Trace) {
+    let oracle = Arc::new(ReplayOracle::new(prefix));
+    let collector = rocobs::TraceCollector::new();
+    let outcome = catch_unwind(AssertUnwindSafe(|| {
+        scenario.run(Arc::clone(&oracle) as Arc<dyn ScheduleOracle>, &collector)
+    }));
+    let log = oracle.take_log();
+    let trace = collector.finish();
+    match outcome {
+        Ok(bytes) => (RunResult::Done(bytes), log, trace),
+        Err(payload) => {
+            let msg = payload
+                .downcast_ref::<String>()
+                .cloned()
+                .or_else(|| payload.downcast_ref::<&str>().map(|s| s.to_string()))
+                .unwrap_or_else(|| "non-string panic payload".into());
+            (RunResult::Failed(msg), log, trace)
+        }
+    }
+}
+
+/// Run rank panics print to stderr by default; exploration visits failing
+/// schedules on purpose, so silence the hook for the duration.
+type PanicHook = Box<dyn Fn(&std::panic::PanicHookInfo<'_>) + Sync + Send>;
+
+struct QuietPanics(Option<PanicHook>);
+
+impl QuietPanics {
+    fn install() -> Self {
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {}));
+        QuietPanics(Some(prev))
+    }
+}
+
+impl Drop for QuietPanics {
+    fn drop(&mut self) {
+        if let Some(prev) = self.0.take() {
+            std::panic::set_hook(prev);
+        }
+    }
+}
+
+/// Systematically explore the scenario's schedule tree (depth-first).
+///
+/// The reference outcome is the all-default schedule (every decision
+/// resolves to the conservative gate's choice); every other schedule must
+/// reproduce its canonical bytes.
+pub fn explore(scenario: &dyn Scenario, opts: &ExploreOptions) -> ExploreReport {
+    let _quiet = QuietPanics::install();
+    let mut report = ExploreReport {
+        runs: 0,
+        decisions: 0,
+        branch_points: 0,
+        budget_pruned: 0,
+        peek_pruned: 0,
+        max_depth: 0,
+        exhausted: true,
+        failures: Vec::new(),
+    };
+    let mut reference: Option<Vec<u8>> = None;
+    // Work list of decision prefixes still to run, newest first (DFS).
+    let mut stack: Vec<Vec<(u64, usize)>> = vec![Vec::new()];
+    while let Some(prefix) = stack.pop() {
+        if report.runs >= opts.max_runs {
+            report.exhausted = false;
+            break;
+        }
+        let prefix_len = prefix.len();
+        let (result, log, trace) = run_one(scenario, prefix);
+        report.runs += 1;
+        report.decisions += log.len();
+        report.max_depth = report.max_depth.max(log.len());
+
+        // Branch: for every *new* decision of this run (at or past the
+        // prefix — the prefix's own alternatives were queued by the run
+        // that discovered them), queue each unexplored alternative.
+        for (j, rec) in log.iter().enumerate().skip(prefix_len) {
+            if rec.arity <= 1 {
+                continue;
+            }
+            if matches!(rec.kind, ChoiceKind::Peek) && !opts.branch_on_peeks {
+                report.peek_pruned += rec.arity - 1;
+                continue;
+            }
+            if j >= opts.depth_budget {
+                report.budget_pruned += rec.arity - 1;
+                report.exhausted = false;
+                continue;
+            }
+            report.branch_points += 1;
+            let base: Vec<(u64, usize)> =
+                log[..j].iter().map(|r| (r.sig, r.chosen)).collect();
+            for alt in 1..rec.arity {
+                let mut p = base.clone();
+                p.push((rec.sig, alt));
+                stack.push(p);
+            }
+        }
+
+        match result {
+            RunResult::Done(bytes) => match &reference {
+                None => reference = Some(bytes),
+                Some(want) => {
+                    if *want != bytes {
+                        let message = format!(
+                            "snapshot bytes diverge from the reference run \
+                             ({} vs {} canonical bytes)",
+                            bytes.len(),
+                            want.len()
+                        );
+                        let trace_path =
+                            dump_counterexample(scenario, opts, report.runs, &log, &trace, &message);
+                        report.failures.push(ScheduleFailure {
+                            decisions: log,
+                            message,
+                            trace_path,
+                        });
+                    }
+                }
+            },
+            RunResult::Failed(message) => {
+                let trace_path =
+                    dump_counterexample(scenario, opts, report.runs, &log, &trace, &message);
+                report.failures.push(ScheduleFailure {
+                    decisions: log,
+                    message,
+                    trace_path,
+                });
+            }
+        }
+    }
+    report
+}
+
+/// Write the Chrome trace and decision list of a failing schedule; the
+/// returned path is embedded in the failure for the assertion message.
+fn dump_counterexample(
+    scenario: &dyn Scenario,
+    opts: &ExploreOptions,
+    run_no: usize,
+    log: &[DecisionRecord],
+    trace: &rocobs::Trace,
+    message: &str,
+) -> Option<String> {
+    let dir = opts.trace_dir.as_ref()?;
+    if std::fs::create_dir_all(dir).is_err() {
+        return None;
+    }
+    let base = dir.join(format!("cex-{}-run{}", scenario.name(), run_no));
+    let trace_path = base.with_extension("trace.json");
+    trace.write_chrome_trace(&trace_path).ok()?;
+    let mut txt = format!("scenario: {}\nfailure: {}\ndecisions:\n", scenario.name(), message);
+    for (i, d) in log.iter().enumerate() {
+        txt.push_str(&format!("  {i}: chose {} of {}\n", d.chosen, d.describe));
+    }
+    let _ = std::fs::write(base.with_extension("decisions.txt"), txt);
+    Some(trace_path.to_string_lossy().into_owned())
+}
+
+/// Panic (with trace paths) if exploration found any failing schedule —
+/// the assertion helper tests and CI use.
+pub fn assert_all_schedules_pass(report: &ExploreReport) {
+    if report.failures.is_empty() {
+        return;
+    }
+    let mut msg = format!(
+        "{} of {} schedules failed:\n",
+        report.failures.len(),
+        report.runs
+    );
+    for f in report.failures.iter().take(5) {
+        msg.push_str(&format!("- {}\n", f.message));
+        if let Some(p) = &f.trace_path {
+            msg.push_str(&format!("  interleaving trace: {p}\n"));
+        }
+        for (i, d) in f.decisions.iter().enumerate() {
+            msg.push_str(&format!("    {i}: chose {} of {}\n", d.chosen, d.describe));
+        }
+    }
+    panic!("{msg}");
+}

@@ -1,0 +1,164 @@
+//! One failing fixture per roclint rule, plus the meta-test that the
+//! workspace itself is lint-clean — the same invocation CI runs.
+
+use rocverify::lint::{
+    apply_allowlist, lint_source, lint_workspace, parse_allowlist, LintConfig, Rule,
+};
+
+fn rules_fired(crate_dir: &str, path: &str, src: &str) -> Vec<Rule> {
+    let cfg = LintConfig::default();
+    let mut rules: Vec<Rule> = lint_source(&cfg, crate_dir, path, src)
+        .into_iter()
+        .map(|f| f.rule)
+        .collect();
+    rules.dedup();
+    rules
+}
+
+#[test]
+fn wallclock_fires_in_sim_crates_only() {
+    let src = "pub fn t() -> std::time::Instant { std::time::Instant::now() }";
+    assert_eq!(
+        rules_fired("rocnet", "crates/rocnet/src/x.rs", src),
+        vec![Rule::WallClock]
+    );
+    // The same code is legal outside the deterministic-simulation crates.
+    assert_eq!(rules_fired("rocmesh", "crates/rocmesh/src/x.rs", src), vec![]);
+}
+
+#[test]
+fn systemtime_also_counts_as_wallclock() {
+    let src = "pub fn t() { let _ = std::time::SystemTime::now(); }";
+    assert_eq!(
+        rules_fired("rochdf", "crates/rochdf/src/x.rs", src),
+        vec![Rule::WallClock]
+    );
+}
+
+#[test]
+fn rand_fires_in_sim_crates_only() {
+    let src = "use rand::Rng;\npub fn r() -> u64 { rand::random() }";
+    assert_eq!(
+        rules_fired("genx", "crates/genx/src/x.rs", src),
+        vec![Rule::Rand]
+    );
+    // rocmesh's jittered partitioner owns a seeded StdRng legitimately.
+    assert_eq!(rules_fired("rocmesh", "crates/rocmesh/src/x.rs", src), vec![]);
+}
+
+#[test]
+fn thread_spawn_fires_outside_registered_lanes() {
+    let src = "pub fn go() { std::thread::spawn(|| {}); }";
+    assert_eq!(
+        rules_fired("rocpanda", "crates/rocpanda/src/x.rs", src),
+        vec![Rule::ThreadSpawn]
+    );
+    // The two registered lanes: the rank harness and the T-Rochdf writer.
+    assert_eq!(rules_fired("rocnet", "crates/rocnet/src/harness.rs", src), vec![]);
+    assert_eq!(rules_fired("rochdf", "crates/rochdf/src/trochdf.rs", src), vec![]);
+}
+
+#[test]
+fn unwrap_expect_panic_fire_in_library_code() {
+    assert_eq!(
+        rules_fired("rocsdf", "crates/rocsdf/src/x.rs", "pub fn f(x: Option<u8>) -> u8 { x.unwrap() }"),
+        vec![Rule::UnwrapPanic]
+    );
+    assert_eq!(
+        rules_fired("rocsdf", "crates/rocsdf/src/x.rs", "pub fn f(x: Option<u8>) -> u8 { x.expect(\"set\") }"),
+        vec![Rule::UnwrapPanic]
+    );
+    assert_eq!(
+        rules_fired("rocsdf", "crates/rocsdf/src/x.rs", "pub fn f() { panic!(\"boom\"); }"),
+        vec![Rule::UnwrapPanic]
+    );
+}
+
+#[test]
+fn unwrap_is_fine_in_tests_and_bins() {
+    let test_src = "#[cfg(test)]\nmod tests {\n  #[test]\n  fn t() { Some(1).unwrap(); }\n}";
+    assert_eq!(rules_fired("rocsdf", "crates/rocsdf/src/x.rs", test_src), vec![]);
+    let src = "fn main() { std::env::args().next().unwrap(); }";
+    assert_eq!(rules_fired("rocsdf", "crates/rocsdf/src/bin/tool.rs", src), vec![]);
+}
+
+#[test]
+fn unknown_span_category_fires() {
+    let src = "pub fn f() { let _ = rocobs::SpanCategory::Chrono; }";
+    assert_eq!(
+        rules_fired("rocpanda", "crates/rocpanda/src/x.rs", src),
+        vec![Rule::SpanCategory]
+    );
+    // Every real variant passes — this is the test that keeps roclint's
+    // category list in sync with rocobs::SpanCategory::all().
+    for cat in rocobs::SpanCategory::all() {
+        let src = format!("pub fn f() {{ let _ = rocobs::SpanCategory::{cat:?}; }}");
+        assert_eq!(
+            rules_fired("rocpanda", "crates/rocpanda/src/x.rs", &src),
+            vec![],
+            "variant {cat:?} should be known to roclint"
+        );
+    }
+}
+
+#[test]
+fn missing_forbid_unsafe_fires_on_lib_root_only() {
+    let src = "//! A crate.\npub fn f() {}";
+    assert_eq!(
+        rules_fired("rocsdf", "crates/rocsdf/src/lib.rs", src),
+        vec![Rule::ForbidUnsafe]
+    );
+    assert_eq!(rules_fired("rocsdf", "crates/rocsdf/src/other.rs", src), vec![]);
+    let ok = "//! A crate.\n#![forbid(unsafe_code)]\npub fn f() {}";
+    assert_eq!(rules_fired("rocsdf", "crates/rocsdf/src/lib.rs", ok), vec![]);
+}
+
+#[test]
+fn string_and_comment_content_never_fires() {
+    let src = r#"
+        // Instant::now() in a comment
+        pub fn f() -> &'static str { "rand::random() and x.unwrap() and panic!" }
+    "#;
+    assert_eq!(rules_fired("rocnet", "crates/rocnet/src/x.rs", src), vec![]);
+}
+
+#[test]
+fn allowlist_suppresses_and_reports_stale() {
+    let cfg = LintConfig::default();
+    let findings = lint_source(
+        &cfg,
+        "rocsdf",
+        "crates/rocsdf/src/x.rs",
+        "pub fn f(x: Option<u8>) -> u8 { x.unwrap() }",
+    );
+    assert_eq!(findings.len(), 1);
+    let allow = parse_allowlist(
+        "unwrap-panic | crates/rocsdf/src/x.rs | x.unwrap() | fixture\n\
+         unwrap-panic | crates/rocsdf/src/y.rs | never-matches | fixture\n",
+    )
+    .expect("valid allowlist");
+    let (kept, stale) = apply_allowlist(findings, &allow);
+    assert!(kept.is_empty(), "entry should suppress the finding");
+    assert_eq!(stale.len(), 1);
+    assert_eq!(stale[0].path, "crates/rocsdf/src/y.rs");
+}
+
+#[test]
+fn allowlist_rejects_missing_reason() {
+    assert!(parse_allowlist("unwrap-panic | a.rs | needle |  \n").is_err());
+    assert!(parse_allowlist("no-such-rule | a.rs | needle | why\n").is_err());
+}
+
+#[test]
+fn workspace_is_lint_clean() {
+    let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let report = lint_workspace(&root, &LintConfig::default()).expect("workspace scan");
+    let msgs: Vec<String> = report.findings.iter().map(|f| f.to_string()).collect();
+    assert!(
+        report.clean(),
+        "workspace must stay roclint-clean; findings:\n{}\nstale allow entries: {}",
+        msgs.join("\n"),
+        report.stale_allow.len()
+    );
+    assert!(report.files_scanned > 50, "scan looks truncated: {} files", report.files_scanned);
+}

@@ -3,6 +3,8 @@
 //! Re-exports every member crate so examples and integration tests can use
 //! one dependency. See `README.md` and `DESIGN.md` at the repository root.
 
+#![forbid(unsafe_code)]
+
 pub use genx;
 pub use roccom;
 pub use rochdf;
