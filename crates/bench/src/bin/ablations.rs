@@ -146,7 +146,7 @@ fn main() {
             rocnet::cluster::ClusterSpec::frost(placement, rocnet::cluster::NodeUsage::SpareIdle);
         let linear = rocnet::run_ranks(n, spec.clone(), |comm| {
             for _ in 0..10 {
-                comm.allreduce_sum_f64(comm.rank() as f64);
+                comm.allreduce_sum_f64(comm.rank() as f64).unwrap();
             }
             comm.now()
         })
@@ -154,7 +154,8 @@ fn main() {
         .fold(0.0f64, f64::max);
         let tree = rocnet::run_ranks(n, spec, |comm| {
             for _ in 0..10 {
-                comm.allreduce_f64_tree(comm.rank() as f64, |a, b| a + b);
+                comm.allreduce_f64_tree(comm.rank() as f64, |a, b| a + b)
+                    .unwrap();
             }
             comm.now()
         })

@@ -12,6 +12,11 @@ use crate::error::{Result, RocError};
 /// "organize multiple datasets (both array data and metadata) in a single
 /// file, support user-defined attributes for datasets, and are
 /// binary-portable" (§3.2).
+///
+/// A dataset whose payload is [`ArrayData::Shared`] clones in O(1): only
+/// the metadata (name, shape, attribute map) is copied while the payload
+/// handle bumps a refcount — which is what lets the server re-label
+/// datasets on the write path without duplicating their bytes.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Dataset {
     /// Dataset name, unique within its container (block or file section).
@@ -140,6 +145,24 @@ mod tests {
         let d = Dataset::vector("pressure", vec![0.0f64; 100]).with_attr("units", "Pa");
         assert!(d.encoded_size() > d.byte_len());
         assert_eq!(d.byte_len(), 800);
+    }
+
+    #[test]
+    fn shared_payload_dataset_round_trips_through_clone() {
+        let typed = Dataset::vector("v", vec![1.0f64, 2.0]).with_attr("units", "m");
+        let mut le = Vec::new();
+        typed.data.to_le_bytes(&mut le);
+        let shared = Dataset::new(
+            "v",
+            vec![2],
+            ArrayData::from_le_shared(DType::F64, 2, bytes::Bytes::from(le)).unwrap(),
+        )
+        .unwrap()
+        .with_attr("units", "m");
+        assert_eq!(shared, typed);
+        let cloned = shared.clone();
+        assert_eq!(cloned, typed);
+        assert_eq!(cloned.encoded_size(), typed.encoded_size());
     }
 
     #[test]

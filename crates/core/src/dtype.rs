@@ -4,6 +4,8 @@
 //! binary-portable, mirroring HDF's portability guarantee that made CSAR
 //! choose it (§3.2 of the paper).
 
+use bytes::Bytes;
+
 use crate::error::{Result, RocError};
 
 /// Element datatype of a dataset.
@@ -61,18 +63,76 @@ impl DType {
     }
 }
 
+/// An already-encoded little-endian payload shared by reference count.
+///
+/// This is the zero-copy half of [`ArrayData`]: the bytes live in a
+/// [`Bytes`] handle (typically a slice of a wire message or a file read),
+/// so cloning a dataset that carries one — or re-labeling it on the server
+/// write path — bumps a refcount instead of copying the payload.
+#[derive(Debug, Clone)]
+pub struct SharedArray {
+    dtype: DType,
+    n_elems: usize,
+    bytes: Bytes,
+}
+
+impl SharedArray {
+    /// Wrap `bytes` as `n_elems` elements of `dtype`.
+    ///
+    /// `bytes` must already be the canonical little-endian encoding
+    /// ([`ArrayData::to_le_bytes`] layout) and exactly
+    /// `n_elems * dtype.size()` long.
+    pub fn new(dtype: DType, n_elems: usize, bytes: Bytes) -> Result<Self> {
+        let want = n_elems * dtype.size();
+        if bytes.len() != want {
+            return Err(RocError::Corrupt(format!(
+                "shared array payload length {} != expected {} ({} x {})",
+                bytes.len(),
+                want,
+                n_elems,
+                dtype.name()
+            )));
+        }
+        Ok(SharedArray {
+            dtype,
+            n_elems,
+            bytes,
+        })
+    }
+
+    pub fn dtype(&self) -> DType {
+        self.dtype
+    }
+
+    pub fn len(&self) -> usize {
+        self.n_elems
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.n_elems == 0
+    }
+
+    /// The shared little-endian payload.
+    pub fn bytes(&self) -> &Bytes {
+        &self.bytes
+    }
+}
+
 /// A typed array payload.
 ///
 /// Physics modules work with the typed variants directly; the I/O layers use
 /// [`ArrayData::to_le_bytes`] / [`ArrayData::from_le_bytes`] at the
-/// format/wire boundary.
-#[derive(Debug, Clone, PartialEq)]
+/// format/wire boundary. The [`ArrayData::Shared`] variant carries an
+/// already-encoded payload by refcounted handle — the representation the
+/// zero-copy write path moves from wire to disk without re-packing.
+#[derive(Debug, Clone)]
 pub enum ArrayData {
     U8(Vec<u8>),
     I32(Vec<i32>),
     I64(Vec<i64>),
     F32(Vec<f32>),
     F64(Vec<f64>),
+    Shared(SharedArray),
 }
 
 impl ArrayData {
@@ -84,6 +144,7 @@ impl ArrayData {
             ArrayData::I64(_) => DType::I64,
             ArrayData::F32(_) => DType::F32,
             ArrayData::F64(_) => DType::F64,
+            ArrayData::Shared(s) => s.dtype(),
         }
     }
 
@@ -95,6 +156,7 @@ impl ArrayData {
             ArrayData::I64(v) => v.len(),
             ArrayData::F32(v) => v.len(),
             ArrayData::F64(v) => v.len(),
+            ArrayData::Shared(s) => s.len(),
         }
     }
 
@@ -147,6 +209,52 @@ impl ArrayData {
                     out.extend_from_slice(&x.to_le_bytes());
                 }
             }
+            ArrayData::Shared(s) => out.extend_from_slice(s.bytes()),
+        }
+    }
+
+    /// Call `f` with the canonical little-endian payload bytes.
+    ///
+    /// `U8` and `Shared` payloads are borrowed without copying; the other
+    /// typed variants are encoded into a scratch buffer first. This is the
+    /// checksum/inspection entry point that avoids the encode-to-`Vec`
+    /// round trip for data already in wire form.
+    pub fn with_le_bytes<R>(&self, f: impl FnOnce(&[u8]) -> R) -> R {
+        match self {
+            ArrayData::U8(v) => f(v),
+            ArrayData::Shared(s) => f(s.bytes()),
+            other => {
+                let mut scratch = Vec::with_capacity(other.byte_len());
+                other.to_le_bytes(&mut scratch);
+                f(&scratch)
+            }
+        }
+    }
+
+    /// Wrap an already-encoded little-endian payload without copying.
+    ///
+    /// The returned array holds a refcounted view of `bytes`; the storage
+    /// stays alive as long as any handle does.
+    pub fn from_le_shared(dtype: DType, n_elems: usize, bytes: Bytes) -> Result<Self> {
+        Ok(ArrayData::Shared(SharedArray::new(dtype, n_elems, bytes)?))
+    }
+
+    /// The shared payload handle, when this array is the zero-copy variant.
+    pub fn as_shared(&self) -> Option<&SharedArray> {
+        match self {
+            ArrayData::Shared(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Convert to the typed representation, decoding a `Shared` payload.
+    ///
+    /// Typed variants are returned as-is (deep copy); use this before
+    /// element-wise access on data decoded through the zero-copy path.
+    pub fn to_typed(&self) -> Result<ArrayData> {
+        match self {
+            ArrayData::Shared(s) => ArrayData::from_le_bytes(s.dtype(), s.len(), s.bytes()),
+            other => Ok(other.clone()),
         }
     }
 
@@ -197,10 +305,7 @@ impl ArrayData {
     pub fn as_f64(&self) -> Result<&[f64]> {
         match self {
             ArrayData::F64(v) => Ok(v),
-            other => Err(RocError::Mismatch(format!(
-                "expected f64 array, found {}",
-                other.dtype().name()
-            ))),
+            other => Err(other.typed_access_error("f64")),
         }
     }
 
@@ -208,10 +313,7 @@ impl ArrayData {
     pub fn as_f64_mut(&mut self) -> Result<&mut [f64]> {
         match self {
             ArrayData::F64(v) => Ok(v),
-            other => Err(RocError::Mismatch(format!(
-                "expected f64 array, found {}",
-                other.dtype().name()
-            ))),
+            other => Err(other.typed_access_error("f64")),
         }
     }
 
@@ -219,10 +321,7 @@ impl ArrayData {
     pub fn as_i32(&self) -> Result<&[i32]> {
         match self {
             ArrayData::I32(v) => Ok(v),
-            other => Err(RocError::Mismatch(format!(
-                "expected i32 array, found {}",
-                other.dtype().name()
-            ))),
+            other => Err(other.typed_access_error("i32")),
         }
     }
 
@@ -230,10 +329,40 @@ impl ArrayData {
     pub fn as_i32_mut(&mut self) -> Result<&mut [i32]> {
         match self {
             ArrayData::I32(v) => Ok(v),
-            other => Err(RocError::Mismatch(format!(
-                "expected i32 array, found {}",
+            other => Err(other.typed_access_error("i32")),
+        }
+    }
+
+    fn typed_access_error(&self, want: &str) -> RocError {
+        match self {
+            ArrayData::Shared(s) => RocError::Mismatch(format!(
+                "expected {want} array, found shared {} payload (convert with to_typed())",
+                s.dtype().name()
+            )),
+            other => RocError::Mismatch(format!(
+                "expected {want} array, found {}",
                 other.dtype().name()
-            ))),
+            )),
+        }
+    }
+}
+
+/// Logical equality: two arrays are equal when they hold the same dtype,
+/// element count and canonical little-endian bytes — a `Shared` payload
+/// compares equal to the typed array it encodes.
+impl PartialEq for ArrayData {
+    fn eq(&self, other: &Self) -> bool {
+        match (self, other) {
+            (ArrayData::U8(a), ArrayData::U8(b)) => a == b,
+            (ArrayData::I32(a), ArrayData::I32(b)) => a == b,
+            (ArrayData::I64(a), ArrayData::I64(b)) => a == b,
+            (ArrayData::F32(a), ArrayData::F32(b)) => a == b,
+            (ArrayData::F64(a), ArrayData::F64(b)) => a == b,
+            (a, b) => {
+                a.dtype() == b.dtype()
+                    && a.len() == b.len()
+                    && a.with_le_bytes(|ab| b.with_le_bytes(|bb| ab == bb))
+            }
         }
     }
 }
@@ -341,5 +470,56 @@ mod tests {
         let mut buf = Vec::new();
         a.to_le_bytes(&mut buf);
         assert_eq!(buf, vec![1, 0, 0, 0]);
+    }
+
+    #[test]
+    fn shared_round_trips_and_compares_equal_to_typed() {
+        let typed = ArrayData::F64(vec![1.5, -2.25, 3.0]);
+        let mut le = Vec::new();
+        typed.to_le_bytes(&mut le);
+        let shared =
+            ArrayData::from_le_shared(DType::F64, 3, bytes::Bytes::from(le.clone())).unwrap();
+        assert_eq!(shared.dtype(), DType::F64);
+        assert_eq!(shared.len(), 3);
+        assert_eq!(shared.byte_len(), 24);
+        assert_eq!(shared, typed, "shared must equal the typed array it encodes");
+        assert_eq!(typed, shared);
+        // Encoding the shared variant reproduces the exact bytes.
+        let mut out = Vec::new();
+        shared.to_le_bytes(&mut out);
+        assert_eq!(out, le);
+        // Typed conversion decodes back to the original.
+        let back = shared.to_typed().unwrap();
+        assert_eq!(back.as_f64().unwrap(), &[1.5, -2.25, 3.0]);
+    }
+
+    #[test]
+    fn shared_rejects_wrong_length_and_typed_access() {
+        assert!(ArrayData::from_le_shared(DType::I64, 2, bytes::Bytes::from(vec![0u8; 15]))
+            .is_err());
+        let shared =
+            ArrayData::from_le_shared(DType::F64, 1, bytes::Bytes::from(vec![0u8; 8])).unwrap();
+        let err = shared.as_f64().unwrap_err();
+        assert!(err.to_string().contains("to_typed"), "got: {err}");
+        assert!(shared.as_shared().is_some());
+        assert!(ArrayData::F64(vec![]).as_shared().is_none());
+    }
+
+    #[test]
+    fn with_le_bytes_borrows_without_reencoding_shared() {
+        let shared =
+            ArrayData::from_le_shared(DType::U8, 4, bytes::Bytes::from(vec![9u8; 4])).unwrap();
+        shared.with_le_bytes(|b| assert_eq!(b, &[9u8; 4]));
+        ArrayData::I32(vec![1]).with_le_bytes(|b| assert_eq!(b, &[1, 0, 0, 0]));
+    }
+
+    #[test]
+    fn unequal_shared_payloads_detected() {
+        let a = ArrayData::from_le_shared(DType::U8, 2, bytes::Bytes::from(vec![1, 2])).unwrap();
+        let b = ArrayData::from_le_shared(DType::U8, 2, bytes::Bytes::from(vec![1, 3])).unwrap();
+        assert_ne!(a, b);
+        assert_ne!(a, ArrayData::U8(vec![1, 3]));
+        assert_ne!(a, ArrayData::I32(vec![1]));
+        assert_eq!(a, ArrayData::U8(vec![1, 2]));
     }
 }

@@ -26,6 +26,7 @@ pub mod dataset;
 pub mod dtype;
 pub mod error;
 pub mod le;
+pub mod segment;
 pub mod snapshot;
 pub mod units;
 
@@ -33,7 +34,8 @@ pub use attr::AttrValue;
 pub use block::{BlockId, DataBlock};
 pub use checksum::Checksum;
 pub use dataset::Dataset;
-pub use dtype::{ArrayData, DType};
+pub use dtype::{ArrayData, DType, SharedArray};
 pub use error::{Result, RocError};
+pub use segment::{segments_len, segments_to_vec, Segment};
 pub use snapshot::{snapshot_file_name, snapshot_file_prefix, SnapshotId};
 pub use units::{fmt_bytes, SimTime, KIB, MIB};

@@ -273,7 +273,7 @@ fn client_run<'a>(
                 rocmesh::workload::solid_snapshot_bytes([b.ni, b.nj, b.nk]) as u64
             })
             .sum::<u64>();
-    let global_bytes = sim_comm.allreduce_sum_f64(local_bytes as f64) as u64;
+    let global_bytes = sim_comm.allreduce_sum_f64(local_bytes as f64)? as u64;
 
     let mut ws = Windows::new();
     declare_windows_for(&mut ws, cfg.fluid_solver, cfg.solid_solver)?;

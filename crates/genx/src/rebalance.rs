@@ -126,7 +126,7 @@ pub fn rebalance(
     threshold: f64,
 ) -> Result<usize> {
     let inv_bytes = encode_inventory(windows, window_names);
-    let all = comm.allgather(&inv_bytes);
+    let all = comm.allgather(&inv_bytes)?;
     let inventory: Vec<Vec<(String, u64, u64)>> = all
         .iter()
         .map(|b| decode_inventory(b))

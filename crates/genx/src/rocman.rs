@@ -148,7 +148,7 @@ impl<'c, 'io> Rocman<'c, 'io> {
                 bytes.extend_from_slice(&id.0.to_le_bytes());
                 bytes.extend_from_slice(&rho.to_le_bytes());
             }
-            let all = self.comm.allgather(&bytes);
+            let all = self.comm.allgather(&bytes)?;
             let mut outlet_of = std::collections::HashMap::new();
             for part in &all {
                 for chunk in part.chunks_exact(16) {
@@ -205,7 +205,7 @@ impl<'c, 'io> Rocman<'c, 'io> {
             bytes.extend_from_slice(&sum.to_le_bytes());
             bytes.extend_from_slice(&count.to_le_bytes());
         }
-        let all = self.comm.allgather(&bytes);
+        let all = self.comm.allgather(&bytes)?;
         let mut global: Vec<(u64, f64, f64)> = Vec::new();
         for part in &all {
             for c in part.chunks_exact(24) {
@@ -266,7 +266,7 @@ impl<'c, 'io> Rocman<'c, 'io> {
                 .write_attribute(&self.windows, &AttrSelector::all(window), snap)?;
         }
         let t_barrier = self.comm.now();
-        self.comm.barrier();
+        self.comm.barrier()?;
         if rocobs::enabled() {
             rocobs::record(
                 rocobs::SpanCategory::SnapshotBarrier,

@@ -4,6 +4,15 @@
 //! come from the underlying point-to-point layer, so barriers naturally
 //! synchronize virtual clocks (every rank ends at ≥ the max participant
 //! time) and gathers charge the root for every inbound transfer.
+//!
+//! Every collective returns `Result`: a fabric failure (bad rank, poisoned
+//! job) surfaces as `RocError::Comm` instead of tearing the rank thread
+//! down, so callers holding open files can unwind cleanly. Received
+//! buffers are returned as refcounted [`Bytes`] views of the fabric's
+//! envelopes — no copy on the receive side.
+
+use bytes::Bytes;
+use rocio_core::{Result, RocError};
 
 use crate::comm::Comm;
 
@@ -18,164 +27,211 @@ const OP_REDUCE_DOWN: u8 = 8;
 const OP_SCATTER: u8 = 9;
 const OP_ALLTOALL: u8 = 10;
 
+/// Decode an 8-byte little-endian `f64` from the head of a payload.
+fn le_f64(payload: &[u8], what: &str) -> Result<f64> {
+    let bytes: [u8; 8] = payload
+        .get(..8)
+        .and_then(|s| s.try_into().ok())
+        .ok_or_else(|| {
+            RocError::Comm(format!(
+                "{what}: expected 8-byte f64 payload, got {} bytes",
+                payload.len()
+            ))
+        })?;
+    Ok(f64::from_le_bytes(bytes))
+}
+
 impl Comm {
     /// Synchronize all ranks; afterwards every clock is at least the
     /// maximum participant clock at entry.
-    pub fn barrier(&self) {
+    pub fn barrier(&self) -> Result<()> {
         let up = self.coll_tag(OP_BARRIER_UP);
         let down = self.coll_tag(OP_BARRIER_DOWN);
         if self.rank() == 0 {
             for src in 1..self.size() {
-                self.recv(Some(src), Some(up)).expect("barrier recv");
+                self.recv(Some(src), Some(up))?;
             }
             for dst in 1..self.size() {
-                self.send(dst, down, &[]).expect("barrier send");
+                self.send(dst, down, &[])?;
             }
         } else {
-            self.send(0, up, &[]).expect("barrier send");
-            self.recv(Some(0), Some(down)).expect("barrier recv");
+            self.send(0, up, &[])?;
+            self.recv(Some(0), Some(down))?;
         }
+        Ok(())
     }
 
     /// Broadcast bytes from `root` to every rank. The root passes
     /// `Some(data)`, everyone else `None`; all ranks return the data.
-    pub fn bcast(&self, root: usize, data: Option<&[u8]>) -> Vec<u8> {
+    pub fn bcast(&self, root: usize, data: Option<&[u8]>) -> Result<Bytes> {
         let tag = self.coll_tag(OP_BCAST);
         if self.rank() == root {
-            let data = data.expect("bcast root must supply data");
+            let data = data.ok_or_else(|| {
+                RocError::Comm("bcast: root must supply data".to_string())
+            })?;
+            // One staging copy; every send shares it by refcount.
+            let shared = Bytes::copy_from_slice(data);
             for dst in 0..self.size() {
                 if dst != root {
-                    self.send(dst, tag, data).expect("bcast send");
+                    self.send_bytes(dst, tag, shared.clone())?;
                 }
             }
-            data.to_vec()
+            Ok(shared)
         } else {
-            self.recv(Some(root), Some(tag)).expect("bcast recv").payload
+            Ok(self.recv(Some(root), Some(tag))?.payload)
         }
     }
 
     /// Gather each rank's bytes at `root`. The root gets `Some(vec)` with
     /// one entry per rank in rank order; everyone else gets `None`.
-    pub fn gather(&self, root: usize, data: &[u8]) -> Option<Vec<Vec<u8>>> {
+    pub fn gather(&self, root: usize, data: &[u8]) -> Result<Option<Vec<Bytes>>> {
         let tag = self.coll_tag(OP_GATHER);
         if self.rank() == root {
-            let mut out: Vec<Vec<u8>> = vec![Vec::new(); self.size()];
-            out[root] = data.to_vec();
+            let mut out: Vec<Bytes> = vec![Bytes::new(); self.size()];
+            out[root] = Bytes::copy_from_slice(data);
             for (src, slot) in out.iter_mut().enumerate() {
                 if src != root {
-                    *slot = self.recv(Some(src), Some(tag)).expect("gather recv").payload;
+                    *slot = self.recv(Some(src), Some(tag))?.payload;
                 }
             }
-            Some(out)
+            Ok(Some(out))
         } else {
-            self.send(root, tag, data).expect("gather send");
-            None
+            self.send(root, tag, data)?;
+            Ok(None)
         }
     }
 
     /// Gather everyone's bytes on every rank, in rank order.
-    pub fn allgather(&self, data: &[u8]) -> Vec<Vec<u8>> {
+    pub fn allgather(&self, data: &[u8]) -> Result<Vec<Bytes>> {
         let up = self.coll_tag(OP_ALLGATHER_UP);
         let down = self.coll_tag(OP_ALLGATHER_DOWN);
         if self.rank() == 0 {
-            let mut out: Vec<Vec<u8>> = vec![Vec::new(); self.size()];
-            out[0] = data.to_vec();
+            let mut out: Vec<Bytes> = vec![Bytes::new(); self.size()];
+            out[0] = Bytes::copy_from_slice(data);
             for (src, slot) in out.iter_mut().enumerate().skip(1) {
-                *slot = self.recv(Some(src), Some(up)).expect("allgather recv").payload;
+                *slot = self.recv(Some(src), Some(up))?.payload;
             }
-            // Flatten with length prefixes and fan out.
+            // Flatten with length prefixes, then fan out one shared image.
             let mut flat = Vec::new();
             for part in &out {
                 flat.extend_from_slice(&(part.len() as u64).to_le_bytes());
                 flat.extend_from_slice(part);
             }
+            let flat = Bytes::from(flat);
             for dst in 1..self.size() {
-                self.send(dst, down, &flat).expect("allgather send");
+                self.send_bytes(dst, down, flat.clone())?;
             }
-            out
+            Ok(out)
         } else {
-            self.send(0, up, data).expect("allgather send");
-            let flat = self.recv(Some(0), Some(down)).expect("allgather recv").payload;
+            self.send(0, up, data)?;
+            let flat = self.recv(Some(0), Some(down))?.payload;
             let mut out = Vec::with_capacity(self.size());
             let mut pos = 0;
             while pos < flat.len() {
-                let len = u64::from_le_bytes(flat[pos..pos + 8].try_into().unwrap()) as usize;
+                let len_bytes: [u8; 8] = flat
+                    .get(pos..pos + 8)
+                    .and_then(|s| s.try_into().ok())
+                    .ok_or_else(|| {
+                        RocError::Comm("allgather: truncated length prefix".to_string())
+                    })?;
+                let len = u64::from_le_bytes(len_bytes) as usize;
                 pos += 8;
-                out.push(flat[pos..pos + len].to_vec());
+                if pos + len > flat.len() {
+                    return Err(RocError::Comm(format!(
+                        "allgather: part of {len} bytes overruns {}-byte payload",
+                        flat.len()
+                    )));
+                }
+                // Zero-copy: each part is a window into the broadcast image.
+                out.push(flat.slice(pos..pos + len));
                 pos += len;
             }
-            out
+            Ok(out)
         }
     }
 
     /// Scatter per-rank byte buffers from `root`: rank `i` receives
     /// `parts[i]`. The root passes `Some(parts)` with one entry per rank.
-    pub fn scatter(&self, root: usize, parts: Option<&[Vec<u8>]>) -> Vec<u8> {
+    pub fn scatter(&self, root: usize, parts: Option<&[Vec<u8>]>) -> Result<Bytes> {
         let tag = self.coll_tag(OP_SCATTER);
         if self.rank() == root {
-            let parts = parts.expect("scatter root must supply parts");
-            assert_eq!(parts.len(), self.size(), "scatter needs one part per rank");
+            let parts = parts.ok_or_else(|| {
+                RocError::Comm("scatter: root must supply parts".to_string())
+            })?;
+            if parts.len() != self.size() {
+                return Err(RocError::Comm(format!(
+                    "scatter: {} parts for {} ranks",
+                    parts.len(),
+                    self.size()
+                )));
+            }
             for (dst, part) in parts.iter().enumerate() {
                 if dst != root {
-                    self.send(dst, tag, part).expect("scatter send");
+                    self.send(dst, tag, part)?;
                 }
             }
-            parts[root].clone()
+            Ok(Bytes::copy_from_slice(&parts[root]))
         } else {
-            self.recv(Some(root), Some(tag)).expect("scatter recv").payload
+            Ok(self.recv(Some(root), Some(tag))?.payload)
         }
     }
 
     /// All-to-all personalized exchange: rank `i` sends `parts[j]` to rank
     /// `j` and receives one buffer from every rank, returned in rank
     /// order. Eager sends make the naive algorithm deadlock-free.
-    pub fn alltoall(&self, parts: &[Vec<u8>]) -> Vec<Vec<u8>> {
-        assert_eq!(parts.len(), self.size(), "alltoall needs one part per rank");
+    pub fn alltoall(&self, parts: &[Vec<u8>]) -> Result<Vec<Bytes>> {
+        if parts.len() != self.size() {
+            return Err(RocError::Comm(format!(
+                "alltoall: {} parts for {} ranks",
+                parts.len(),
+                self.size()
+            )));
+        }
         let tag = self.coll_tag(OP_ALLTOALL);
         for (dst, part) in parts.iter().enumerate() {
             if dst != self.rank() {
-                self.send(dst, tag, part).expect("alltoall send");
+                self.send(dst, tag, part)?;
             }
         }
-        let mut out: Vec<Vec<u8>> = vec![Vec::new(); self.size()];
-        out[self.rank()] = parts[self.rank()].clone();
+        let mut out: Vec<Bytes> = vec![Bytes::new(); self.size()];
+        out[self.rank()] = Bytes::copy_from_slice(&parts[self.rank()]);
         for (src, slot) in out.iter_mut().enumerate() {
             if src != self.rank() {
-                *slot = self.recv(Some(src), Some(tag)).expect("alltoall recv").payload;
+                *slot = self.recv(Some(src), Some(tag))?.payload;
             }
         }
-        out
+        Ok(out)
     }
 
     /// All-reduce an `f64` with a binary combining function (must be
     /// associative and commutative).
-    pub fn allreduce_f64(&self, x: f64, op: impl Fn(f64, f64) -> f64) -> f64 {
+    pub fn allreduce_f64(&self, x: f64, op: impl Fn(f64, f64) -> f64) -> Result<f64> {
         let up = self.coll_tag(OP_REDUCE);
         let down = self.coll_tag(OP_REDUCE_DOWN);
         if self.rank() == 0 {
             let mut acc = x;
             for src in 1..self.size() {
-                let m = self.recv(Some(src), Some(up)).expect("reduce recv");
-                acc = op(acc, f64::from_le_bytes(m.payload[..8].try_into().unwrap()));
+                let m = self.recv(Some(src), Some(up))?;
+                acc = op(acc, le_f64(&m.payload, "allreduce")?);
             }
             for dst in 1..self.size() {
-                self.send(dst, down, &acc.to_le_bytes()).expect("reduce send");
+                self.send(dst, down, &acc.to_le_bytes())?;
             }
-            acc
+            Ok(acc)
         } else {
-            self.send(0, up, &x.to_le_bytes()).expect("reduce send");
-            let m = self.recv(Some(0), Some(down)).expect("reduce recv");
-            f64::from_le_bytes(m.payload[..8].try_into().unwrap())
+            self.send(0, up, &x.to_le_bytes())?;
+            let m = self.recv(Some(0), Some(down))?;
+            le_f64(&m.payload, "allreduce")
         }
     }
 
     /// All-reduce max.
-    pub fn allreduce_max_f64(&self, x: f64) -> f64 {
+    pub fn allreduce_max_f64(&self, x: f64) -> Result<f64> {
         self.allreduce_f64(x, f64::max)
     }
 
     /// All-reduce sum.
-    pub fn allreduce_sum_f64(&self, x: f64) -> f64 {
+    pub fn allreduce_sum_f64(&self, x: f64) -> Result<f64> {
         self.allreduce_f64(x, |a, b| a + b)
     }
 }
@@ -192,7 +248,7 @@ mod tests {
             if comm.rank() == 2 {
                 comm.advance(10.0);
             }
-            comm.barrier();
+            comm.barrier().unwrap();
             comm.now()
         });
         for t in &out {
@@ -204,7 +260,7 @@ mod tests {
     fn bcast_delivers_to_all() {
         let out = run_ranks(3, ClusterSpec::ideal(3), |comm| {
             let data = if comm.rank() == 1 { Some(&b"xyz"[..]) } else { None };
-            comm.bcast(1, data)
+            comm.bcast(1, data).unwrap()
         });
         for o in out {
             assert_eq!(o, b"xyz");
@@ -212,9 +268,17 @@ mod tests {
     }
 
     #[test]
+    fn bcast_without_root_data_errors() {
+        let out = run_ranks(1, ClusterSpec::ideal(1), |comm| {
+            comm.bcast(0, None).is_err()
+        });
+        assert!(out[0]);
+    }
+
+    #[test]
     fn gather_orders_by_rank() {
         let out = run_ranks(4, ClusterSpec::ideal(4), |comm| {
-            comm.gather(0, &[comm.rank() as u8 * 10])
+            comm.gather(0, &[comm.rank() as u8 * 10]).unwrap()
         });
         let gathered = out[0].as_ref().unwrap();
         assert_eq!(gathered.len(), 4);
@@ -227,7 +291,7 @@ mod tests {
     #[test]
     fn allgather_gives_everyone_everything() {
         let out = run_ranks(3, ClusterSpec::ideal(3), |comm| {
-            comm.allgather(format!("r{}", comm.rank()).as_bytes())
+            comm.allgather(format!("r{}", comm.rank()).as_bytes()).unwrap()
         });
         for parts in &out {
             assert_eq!(parts.len(), 3);
@@ -239,7 +303,7 @@ mod tests {
     #[test]
     fn allgather_handles_variable_lengths() {
         let out = run_ranks(3, ClusterSpec::ideal(3), |comm| {
-            comm.allgather(&vec![comm.rank() as u8; comm.rank()])
+            comm.allgather(&vec![comm.rank() as u8; comm.rank()]).unwrap()
         });
         for parts in &out {
             assert!(parts[0].is_empty());
@@ -256,7 +320,7 @@ mod tests {
             } else {
                 None
             };
-            comm.scatter(1, parts.as_deref())
+            comm.scatter(1, parts.as_deref()).unwrap()
         });
         assert_eq!(out[0], vec![0]);
         assert_eq!(out[1], vec![5, 5]);
@@ -264,11 +328,20 @@ mod tests {
     }
 
     #[test]
+    fn scatter_part_count_mismatch_errors() {
+        let out = run_ranks(1, ClusterSpec::ideal(1), |comm| {
+            comm.scatter(0, Some(&[vec![1], vec![2]][..])).is_err()
+                && comm.scatter(0, None).is_err()
+        });
+        assert!(out[0]);
+    }
+
+    #[test]
     fn alltoall_transposes() {
         let out = run_ranks(3, ClusterSpec::ideal(3), |comm| {
             let me = comm.rank() as u8;
             let parts: Vec<Vec<u8>> = (0..3).map(|j| vec![me * 10 + j as u8]).collect();
-            comm.alltoall(&parts)
+            comm.alltoall(&parts).unwrap()
         });
         // out[i][j] holds rank j's part destined for rank i: j*10 + i.
         for (i, row) in out.iter().enumerate() {
@@ -282,7 +355,10 @@ mod tests {
     fn allreduce_max_and_sum() {
         let out = run_ranks(4, ClusterSpec::ideal(4), |comm| {
             let x = comm.rank() as f64 + 1.0;
-            (comm.allreduce_max_f64(x), comm.allreduce_sum_f64(x))
+            (
+                comm.allreduce_max_f64(x).unwrap(),
+                comm.allreduce_sum_f64(x).unwrap(),
+            )
         });
         for (mx, sum) in &out {
             assert_eq!(*mx, 4.0);
@@ -293,8 +369,12 @@ mod tests {
     #[test]
     fn consecutive_collectives_do_not_cross_match() {
         let out = run_ranks(2, ClusterSpec::ideal(2), |comm| {
-            let a = comm.bcast(0, if comm.rank() == 0 { Some(b"a") } else { None });
-            let b = comm.bcast(0, if comm.rank() == 0 { Some(b"b") } else { None });
+            let a = comm
+                .bcast(0, if comm.rank() == 0 { Some(b"a") } else { None })
+                .unwrap();
+            let b = comm
+                .bcast(0, if comm.rank() == 0 { Some(b"b") } else { None })
+                .unwrap();
             (a, b)
         });
         for (a, b) in &out {
@@ -306,10 +386,10 @@ mod tests {
     #[test]
     fn single_rank_collectives_are_trivial() {
         let out = run_ranks(1, ClusterSpec::ideal(1), |comm| {
-            comm.barrier();
-            let b = comm.bcast(0, Some(b"solo"));
-            let g = comm.gather(0, b"g").unwrap();
-            let s = comm.allreduce_sum_f64(2.5);
+            comm.barrier().unwrap();
+            let b = comm.bcast(0, Some(b"solo")).unwrap();
+            let g = comm.gather(0, b"g").unwrap().unwrap();
+            let s = comm.allreduce_sum_f64(2.5).unwrap();
             (b, g.len(), s)
         });
         assert_eq!(out[0].0, b"solo");
@@ -322,7 +402,7 @@ mod tests {
         // On a non-ideal network the root's clock after a gather must be
         // at least the cost of receiving all contributions.
         let out = run_ranks(8, ClusterSpec::turing(8), |comm| {
-            comm.gather(0, &vec![0u8; 1 << 20]);
+            comm.gather(0, &vec![0u8; 1 << 20]).unwrap();
             comm.now()
         });
         // Draining 7 MiB through the root's receive path (~4 ms/MiB) plus

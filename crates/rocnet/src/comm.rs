@@ -11,7 +11,8 @@ use std::cell::{Cell, RefCell};
 use std::collections::HashMap;
 use std::sync::Arc;
 
-use rocio_core::{Result, RocError, SimTime};
+use bytes::Bytes;
+use rocio_core::{segments_to_vec, Result, RocError, Segment, SimTime};
 
 use crate::cluster::ClusterSpec;
 use crate::fabric::{Envelope, Fabric};
@@ -32,8 +33,9 @@ pub struct Message {
     pub src: usize,
     /// Message tag.
     pub tag: u32,
-    /// Payload bytes.
-    pub payload: Vec<u8>,
+    /// Payload bytes, shared with the sender's buffer by refcount — the
+    /// receive path never copies the data (derefs to `&[u8]`).
+    pub payload: Bytes,
     /// Virtual send-completion time at the sender.
     pub sent: SimTime,
     /// Virtual arrival time at this rank.
@@ -196,7 +198,24 @@ impl Comm {
     /// Eager-protocol semantics: the payload is copied into the fabric and
     /// the call never blocks. The sender's clock advances by the modelled
     /// injection cost; the message is stamped with its modelled arrival.
+    ///
+    /// This is the one copy on the path: senders holding a [`Bytes`]
+    /// handle should use [`Comm::send_bytes`] to skip it.
     pub fn send(&self, dst: usize, tag: u32, payload: &[u8]) -> Result<()> {
+        self.send_bytes(dst, tag, Bytes::copy_from_slice(payload))
+    }
+
+    /// Send a scatter-gather `segments` list as one message, assembling
+    /// the wire image exactly once (shared payload segments are copied
+    /// only here, never re-staged upstream).
+    pub fn send_segments(&self, dst: usize, tag: u32, segments: &[Segment]) -> Result<()> {
+        self.send_bytes(dst, tag, Bytes::from(segments_to_vec(segments)))
+    }
+
+    /// Send an already-shared payload without copying: the receiver's
+    /// [`Message::payload`] is a refcounted view of this very buffer.
+    /// Modelled cost is identical to [`Comm::send`].
+    pub fn send_bytes(&self, dst: usize, tag: u32, payload: Bytes) -> Result<()> {
         if dst >= self.size() {
             return Err(RocError::Comm(format!(
                 "send: rank {dst} out of range (size {})",
@@ -234,7 +253,7 @@ impl Comm {
                 ctx: self.ctx,
                 src_global: self.global_rank(),
                 tag,
-                payload: payload.to_vec(),
+                payload,
                 sent: self.clock.now(),
                 arrival,
             },
@@ -391,17 +410,17 @@ impl Comm {
     /// Duplicate the communicator (`MPI_Comm_dup`): same group, fresh
     /// context, so the duplicate's traffic never cross-matches the
     /// original's. Collective — every member must call it together.
-    pub fn dup(&self) -> Comm {
-        self.split(Some(0), self.rank() as i64)
-            .expect("dup: split with uniform color always yields a communicator")
+    pub fn dup(&self) -> Result<Comm> {
+        let dup = self.split(Some(0), self.rank() as i64)?;
+        Ok(dup.expect("dup: split with uniform color always yields a communicator"))
     }
 
     /// Split the communicator, `MPI_Comm_split` style.
     ///
     /// Ranks passing the same `color` form a new communicator, ordered by
-    /// `(key, parent rank)`. Ranks passing `None` get `None` back. Every
-    /// member of the parent must call `split` collectively.
-    pub fn split(&self, color: Option<u32>, key: i64) -> Option<Comm> {
+    /// `(key, parent rank)`. Ranks passing `None` get `Ok(None)` back.
+    /// Every member of the parent must call `split` collectively.
+    pub fn split(&self, color: Option<u32>, key: i64) -> Result<Option<Comm>> {
         let mut payload = Vec::with_capacity(13);
         match color {
             Some(c) => {
@@ -414,12 +433,14 @@ impl Comm {
             }
         }
         payload.extend_from_slice(&key.to_le_bytes());
-        let all = self.allgather(&payload);
+        let all = self.allgather(&payload)?;
 
         let split_seq = self.split_seq.get();
         self.split_seq.set(split_seq + 1);
 
-        let my_color = color?;
+        let Some(my_color) = color else {
+            return Ok(None);
+        };
 
         // Collect (key, parent_local, global) of every same-color member.
         let mut members: Vec<(i64, usize, usize)> = Vec::new();
@@ -445,7 +466,7 @@ impl Comm {
             ctx = ctx.wrapping_mul(0x0000_0100_0000_01b3);
         }
 
-        Some(Comm {
+        Ok(Some(Comm {
             fabric: Arc::clone(&self.fabric),
             ctx,
             group: Arc::new(group),
@@ -456,7 +477,7 @@ impl Comm {
             split_seq: Cell::new(0),
             stats: CommStats::default(),
             trace: RefCell::new(None),
-        })
+        }))
     }
 }
 
@@ -471,7 +492,7 @@ mod tests {
         let out = run_ranks(2, ClusterSpec::ideal(2), |comm| {
             if comm.rank() == 0 {
                 comm.send(1, 42, b"hello").unwrap();
-                Vec::new()
+                Bytes::new()
             } else {
                 comm.recv(Some(0), Some(42)).unwrap().payload
             }
@@ -500,7 +521,7 @@ mod tests {
             if comm.rank() == 0 {
                 comm.send(1, COLL_TAG_BASE | 5, b"internal").unwrap();
                 comm.send(1, 9, b"user").unwrap();
-                Vec::new()
+                Bytes::new()
             } else {
                 comm.recv(None, None).unwrap().payload
             }
@@ -549,7 +570,7 @@ mod tests {
         // 4 ranks: even ranks color 0, odd ranks color 1.
         let out = run_ranks(4, ClusterSpec::ideal(4), |comm| {
             let color = (comm.rank() % 2) as u32;
-            let sub = comm.split(Some(color), comm.rank() as i64).unwrap();
+            let sub = comm.split(Some(color), comm.rank() as i64).unwrap().unwrap();
             // Each sub-communicator has 2 ranks; exchange ranks inside it.
             let peer = 1 - sub.rank();
             sub.send(peer, 1, &[sub.rank() as u8]).unwrap();
@@ -566,7 +587,7 @@ mod tests {
     fn split_with_none_color_returns_none() {
         let out = run_ranks(3, ClusterSpec::ideal(3), |comm| {
             let color = if comm.rank() == 0 { None } else { Some(1u32) };
-            let sub = comm.split(color, 0);
+            let sub = comm.split(color, 0).unwrap();
             match sub {
                 None => usize::MAX,
                 Some(s) => s.size(),
@@ -580,7 +601,7 @@ mod tests {
     #[test]
     fn split_messages_do_not_leak_into_parent() {
         let out = run_ranks(2, ClusterSpec::ideal(2), |comm| {
-            let sub = comm.split(Some(0), comm.rank() as i64).unwrap();
+            let sub = comm.split(Some(0), comm.rank() as i64).unwrap().unwrap();
             if comm.rank() == 0 {
                 sub.send(1, 5, b"sub").unwrap();
                 comm.send(1, 5, b"world").unwrap();
@@ -600,7 +621,7 @@ mod tests {
     #[test]
     fn clock_is_shared_between_parent_and_split() {
         let out = run_ranks(2, ClusterSpec::ideal(2), |comm| {
-            let sub = comm.split(Some(0), 0).unwrap();
+            let sub = comm.split(Some(0), 0).unwrap().unwrap();
             comm.advance(2.0);
             sub.now()
         });
@@ -610,7 +631,7 @@ mod tests {
     #[test]
     fn dup_is_isolated_but_same_group() {
         let out = run_ranks(2, ClusterSpec::ideal(2), |comm| {
-            let dup = comm.dup();
+            let dup = comm.dup().unwrap();
             assert_eq!(dup.size(), comm.size());
             assert_eq!(dup.rank(), comm.rank());
             if comm.rank() == 0 {
@@ -650,6 +671,44 @@ mod tests {
             comm.send(5, 0, b"x").is_err() && comm.recv(Some(9), None).is_err()
         });
         assert!(out[0]);
+    }
+
+    #[test]
+    fn send_bytes_delivers_senders_buffer_by_refcount() {
+        let out = run_ranks(2, ClusterSpec::ideal(2), |comm| {
+            if comm.rank() == 0 {
+                let payload = Bytes::from(vec![7u8; 32]);
+                let ptr = payload.as_slice().as_ptr() as usize;
+                comm.send_bytes(1, 1, payload).unwrap();
+                ptr
+            } else {
+                let m = comm.recv(Some(0), Some(1)).unwrap();
+                assert_eq!(m.payload, vec![7u8; 32]);
+                m.payload.as_slice().as_ptr() as usize
+            }
+        });
+        assert_eq!(out[0], out[1], "receiver must see the sender's allocation");
+    }
+
+    #[test]
+    fn send_segments_assembles_once_in_order() {
+        let out = run_ranks(2, ClusterSpec::ideal(2), |comm| {
+            if comm.rank() == 0 {
+                let segs = [
+                    Segment::Owned(b"head".to_vec()),
+                    Segment::Shared(Bytes::from(vec![9u8; 8])),
+                    Segment::Owned(b"tail".to_vec()),
+                ];
+                comm.send_segments(1, 2, &segs).unwrap();
+                Bytes::new()
+            } else {
+                comm.recv(Some(0), Some(2)).unwrap().payload
+            }
+        });
+        let mut expect = b"head".to_vec();
+        expect.extend_from_slice(&[9u8; 8]);
+        expect.extend_from_slice(b"tail");
+        assert_eq!(out[1], expect);
     }
 
     #[test]

@@ -34,6 +34,7 @@ use std::collections::VecDeque;
 use std::sync::Arc;
 use std::time::Duration;
 
+use bytes::Bytes;
 use parking_lot::{Condvar, Mutex};
 use rocio_core::SimTime;
 
@@ -111,8 +112,9 @@ pub struct Envelope {
     pub src_global: usize,
     /// Message tag.
     pub tag: u32,
-    /// Payload bytes.
-    pub payload: Vec<u8>,
+    /// Payload bytes, shared by refcount: cloning an envelope (or handing
+    /// its payload to a receiver) never copies the data.
+    pub payload: Bytes,
     /// Virtual time at which the sender finished injecting the message.
     pub sent: SimTime,
     /// Virtual time at which the message is available at the receiver.
@@ -787,7 +789,7 @@ mod tests {
             ctx: 0,
             src_global: src,
             tag,
-            payload: vec![1, 2, 3],
+            payload: Bytes::from(&[1u8, 2, 3][..]),
             sent: 0.0,
             arrival,
         }

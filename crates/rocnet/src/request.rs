@@ -127,7 +127,7 @@ mod tests {
             if comm.rank() == 0 {
                 // Give rank 1 a chance to post before we send.
                 comm.send(1, 9, b"payload").unwrap();
-                Vec::new()
+                bytes::Bytes::new()
             } else {
                 let mut req = comm.irecv(Some(0), Some(9)).unwrap();
                 // test() may miss (message still physically in flight);

@@ -5,45 +5,74 @@
 //! and keeps root-side costs explicit, but costs O(p) at the root. These
 //! tree variants cost O(log p) rounds; the `collectives` ablation bench
 //! compares both on the Frost model at 512 ranks.
+//!
+//! Like the linear collectives, every operation returns `Result` and
+//! forwards received payloads as refcounted [`Bytes`] — an interior tree
+//! node relays its subtree's data without copying it.
+
+use bytes::Bytes;
+use rocio_core::{Result, RocError};
 
 use crate::comm::Comm;
 
 const OP_TREE_UP: u8 = 16;
 const OP_TREE_DOWN: u8 = 17;
 
+/// Decode an 8-byte little-endian `f64` from the head of a payload.
+fn le_f64(payload: &[u8], what: &str) -> Result<f64> {
+    let bytes: [u8; 8] = payload
+        .get(..8)
+        .and_then(|s| s.try_into().ok())
+        .ok_or_else(|| {
+            RocError::Comm(format!(
+                "{what}: expected 8-byte f64 payload, got {} bytes",
+                payload.len()
+            ))
+        })?;
+    Ok(f64::from_le_bytes(bytes))
+}
+
 impl Comm {
     /// Binomial-tree barrier: reduce-to-0 then broadcast, each in
     /// `ceil(log2 p)` rounds.
-    pub fn barrier_tree(&self) {
+    pub fn barrier_tree(&self) -> Result<()> {
         let up = self.coll_tag(OP_TREE_UP);
         let down = self.coll_tag(OP_TREE_DOWN);
-        self.tree_reduce_bytes(up, &[], |_a, _b| Vec::new());
-        self.tree_bcast_bytes(down, Vec::new());
+        self.tree_reduce_bytes(up, &[], |_a, _b| Ok(Vec::new()))?;
+        self.tree_bcast_bytes(down, Bytes::new())?;
+        Ok(())
     }
 
     /// Binomial-tree broadcast from rank 0. Rank 0 passes `Some(data)`.
-    pub fn bcast_tree(&self, data: Option<&[u8]>) -> Vec<u8> {
+    pub fn bcast_tree(&self, data: Option<&[u8]>) -> Result<Bytes> {
         let tag = self.coll_tag(OP_TREE_DOWN);
         let seed = if self.rank() == 0 {
-            data.expect("bcast_tree root must supply data").to_vec()
+            let data = data.ok_or_else(|| {
+                RocError::Comm("bcast_tree: root must supply data".to_string())
+            })?;
+            Bytes::copy_from_slice(data)
         } else {
-            Vec::new()
+            Bytes::new()
         };
         self.tree_bcast_bytes(tag, seed)
     }
 
     /// Binomial-tree all-reduce of an `f64` (associative + commutative
     /// `op`): reduce to rank 0, then tree-broadcast the result.
-    pub fn allreduce_f64_tree(&self, x: f64, op: impl Fn(f64, f64) -> f64 + Copy) -> f64 {
+    pub fn allreduce_f64_tree(
+        &self,
+        x: f64,
+        op: impl Fn(f64, f64) -> f64 + Copy,
+    ) -> Result<f64> {
         let up = self.coll_tag(OP_TREE_UP);
         let down = self.coll_tag(OP_TREE_DOWN);
         let reduced = self.tree_reduce_bytes(up, &x.to_le_bytes(), |a, b| {
-            let xa = f64::from_le_bytes(a[..8].try_into().unwrap());
-            let xb = f64::from_le_bytes(b[..8].try_into().unwrap());
-            op(xa, xb).to_le_bytes().to_vec()
-        });
-        let out = self.tree_bcast_bytes(down, reduced);
-        f64::from_le_bytes(out[..8].try_into().unwrap())
+            let xa = le_f64(a, "allreduce_tree")?;
+            let xb = le_f64(b, "allreduce_tree")?;
+            Ok(op(xa, xb).to_le_bytes().to_vec())
+        })?;
+        let out = self.tree_bcast_bytes(down, Bytes::from(reduced))?;
+        le_f64(&out, "allreduce_tree")
     }
 
     /// Reduce to rank 0 along a binomial tree. Returns the combined bytes
@@ -52,8 +81,8 @@ impl Comm {
         &self,
         tag: u32,
         mine: &[u8],
-        combine: impl Fn(&[u8], &[u8]) -> Vec<u8>,
-    ) -> Vec<u8> {
+        combine: impl Fn(&[u8], &[u8]) -> Result<Vec<u8>>,
+    ) -> Result<Vec<u8>> {
         let rank = self.rank();
         let size = self.size();
         let mut acc = mine.to_vec();
@@ -62,22 +91,23 @@ impl Comm {
             if rank.is_multiple_of(2 * step) {
                 let peer = rank + step;
                 if peer < size {
-                    let m = self.recv(Some(peer), Some(tag)).expect("tree reduce recv");
-                    acc = combine(&acc, &m.payload);
+                    let m = self.recv(Some(peer), Some(tag))?;
+                    acc = combine(&acc, &m.payload)?;
                 }
             } else if rank % (2 * step) == step {
                 let peer = rank - step;
-                self.send(peer, tag, &acc).expect("tree reduce send");
+                self.send(peer, tag, &acc)?;
                 break;
             }
             step *= 2;
         }
-        acc
+        Ok(acc)
     }
 
     /// Broadcast from rank 0 along a binomial tree (inverse order of the
-    /// reduce). Every rank returns the payload.
-    fn tree_bcast_bytes(&self, tag: u32, mine: Vec<u8>) -> Vec<u8> {
+    /// reduce). Every rank returns the payload; interior nodes forward
+    /// the received handle without copying.
+    fn tree_bcast_bytes(&self, tag: u32, mine: Bytes) -> Result<Bytes> {
         let rank = self.rank();
         let size = self.size();
         // Highest power of two <= size.
@@ -92,19 +122,19 @@ impl Comm {
         let mut received = rank == 0;
         while step >= 1 {
             if !received && rank % (2 * step) == step {
-                let m = self.recv(Some(rank - step), Some(tag)).expect("tree bcast recv");
+                let m = self.recv(Some(rank - step), Some(tag))?;
                 data = m.payload;
                 received = true;
             }
             if received && rank.is_multiple_of(2 * step) {
                 let peer = rank + step;
                 if peer < size {
-                    self.send(peer, tag, &data).expect("tree bcast send");
+                    self.send_bytes(peer, tag, data.clone())?;
                 }
             }
             step /= 2;
         }
-        data
+        Ok(data)
     }
 }
 
@@ -118,6 +148,7 @@ mod tests {
         for n in [1usize, 2, 3, 5, 8, 13] {
             let out = run_ranks(n, ClusterSpec::ideal(n), |comm| {
                 comm.bcast_tree(if comm.rank() == 0 { Some(b"hello") } else { None })
+                    .unwrap()
             });
             for o in &out {
                 assert_eq!(o, b"hello", "n={n}");
@@ -130,8 +161,8 @@ mod tests {
         for n in [2usize, 4, 7, 16] {
             let out = run_ranks(n, ClusterSpec::ideal(n), |comm| {
                 let x = (comm.rank() + 1) as f64;
-                let tree = comm.allreduce_f64_tree(x, |a, b| a + b);
-                let linear = comm.allreduce_sum_f64(x);
+                let tree = comm.allreduce_f64_tree(x, |a, b| a + b).unwrap();
+                let linear = comm.allreduce_sum_f64(x).unwrap();
                 (tree, linear)
             });
             let expect = (n * (n + 1) / 2) as f64;
@@ -148,7 +179,7 @@ mod tests {
             if comm.rank() == 3 {
                 comm.advance(5.0);
             }
-            comm.barrier_tree();
+            comm.barrier_tree().unwrap();
             comm.now()
         });
         for t in &out {
@@ -162,11 +193,11 @@ mod tests {
         // time must be well below the linear gather's.
         let n = 64;
         let linear = run_ranks(n, ClusterSpec::turing(n), |comm| {
-            comm.allreduce_sum_f64(comm.rank() as f64);
+            comm.allreduce_sum_f64(comm.rank() as f64).unwrap();
             comm.now()
         });
         let tree = run_ranks(n, ClusterSpec::turing(n), |comm| {
-            comm.allreduce_f64_tree(comm.rank() as f64, |a, b| a + b);
+            comm.allreduce_f64_tree(comm.rank() as f64, |a, b| a + b).unwrap();
             comm.now()
         });
         let lin_max = linear.iter().cloned().fold(0.0f64, f64::max);
@@ -180,9 +211,9 @@ mod tests {
     #[test]
     fn tree_and_linear_interleave_safely() {
         let out = run_ranks(4, ClusterSpec::ideal(4), |comm| {
-            let a = comm.allreduce_sum_f64(1.0);
-            let b = comm.allreduce_f64_tree(1.0, |x, y| x + y);
-            let c = comm.allreduce_max_f64(comm.rank() as f64);
+            let a = comm.allreduce_sum_f64(1.0).unwrap();
+            let b = comm.allreduce_f64_tree(1.0, |x, y| x + y).unwrap();
+            let c = comm.allreduce_max_f64(comm.rank() as f64).unwrap();
             (a, b, c)
         });
         for (a, b, c) in &out {

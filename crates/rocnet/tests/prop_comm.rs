@@ -44,7 +44,10 @@ proptest! {
         let v2 = values.clone();
         let out = run_ranks(n, ClusterSpec::ideal(n), move |comm| {
             let x = v2[comm.rank()];
-            (comm.allreduce_sum_f64(x), comm.allreduce_max_f64(x))
+            (
+                comm.allreduce_sum_f64(x).unwrap(),
+                comm.allreduce_max_f64(x).unwrap(),
+            )
         });
         let sum: f64 = values.iter().sum();
         let max = values.iter().cloned().fold(f64::MIN, f64::max);
@@ -63,10 +66,10 @@ proptest! {
             comm.compute(w2[comm.rank()]);
             let mut monotone = comm.now() >= prev;
             prev = comm.now();
-            comm.barrier();
+            comm.barrier().unwrap();
             monotone &= comm.now() >= prev;
             prev = comm.now();
-            let _ = comm.allgather(&[comm.rank() as u8]);
+            let _ = comm.allgather(&[comm.rank() as u8]).unwrap();
             monotone &= comm.now() >= prev;
             monotone
         });
@@ -79,7 +82,7 @@ proptest! {
         let w2 = work.clone();
         let out = run_ranks(n, ClusterSpec::ideal(n), move |comm| {
             comm.compute(w2[comm.rank()]);
-            comm.barrier();
+            comm.barrier().unwrap();
             comm.now()
         });
         let max_work = work.iter().cloned().fold(0.0, f64::max);

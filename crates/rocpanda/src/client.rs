@@ -2,8 +2,9 @@
 
 use std::collections::HashSet;
 
-use rocio_core::{Result, RocError, SnapshotId};
+use rocio_core::{segments_len, Result, RocError, Segment, SnapshotId};
 use rocnet::Comm;
+use rocsdf::SegmentPool;
 
 use crate::config::RocpandaConfig;
 use crate::wire::{self, tag, BlockMsg, ReadReq, WriteReq};
@@ -25,6 +26,10 @@ pub struct PandaClient<'a> {
     server_ranks: Vec<usize>,
     visible_io: f64,
     finalized: bool,
+    /// Reusable staging buffers for the scatter-gather block encoder —
+    /// steady-state snapshots allocate no fresh header buffers.
+    pool: SegmentPool,
+    segs: Vec<Segment>,
 }
 
 impl<'a> PandaClient<'a> {
@@ -43,6 +48,8 @@ impl<'a> PandaClient<'a> {
             server_ranks,
             visible_io: 0.0,
             finalized: false,
+            pool: SegmentPool::new(),
+            segs: Vec::new(),
         }
     }
 
@@ -98,16 +105,20 @@ impl IoService for PandaClient<'_> {
                 window: sel.window.clone(),
                 block,
             };
-            let payload = msg.encode();
-            // Client-side packing cost.
+            // Scatter-gather encode into pooled staging buffers; the wire
+            // image is assembled exactly once, inside send_segments.
+            self.segs.clear();
+            msg.encode_segments(&mut self.pool, &mut self.segs);
+            // Client-side packing cost (same total bytes as before).
             self.world
-                .advance(payload.len() as f64 / self.cfg.client_pack_bw);
+                .advance(segments_len(&self.segs) as f64 / self.cfg.client_pack_bw);
             // Flow control: at most `window` unacknowledged blocks.
             while in_flight >= window {
                 self.world.recv(Some(self.my_server), Some(tag::ACK))?;
                 in_flight -= 1;
             }
-            self.world.send(self.my_server, tag::BLOCK, &payload)?;
+            self.world.send_segments(self.my_server, tag::BLOCK, &self.segs)?;
+            self.pool.recycle(&mut self.segs);
             in_flight += 1;
         }
         while in_flight > 0 {
@@ -234,14 +245,14 @@ impl IoService for PandaClient<'_> {
     fn retire(&mut self, snap: SnapshotId) -> Result<()> {
         // One client per server group requests the deletion; everyone
         // synchronizes so no client proceeds while files vanish.
-        self.client_comm.barrier();
+        self.client_comm.barrier()?;
         if self.client_comm.rank() == 0 {
             for &s in &self.server_ranks.clone() {
                 self.world.send(s, tag::RETIRE, &wire::encode_retire(snap))?;
                 self.world.recv(Some(s), Some(tag::RETIRE_ACK))?;
             }
         }
-        self.client_comm.barrier();
+        self.client_comm.barrier()?;
         Ok(())
     }
 
@@ -254,9 +265,9 @@ impl IoService for PandaClient<'_> {
         // sync reaches a server (a premature flush would interleave disk
         // drains with another client's in-flight blocks), then sync, then
         // one client delivers the shutdowns.
-        self.client_comm.barrier();
+        self.client_comm.barrier()?;
         self.sync()?;
-        self.client_comm.barrier();
+        self.client_comm.barrier()?;
         if self.client_comm.rank() == 0 {
             for &s in &self.server_ranks.clone() {
                 self.world.send(s, tag::SHUTDOWN, &[])?;

@@ -92,7 +92,7 @@ pub fn init<'a>(
     // handed to the application (MPI_Comm_dup semantics).
     let color = if is_server { 1u32 } else { 0u32 };
     let subcomm = || {
-        world.split(Some(color), my_rank as i64).ok_or_else(|| {
+        world.split(Some(color), my_rank as i64)?.ok_or_else(|| {
             RocError::Comm("split with Some color yielded no communicator".into())
         })
     };

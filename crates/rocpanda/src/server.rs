@@ -175,7 +175,11 @@ impl<'a> PandaServer<'a> {
                 Ok(true)
             }
             tag::BLOCK => {
-                let bm = BlockMsg::decode(&msg.payload)?;
+                // Zero-copy intake: the buffered block's payloads are
+                // refcounted windows into the message itself, so active
+                // buffering holds exactly one copy of the data until the
+                // drain stages it into the pooled write buffer.
+                let bm = BlockMsg::decode_shared(&msg.payload)?;
                 let key = FileKey {
                     snap: bm.snap,
                     window: bm.window.clone(),
@@ -416,7 +420,7 @@ impl<'a> PandaServer<'a> {
         // anyone scans: synchronize the server group. Reached even when
         // the flush failed — a sibling blocked in this barrier must not
         // deadlock on our error.
-        self.server_comm.barrier();
+        self.server_comm.barrier()?;
         let result = prep.and_then(|_| self.scan_and_ship(key, &requests));
         if let Err(e) = result {
             let text = e.to_string();
@@ -473,7 +477,8 @@ impl<'a> PandaServer<'a> {
                         window: key.window.clone(),
                         block,
                     };
-                    self.world.send(client, tag::READ_BLOCK, &msg.encode())?;
+                    self.world
+                        .send_bytes(client, tag::READ_BLOCK, msg.encode().into())?;
                     *sent_per_client.entry(client).or_insert(0) += 1;
                     self.stats.restart_blocks_sent += 1;
                 }

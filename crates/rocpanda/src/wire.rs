@@ -5,10 +5,13 @@
 //! little-endian in the payload. Data blocks travel as sequences of SDF
 //! dataset records — the same self-describing encoding the files use.
 
-use rocio_core::{DataBlock, Result, RocError, SnapshotId};
+use bytes::Bytes;
+use rocio_core::{DataBlock, Result, RocError, Segment, SnapshotId};
 use rocsdf::format::{
-    block_meta_dataset, block_prefix, decode_dataset, encode_dataset, parse_block_meta, BLOCK_META,
+    block_meta_dataset, block_prefix, decode_dataset, decode_dataset_shared, encode_dataset_into,
+    parse_block_meta, BLOCK_META,
 };
+use rocsdf::SegmentPool;
 
 /// Message tags. All below [`rocnet::comm::TAG_USER_MAX`].
 pub mod tag {
@@ -58,7 +61,9 @@ fn take<'a>(bytes: &'a [u8], pos: &mut usize, n: usize) -> Result<&'a [u8]> {
 
 fn get_str(bytes: &[u8], pos: &mut usize) -> Result<String> {
     let n = rocio_core::le::u16(take(bytes, pos, 2)?, "panda wire string length")? as usize;
-    String::from_utf8(take(bytes, pos, n)?.to_vec())
+    // Single checked conversion: validate in place, then copy once.
+    std::str::from_utf8(take(bytes, pos, n)?)
+        .map(str::to_owned)
         .map_err(|_| RocError::Corrupt("panda wire: bad utf8".into()))
 }
 
@@ -151,23 +156,55 @@ pub struct BlockMsg {
 
 impl BlockMsg {
     /// Encode: routing header, then the block's `__meta__` dataset and its
-    /// member datasets as SDF records (prefixed names).
+    /// member datasets as SDF records (prefixed names). The name override
+    /// in the record encoder relabels datasets in place — no clone.
     pub fn encode(&self) -> Vec<u8> {
         let mut out = Vec::new();
         put_snap(&mut out, self.snap);
         put_str(&mut out, &self.window);
         out.extend_from_slice(&(1 + self.block.datasets.len() as u32).to_le_bytes());
-        out.extend(encode_dataset(&block_meta_dataset(&self.block)));
+        encode_dataset_into(&block_meta_dataset(&self.block), None, None, &mut out);
         let prefix = block_prefix(self.block.id);
         for ds in &self.block.datasets {
-            let mut named = ds.clone();
-            named.name = format!("{prefix}{}", ds.name);
-            out.extend(encode_dataset(&named));
+            encode_dataset_into(ds, Some(&format!("{prefix}{}", ds.name)), None, &mut out);
         }
         out
     }
 
-    pub fn decode(bytes: &[u8]) -> Result<Self> {
+    /// Scatter-gather encode: headers go into pooled staging buffers,
+    /// shared payloads ride along by refcount. Concatenated, the segments
+    /// are byte-identical to [`BlockMsg::encode`]; send them with
+    /// `Comm::send_segments` so the wire image is assembled exactly once.
+    pub fn encode_segments(&self, pool: &mut SegmentPool, out: &mut Vec<Segment>) {
+        let mut head = pool.take();
+        head.clear();
+        put_snap(&mut head, self.snap);
+        put_str(&mut head, &self.window);
+        head.extend_from_slice(&(1 + self.block.datasets.len() as u32).to_le_bytes());
+        out.push(Segment::Owned(head));
+        rocsdf::encode_dataset_segments(
+            &block_meta_dataset(&self.block),
+            None,
+            None,
+            pool.take(),
+            out,
+        );
+        let prefix = block_prefix(self.block.id);
+        for ds in &self.block.datasets {
+            rocsdf::encode_dataset_segments(
+                ds,
+                Some(&format!("{prefix}{}", ds.name)),
+                None,
+                pool.take(),
+                out,
+            );
+        }
+    }
+
+    fn decode_with(
+        bytes: &[u8],
+        mut record: impl FnMut(&mut usize) -> Result<rocio_core::Dataset>,
+    ) -> Result<Self> {
         let mut pos = 0;
         let snap = get_snap(bytes, &mut pos)?;
         let window = get_str(bytes, &mut pos)?;
@@ -175,7 +212,7 @@ impl BlockMsg {
         if n == 0 {
             return Err(RocError::Corrupt("panda wire: empty block".into()));
         }
-        let meta = decode_dataset(bytes, &mut pos)?;
+        let meta = record(&mut pos)?;
         if !meta.name.ends_with(BLOCK_META) {
             return Err(RocError::Corrupt(format!(
                 "panda wire: expected block meta first, got '{}'",
@@ -187,7 +224,7 @@ impl BlockMsg {
         block.attrs = attrs;
         let prefix = block_prefix(id);
         for _ in 1..n {
-            let mut ds = decode_dataset(bytes, &mut pos)?;
+            let mut ds = record(&mut pos)?;
             ds.name = ds
                 .name
                 .strip_prefix(&prefix)
@@ -202,6 +239,19 @@ impl BlockMsg {
             window,
             block,
         })
+    }
+
+    /// Decode into typed arrays (the client restart path, which mutates
+    /// the data it receives).
+    pub fn decode(bytes: &[u8]) -> Result<Self> {
+        Self::decode_with(bytes, |pos| decode_dataset(bytes, pos))
+    }
+
+    /// Decode with zero-copy payloads: each dataset's data is a refcounted
+    /// window into `bytes`, so a server can buffer the blocks of many
+    /// messages without duplicating any payload.
+    pub fn decode_shared(bytes: &Bytes) -> Result<Self> {
+        Self::decode_with(bytes, |pos| decode_dataset_shared(bytes, pos))
     }
 }
 
@@ -219,7 +269,7 @@ pub fn decode_retire(bytes: &[u8]) -> Result<SnapshotId> {
 
 /// `READ_DONE` payload: how many blocks this server shipped to the client.
 pub fn encode_read_done(n_sent: u32) -> Vec<u8> {
-    n_sent.to_le_bytes().to_vec()
+    Vec::from(n_sent.to_le_bytes())
 }
 
 /// Decode a `READ_DONE` payload.
@@ -274,6 +324,29 @@ mod tests {
         };
         let dec = BlockMsg::decode(&m.encode()).unwrap();
         assert_eq!(dec, m);
+    }
+
+    #[test]
+    fn segment_encode_matches_contiguous_and_decodes_shared() {
+        let m = BlockMsg {
+            snap: SnapshotId::new(50, 1),
+            window: "fluid".into(),
+            block: block(),
+        };
+        let flat = m.encode();
+        let mut pool = SegmentPool::new();
+        let mut segs = Vec::new();
+        m.encode_segments(&mut pool, &mut segs);
+        assert_eq!(rocio_core::segments_to_vec(&segs), flat);
+
+        let src = Bytes::from(flat);
+        let dec = BlockMsg::decode_shared(&src).unwrap();
+        // Payloads are refcounted views of the message; they stay valid
+        // after the message handle itself is dropped.
+        drop(src);
+        assert_eq!(dec, m);
+        // And the shared form re-encodes to the same bytes.
+        assert_eq!(dec.encode(), m.encode());
     }
 
     #[test]

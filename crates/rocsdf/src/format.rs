@@ -14,7 +14,10 @@
 //! or corrupt index can be recovered by sequential scan (see
 //! [`crate::inspect::describe`]).
 
-use rocio_core::{ArrayData, AttrValue, BlockId, DType, DataBlock, Dataset, Result, RocError};
+use bytes::Bytes;
+use rocio_core::{
+    ArrayData, AttrValue, BlockId, DType, DataBlock, Dataset, Result, RocError, Segment,
+};
 
 /// File magic, also used as the trailer sentinel.
 pub const MAGIC: &[u8; 4] = b"RSDF";
@@ -37,27 +40,75 @@ pub const BLOCK_META: &str = "__meta__";
 /// [`decode_dataset`]; absent on wire messages (the fabric is trusted).
 pub const CRC_ATTR: &str = "__crc32__";
 
-/// CRC-32 (ISO-HDLC, the zlib polynomial) of `bytes`.
-pub fn crc32(bytes: &[u8]) -> u32 {
-    let mut crc: u32 = 0xFFFF_FFFF;
-    for &b in bytes {
-        crc ^= b as u32;
-        for _ in 0..8 {
+/// Slice-by-8 lookup tables for [`crc32`], generated at compile time
+/// from the bitwise definition. `CRC_TABLES[j][b]` advances a CRC whose
+/// next input byte is `b` with `j` more bytes following in the same
+/// 8-byte group.
+const CRC_TABLES: [[u32; 256]; 8] = build_crc_tables();
+
+const fn build_crc_tables() -> [[u32; 256]; 8] {
+    let mut t = [[0u32; 256]; 8];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut k = 0;
+        while k < 8 {
             let mask = (crc & 1).wrapping_neg();
             crc = (crc >> 1) ^ (0xEDB8_8320 & mask);
+            k += 1;
         }
+        t[0][i] = crc;
+        i += 1;
+    }
+    let mut j = 1;
+    while j < 8 {
+        let mut i = 0;
+        while i < 256 {
+            let prev = t[j - 1][i];
+            t[j][i] = (prev >> 8) ^ t[0][(prev & 0xFF) as usize];
+            i += 1;
+        }
+        j += 1;
+    }
+    t
+}
+
+/// CRC-32 (ISO-HDLC, the zlib polynomial) of `bytes`.
+///
+/// Slice-by-8: eight table lookups consume eight input bytes per step,
+/// an order of magnitude faster than the bit-serial loop the drain path
+/// used to pay per payload byte. Byte-identical to the bitwise
+/// definition (tested against it below).
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut crc: u32 = 0xFFFF_FFFF;
+    let mut chunks = bytes.chunks_exact(8);
+    for c in &mut chunks {
+        crc ^= u32::from_le_bytes([c[0], c[1], c[2], c[3]]);
+        let hi = u32::from_le_bytes([c[4], c[5], c[6], c[7]]);
+        crc = CRC_TABLES[7][(crc & 0xFF) as usize]
+            ^ CRC_TABLES[6][((crc >> 8) & 0xFF) as usize]
+            ^ CRC_TABLES[5][((crc >> 16) & 0xFF) as usize]
+            ^ CRC_TABLES[4][(crc >> 24) as usize]
+            ^ CRC_TABLES[3][(hi & 0xFF) as usize]
+            ^ CRC_TABLES[2][((hi >> 8) & 0xFF) as usize]
+            ^ CRC_TABLES[1][((hi >> 16) & 0xFF) as usize]
+            ^ CRC_TABLES[0][(hi >> 24) as usize];
+    }
+    for &b in chunks.remainder() {
+        crc = (crc >> 8) ^ CRC_TABLES[0][((crc ^ b as u32) & 0xFF) as usize];
     }
     !crc
 }
 
-/// Re-encode `ds` with its payload checksum attached (file writes).
-pub fn with_crc(ds: &Dataset) -> Dataset {
-    let mut payload = Vec::with_capacity(ds.byte_len());
-    ds.data.to_le_bytes(&mut payload);
-    let mut out = ds.clone();
-    out.attrs
-        .insert(CRC_ATTR.to_string(), AttrValue::Int(crc32(&payload) as i64));
-    out
+/// CRC-32 of a dataset's canonical little-endian payload bytes.
+///
+/// Shared and `u8` payloads are checksummed in place; other typed
+/// payloads are encoded into a scratch buffer first. This replaces the
+/// old `with_crc` helper, which deep-copied the whole dataset just to
+/// attach the checksum attribute — encoders now inject the attribute
+/// during encoding instead (see [`encode_dataset_into`]).
+pub fn payload_crc32(ds: &Dataset) -> u32 {
+    ds.data.with_le_bytes(crc32)
 }
 
 /// Dataset-name prefix for a block's group of datasets.
@@ -98,26 +149,109 @@ pub fn check_header(bytes: &[u8]) -> Result<()> {
     Ok(())
 }
 
-/// Encode one dataset record.
+/// Encode one dataset record (contiguous).
 pub fn encode_dataset(ds: &Dataset) -> Vec<u8> {
     let mut out = Vec::with_capacity(ds.encoded_size() + 16);
+    encode_dataset_into(ds, None, None, &mut out);
+    out
+}
+
+fn encode_attr_entry(k: &str, v: &AttrValue, out: &mut Vec<u8>) {
+    out.extend_from_slice(&(k.len() as u16).to_le_bytes());
+    out.extend_from_slice(k.as_bytes());
+    v.encode(out);
+}
+
+/// Append the record *header* — everything from the `DS00` marker through
+/// the `data_len` field, i.e. all bytes before the payload — to `out`.
+///
+/// `name_override` replaces the dataset's own name (the server re-labels
+/// datasets under a block-group prefix without cloning them); `crc`
+/// injects a `__crc32__` Int attribute in its sorted position within the
+/// attribute table, replacing any existing entry, so the output is
+/// byte-identical to encoding a dataset that carried the attribute in its
+/// `BTreeMap`.
+fn encode_dataset_header_into(
+    ds: &Dataset,
+    name_override: Option<&str>,
+    crc: Option<u32>,
+    out: &mut Vec<u8>,
+) {
+    let name = name_override.unwrap_or(&ds.name);
     out.extend_from_slice(DS_MARKER);
-    out.extend_from_slice(&(ds.name.len() as u16).to_le_bytes());
-    out.extend_from_slice(ds.name.as_bytes());
+    out.extend_from_slice(&(name.len() as u16).to_le_bytes());
+    out.extend_from_slice(name.as_bytes());
     out.push(ds.dtype().tag());
     out.push(ds.shape.len() as u8);
     for &e in &ds.shape {
         out.extend_from_slice(&(e as u64).to_le_bytes());
     }
-    out.extend_from_slice(&(ds.attrs.len() as u16).to_le_bytes());
+    let crc_attr = crc.map(|c| AttrValue::Int(c as i64));
+    let n_attrs = ds.attrs.len()
+        + usize::from(crc_attr.is_some() && !ds.attrs.contains_key(CRC_ATTR));
+    out.extend_from_slice(&(n_attrs as u16).to_le_bytes());
+    let mut pending = crc_attr.as_ref();
     for (k, v) in &ds.attrs {
-        out.extend_from_slice(&(k.len() as u16).to_le_bytes());
-        out.extend_from_slice(k.as_bytes());
-        v.encode(&mut out);
+        if let Some(c) = pending {
+            if k.as_str() >= CRC_ATTR {
+                encode_attr_entry(CRC_ATTR, c, out);
+                pending = None;
+                if k == CRC_ATTR {
+                    continue; // replaced by the computed checksum
+                }
+            }
+        }
+        encode_attr_entry(k, v, out);
+    }
+    if let Some(c) = pending {
+        encode_attr_entry(CRC_ATTR, c, out);
     }
     out.extend_from_slice(&(ds.byte_len() as u64).to_le_bytes());
-    ds.data.to_le_bytes(&mut out);
-    out
+}
+
+/// Contiguous encode into a caller-supplied buffer, with optional rename
+/// and checksum injection — the fallback for callers that need one flat
+/// run of bytes. Produces exactly the bytes of [`encode_dataset`] on a
+/// dataset renamed to `name_override` with `crc` in its attribute map,
+/// without materializing that dataset.
+pub fn encode_dataset_into(
+    ds: &Dataset,
+    name_override: Option<&str>,
+    crc: Option<u32>,
+    out: &mut Vec<u8>,
+) {
+    encode_dataset_header_into(ds, name_override, crc, out);
+    ds.data.to_le_bytes(out);
+}
+
+/// Scatter-gather encode: appends an `IoSlice`-style segment list for one
+/// dataset record instead of flattening it.
+///
+/// `head` is the staging buffer for the owned header bytes (pass a
+/// recycled buffer to avoid allocation; it is cleared first). A shared
+/// payload is appended as a [`Segment::Shared`] refcount bump; typed
+/// payloads are encoded into the header segment so the record stays one
+/// owned run. The concatenation of the appended segments is byte-identical
+/// to [`encode_dataset_into`] with the same arguments.
+pub fn encode_dataset_segments(
+    ds: &Dataset,
+    name_override: Option<&str>,
+    crc: Option<u32>,
+    mut head: Vec<u8>,
+    out: &mut Vec<Segment>,
+) {
+    head.clear();
+    encode_dataset_header_into(ds, name_override, crc, &mut head);
+    match ds.data.as_shared() {
+        Some(s) => {
+            out.push(Segment::Owned(head));
+            out.push(Segment::Shared(s.bytes().clone()));
+        }
+        None => {
+            ds.data.to_le_bytes(&mut head);
+            out.push(Segment::Owned(head));
+        }
+    }
 }
 
 fn take<'a>(bytes: &'a [u8], pos: &mut usize, n: usize) -> Result<&'a [u8]> {
@@ -137,8 +271,23 @@ fn take_u64(bytes: &[u8], pos: &mut usize) -> Result<u64> {
 }
 
 fn take_str(bytes: &[u8], pos: &mut usize, n: usize) -> Result<String> {
-    String::from_utf8(take(bytes, pos, n)?.to_vec())
+    // Validate in place, then copy once — not to_vec() followed by a
+    // checked conversion of the copy.
+    std::str::from_utf8(take(bytes, pos, n)?)
+        .map(str::to_owned)
         .map_err(|_| RocError::Corrupt("SDF: invalid utf-8 name".into()))
+}
+
+/// Parsed record with the payload still identified only by position: the
+/// shared scaffolding of the typed and zero-copy decoders.
+struct RawRecord {
+    name: String,
+    dtype: DType,
+    shape: Vec<usize>,
+    n_elems: usize,
+    attrs: std::collections::BTreeMap<String, AttrValue>,
+    /// Absolute byte range of the payload within the input.
+    payload: std::ops::Range<usize>,
 }
 
 /// Decode one dataset record at `*pos`, advancing `*pos` past it.
@@ -147,6 +296,37 @@ fn take_str(bytes: &[u8], pos: &mut usize, n: usize) -> Result<String> {
 /// any allocation, so corrupt input yields [`RocError::Corrupt`], never a
 /// panic or an absurd allocation.
 pub fn decode_dataset(bytes: &[u8], pos: &mut usize) -> Result<Dataset> {
+    let rec = decode_record(bytes, pos)?;
+    let payload = &bytes[rec.payload.clone()];
+    let mut ds = Dataset::new(
+        rec.name,
+        rec.shape,
+        ArrayData::from_le_bytes(rec.dtype, rec.n_elems, payload)?,
+    )?;
+    ds.attrs = rec.attrs;
+    Ok(ds)
+}
+
+/// Decode one dataset record at `*pos` without copying its payload: the
+/// returned dataset's data is an [`ArrayData::Shared`] view of `bytes`.
+///
+/// The view holds a refcount on the input's allocation, so it stays valid
+/// after every other handle to `bytes` is dropped — this is how the
+/// server's active buffer references message payloads until drain without
+/// re-encoding or copying them. Checksum verification and stripping work
+/// exactly as in [`decode_dataset`].
+pub fn decode_dataset_shared(bytes: &Bytes, pos: &mut usize) -> Result<Dataset> {
+    let rec = decode_record(bytes, pos)?;
+    let mut ds = Dataset::new(
+        rec.name,
+        rec.shape,
+        ArrayData::from_le_shared(rec.dtype, rec.n_elems, bytes.slice(rec.payload.clone()))?,
+    )?;
+    ds.attrs = rec.attrs;
+    Ok(ds)
+}
+
+fn decode_record(bytes: &[u8], pos: &mut usize) -> Result<RawRecord> {
     let marker = take(bytes, pos, 4)?;
     if marker != DS_MARKER {
         return Err(RocError::Corrupt(format!(
@@ -192,6 +372,7 @@ pub fn decode_dataset(bytes: &[u8], pos: &mut usize) -> Result<Dataset> {
             dtype.name()
         )));
     }
+    let payload_start = *pos;
     let payload = take(bytes, pos, data_len)?;
     // Verify and strip the integrity checksum when present (file records
     // carry one; wire records do not).
@@ -203,9 +384,14 @@ pub fn decode_dataset(bytes: &[u8], pos: &mut usize) -> Result<Dataset> {
             )));
         }
     }
-    let mut ds = Dataset::new(name, shape, ArrayData::from_le_bytes(dtype, n_elems, payload)?)?;
-    ds.attrs = attrs;
-    Ok(ds)
+    Ok(RawRecord {
+        name,
+        dtype,
+        shape,
+        n_elems,
+        attrs,
+        payload: payload_start..*pos,
+    })
 }
 
 /// Parsed record header of a dataset (without its payload).
@@ -368,6 +554,28 @@ mod tests {
     }
 
     #[test]
+    fn crc32_matches_bitwise_reference() {
+        fn bitwise(bytes: &[u8]) -> u32 {
+            let mut crc: u32 = 0xFFFF_FFFF;
+            for &b in bytes {
+                crc ^= b as u32;
+                for _ in 0..8 {
+                    let mask = (crc & 1).wrapping_neg();
+                    crc = (crc >> 1) ^ (0xEDB8_8320 & mask);
+                }
+            }
+            !crc
+        }
+        // ISO-HDLC check value.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        // Every length mod 8 (exercises the chunked body + remainder).
+        let data: Vec<u8> = (0u32..300).map(|i| (i.wrapping_mul(31) >> 3) as u8).collect();
+        for len in 0..=data.len() {
+            assert_eq!(crc32(&data[..len]), bitwise(&data[..len]), "len {len}");
+        }
+    }
+
+    #[test]
     fn dataset_record_round_trip() {
         let ds = sample_dataset();
         let enc = encode_dataset(&ds);
@@ -476,20 +684,48 @@ mod tests {
     }
 
     #[test]
-    fn with_crc_round_trips_and_strips() {
+    fn crc_injection_round_trips_and_strips() {
         let ds = sample_dataset();
-        let stamped = with_crc(&ds);
-        assert!(stamped.attrs.contains_key(CRC_ATTR));
-        let enc = encode_dataset(&stamped);
-        let dec = decode_dataset(&enc, &mut 0).unwrap();
+        let mut enc = Vec::new();
+        encode_dataset_into(&ds, None, Some(payload_crc32(&ds)), &mut enc);
+        // The encoding matches a dataset that carries the attribute in its
+        // map — byte for byte, including BTreeMap attribute order.
+        let mut stamped = ds.clone();
+        stamped.attrs.insert(
+            CRC_ATTR.to_string(),
+            AttrValue::Int(payload_crc32(&ds) as i64),
+        );
+        assert_eq!(enc, encode_dataset(&stamped));
         // Checksum verified then stripped: decoded == original.
+        let dec = decode_dataset(&enc, &mut 0).unwrap();
         assert_eq!(dec, ds);
+    }
+
+    #[test]
+    fn crc_injection_preserves_attr_sort_order() {
+        // '_' (0x5F) sorts between 'Z' and 'a': attributes on both sides
+        // of the injected key exercise the merge in all three positions.
+        for extra in [vec![], vec!["AAA"], vec!["zzz"], vec!["AAA", "zzz"], vec![CRC_ATTR]] {
+            let mut ds = sample_dataset();
+            for k in &extra {
+                ds.attrs.insert(k.to_string(), AttrValue::Int(7));
+            }
+            let crc = payload_crc32(&ds);
+            let mut enc = Vec::new();
+            encode_dataset_into(&ds, None, Some(crc), &mut enc);
+            let mut stamped = ds.clone();
+            stamped
+                .attrs
+                .insert(CRC_ATTR.to_string(), AttrValue::Int(crc as i64));
+            assert_eq!(enc, encode_dataset(&stamped), "extra attrs {extra:?}");
+        }
     }
 
     #[test]
     fn payload_corruption_is_detected_by_crc() {
         let ds = sample_dataset();
-        let mut enc = encode_dataset(&with_crc(&ds));
+        let mut enc = Vec::new();
+        encode_dataset_into(&ds, None, Some(payload_crc32(&ds)), &mut enc);
         // Flip one byte inside the payload (the record tail).
         let n = enc.len();
         enc[n - 5] ^= 0x10;
@@ -498,6 +734,65 @@ mod tests {
             matches!(err, Err(RocError::Corrupt(ref m)) if m.contains("checksum")),
             "{err:?}"
         );
+        // The zero-copy decoder enforces the same checksum.
+        let err = decode_dataset_shared(&Bytes::from(enc), &mut 0);
+        assert!(
+            matches!(err, Err(RocError::Corrupt(ref m)) if m.contains("checksum")),
+            "{err:?}"
+        );
+    }
+
+    #[test]
+    fn rename_without_clone_matches_cloned_encoding() {
+        let ds = sample_dataset();
+        let mut renamed = ds.clone();
+        renamed.name = "grp000001/pressure".to_string();
+        let mut enc = Vec::new();
+        encode_dataset_into(&ds, Some("grp000001/pressure"), None, &mut enc);
+        assert_eq!(enc, encode_dataset(&renamed));
+    }
+
+    #[test]
+    fn segment_encode_concatenates_to_contiguous() {
+        // Typed payload: one owned segment.
+        let ds = sample_dataset();
+        let mut segs = Vec::new();
+        encode_dataset_segments(&ds, None, Some(payload_crc32(&ds)), Vec::new(), &mut segs);
+        let mut flat = Vec::new();
+        encode_dataset_into(&ds, None, Some(payload_crc32(&ds)), &mut flat);
+        assert_eq!(rocio_core::segments_to_vec(&segs), flat);
+        assert_eq!(segs.len(), 1);
+
+        // Shared payload: owned header + shared payload view, no copy.
+        let mut le = Vec::new();
+        ds.data.to_le_bytes(&mut le);
+        let shared = Dataset::new(
+            ds.name.clone(),
+            ds.shape.clone(),
+            ArrayData::from_le_shared(ds.dtype(), ds.len(), Bytes::from(le)).unwrap(),
+        )
+        .unwrap();
+        let mut segs = Vec::new();
+        encode_dataset_segments(&shared, Some("renamed"), None, Vec::new(), &mut segs);
+        assert_eq!(segs.len(), 2);
+        assert!(matches!(segs[1], rocio_core::Segment::Shared(_)));
+        let mut flat = Vec::new();
+        encode_dataset_into(&shared, Some("renamed"), None, &mut flat);
+        assert_eq!(rocio_core::segments_to_vec(&segs), flat);
+    }
+
+    #[test]
+    fn shared_decode_survives_source_handle_drop() {
+        let ds = sample_dataset();
+        let enc = Bytes::from(encode_dataset(&ds));
+        let mut pos = 0;
+        let dec = decode_dataset_shared(&enc, &mut pos).unwrap();
+        assert_eq!(pos, enc.len());
+        drop(enc); // the decoded view must keep the allocation alive
+        assert_eq!(dec, ds);
+        assert!(dec.data.as_shared().is_some(), "decode must be zero-copy");
+        // And it re-encodes byte-identically to the typed original.
+        assert_eq!(encode_dataset(&dec), encode_dataset(&ds));
     }
 
     #[test]

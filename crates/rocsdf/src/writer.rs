@@ -1,15 +1,102 @@
 //! Writing SDF files through the storage simulator.
 
-use rocio_core::{DataBlock, Dataset, Result, SimTime};
+use rocio_core::{DataBlock, Dataset, Result, Segment, SimTime};
 use rocstore::SharedFs;
 
 use crate::cost::LibraryModel;
 use crate::format::{
-    block_meta_dataset, encode_dataset, encode_header, encode_index, with_crc, IndexEntry,
+    block_meta_dataset, encode_dataset_into, encode_dataset_segments, encode_header, encode_index,
+    payload_crc32, IndexEntry,
 };
 
 fn overhead_acc(acc: &mut f64, cost: f64) {
     *acc += cost;
+}
+
+/// Recycled staging buffers for the drain path, bounded by capacity
+/// watermarks.
+///
+/// Every encoded record needs a small owned buffer for its header bytes
+/// (and, for typed payloads, the payload too). The pool hands those out
+/// and takes them back after each file-system write, so a server draining
+/// thousands of blocks reuses the same allocations instead of churning
+/// the allocator. When the total retained capacity exceeds
+/// `high_watermark` — e.g. after one unusually large typed payload — the
+/// pool trims itself back to `low_watermark` so a burst does not pin
+/// memory forever.
+#[derive(Debug)]
+pub struct SegmentPool {
+    bufs: Vec<Vec<u8>>,
+    high_watermark: usize,
+    low_watermark: usize,
+}
+
+impl SegmentPool {
+    /// Default watermarks: retain up to 4 MiB of staging capacity, trim
+    /// back to 1 MiB after a burst.
+    pub fn new() -> Self {
+        SegmentPool::with_watermarks(4 << 20, 1 << 20)
+    }
+
+    /// A pool with explicit retention bounds (`high >= low`).
+    pub fn with_watermarks(high_watermark: usize, low_watermark: usize) -> Self {
+        assert!(high_watermark >= low_watermark);
+        SegmentPool {
+            bufs: Vec::new(),
+            high_watermark,
+            low_watermark,
+        }
+    }
+
+    /// Take a cleared staging buffer (recycled when available).
+    pub fn take(&mut self) -> Vec<u8> {
+        self.bufs.pop().unwrap_or_default()
+    }
+
+    /// Return one buffer to the pool.
+    pub fn put(&mut self, mut buf: Vec<u8>) {
+        buf.clear();
+        self.bufs.push(buf);
+        self.trim();
+    }
+
+    /// Drain a finished segment list, reclaiming its owned buffers and
+    /// dropping the shared payload refcounts.
+    pub fn recycle(&mut self, segments: &mut Vec<Segment>) {
+        for seg in segments.drain(..) {
+            match seg {
+                Segment::Owned(mut v) => {
+                    v.clear();
+                    self.bufs.push(v);
+                }
+                Segment::Shared(_) => {}
+            }
+        }
+        self.trim();
+    }
+
+    /// Total buffer capacity currently retained.
+    pub fn retained(&self) -> usize {
+        self.bufs.iter().map(|b| b.capacity()).sum()
+    }
+
+    fn trim(&mut self) {
+        if self.retained() > self.high_watermark {
+            // Drop the largest buffers first until under the low mark.
+            self.bufs.sort_by_key(|b| b.capacity());
+            while self.retained() > self.low_watermark {
+                if self.bufs.pop().is_none() {
+                    break;
+                }
+            }
+        }
+    }
+}
+
+impl Default for SegmentPool {
+    fn default() -> Self {
+        SegmentPool::new()
+    }
 }
 
 /// An open SDF file being written.
@@ -19,6 +106,12 @@ fn overhead_acc(acc: &mut f64, cost: f64) {
 /// [`SdfFileWriter::append_block`]). Every dataset is charged the
 /// library's per-dataset creation overhead; `finish` appends the index +
 /// trailer and closes the file.
+///
+/// Encoding is zero-copy: datasets are staged as scatter-gather segment
+/// lists (owned headers from a recycled [`SegmentPool`], shared payload
+/// views by refcount) and handed to the file system in one
+/// `writev`-style append — no per-block flatten, no `Dataset` clones for
+/// renaming, no re-encode to attach checksums.
 pub struct SdfFileWriter<'fs> {
     fs: &'fs SharedFs,
     path: String,
@@ -27,6 +120,8 @@ pub struct SdfFileWriter<'fs> {
     entries: Vec<IndexEntry>,
     offset: u64,
     finished: bool,
+    pool: SegmentPool,
+    segs: Vec<Segment>,
 }
 
 impl<'fs> SdfFileWriter<'fs> {
@@ -51,6 +146,8 @@ impl<'fs> SdfFileWriter<'fs> {
                 entries: Vec::new(),
                 offset: header.len() as u64,
                 finished: false,
+                pool: SegmentPool::new(),
+                segs: Vec::new(),
             },
             t,
         ))
@@ -70,14 +167,16 @@ impl<'fs> SdfFileWriter<'fs> {
     pub fn append_dataset(&mut self, ds: &Dataset, now: SimTime) -> Result<SimTime> {
         assert!(!self.finished, "append after finish");
         let create_overhead = self.lib.create_cost(self.entries.len());
-        let enc = encode_dataset(&with_crc(ds));
-        let t = self.fs.append(&self.path, &enc, self.client, now + create_overhead)?;
+        let mut buf = self.pool.take();
+        encode_dataset_into(ds, None, Some(payload_crc32(ds)), &mut buf);
+        let t = self.fs.append(&self.path, &buf, self.client, now + create_overhead)?;
         self.entries.push(IndexEntry {
             name: ds.name.clone(),
             offset: self.offset,
-            len: enc.len() as u64,
+            len: buf.len() as u64,
         });
-        self.offset += enc.len() as u64;
+        self.offset += buf.len() as u64;
+        self.pool.put(buf);
         Ok(t)
     }
 
@@ -86,33 +185,42 @@ impl<'fs> SdfFileWriter<'fs> {
     /// "data from different arrays in the same data block stored in
     /// neighboring HDF datasets" (§4).
     ///
-    /// All of the block's records go to the file system as one buffered
-    /// write (the library's stdio-style coalescing), while the index still
-    /// records every dataset individually and per-dataset creation
-    /// overhead is still charged.
+    /// All of the block's records go to the file system as one
+    /// scatter-gather write (the library's stdio-style coalescing), while
+    /// the index still records every dataset individually and per-dataset
+    /// creation overhead is still charged. Shared payloads pass through to
+    /// the backing store by reference; renaming under the group prefix and
+    /// checksum attachment happen during encoding, not by cloning.
     pub fn append_block(&mut self, block: &DataBlock, now: SimTime) -> Result<SimTime> {
         assert!(!self.finished, "append after finish");
         let prefix = crate::format::block_prefix(block.id);
-        let mut batch = Vec::new();
+        let mut segs = std::mem::take(&mut self.segs);
         let mut overhead = 0.0;
-        let mut stage = |ds: &Dataset, batch: &mut Vec<u8>, this: &mut Self| {
-            overhead_acc(&mut overhead, this.lib.create_cost(this.entries.len()));
-            let enc = encode_dataset(&with_crc(ds));
-            this.entries.push(IndexEntry {
-                name: ds.name.clone(),
-                offset: this.offset + batch.len() as u64,
-                len: enc.len() as u64,
-            });
-            batch.extend(enc);
-        };
-        stage(&block_meta_dataset(block), &mut batch, self);
+        let mut batch_len = 0u64;
+        let mut stage =
+            |ds: &Dataset, name: Option<&str>, segs: &mut Vec<Segment>, this: &mut Self| {
+                overhead_acc(&mut overhead, this.lib.create_cost(this.entries.len()));
+                let before = segs.len();
+                encode_dataset_segments(ds, name, Some(payload_crc32(ds)), this.pool.take(), segs);
+                let len: u64 = segs[before..].iter().map(|s| s.len() as u64).sum();
+                this.entries.push(IndexEntry {
+                    name: name.unwrap_or(&ds.name).to_string(),
+                    offset: this.offset + batch_len,
+                    len,
+                });
+                batch_len += len;
+            };
+        stage(&block_meta_dataset(block), None, &mut segs, self);
         for ds in &block.datasets {
-            let mut named = ds.clone();
-            named.name = format!("{prefix}{}", ds.name);
-            stage(&named, &mut batch, self);
+            let full = format!("{prefix}{}", ds.name);
+            stage(ds, Some(&full), &mut segs, self);
         }
-        let t = self.fs.append(&self.path, &batch, self.client, now + overhead)?;
-        self.offset += batch.len() as u64;
+        let t = self
+            .fs
+            .append_segments(&self.path, &segs, self.client, now + overhead)?;
+        self.offset += batch_len;
+        self.pool.recycle(&mut segs);
+        self.segs = segs;
         Ok(t)
     }
 
@@ -199,6 +307,59 @@ mod tests {
             names,
             vec!["blk000005/__meta__", "blk000005/p", "blk000005/v"]
         );
+    }
+
+    #[test]
+    fn shared_payload_block_writes_identical_bytes() {
+        // A block whose payloads arrived through the zero-copy wire path
+        // must produce the exact file bytes of its typed twin.
+        let typed = DataBlock::new(BlockId(3), "fluid")
+            .with_dataset(Dataset::vector("p", vec![0.5f64, 1.5, 2.5]).with_attr("units", "Pa"))
+            .with_dataset(Dataset::vector("ids", vec![7i32, 8]));
+        let mut shared = DataBlock::new(BlockId(3), "fluid");
+        for ds in &typed.datasets {
+            let mut le = Vec::new();
+            ds.data.to_le_bytes(&mut le);
+            let mut s = Dataset::new(
+                ds.name.clone(),
+                ds.shape.clone(),
+                ArrayData::from_le_shared(ds.dtype(), ds.len(), bytes::Bytes::from(le)).unwrap(),
+            )
+            .unwrap();
+            s.attrs = ds.attrs.clone();
+            shared.push_dataset(s).unwrap();
+        }
+        let out = |b: &DataBlock, path: &str| {
+            let fs = SharedFs::ideal();
+            let (mut w, t) = SdfFileWriter::create(&fs, path, LibraryModel::Raw, 0, 0.0).unwrap();
+            let t = w.append_block(b, t).unwrap();
+            w.finish(t).unwrap();
+            fs.read_all(path, 0, 0.0).unwrap().0
+        };
+        assert_eq!(out(&typed, "a.sdf"), out(&shared, "b.sdf"));
+    }
+
+    #[test]
+    fn segment_pool_recycles_and_trims() {
+        let mut pool = SegmentPool::with_watermarks(1024, 256);
+        let mut big = pool.take();
+        big.resize(4096, 0);
+        pool.put(big);
+        assert!(
+            pool.retained() <= 256,
+            "burst capacity {} must trim below the low watermark",
+            pool.retained()
+        );
+        let mut segs = vec![
+            Segment::Owned(vec![1u8; 64]),
+            Segment::Shared(bytes::Bytes::from(vec![0u8; 64])),
+            Segment::Owned(vec![2u8; 64]),
+        ];
+        pool.recycle(&mut segs);
+        assert!(segs.is_empty());
+        assert_eq!(pool.bufs.len(), 2, "owned buffers return to the pool");
+        let reused = pool.take();
+        assert!(reused.is_empty() && reused.capacity() >= 64);
     }
 
     #[test]

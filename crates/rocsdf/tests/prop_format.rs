@@ -2,9 +2,40 @@
 //! stay self-describing; the inspector agrees with the reader.
 
 use proptest::prelude::*;
-use rocio_core::{ArrayData, BlockId, DataBlock, Dataset};
+use rocio_core::{ArrayData, AttrValue, BlockId, DataBlock, Dataset};
 use rocsdf::{describe, LibraryModel, SdfFileReader, SdfFileWriter};
 use rocstore::SharedFs;
+
+fn arb_attr_value() -> impl Strategy<Value = AttrValue> {
+    prop_oneof![
+        any::<i64>().prop_map(AttrValue::Int),
+        any::<f64>().prop_map(AttrValue::Float),
+        "[ -~]{0,12}".prop_map(AttrValue::Str),
+        prop::collection::vec(any::<i64>(), 0..4).prop_map(AttrValue::IntVec),
+        prop::collection::vec(any::<f64>(), 0..4).prop_map(AttrValue::FloatVec),
+    ]
+}
+
+fn arb_dataset() -> impl Strategy<Value = Dataset> {
+    (
+        "[A-Za-z_][A-Za-z0-9_/]{0,16}",
+        prop_oneof![
+            prop::collection::vec(any::<u8>(), 0..64).prop_map(ArrayData::U8),
+            prop::collection::vec(any::<i32>(), 0..48).prop_map(ArrayData::I32),
+            prop::collection::vec(any::<i64>(), 0..32).prop_map(ArrayData::I64),
+            prop::collection::vec(any::<f32>(), 0..48).prop_map(ArrayData::F32),
+            prop::collection::vec(any::<f64>(), 0..32).prop_map(ArrayData::F64),
+        ],
+        prop::collection::vec(("[ -~]{1,10}", arb_attr_value()), 0..5),
+    )
+        .prop_map(|(name, data, attrs)| {
+            let mut ds = Dataset::vector(name, vec![0u8; 0]);
+            ds.shape = vec![data.len()];
+            ds.data = data;
+            ds.attrs = attrs.into_iter().collect();
+            ds
+        })
+}
 
 fn arb_block(id: u64) -> impl Strategy<Value = DataBlock> {
     (
@@ -97,6 +128,67 @@ proptest! {
         bytes.truncate(len.min(bytes.len()));
         bytes.extend(junk);
         let _ = describe(&bytes); // must not panic, may Err
+    }
+
+    #[test]
+    fn segment_encode_matches_contiguous_encode(
+        ds in arb_dataset(),
+        rename in prop_oneof![
+            Just(None),
+            "[a-z]{1,8}/[a-z]{1,8}".prop_map(Some),
+        ],
+        with_crc in any::<bool>(),
+    ) {
+        // The scatter-gather encoder, concatenated, must be byte-identical
+        // to the legacy contiguous encoder for arbitrary datasets, attrs,
+        // rename overrides and checksum injection — for both typed and
+        // shared payload representations.
+        let crc = with_crc.then(|| rocsdf::payload_crc32(&ds));
+        let mut flat = Vec::new();
+        rocsdf::encode_dataset_into(&ds, rename.as_deref(), crc, &mut flat);
+
+        let mut segs = Vec::new();
+        rocsdf::encode_dataset_segments(&ds, rename.as_deref(), crc, Vec::new(), &mut segs);
+        prop_assert_eq!(&rocio_core::segments_to_vec(&segs), &flat);
+
+        // Same dataset with its payload in wire (shared) form.
+        let mut le = Vec::new();
+        ds.data.to_le_bytes(&mut le);
+        let shared_data = ArrayData::from_le_shared(
+            ds.dtype(), ds.len(), bytes::Bytes::from(le)).unwrap();
+        let mut shared = Dataset::new(ds.name.clone(), ds.shape.clone(), shared_data).unwrap();
+        shared.attrs = ds.attrs.clone();
+        let mut segs = Vec::new();
+        rocsdf::encode_dataset_segments(&shared, rename.as_deref(), crc, Vec::new(), &mut segs);
+        prop_assert_eq!(&rocio_core::segments_to_vec(&segs), &flat);
+
+        // And the plain encoder equals the baseline layout when nothing is
+        // overridden.
+        if rename.is_none() && crc.is_none() {
+            prop_assert_eq!(&rocsdf::encode_dataset(&ds), &flat);
+        }
+    }
+
+    #[test]
+    fn shared_decode_round_trips_after_source_drop(ds in arb_dataset()) {
+        // Strip any attr colliding with the reserved checksum key.
+        let mut ds = ds;
+        ds.attrs.remove("__crc32__");
+        let crc = rocsdf::payload_crc32(&ds);
+        let mut flat = Vec::new();
+        rocsdf::encode_dataset_into(&ds, None, Some(crc), &mut flat);
+        let src = bytes::Bytes::from(flat);
+        let extra_handle = src.clone();
+        let mut pos = 0;
+        let dec = rocsdf::decode_dataset_shared(&src, &mut pos).unwrap();
+        prop_assert_eq!(pos, src.len());
+        // Drop every other handle to the source allocation: the decoded
+        // zero-copy view must keep the payload alive (refcount
+        // correctness).
+        drop(src);
+        drop(extra_handle);
+        prop_assert_eq!(&dec, &ds);
+        prop_assert_eq!(&rocsdf::encode_dataset(&dec), &rocsdf::encode_dataset(&ds));
     }
 
     #[test]

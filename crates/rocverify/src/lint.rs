@@ -19,6 +19,9 @@
 //!   [`rocobs::SpanCategory`] constant, so trace queries never silently
 //!   miss a category.
 //! * **forbid-unsafe** — every crate root carries `#![forbid(unsafe_code)]`.
+//! * **owned-payload** — the zero-copy data path keeps wire payloads in
+//!   shared [`bytes::Bytes`]; an owned `payload: Vec<u8>` field or a
+//!   `ds.clone()` on the send path reintroduces a deep copy per message.
 //!
 //! Everything under `#[cfg(test)]` / `#[test]` is exempt. Intentional
 //! exceptions live in `roclint.allow` (one `rule | path | needle | reason`
@@ -38,6 +41,7 @@ pub enum Rule {
     UnwrapPanic,
     SpanCategory,
     ForbidUnsafe,
+    OwnedPayload,
 }
 
 impl Rule {
@@ -49,10 +53,11 @@ impl Rule {
             Rule::UnwrapPanic => "unwrap-panic",
             Rule::SpanCategory => "span-category",
             Rule::ForbidUnsafe => "forbid-unsafe",
+            Rule::OwnedPayload => "owned-payload",
         }
     }
 
-    pub fn all() -> [Rule; 6] {
+    pub fn all() -> [Rule; 7] {
         [
             Rule::WallClock,
             Rule::Rand,
@@ -60,6 +65,7 @@ impl Rule {
             Rule::UnwrapPanic,
             Rule::SpanCategory,
             Rule::ForbidUnsafe,
+            Rule::OwnedPayload,
         ]
     }
 
@@ -363,6 +369,38 @@ pub fn lint_source(cfg: &LintConfig, crate_dir: &str, path: &str, src: &str) -> 
                     "`panic!` in library code — return a `RocError` instead".into(),
                 );
             }
+        }
+        // owned-payload: wire payloads are shared `Bytes`; declaring an
+        // owned `payload: Vec<u8>` field in a simulation crate reopens a
+        // deep copy per message.
+        if is_sim
+            && w == "payload"
+            && t(&toks, i + 1) == ":"
+            && t(&toks, i + 2) == "Vec"
+            && t(&toks, i + 3) == "<"
+            && t(&toks, i + 4) == "u8"
+        {
+            push(
+                Rule::OwnedPayload,
+                toks[i].line,
+                "owned `payload: Vec<u8>` — wire payloads are shared `Bytes`".into(),
+            );
+        }
+        // owned-payload: cloning a whole dataset on the send path. The
+        // encoder takes a name override precisely so callers never need
+        // a rename-copy before encoding.
+        if is_sim
+            && w == "ds"
+            && t(&toks, i + 1) == "."
+            && t(&toks, i + 2) == "clone"
+            && t(&toks, i + 3) == "("
+        {
+            push(
+                Rule::OwnedPayload,
+                toks[i].line,
+                "`ds.clone()` deep-copies the dataset — encode with a name override instead"
+                    .into(),
+            );
         }
         // span-category: `SpanCategory::X` must name a known constant.
         if crate_dir != "rocobs" && w == "SpanCategory" && is_path_sep(&toks, i + 1) {

@@ -114,6 +114,26 @@ fn missing_forbid_unsafe_fires_on_lib_root_only() {
 }
 
 #[test]
+fn owned_payload_fires_in_sim_crates_only() {
+    let field = "pub struct Msg { pub payload: Vec<u8> }";
+    assert_eq!(
+        rules_fired("rocnet", "crates/rocnet/src/x.rs", field),
+        vec![Rule::OwnedPayload]
+    );
+    // Non-simulation crates may stage owned buffers freely.
+    assert_eq!(rules_fired("rocsdf", "crates/rocsdf/src/x.rs", field), vec![]);
+
+    let clone = "pub fn send(ds: &Dataset) -> Vec<u8> { let d = ds.clone(); encode(&d) }";
+    assert_eq!(
+        rules_fired("rocpanda", "crates/rocpanda/src/x.rs", clone),
+        vec![Rule::OwnedPayload]
+    );
+    // A shared-Bytes payload field is the sanctioned form.
+    let ok = "pub struct Msg { pub payload: Bytes }";
+    assert_eq!(rules_fired("rocnet", "crates/rocnet/src/x.rs", ok), vec![]);
+}
+
+#[test]
 fn string_and_comment_content_never_fires() {
     let src = r#"
         // Instant::now() in a comment

@@ -181,7 +181,7 @@ fn density_couples_across_rank_boundaries() {
         for _ in 0..800 {
             let outs = fluid.outlet_means(&ws).unwrap();
             let mine = outs[0];
-            let all = comm.allgather(&mine.1.to_le_bytes());
+            let all = comm.allgather(&mine.1.to_le_bytes()).unwrap();
             let mut inflow = HashMap::new();
             if comm.rank() == 1 {
                 // Downstream block couples to rank 0's outlet.

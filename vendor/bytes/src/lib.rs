@@ -1,48 +1,228 @@
 //! Offline shim for the `bytes` crate.
 //!
-//! The workspace declares `bytes` as a dependency for future zero-copy
-//! work but currently uses no API from it, so this shim only has to
-//! exist and compile. `Bytes` is provided as a plain owned buffer in
-//! case a downstream crate starts using the common subset.
+//! Implements the subset of the real crate's API that the workspace's
+//! zero-copy data path uses: an `Arc`-backed shared buffer whose `clone`
+//! and `slice` are O(1) reference-count operations rather than copies.
+//! Safe code only — views are expressed as an (offset, len) window into
+//! the shared allocation instead of raw pointers.
 
-/// Cheaply cloneable contiguous byte buffer (owned here; the real crate
-/// shares the allocation).
-#[derive(Debug, Clone, Default, PartialEq, Eq, Hash)]
-pub struct Bytes(Vec<u8>);
+#![forbid(unsafe_code)]
+
+use std::ops::{Bound, RangeBounds};
+use std::sync::Arc;
+
+/// Cheaply cloneable contiguous byte buffer backed by a shared allocation.
+///
+/// Cloning and slicing never copy the underlying bytes; the storage is
+/// freed when the last handle (clone or slice) is dropped.
+#[derive(Clone, Default)]
+pub struct Bytes {
+    data: Arc<[u8]>,
+    off: usize,
+    len: usize,
+}
 
 impl Bytes {
+    /// An empty buffer (no allocation is shared until filled).
     pub fn new() -> Self {
-        Bytes(Vec::new())
+        Bytes::default()
     }
 
+    /// Copy `data` into a fresh shared allocation.
     pub fn copy_from_slice(data: &[u8]) -> Self {
-        Bytes(data.to_vec())
+        Bytes {
+            data: Arc::from(data),
+            off: 0,
+            len: data.len(),
+        }
     }
 
+    /// Length of this view in bytes.
     pub fn len(&self) -> usize {
-        self.0.len()
+        self.len
     }
 
     pub fn is_empty(&self) -> bool {
-        self.0.is_empty()
+        self.len == 0
+    }
+
+    /// A zero-copy sub-view of this buffer. O(1): the returned handle
+    /// shares the same allocation.
+    ///
+    /// # Panics
+    /// Panics if the range is out of bounds, matching the real crate.
+    pub fn slice(&self, range: impl RangeBounds<usize>) -> Self {
+        let start = match range.start_bound() {
+            Bound::Included(&n) => n,
+            Bound::Excluded(&n) => n + 1,
+            Bound::Unbounded => 0,
+        };
+        let end = match range.end_bound() {
+            Bound::Included(&n) => n + 1,
+            Bound::Excluded(&n) => n,
+            Bound::Unbounded => self.len,
+        };
+        assert!(
+            start <= end && end <= self.len,
+            "Bytes::slice: range {start}..{end} out of bounds (len {})",
+            self.len
+        );
+        Bytes {
+            data: Arc::clone(&self.data),
+            off: self.off + start,
+            len: end - start,
+        }
+    }
+
+    /// The bytes of this view.
+    pub fn as_slice(&self) -> &[u8] {
+        &self.data[self.off..self.off + self.len]
+    }
+
+    /// Copy this view out into an owned `Vec<u8>`.
+    pub fn to_vec(&self) -> Vec<u8> {
+        self.as_slice().to_vec()
     }
 }
 
 impl From<Vec<u8>> for Bytes {
     fn from(v: Vec<u8>) -> Self {
-        Bytes(v)
+        let len = v.len();
+        Bytes {
+            data: Arc::from(v),
+            off: 0,
+            len,
+        }
+    }
+}
+
+impl From<&[u8]> for Bytes {
+    fn from(s: &[u8]) -> Self {
+        Bytes::copy_from_slice(s)
+    }
+}
+
+impl<const N: usize> From<&[u8; N]> for Bytes {
+    fn from(s: &[u8; N]) -> Self {
+        Bytes::copy_from_slice(s)
     }
 }
 
 impl std::ops::Deref for Bytes {
     type Target = [u8];
     fn deref(&self) -> &[u8] {
-        &self.0
+        self.as_slice()
     }
 }
 
 impl AsRef<[u8]> for Bytes {
     fn as_ref(&self) -> &[u8] {
-        &self.0
+        self.as_slice()
+    }
+}
+
+impl std::fmt::Debug for Bytes {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        std::fmt::Debug::fmt(self.as_slice(), f)
+    }
+}
+
+impl std::hash::Hash for Bytes {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.as_slice().hash(state);
+    }
+}
+
+impl PartialEq for Bytes {
+    fn eq(&self, other: &Self) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl Eq for Bytes {}
+
+impl PartialEq<[u8]> for Bytes {
+    fn eq(&self, other: &[u8]) -> bool {
+        self.as_slice() == other
+    }
+}
+
+impl PartialEq<&[u8]> for Bytes {
+    fn eq(&self, other: &&[u8]) -> bool {
+        self.as_slice() == *other
+    }
+}
+
+impl PartialEq<Vec<u8>> for Bytes {
+    fn eq(&self, other: &Vec<u8>) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl PartialEq<Bytes> for Vec<u8> {
+    fn eq(&self, other: &Bytes) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl<const N: usize> PartialEq<[u8; N]> for Bytes {
+    fn eq(&self, other: &[u8; N]) -> bool {
+        self.as_slice() == other
+    }
+}
+
+impl<const N: usize> PartialEq<&[u8; N]> for Bytes {
+    fn eq(&self, other: &&[u8; N]) -> bool {
+        self.as_slice() == *other
+    }
+}
+
+impl PartialEq<Bytes> for [u8] {
+    fn eq(&self, other: &Bytes) -> bool {
+        self == other.as_slice()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clone_and_slice_share_storage() {
+        let b = Bytes::from(vec![1u8, 2, 3, 4, 5]);
+        let c = b.clone();
+        let s = b.slice(1..4);
+        assert_eq!(c, b);
+        assert_eq!(s, [2u8, 3, 4]);
+        assert_eq!(s.len(), 3);
+        drop(b);
+        drop(c);
+        // The slice keeps the allocation alive after every other handle
+        // is gone — the refcount property the zero-copy decode relies on.
+        assert_eq!(s, [2u8, 3, 4]);
+    }
+
+    #[test]
+    fn slice_of_slice_composes_offsets() {
+        let b = Bytes::from((0u8..32).collect::<Vec<_>>());
+        let s = b.slice(8..24).slice(4..8);
+        assert_eq!(s.as_slice(), &[12, 13, 14, 15]);
+        assert_eq!(s.slice(..), s);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn slice_out_of_bounds_panics() {
+        Bytes::from(vec![0u8; 4]).slice(2..6);
+    }
+
+    #[test]
+    fn equality_against_common_types() {
+        let b = Bytes::copy_from_slice(b"hello");
+        assert_eq!(b, b"hello");
+        assert_eq!(b, *b"hello");
+        assert_eq!(b, b"hello".to_vec());
+        assert_eq!(b, b"hello"[..]);
+        assert!(Bytes::new().is_empty());
     }
 }
