@@ -1,0 +1,319 @@
+//! `readperf`: **wall-clock host throughput** of the restart/read data
+//! path, before vs after the zero-copy read refactor, on a Table 1-style
+//! dataset-dense snapshot (the configuration whose per-dataset lookup
+//! cost makes restart expensive in the paper).
+//!
+//! Two pipelines restore the same snapshot through open → read →
+//! install:
+//!
+//! * **legacy** reconstructs the pre-zero-copy path: every open re-pays
+//!   the trailer + index reads (owned copies), every dataset record is
+//!   read with an owned `fs.read` (copy) and decoded into typed arrays
+//!   (copy), and installing into panes clones the typed data once more.
+//! * **zero_copy** is the shipped path: the open-handle metadata cache
+//!   returns the parsed index for free after the first open, blocks come
+//!   back through one coalesced `read_shared_multi` as refcounted
+//!   windows into the file image, and the single typed conversion
+//!   happens at the pane boundary (`to_typed`).
+//!
+//! This measures *host* cost (memcpy + allocator traffic) only. The
+//! simulation's virtual-time results are unchanged by construction —
+//! both forms return logically identical blocks (asserted here at
+//! setup) and charge identical virtual time and fs stats (asserted in
+//! rocstore/rocsdf unit tests) — see DESIGN.md §4 "Host data path".
+//!
+//! ```text
+//! cargo run --release -p bench --bin readperf [--quick] [--out BENCH_PR5.json]
+//! ```
+//!
+//! The CI smoke step runs `--quick`: it gates on "the pipelines run and
+//! agree", not on a throughput ratio (shared runners are too noisy for
+//! that); the committed `BENCH_PR5.json` is regenerated in full mode.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+use criterion::{black_box, Criterion};
+use rocio_core::{BlockId, DataBlock, Dataset};
+use rocsdf::{LibraryModel, SdfFileReader, SdfFileWriter};
+use rocstore::SharedFs;
+
+/// Allocator wrapper counting calls and bytes, so the report shows the
+/// allocator-traffic side of the win, not just seconds.
+struct CountingAlloc;
+
+static ALLOC_CALLS: AtomicU64 = AtomicU64::new(0);
+static ALLOC_BYTES: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOC_CALLS.fetch_add(1, Ordering::Relaxed);
+        ALLOC_BYTES.fetch_add(layout.size() as u64, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOC_CALLS.fetch_add(1, Ordering::Relaxed);
+        ALLOC_BYTES.fetch_add(new_size as u64, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc;
+
+fn alloc_stats() -> (u64, u64) {
+    (
+        ALLOC_CALLS.load(Ordering::Relaxed),
+        ALLOC_BYTES.load(Ordering::Relaxed),
+    )
+}
+
+/// Deterministic pseudo-field so payload bytes are not constant.
+fn field(n: usize, seed: u64) -> Vec<f64> {
+    let mut x = seed.wrapping_mul(0x9e37_79b9_7f4a_7c15) | 1;
+    (0..n)
+        .map(|_| {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            (x % 1_000_000) as f64 / 1e3
+        })
+        .collect()
+}
+
+/// One rank's snapshot block, dataset-dense: many named fields per
+/// block, the shape that makes HDF-style per-dataset lookups (and the
+/// restart in Table 1) expensive.
+fn make_block(id: usize, n_datasets: usize, cells: usize) -> DataBlock {
+    let mut b = DataBlock::new(BlockId(id as u64), "fluid");
+    for d in 0..n_datasets {
+        b = b.with_dataset(Dataset::vector(
+            format!("field{d:02}"),
+            field(cells, (id * 131 + d) as u64),
+        ));
+    }
+    b.with_attr("rank", id as i64)
+}
+
+#[derive(Default, serde::Serialize)]
+struct StageSeconds {
+    open: f64,
+    read: f64,
+    install: f64,
+}
+
+#[derive(serde::Serialize)]
+struct PipelineReport {
+    seconds: f64,
+    bytes_per_s: f64,
+    mb_per_s: f64,
+    alloc_calls: u64,
+    alloc_bytes: u64,
+    stages: StageSeconds,
+}
+
+fn report(bytes: u64, secs: f64, allocs: (u64, u64), stages: StageSeconds) -> PipelineReport {
+    PipelineReport {
+        seconds: secs,
+        bytes_per_s: bytes as f64 / secs,
+        mb_per_s: bytes as f64 / secs / 1e6,
+        alloc_calls: allocs.0,
+        alloc_bytes: allocs.1,
+        stages,
+    }
+}
+
+/// One full restart over the snapshot file: open, read every block,
+/// install every dataset typed (the pane boundary). Returns restored
+/// payload bytes. `shared` selects the pipeline; `client` controls the
+/// open-metadata cache key (the legacy caller passes a fresh id per
+/// restart so every open is cold, like the seed that had no cache).
+fn restart_pass(
+    fs: &SharedFs,
+    file: &str,
+    client: u64,
+    shared: bool,
+    stages: &mut StageSeconds,
+) -> u64 {
+    let t0 = Instant::now();
+    let (reader, _) =
+        SdfFileReader::open(fs, file, LibraryModel::hdf4(), client, 0.0).expect("open");
+    stages.open += t0.elapsed().as_secs_f64();
+    let mut bytes = 0u64;
+    for id in reader.block_ids() {
+        let t1 = Instant::now();
+        let (block, _) = if shared {
+            reader.read_block_shared(id, 0.0).expect("shared read")
+        } else {
+            reader.read_block(id, 0.0).expect("owned read")
+        };
+        stages.read += t1.elapsed().as_secs_f64();
+
+        // Install: one typed conversion at the pane boundary, exactly
+        // what `apply_block` does (a clone for legacy typed data, the
+        // single from-LE conversion for shared windows).
+        let t2 = Instant::now();
+        for ds in &block.datasets {
+            let typed = ds.data.to_typed().expect("install");
+            bytes += (ds.data.len() * 8) as u64;
+            black_box(&typed);
+        }
+        stages.install += t2.elapsed().as_secs_f64();
+    }
+    bytes
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| "BENCH_PR5.json".into());
+
+    // Table 1 dataset-dense restart configuration: one block per rank,
+    // many fields per block.
+    let (blocks, datasets, cells, passes) = if quick {
+        (16, 4, 256, 1)
+    } else {
+        (128, 8, 8192, 3)
+    };
+
+    eprintln!("readperf: writing {blocks}-block snapshot ({datasets} fields x {cells} cells)...");
+    let fs = SharedFs::ideal();
+    let file = "restart.sdf";
+    let source: Vec<DataBlock> = (0..blocks).map(|i| make_block(i, datasets, cells)).collect();
+    let (mut w, _) =
+        SdfFileWriter::create(&fs, file, LibraryModel::hdf4(), 0, 0.0).expect("create");
+    for b in &source {
+        w.append_block(b, 0.0).expect("append");
+    }
+    w.finish(0.0).expect("finish");
+
+    // Value-identity gate: the owned and shared pipelines must return
+    // logically identical blocks (ArrayData equality spans both forms).
+    {
+        let (reader, _) =
+            SdfFileReader::open(&fs, file, LibraryModel::hdf4(), 900, 0.0).expect("open");
+        for id in reader.block_ids() {
+            let (owned, _) = reader.read_block(id, 0.0).expect("owned");
+            let (shared, _) = reader.read_block_shared(id, 0.0).expect("shared");
+            assert_eq!(owned, shared, "pipelines must restore identical blocks");
+        }
+    }
+    eprintln!("readperf: restored blocks identical across pipelines");
+
+    let mut legacy_secs = 0.0;
+    let mut legacy_stages = StageSeconds::default();
+    let mut legacy_bytes = 0u64;
+    let mut legacy_restarts = 0u64;
+    let mut zero_secs = 0.0;
+    let mut zero_stages = StageSeconds::default();
+    let mut zero_bytes = 0u64;
+
+    let mut c = Criterion::new();
+    let mut group = c.benchmark_group("readperf");
+    group.bench_function("legacy", |b| {
+        b.iter(|| {
+            for _ in 0..passes {
+                // Fresh client id: every open re-pays trailer + index,
+                // like the seed that had no open-metadata cache.
+                legacy_restarts += 1;
+                let t = Instant::now();
+                legacy_bytes += restart_pass(
+                    &fs,
+                    file,
+                    1_000 + legacy_restarts,
+                    false,
+                    &mut legacy_stages,
+                );
+                legacy_secs += t.elapsed().as_secs_f64();
+            }
+        })
+    });
+    let legacy_allocs = alloc_stats();
+    group.bench_function("zero_copy", |b| {
+        b.iter(|| {
+            for _ in 0..passes {
+                let t = Instant::now();
+                zero_bytes += restart_pass(&fs, file, 1, true, &mut zero_stages);
+                zero_secs += t.elapsed().as_secs_f64();
+            }
+        })
+    });
+    group.finish();
+    let zero_allocs = alloc_stats();
+
+    let legacy_alloc_delta = legacy_allocs;
+    let zero_alloc_delta = (
+        zero_allocs.0 - legacy_allocs.0,
+        zero_allocs.1 - legacy_allocs.1,
+    );
+
+    let legacy_rep = report(legacy_bytes, legacy_secs, legacy_alloc_delta, legacy_stages);
+    let zero_rep = report(zero_bytes, zero_secs, zero_alloc_delta, zero_stages);
+    let speedup = zero_rep.bytes_per_s / legacy_rep.bytes_per_s;
+
+    eprintln!(
+        "legacy:    {:>8.1} MB/s  ({} allocs, {} alloc bytes)",
+        legacy_rep.mb_per_s, legacy_rep.alloc_calls, legacy_rep.alloc_bytes
+    );
+    eprintln!(
+        "zero-copy: {:>8.1} MB/s  ({} allocs, {} alloc bytes)",
+        zero_rep.mb_per_s, zero_rep.alloc_calls, zero_rep.alloc_bytes
+    );
+    eprintln!("speedup: {speedup:.2}x host restart throughput");
+
+    #[derive(serde::Serialize)]
+    struct Config {
+        quick: bool,
+        blocks: usize,
+        datasets_per_block: usize,
+        cells_per_field: usize,
+        passes: usize,
+        restored_bytes_total: u64,
+    }
+    #[derive(serde::Serialize)]
+    struct Doc {
+        bench: &'static str,
+        config: Config,
+        legacy: PipelineReport,
+        zero_copy: PipelineReport,
+        speedup_host_throughput: f64,
+        value_identity: bool,
+    }
+    let doc = Doc {
+        bench: "readperf (PR5 zero-copy restart path gate)",
+        config: Config {
+            quick,
+            blocks,
+            datasets_per_block: datasets,
+            cells_per_field: cells,
+            passes,
+            restored_bytes_total: legacy_bytes,
+        },
+        legacy: legacy_rep,
+        zero_copy: zero_rep,
+        speedup_host_throughput: speedup,
+        value_identity: true,
+    };
+    std::fs::write(
+        &out_path,
+        serde_json::to_string_pretty(&doc).expect("serialize"),
+    )
+    .unwrap_or_else(|e| panic!("write {out_path}: {e}"));
+    eprintln!("wrote {out_path}");
+
+    if !quick && speedup < 2.0 {
+        eprintln!("WARNING: speedup below the 2x gate");
+        std::process::exit(1);
+    }
+}

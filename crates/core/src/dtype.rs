@@ -272,32 +272,14 @@ impl ArrayData {
                 dtype.name()
             )));
         }
+        // Length is validated above, so per-element decoding is infallible;
+        // `le::array` keeps these loops vectorizable (see its docs).
         Ok(match dtype {
             DType::U8 => ArrayData::U8(bytes.to_vec()),
-            DType::I32 => ArrayData::I32(
-                bytes
-                    .chunks_exact(4)
-                    .map(|c| crate::le::i32(c, "i32 array element"))
-                    .collect::<Result<_>>()?,
-            ),
-            DType::I64 => ArrayData::I64(
-                bytes
-                    .chunks_exact(8)
-                    .map(|c| crate::le::i64(c, "i64 array element"))
-                    .collect::<Result<_>>()?,
-            ),
-            DType::F32 => ArrayData::F32(
-                bytes
-                    .chunks_exact(4)
-                    .map(|c| crate::le::f32(c, "f32 array element"))
-                    .collect::<Result<_>>()?,
-            ),
-            DType::F64 => ArrayData::F64(
-                bytes
-                    .chunks_exact(8)
-                    .map(|c| crate::le::f64(c, "f64 array element"))
-                    .collect::<Result<_>>()?,
-            ),
+            DType::I32 => ArrayData::I32(crate::le::array(bytes, i32::from_le_bytes)),
+            DType::I64 => ArrayData::I64(crate::le::array(bytes, i64::from_le_bytes)),
+            DType::F32 => ArrayData::F32(crate::le::array(bytes, f32::from_le_bytes)),
+            DType::F64 => ArrayData::F64(crate::le::array(bytes, f64::from_le_bytes)),
         })
     }
 

@@ -52,6 +52,26 @@ pub fn f64(b: &[u8], what: &str) -> Result<f64> {
     Ok(f64::from_le_bytes(front(b, what)?))
 }
 
+/// Decode a run of `N`-byte little-endian elements from a slice whose
+/// length the caller has already validated as a multiple of `N` (a tail
+/// short of one element is ignored).
+///
+/// Unlike the checked per-element helpers above — whose `Result` plumbing
+/// keeps the compiler from vectorizing bulk decode loops — this is a
+/// straight fixed-stride copy loop: `decode` is one of the
+/// `{i32,i64,f32,f64}::from_le_bytes` intrinsics, so the whole thing
+/// compiles down to a (byte-swapping on big-endian) memcpy. Restart moves
+/// hundreds of megabytes through array decode, which is why it matters.
+pub fn array<const N: usize, T>(bytes: &[u8], decode: impl Fn([u8; N]) -> T) -> Vec<T> {
+    let mut out = Vec::with_capacity(bytes.len() / N);
+    out.extend(bytes.chunks_exact(N).map(|c| {
+        let mut e = [0u8; N];
+        e.copy_from_slice(c);
+        decode(e)
+    }));
+    out
+}
+
 #[cfg(test)]
 mod tests {
     #[test]
@@ -59,6 +79,17 @@ mod tests {
         let b = [0x2a, 0, 0, 0, 0, 0, 0, 0, 0xff];
         assert_eq!(super::u64(&b, "x").unwrap(), 42);
         assert_eq!(super::u16(&b, "x").unwrap(), 42);
+    }
+
+    #[test]
+    fn array_decodes_all_elements_and_ignores_short_tail() {
+        let mut b = Vec::new();
+        for v in [1.5f64, -2.25, 1e300] {
+            b.extend_from_slice(&v.to_le_bytes());
+        }
+        b.push(0xff); // short tail: not a full element, ignored
+        assert_eq!(super::array(&b, f64::from_le_bytes), vec![1.5, -2.25, 1e300]);
+        assert_eq!(super::array(&[], i32::from_le_bytes), Vec::<i32>::new());
     }
 
     #[test]

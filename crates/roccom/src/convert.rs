@@ -102,6 +102,28 @@ pub fn window_to_blocks(window: &Window, attr: &AttrRef) -> Result<Vec<DataBlock
         .collect()
 }
 
+/// Extract an owned `f64` vector from typed or zero-copy `Shared` data:
+/// one decode for `Shared`, one copy for typed — never both.
+fn f64_vec(data: &ArrayData) -> Result<Vec<f64>> {
+    match data.to_typed()? {
+        ArrayData::F64(v) => Ok(v),
+        other => Err(RocError::Mismatch(format!(
+            "expected f64 data, found {}",
+            other.dtype().name()
+        ))),
+    }
+}
+
+fn i32_vec(data: &ArrayData) -> Result<Vec<i32>> {
+    match data.to_typed()? {
+        ArrayData::I32(v) => Ok(v),
+        other => Err(RocError::Mismatch(format!(
+            "expected i32 data, found {}",
+            other.dtype().name()
+        ))),
+    }
+}
+
 /// Rebuild a [`PaneMesh`] from a serialized block.
 pub fn mesh_from_block(block: &DataBlock) -> Result<PaneMesh> {
     let kind = block
@@ -139,8 +161,8 @@ pub fn mesh_from_block(block: &DataBlock) -> Result<PaneMesh> {
             let nc = block.dataset("nc")?;
             let conn = block.dataset("conn")?;
             Ok(PaneMesh::Unstructured {
-                coords: nc.data.as_f64()?.to_vec(),
-                conn: conn.data.as_i32()?.to_vec(),
+                coords: f64_vec(&nc.data)?,
+                conn: i32_vec(&conn.data)?,
             })
         }
         other => Err(RocError::Corrupt(format!("unknown mesh kind '{other}'"))),
@@ -168,7 +190,7 @@ pub fn apply_block(window: &mut Window, block: &DataBlock) -> Result<()> {
     } else if let PaneMesh::Unstructured { .. } = &window.pane(block.id)?.mesh {
         // Mesh may have moved (ALE): refresh coordinates when present.
         if let Ok(nc) = block.dataset("nc") {
-            let coords = nc.data.as_f64()?.to_vec();
+            let coords = f64_vec(&nc.data)?;
             if let PaneMesh::Unstructured { coords: c, .. } =
                 &mut window.pane_mut(block.id)?.mesh
             {
@@ -188,7 +210,10 @@ pub fn apply_block(window: &mut Window, block: &DataBlock) -> Result<()> {
     let pane = window.pane_mut(block.id)?;
     for spec in &schema {
         if let Ok(ds) = block.dataset(&spec.name) {
-            pane.set_data(&spec.name, ds.data.clone())?;
+            // Panes hold typed buffers (solvers mutate them element-wise),
+            // so a zero-copy `Shared` payload is decoded here — the single
+            // typed boundary of the restart path.
+            pane.set_data(&spec.name, ds.data.to_typed()?)?;
         }
     }
     Ok(())
@@ -293,6 +318,43 @@ mod tests {
         let block = pane_to_block(&w, w.pane(BlockId(8)).unwrap(), &AttrRef::All).unwrap();
         let mesh = mesh_from_block(&block).unwrap();
         assert_eq!(mesh, w.pane(BlockId(8)).unwrap().mesh);
+    }
+
+    #[test]
+    fn apply_block_installs_shared_payloads_as_typed() {
+        // Blocks delivered by the zero-copy read path carry
+        // `ArrayData::Shared` windows; installing them must land typed
+        // buffers the solver can mutate element-wise.
+        let w = solid_window();
+        let block = pane_to_block(&w, w.pane(BlockId(8)).unwrap(), &AttrRef::All).unwrap();
+        let mut shared_block = DataBlock::new(block.id, block.window.clone());
+        shared_block.attrs = block.attrs.clone();
+        for ds in &block.datasets {
+            let mut bytes = Vec::new();
+            ds.data.to_le_bytes(&mut bytes);
+            let shared = ArrayData::Shared(
+                rocio_core::SharedArray::new(
+                    ds.data.dtype(),
+                    ds.data.len(),
+                    bytes::Bytes::from(bytes),
+                )
+                .unwrap(),
+            );
+            let mut copy = Dataset::new(ds.name.clone(), ds.shape.clone(), shared).unwrap();
+            copy.attrs = ds.attrs.clone();
+            shared_block.push_dataset(copy).unwrap();
+        }
+        let mut w2 = Window::new("solid");
+        w2.declare_attr(AttrSpec::node("disp", DType::F64, 3)).unwrap();
+        apply_block(&mut w2, &shared_block).unwrap();
+        assert_eq!(w2.pane(BlockId(8)).unwrap().mesh, w.pane(BlockId(8)).unwrap().mesh);
+        // Typed after install: element-wise mutation must work.
+        w2.pane_mut(BlockId(8))
+            .unwrap()
+            .data_mut("disp")
+            .unwrap()
+            .as_f64_mut()
+            .unwrap()[0] = 1.5;
     }
 
     #[test]

@@ -61,7 +61,11 @@ pub fn read_attribute_individual(
         now = t_open;
         for id in reader.block_ids() {
             if missing.contains(&id) {
-                let (block, t) = reader.read_block(id, now)?;
+                // Coalesced zero-copy read: one fs operation per block
+                // when the block's records are contiguous; payloads are
+                // windows into the file image until `apply_block`
+                // installs them typed.
+                let (block, t) = reader.read_block_shared(id, now)?;
                 now = t;
                 roccom::convert::apply_block(windows.window_mut(&sel.window)?, &block)?;
                 missing.remove(&id);

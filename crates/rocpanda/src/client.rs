@@ -175,7 +175,9 @@ impl IoService for PandaClient<'_> {
             let msg = self.world.recv(None, None)?;
             match msg.tag {
                 tag::READ_BLOCK => {
-                    let bm = BlockMsg::decode(&msg.payload)?;
+                    // Zero-copy decode: payloads stay windows into the
+                    // message until apply_block installs them typed.
+                    let bm = BlockMsg::decode_shared(&msg.payload)?;
                     if !seen.insert(bm.block.id.0) {
                         return Err(RocError::Corrupt(format!(
                             "restart: block {} delivered twice",
@@ -184,6 +186,19 @@ impl IoService for PandaClient<'_> {
                     }
                     roccom::convert::apply_block(windows.window_mut(&sel.window)?, &bm.block)?;
                     got += 1;
+                }
+                tag::READ_BATCH => {
+                    // A server's whole cache-served share in one message.
+                    for bm in wire::decode_read_batch_shared(&msg.payload)? {
+                        if !seen.insert(bm.block.id.0) {
+                            return Err(RocError::Corrupt(format!(
+                                "restart: block {} delivered twice",
+                                bm.block.id
+                            )));
+                        }
+                        roccom::convert::apply_block(windows.window_mut(&sel.window)?, &bm.block)?;
+                        got += 1;
+                    }
                 }
                 tag::READ_DONE => {
                     expected += wire::decode_read_done(&msg.payload)? as u64;
@@ -247,7 +262,7 @@ impl IoService for PandaClient<'_> {
         // synchronizes so no client proceeds while files vanish.
         self.client_comm.barrier()?;
         if self.client_comm.rank() == 0 {
-            for &s in &self.server_ranks.clone() {
+            for &s in &self.server_ranks {
                 self.world.send(s, tag::RETIRE, &wire::encode_retire(snap))?;
                 self.world.recv(Some(s), Some(tag::RETIRE_ACK))?;
             }
@@ -269,7 +284,7 @@ impl IoService for PandaClient<'_> {
         self.sync()?;
         self.client_comm.barrier()?;
         if self.client_comm.rank() == 0 {
-            for &s in &self.server_ranks.clone() {
+            for &s in &self.server_ranks {
                 self.world.send(s, tag::SHUTDOWN, &[])?;
             }
         }
@@ -599,6 +614,115 @@ mod tests {
             });
             assert!(ok.iter().all(|&b| b), "{n_clients} clients failed");
         }
+    }
+
+    /// With the snapshot read cache on, an in-run restart is served
+    /// entirely from the servers' buffered block handles: values come
+    /// back exact and the file system sees zero read traffic — across
+    /// uneven and empty server groups (the empty group votes "yes"
+    /// vacuously and ships nothing).
+    #[test]
+    fn read_cache_serves_restart_without_touching_disk() {
+        for (n_clients, server_ranks) in [
+            (4usize, vec![0usize, 3]),
+            (1, vec![1, 2]), // one server group is empty
+        ] {
+            let fs = SharedFs::ideal();
+            let snap = SnapshotId::new(10, 0);
+            let total = n_clients + server_ranks.len();
+            let sr = server_ranks.clone();
+            let cfg = RocpandaConfig {
+                read_cache: true,
+                ..Default::default()
+            };
+            let fs_ref = &fs;
+            let results = run_ranks(total, ClusterSpec::ideal(total), move |comm| {
+                match init(&comm, fs_ref, cfg.clone(), &sr).unwrap() {
+                    Role::Server(mut s) => {
+                        let stats = s.run().unwrap();
+                        (f64::NAN, stats.restart_blocks_sent as f64)
+                    }
+                    Role::Client { io: mut c, comm: app } => {
+                        let mut ws = build_windows(app.rank(), 2);
+                        c.write_attribute(&ws, &AttrSelector::all("fluid"), snap).unwrap();
+                        let written = sum_pressure(&ws);
+                        for pane in ws.window_mut("fluid").unwrap().panes_mut() {
+                            for x in pane.data_mut("pressure").unwrap().as_f64_mut().unwrap() {
+                                *x = -3.0;
+                            }
+                        }
+                        c.read_attribute(&mut ws, &AttrSelector::all("fluid"), snap).unwrap();
+                        let restored = sum_pressure(&ws);
+                        c.finalize().unwrap();
+                        (written, restored)
+                    }
+                }
+            });
+            for (written, restored) in results.iter().filter(|(w, _)| !w.is_nan()) {
+                assert_eq!(written, restored);
+            }
+            let shipped: f64 = results.iter().filter(|(w, _)| w.is_nan()).map(|(_, n)| n).sum();
+            assert_eq!(shipped, (n_clients * 2) as f64, "{n_clients} clients");
+            // The whole restart came out of server memory.
+            assert_eq!(fs.stats().bytes_read, 0);
+            assert_eq!(fs.stats().read_ops, 0);
+        }
+    }
+
+    /// `read_cache` is read-your-writes only: a restart in a fresh server
+    /// session finds empty caches, the vote fails, and the ordinary disk
+    /// path serves the data.
+    #[test]
+    fn cold_restart_falls_back_to_the_disk_path() {
+        let fs = SharedFs::ideal();
+        let snap = SnapshotId::new(20, 0);
+        let cfg = RocpandaConfig {
+            read_cache: true,
+            ..Default::default()
+        };
+        let write_cfg = cfg.clone();
+        let fs_ref = &fs;
+        run_ranks(6, ClusterSpec::ideal(6), move |comm| {
+            match init(&comm, fs_ref, write_cfg.clone(), &[0, 3]).unwrap() {
+                Role::Server(mut s) => {
+                    s.run().unwrap();
+                }
+                Role::Client { io: mut c, comm: app } => {
+                    let ws = build_windows(app.rank(), 2);
+                    c.write_attribute(&ws, &AttrSelector::all("fluid"), snap).unwrap();
+                    c.finalize().unwrap();
+                }
+            }
+        });
+        let ok = run_ranks(6, ClusterSpec::ideal(6), move |comm| {
+            match init(&comm, fs_ref, cfg.clone(), &[0, 3]).unwrap() {
+                Role::Server(mut s) => {
+                    s.run().unwrap();
+                    true
+                }
+                Role::Client { io: mut c, comm: app } => {
+                    let mut ws = build_windows(app.rank(), 2);
+                    for pane in ws.window_mut("fluid").unwrap().panes_mut() {
+                        for x in pane.data_mut("pressure").unwrap().as_f64_mut().unwrap() {
+                            *x = -3.0;
+                        }
+                    }
+                    c.read_attribute(&mut ws, &AttrSelector::all("fluid"), snap).unwrap();
+                    let ok = ws.window("fluid").unwrap().panes().all(|p| {
+                        p.data("pressure")
+                            .unwrap()
+                            .as_f64()
+                            .unwrap()
+                            .iter()
+                            .all(|&x| x == p.id.0 as f64)
+                    });
+                    c.finalize().unwrap();
+                    ok
+                }
+            }
+        });
+        assert!(ok.iter().all(|&b| b));
+        assert!(fs.stats().bytes_read > 0, "cold restart must hit the disk");
     }
 
     /// Clients with zero panes still participate collectively.

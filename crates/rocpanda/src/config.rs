@@ -37,6 +37,14 @@ pub struct RocpandaConfig {
     /// default); larger windows pipeline injection against server
     /// processing at the cost of transient buffering in the transport.
     pub ack_window: usize,
+    /// Serve restarts from the servers' active buffers when they still
+    /// hold the requested snapshot (read-your-writes), skipping disk
+    /// entirely. **Off by default**: the committed experiments measure
+    /// restart as a *cold* application start (Table 1 reads the snapshot
+    /// back from the file system), and an in-run restart through warm
+    /// servers would short-circuit that measurement. Enable it for
+    /// workflows that genuinely restart within a server session.
+    pub read_cache: bool,
 }
 
 impl Default for RocpandaConfig {
@@ -51,6 +59,7 @@ impl Default for RocpandaConfig {
             server_copy_bw: 300e6,
             client_pack_bw: 200e6,
             ack_window: 1,
+            read_cache: false,
         }
     }
 }
@@ -86,6 +95,8 @@ mod tests {
         assert!(c.active_buffering);
         assert!(c.responsive_probe);
         assert!(c.buffer_capacity > 100 << 20);
+        // Off so restart measurements model a cold application start.
+        assert!(!c.read_cache);
     }
 
     #[test]

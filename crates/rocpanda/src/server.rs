@@ -4,7 +4,7 @@ use std::collections::{HashMap, VecDeque};
 
 use rocio_core::{DataBlock, Result, RocError, SnapshotId};
 use rocnet::{Comm, Message};
-use rocsdf::{SdfFileReader, SdfFileWriter};
+use rocsdf::{SdfFileReader, SdfFileWriter, SegmentPool};
 use rocstore::SharedFs;
 
 use crate::config::RocpandaConfig;
@@ -60,6 +60,14 @@ pub struct PandaServer<'a> {
     client_pending: HashMap<(usize, FileKey), u32>,
     /// Restart requests collected per file key.
     read_reqs: HashMap<FileKey, Vec<(usize, Vec<u64>)>>,
+    /// Snapshot read cache: buffered block handles kept for restart
+    /// service (read-your-writes). Populated at block intake when
+    /// `cfg.read_cache` is on; the handles share payloads with the write
+    /// queue by refcount, so the cache holds no extra copy of the data.
+    /// Evicted when the snapshot is retired.
+    read_cache: HashMap<FileKey, HashMap<u64, DataBlock>>,
+    /// Reusable staging buffers for scatter-gather replies.
+    pool: SegmentPool,
     /// Latest virtual completion time of any disk write this server
     /// issued. Background writes charge the server CPU only a submit
     /// cost; the disk ledger carries the transfer, and this watermark is
@@ -95,6 +103,8 @@ impl<'a> PandaServer<'a> {
             buffered_bytes: 0,
             client_pending: HashMap::new(),
             read_reqs: HashMap::new(),
+            read_cache: HashMap::new(),
+            pool: SegmentPool::new(),
             disk_completion: 0.0,
             stats: ServerStats::default(),
         }
@@ -194,6 +204,15 @@ impl<'a> PandaServer<'a> {
                 if self.cfg.active_buffering {
                     self.buffered_bytes += bytes;
                     self.stats.blocks_buffered += 1;
+                    if self.cfg.read_cache {
+                        // Keep a handle for restart service. Payloads are
+                        // shared with the queued block, so this is a
+                        // refcount bump, not a data copy.
+                        self.read_cache
+                            .entry(key.clone())
+                            .or_default()
+                            .insert(bm.block.id.0, bm.block.clone());
+                    }
                     self.write_queue.push_back((key.clone(), bm.block));
                     if rocobs::enabled() {
                         rocobs::record(
@@ -260,6 +279,7 @@ impl<'a> PandaServer<'a> {
                 let snap = wire::decode_retire(&msg.payload)?;
                 // Deleting requires durability of that snapshot first.
                 self.flush_all()?;
+                self.read_cache.retain(|k, _| k.snap != snap);
                 let keys: Vec<FileKey> = self
                     .files
                     .keys()
@@ -410,6 +430,20 @@ impl<'a> PandaServer<'a> {
         let requests = self.read_reqs.remove(key).ok_or_else(|| {
             RocError::InvalidState("serve_restart called with no queued read requests".into())
         })?;
+        // Fast path: if every server still buffers its clients' whole
+        // share of this snapshot, serve the restart from memory —
+        // no flush, no disk scan, no server barrier (the vote itself is
+        // the synchronization point, reached by every server once all
+        // clients' collective READ_REQs are in).
+        if self.cache_vote(key)? {
+            if let Err(e) = self.serve_from_cache(key, &requests) {
+                let text = e.to_string();
+                for (client, _) in &requests {
+                    self.world.send(*client, tag::READ_ERR, text.as_bytes())?;
+                }
+            }
+            return Ok(());
+        }
         // Everything buffered must be durable (files finished, indexes
         // written) before any file can be scanned, and the scan cannot
         // begin before the disk is done.
@@ -427,6 +461,109 @@ impl<'a> PandaServer<'a> {
             for (client, _) in &requests {
                 self.world.send(*client, tag::READ_ERR, text.as_bytes())?;
             }
+        }
+        Ok(())
+    }
+
+    /// Can this server serve its share of a restart of `key` entirely
+    /// from buffered block handles? True only when every block announced
+    /// by this server's clients is sitting in the read cache (vacuously
+    /// true for a server with no clients, which owns no share).
+    fn can_serve_restart_from_cache(&self, key: &FileKey) -> bool {
+        if !(self.cfg.active_buffering && self.cfg.read_cache) {
+            return false;
+        }
+        match self.files.get(key) {
+            Some(st) => {
+                let cached = self.read_cache.get(key).map_or(0, |c| c.len() as u32);
+                st.reqs_received == self.my_clients.len()
+                    && st.blocks_received == st.expected_blocks
+                    && cached == st.expected_blocks
+            }
+            // Never heard of the snapshot: fine only if nobody could have
+            // written through us.
+            None => self.my_clients.is_empty(),
+        }
+    }
+
+    /// All-or-nothing vote over the server group: serve this restart from
+    /// the caches only if *every* server can. The cache partitions blocks
+    /// by writing client while the disk path partitions files round-robin,
+    /// so a mixed answer would duplicate or miss blocks. One `u8` to each
+    /// peer, one from each peer, ANDed.
+    fn cache_vote(&mut self, key: &FileKey) -> Result<bool> {
+        let mine = self.can_serve_restart_from_cache(key);
+        let m = self.server_ranks.len();
+        if m == 1 {
+            return Ok(mine);
+        }
+        for r in 0..m {
+            if r != self.server_comm.rank() {
+                self.server_comm.send(r, tag::CACHE_VOTE, &[mine as u8])?;
+            }
+        }
+        let mut all = mine;
+        for _ in 0..m - 1 {
+            let v = self.server_comm.recv(None, Some(tag::CACHE_VOTE))?;
+            all &= v.payload.as_slice().first().copied().unwrap_or(0) != 0;
+        }
+        Ok(all)
+    }
+
+    /// Serve the whole restart from this server's snapshot read cache:
+    /// no disk at all. Each requesting client gets its blocks batched in
+    /// a single zero-copy `READ_BATCH` message, then `READ_DONE` with the
+    /// count. The modelled cost per block mirrors intake: per-block
+    /// overhead plus a memory copy to stage the reply.
+    fn serve_from_cache(&mut self, key: &FileKey, requests: &[(usize, Vec<u64>)]) -> Result<()> {
+        // Same ownership validation as the disk path. Every server sees
+        // every client's request, so a violation is raised symmetrically.
+        let mut owner: HashMap<u64, usize> = HashMap::new();
+        for (client, ids) in requests {
+            for id in ids {
+                if owner.insert(*id, *client).is_some() {
+                    return Err(RocError::InvalidState(format!(
+                        "restart: block {id} requested by two clients"
+                    )));
+                }
+            }
+        }
+        let cache = self.read_cache.get(key);
+        for (client, ids) in requests {
+            let t0 = self.world.now();
+            let mut msgs: Vec<BlockMsg> = Vec::new();
+            for id in ids {
+                let Some(block) = cache.and_then(|c| c.get(id)) else {
+                    continue;
+                };
+                self.world.advance(
+                    self.cfg.server_block_overhead
+                        + block.encoded_size() as f64 / self.cfg.server_copy_bw,
+                );
+                msgs.push(BlockMsg {
+                    snap: key.snap,
+                    window: key.window.clone(),
+                    block: block.clone(),
+                });
+            }
+            if !msgs.is_empty() {
+                let mut segs = Vec::new();
+                wire::encode_read_batch_segments(&msgs, &mut self.pool, &mut segs);
+                self.world.send_segments(*client, tag::READ_BATCH, &segs)?;
+                self.pool.recycle(&mut segs);
+                if rocobs::enabled() {
+                    rocobs::record(
+                        rocobs::SpanCategory::RestartRead,
+                        "restart_cache_serve",
+                        t0,
+                        self.world.now(),
+                        &format!("client={client} blocks={}", msgs.len()),
+                    );
+                }
+            }
+            self.stats.restart_blocks_sent += msgs.len() as u64;
+            self.world
+                .send(*client, tag::READ_DONE, &wire::encode_read_done(msgs.len() as u32))?;
         }
         Ok(())
     }
@@ -470,15 +607,20 @@ impl<'a> PandaServer<'a> {
             self.world.clock().merge(t);
             for id in reader.block_ids() {
                 if let Some(&client) = owner.get(&id.0) {
-                    let (block, t) = reader.read_block(id, self.world.now())?;
+                    // Coalesced, zero-copy read: the block comes back as
+                    // refcounted windows into the file image, and the
+                    // scatter-gather encode ships them without a copy.
+                    let (block, t) = reader.read_block_shared(id, self.world.now())?;
                     self.world.clock().merge(t);
                     let msg = BlockMsg {
                         snap: key.snap,
                         window: key.window.clone(),
                         block,
                     };
-                    self.world
-                        .send_bytes(client, tag::READ_BLOCK, msg.encode().into())?;
+                    let mut segs = Vec::new();
+                    msg.encode_segments(&mut self.pool, &mut segs);
+                    self.world.send_segments(client, tag::READ_BLOCK, &segs)?;
+                    self.pool.recycle(&mut segs);
                     *sent_per_client.entry(client).or_insert(0) += 1;
                     self.stats.restart_blocks_sent += 1;
                 }

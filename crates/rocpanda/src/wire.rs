@@ -44,6 +44,15 @@ pub mod tag {
     /// error text). Sent instead of `READ_DONE` so clients surface a
     /// clean error rather than waiting forever on a dead restart.
     pub const READ_ERR: u32 = 0x0050_000D;
+    /// Server → client: a batch of encoded data blocks served from the
+    /// server's snapshot read cache (restart without touching disk).
+    pub const READ_BATCH: u32 = 0x0050_000E;
+    /// Server ↔ server: one bool per peer — "I can serve this restart
+    /// entirely from my buffered snapshot". All-or-nothing: any `false`
+    /// sends every server down the disk path, because the cache partition
+    /// (by writing client) and the disk partition (round-robin files)
+    /// would otherwise duplicate or miss blocks.
+    pub const CACHE_VOTE: u32 = 0x0050_000F;
 }
 
 fn put_str(out: &mut Vec<u8>, s: &str) {
@@ -255,6 +264,50 @@ impl BlockMsg {
     }
 }
 
+/// Encode several blocks as one batched `READ_BATCH` reply: `u32` count,
+/// then per message a `u64` length prefix followed by the message's
+/// [`BlockMsg::encode`] image. Headers and length prefixes go to pooled
+/// staging buffers; shared payloads ride along by refcount, so a cached
+/// snapshot is shipped without copying any block data.
+pub fn encode_read_batch_segments(
+    msgs: &[BlockMsg],
+    pool: &mut SegmentPool,
+    out: &mut Vec<Segment>,
+) {
+    let mut head = pool.take();
+    head.clear();
+    head.extend_from_slice(&(msgs.len() as u32).to_le_bytes());
+    out.push(Segment::Owned(head));
+    for m in msgs {
+        let mut inner = Vec::new();
+        m.encode_segments(pool, &mut inner);
+        let mut len = pool.take();
+        len.clear();
+        len.extend_from_slice(&(rocio_core::segments_len(&inner) as u64).to_le_bytes());
+        out.push(Segment::Owned(len));
+        out.append(&mut inner);
+    }
+}
+
+/// Decode a `READ_BATCH` payload into zero-copy block messages: every
+/// dataset payload is a refcounted window into `bytes`.
+pub fn decode_read_batch_shared(bytes: &Bytes) -> Result<Vec<BlockMsg>> {
+    let mut pos = 0;
+    let n = rocio_core::le::u32(take(bytes, &mut pos, 4)?, "panda wire batch count")? as usize;
+    let mut out = Vec::new();
+    for _ in 0..n {
+        let len =
+            rocio_core::le::u64(take(bytes, &mut pos, 8)?, "panda wire batch entry length")? as usize;
+        if len > bytes.len().saturating_sub(pos) {
+            return Err(RocError::Corrupt("panda wire: batch entry exceeds message".into()));
+        }
+        let msg = bytes.slice(pos..pos + len);
+        pos += len;
+        out.push(BlockMsg::decode_shared(&msg)?);
+    }
+    Ok(out)
+}
+
 /// `RETIRE` payload: the snapshot to delete.
 pub fn encode_retire(snap: SnapshotId) -> Vec<u8> {
     let mut out = Vec::new();
@@ -364,6 +417,35 @@ mod tests {
     }
 
     #[test]
+    fn read_batch_round_trips_shared_and_rejects_truncation() {
+        let msgs: Vec<BlockMsg> = (0..3)
+            .map(|i| BlockMsg {
+                snap: SnapshotId::new(50, 1),
+                window: "fluid".into(),
+                block: DataBlock::new(BlockId(i), "fluid")
+                    .with_dataset(Dataset::vector("p", vec![i as f64; 4])),
+            })
+            .collect();
+        let mut pool = SegmentPool::new();
+        let mut segs = Vec::new();
+        encode_read_batch_segments(&msgs, &mut pool, &mut segs);
+        let flat = rocio_core::segments_to_vec(&segs);
+        let src = Bytes::from(flat.clone());
+        let dec = decode_read_batch_shared(&src).unwrap();
+        drop(src);
+        assert_eq!(dec, msgs);
+        // An empty batch is legal (a server may own no requested blocks).
+        let mut segs = Vec::new();
+        encode_read_batch_segments(&[], &mut pool, &mut segs);
+        let empty = Bytes::from(rocio_core::segments_to_vec(&segs));
+        assert_eq!(decode_read_batch_shared(&empty).unwrap(), vec![]);
+        // Truncation anywhere is an error, not a panic.
+        for cut in [0, 3, 4, 11, flat.len() - 1] {
+            assert!(decode_read_batch_shared(&Bytes::from(flat[..cut].to_vec())).is_err());
+        }
+    }
+
+    #[test]
     fn read_done_round_trip() {
         assert_eq!(decode_read_done(&encode_read_done(42)).unwrap(), 42);
     }
@@ -391,6 +473,8 @@ mod tests {
             tag::RETIRE,
             tag::RETIRE_ACK,
             tag::READ_ERR,
+            tag::READ_BATCH,
+            tag::CACHE_VOTE,
         ] {
             assert!(t <= rocnet::comm::TAG_USER_MAX);
         }

@@ -296,7 +296,7 @@ struct RawRecord {
 /// any allocation, so corrupt input yields [`RocError::Corrupt`], never a
 /// panic or an absurd allocation.
 pub fn decode_dataset(bytes: &[u8], pos: &mut usize) -> Result<Dataset> {
-    let rec = decode_record(bytes, pos)?;
+    let rec = decode_record(bytes, pos, true)?;
     let payload = &bytes[rec.payload.clone()];
     let mut ds = Dataset::new(
         rec.name,
@@ -316,7 +316,25 @@ pub fn decode_dataset(bytes: &[u8], pos: &mut usize) -> Result<Dataset> {
 /// re-encoding or copying them. Checksum verification and stripping work
 /// exactly as in [`decode_dataset`].
 pub fn decode_dataset_shared(bytes: &Bytes, pos: &mut usize) -> Result<Dataset> {
-    let rec = decode_record(bytes, pos)?;
+    decode_dataset_shared_with(bytes, pos, true)
+}
+
+/// [`decode_dataset_shared`] with the caller choosing whether the payload
+/// checksum is recomputed.
+///
+/// Pass `verify_crc: false` **only** when the same record bytes were
+/// already checksum-verified in an immutable image — the reader's
+/// open-metadata cache tracks this per record per file generation, so a
+/// warm restart re-reading a frozen snapshot skips the CRC pass it
+/// already paid (and any rewrite of the path starts a new generation,
+/// which verifies afresh). The checksum attribute is stripped either way,
+/// so decoded datasets are identical across both modes.
+pub fn decode_dataset_shared_with(
+    bytes: &Bytes,
+    pos: &mut usize,
+    verify_crc: bool,
+) -> Result<Dataset> {
+    let rec = decode_record(bytes, pos, verify_crc)?;
     let mut ds = Dataset::new(
         rec.name,
         rec.shape,
@@ -326,7 +344,7 @@ pub fn decode_dataset_shared(bytes: &Bytes, pos: &mut usize) -> Result<Dataset> 
     Ok(ds)
 }
 
-fn decode_record(bytes: &[u8], pos: &mut usize) -> Result<RawRecord> {
+fn decode_record(bytes: &[u8], pos: &mut usize, verify_crc: bool) -> Result<RawRecord> {
     let marker = take(bytes, pos, 4)?;
     if marker != DS_MARKER {
         return Err(RocError::Corrupt(format!(
@@ -375,13 +393,17 @@ fn decode_record(bytes: &[u8], pos: &mut usize) -> Result<RawRecord> {
     let payload_start = *pos;
     let payload = take(bytes, pos, data_len)?;
     // Verify and strip the integrity checksum when present (file records
-    // carry one; wire records do not).
+    // carry one; wire records do not). Callers that already verified this
+    // record in an immutable image may skip the recomputation; the
+    // attribute is stripped unconditionally.
     if let Some(AttrValue::Int(stored)) = attrs.remove(CRC_ATTR) {
-        let actual = crc32(payload);
-        if actual as i64 != stored {
-            return Err(RocError::Corrupt(format!(
-                "SDF: dataset '{name}' payload checksum mismatch                  (stored {stored:#x}, computed {actual:#x})"
-            )));
+        if verify_crc {
+            let actual = crc32(payload);
+            if actual as i64 != stored {
+                return Err(RocError::Corrupt(format!(
+                    "SDF: dataset '{name}' payload checksum mismatch                  (stored {stored:#x}, computed {actual:#x})"
+                )));
+            }
         }
     }
     Ok(RawRecord {

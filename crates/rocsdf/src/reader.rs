@@ -1,15 +1,34 @@
 //! Reading SDF files through the storage simulator.
 
 use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
 
 use rocio_core::{BlockId, DataBlock, Dataset, Result, RocError, SimTime};
 use rocstore::SharedFs;
 
 use crate::cost::LibraryModel;
 use crate::format::{
-    check_header, decode_dataset, decode_index, decode_trailer, parse_block_id, parse_block_meta,
-    BLOCK_META, HEADER_LEN, TRAILER_LEN,
+    check_header, decode_dataset, decode_dataset_shared_with, decode_index, decode_trailer,
+    parse_block_id, parse_block_meta, IndexEntry, BLOCK_META, HEADER_LEN, TRAILER_LEN,
 };
+
+/// The parsed trailer + index of one open, cached in the file system's
+/// per-client metadata cache so re-opening an unchanged snapshot file is
+/// free: the cache is generation-validated, so any write to the path
+/// invalidates it, and per-client keying keeps virtual time deterministic
+/// (a hit depends only on this client's own open history).
+struct OpenMeta {
+    index: Vec<IndexEntry>,
+    by_name: BTreeMap<String, usize>,
+    /// Per-record: has this record's payload checksum been verified in
+    /// this file generation? The cache entry and these flags die together
+    /// when the path is rewritten, so a set flag always refers to the
+    /// bytes currently frozen in the store — which is what lets warm
+    /// shared reads skip the CRC pass (host work only; virtual time is
+    /// never affected). Flags are set only after a successful decode.
+    verified: Vec<AtomicBool>,
+}
 
 /// An open SDF file being read.
 ///
@@ -22,13 +41,16 @@ pub struct SdfFileReader<'fs> {
     path: String,
     client: u64,
     lib: LibraryModel,
-    index: Vec<crate::format::IndexEntry>,
-    by_name: BTreeMap<String, usize>,
+    meta: Arc<OpenMeta>,
 }
 
 impl<'fs> SdfFileReader<'fs> {
     /// Open `path` and parse its index. Returns the reader and the virtual
     /// completion time of the open.
+    ///
+    /// A repeat open of an unchanged file by the same client hits the
+    /// metadata cache and completes at `now`, re-paying neither the
+    /// header/trailer/index reads nor their virtual time.
     pub fn open(
         fs: &'fs SharedFs,
         path: &str,
@@ -36,59 +58,66 @@ impl<'fs> SdfFileReader<'fs> {
         client: u64,
         now: SimTime,
     ) -> Result<(Self, SimTime)> {
+        if let Some(hit) = fs.cache_get(path, client) {
+            if let Ok(meta) = hit.downcast::<OpenMeta>() {
+                return Ok((
+                    SdfFileReader { fs, path: path.to_string(), client, lib, meta },
+                    now,
+                ));
+            }
+        }
         let size = fs.file_size(path)?;
         if size < HEADER_LEN + TRAILER_LEN {
             return Err(RocError::Corrupt(format!("SDF '{path}': too short")));
         }
-        let (header, t1) = fs.read(path, 0, HEADER_LEN, client, now)?;
+        let (header, t1) = fs.read_shared(path, 0, HEADER_LEN, client, now)?;
         check_header(&header)?;
-        let (trailer, t2) = fs.read(path, size - TRAILER_LEN, TRAILER_LEN, client, t1)?;
+        let (trailer, t2) = fs.read_shared(path, size - TRAILER_LEN, TRAILER_LEN, client, t1)?;
         let idx_off = decode_trailer(&trailer)? as usize;
         if idx_off < HEADER_LEN || idx_off > size - TRAILER_LEN {
             return Err(RocError::Corrupt(format!(
                 "SDF '{path}': index offset {idx_off} out of range"
             )));
         }
-        let (idx_bytes, t3) = fs.read(path, idx_off, size - TRAILER_LEN - idx_off, client, t2)?;
+        let (idx_bytes, t3) =
+            fs.read_shared(path, idx_off, size - TRAILER_LEN - idx_off, client, t2)?;
         let index = decode_index(&idx_bytes)?;
         let by_name = index
             .iter()
             .enumerate()
             .map(|(i, e)| (e.name.clone(), i))
             .collect();
+        let verified = std::iter::repeat_with(|| AtomicBool::new(false))
+            .take(index.len())
+            .collect();
+        let meta = Arc::new(OpenMeta { index, by_name, verified });
+        fs.cache_put(path, client, Arc::clone(&meta) as rocstore::CacheValue);
         Ok((
-            SdfFileReader {
-                fs,
-                path: path.to_string(),
-                client,
-                lib,
-                index,
-                by_name,
-            },
+            SdfFileReader { fs, path: path.to_string(), client, lib, meta },
             t3,
         ))
     }
 
     /// Number of datasets in the file.
     pub fn n_datasets(&self) -> usize {
-        self.index.len()
+        self.meta.index.len()
     }
 
     /// Names of all datasets, in file order.
     pub fn dataset_names(&self) -> Vec<&str> {
-        self.index.iter().map(|e| e.name.as_str()).collect()
+        self.meta.index.iter().map(|e| e.name.as_str()).collect()
     }
 
     /// Whether the file contains a dataset of this name.
     pub fn contains(&self, name: &str) -> bool {
-        self.by_name.contains_key(name)
+        self.meta.by_name.contains_key(name)
     }
 
     /// Ids of all blocks stored in the file, in first-appearance order.
     pub fn block_ids(&self) -> Vec<BlockId> {
         let mut seen = std::collections::HashSet::new();
         let mut out = Vec::new();
-        for e in &self.index {
+        for e in &self.meta.index {
             if let Some(id) = parse_block_id(&e.name) {
                 if seen.insert(id) {
                     out.push(id);
@@ -98,14 +127,39 @@ impl<'fs> SdfFileReader<'fs> {
         out
     }
 
-    /// Read one dataset by name. Returns the dataset and completion time.
-    pub fn read_dataset(&self, name: &str, now: SimTime) -> Result<(Dataset, SimTime)> {
-        let &i = self
+    fn entry_idx(&self, name: &str) -> Result<usize> {
+        self.meta
             .by_name
             .get(name)
-            .ok_or_else(|| RocError::NotFound(format!("dataset '{name}' in '{}'", self.path)))?;
-        let e = &self.index[i];
-        let lookup = self.lib.lookup_cost(self.index.len());
+            .copied()
+            .ok_or_else(|| RocError::NotFound(format!("dataset '{name}' in '{}'", self.path)))
+    }
+
+    fn entry(&self, name: &str) -> Result<&IndexEntry> {
+        Ok(&self.meta.index[self.entry_idx(name)?])
+    }
+
+    /// Decode record `i`'s shared window, paying the payload-CRC pass only
+    /// the first time this generation's record is decoded; the flag is set
+    /// after a successful decode, so a corrupt record keeps failing.
+    fn decode_shared_verified_once(
+        &self,
+        i: usize,
+        bytes: &bytes::Bytes,
+        pos: &mut usize,
+    ) -> Result<Dataset> {
+        let skip = self.meta.verified[i].load(Ordering::Relaxed);
+        let ds = decode_dataset_shared_with(bytes, pos, !skip)?;
+        if !skip {
+            self.meta.verified[i].store(true, Ordering::Relaxed);
+        }
+        Ok(ds)
+    }
+
+    /// Read one dataset by name. Returns the dataset and completion time.
+    pub fn read_dataset(&self, name: &str, now: SimTime) -> Result<(Dataset, SimTime)> {
+        let e = self.entry(name)?;
+        let lookup = self.lib.lookup_cost(self.meta.index.len());
         let (bytes, t) = self.fs.read(
             &self.path,
             e.offset as usize,
@@ -114,6 +168,24 @@ impl<'fs> SdfFileReader<'fs> {
             now + lookup,
         )?;
         let ds = decode_dataset(&bytes, &mut 0)?;
+        Ok((ds, t))
+    }
+
+    /// Read one dataset by name as a zero-copy window: the payload lands
+    /// as `ArrayData::Shared` referencing the backing file. Virtual time
+    /// and fs stats are identical to [`SdfFileReader::read_dataset`].
+    pub fn read_dataset_shared(&self, name: &str, now: SimTime) -> Result<(Dataset, SimTime)> {
+        let i = self.entry_idx(name)?;
+        let e = &self.meta.index[i];
+        let lookup = self.lib.lookup_cost(self.meta.index.len());
+        let (bytes, t) = self.fs.read_shared(
+            &self.path,
+            e.offset as usize,
+            e.len as usize,
+            self.client,
+            now + lookup,
+        )?;
+        let ds = self.decode_shared_verified_once(i, &bytes, &mut 0)?;
         Ok((ds, t))
     }
 
@@ -132,7 +204,7 @@ impl<'fs> SdfFileReader<'fs> {
         let mut block = DataBlock::new(id, window);
         block.attrs = attrs;
         // Member datasets in file order.
-        for e in &self.index {
+        for e in &self.meta.index {
             if let Some(member) = e.name.strip_prefix(&prefix) {
                 if member == BLOCK_META {
                     continue;
@@ -142,6 +214,83 @@ impl<'fs> SdfFileReader<'fs> {
                 ds.name = member.to_string();
                 block.push_dataset(ds)?;
             }
+        }
+        Ok((block, t))
+    }
+
+    /// Read a whole data block as zero-copy windows, **coalescing** the
+    /// block's records into one backing-store access when they are laid
+    /// out contiguously — which the writer guarantees by appending a
+    /// block's `__meta__` + members in a single scatter-gather write. The
+    /// virtual time and fs stats are charged per record exactly as
+    /// [`SdfFileReader::read_block`] charges them (lookup + read each), so
+    /// the two paths are cost-identical by construction; only the host
+    /// work differs (one lock/freeze and O(1) carving instead of N+1
+    /// separate copies). Non-contiguous layouts fall back to per-record
+    /// shared reads in the same order.
+    pub fn read_block_shared(&self, id: BlockId, now: SimTime) -> Result<(DataBlock, SimTime)> {
+        let prefix = crate::format::block_prefix(id);
+        let meta_name = format!("{prefix}{BLOCK_META}");
+        // This block's records in file order, with their index positions
+        // (the key into the per-record verified-CRC flags).
+        let entries: Vec<(usize, &IndexEntry)> = self
+            .meta
+            .index
+            .iter()
+            .enumerate()
+            .filter(|(_, e)| e.name.starts_with(&prefix))
+            .collect();
+        let coalescible = entries.first().is_some_and(|(_, e)| e.name == meta_name)
+            && entries
+                .windows(2)
+                .all(|w| w[0].1.offset + w[0].1.len == w[1].1.offset);
+        if !coalescible {
+            // Fallback: per-record shared reads, charge order identical to
+            // read_block (meta first, then members in file order).
+            let (meta, mut t) = self.read_dataset_shared(&meta_name, now)?;
+            let (got_id, window, attrs) = parse_block_meta(&meta)?;
+            if got_id != id {
+                return Err(RocError::Corrupt(format!(
+                    "block meta id {got_id} != requested {id}"
+                )));
+            }
+            let mut block = DataBlock::new(id, window);
+            block.attrs = attrs;
+            for e in &self.meta.index {
+                if let Some(member) = e.name.strip_prefix(&prefix) {
+                    if member == BLOCK_META {
+                        continue;
+                    }
+                    let (mut ds, t2) = self.read_dataset_shared(&e.name, t)?;
+                    t = t2;
+                    ds.name = member.to_string();
+                    block.push_dataset(ds)?;
+                }
+            }
+            return Ok((block, t));
+        }
+        let lookup = self.lib.lookup_cost(self.meta.index.len());
+        let ranges: Vec<(usize, usize)> = entries
+            .iter()
+            .map(|(_, e)| (e.offset as usize, e.len as usize))
+            .collect();
+        let (windows, t) =
+            self.fs
+                .read_shared_multi(&self.path, &ranges, lookup, self.client, now)?;
+        let meta = self.decode_shared_verified_once(entries[0].0, &windows[0], &mut 0)?;
+        let (got_id, window, attrs) = parse_block_meta(&meta)?;
+        if got_id != id {
+            return Err(RocError::Corrupt(format!(
+                "block meta id {got_id} != requested {id}"
+            )));
+        }
+        let mut block = DataBlock::new(id, window);
+        block.attrs = attrs;
+        for ((i, e), w) in entries[1..].iter().zip(&windows[1..]) {
+            let member = e.name.strip_prefix(&prefix).expect("filtered on prefix");
+            let mut ds = self.decode_shared_verified_once(*i, w, &mut 0)?;
+            ds.name = member.to_string();
+            block.push_dataset(ds)?;
         }
         Ok((block, t))
     }
@@ -159,12 +308,8 @@ impl<'fs> SdfFileReader<'fs> {
         n: usize,
         now: SimTime,
     ) -> Result<(Dataset, SimTime)> {
-        let &i = self
-            .by_name
-            .get(name)
-            .ok_or_else(|| RocError::NotFound(format!("dataset '{name}' in '{}'", self.path)))?;
-        let e = &self.index[i];
-        let lookup = self.lib.lookup_cost(self.index.len());
+        let e = self.entry(name)?;
+        let lookup = self.lib.lookup_cost(self.meta.index.len());
         // Read the record header (grow until it parses), then just the
         // requested payload bytes.
         let mut header_guess = 256usize.min(e.len as usize);
@@ -374,6 +519,163 @@ mod tests {
         // The slice read moved ~ header + 80 bytes, nowhere near 800 KB.
         assert!(after_slice - after_open < 2048, "read {} bytes", after_slice - after_open);
         let _ = before;
+    }
+
+    #[test]
+    fn shared_block_read_matches_owned_in_bytes_time_and_stats() {
+        // The coalesced zero-copy path must be indistinguishable from the
+        // legacy path in everything but host allocations: same block
+        // values, same completion time, same fs read ops/bytes.
+        let fs_a = SharedFs::turing();
+        let fs_b = SharedFs::turing();
+        let blocks = write_sample(&fs_a);
+        write_sample(&fs_b);
+        let (ra, ta) = SdfFileReader::open(&fs_a, "snap.sdf", LibraryModel::hdf4(), 1, 0.0).unwrap();
+        let (rb, tb) = SdfFileReader::open(&fs_b, "snap.sdf", LibraryModel::hdf4(), 1, 0.0).unwrap();
+        assert_eq!(ta, tb);
+        for want in &blocks {
+            let (owned, t_owned) = ra.read_block(want.id, ta).unwrap();
+            let (shared, t_shared) = rb.read_block_shared(want.id, tb).unwrap();
+            assert_eq!(&shared, want);
+            assert_eq!(shared, owned);
+            assert_eq!(t_shared, t_owned, "block {}", want.id);
+        }
+        assert_eq!(fs_a.stats(), fs_b.stats());
+    }
+
+    #[test]
+    fn shared_dataset_read_matches_owned() {
+        let fs = SharedFs::ideal();
+        let blocks = write_sample(&fs);
+        let (r, t) = SdfFileReader::open(&fs, "snap.sdf", LibraryModel::hdf4(), 1, 0.0).unwrap();
+        let (owned, t1) = r.read_dataset("blk000007/pressure", t).unwrap();
+        let (shared, _) = r.read_dataset_shared("blk000007/pressure", t).unwrap();
+        assert_eq!(shared.data, owned.data);
+        assert_eq!(shared.data, blocks[1].dataset("pressure").unwrap().data);
+        assert_eq!(shared.attrs["units"].as_str().unwrap(), "Pa");
+        assert!(t1 > t);
+    }
+
+    #[test]
+    fn noncontiguous_block_falls_back_and_still_matches_owned() {
+        // Append an extra member to a block *after* other data has been
+        // written in between: the block's records are no longer one
+        // contiguous extent, so the coalesced path must detect it and
+        // fall back — with identical results and cost.
+        let build = |fs: &SharedFs| {
+            let (mut w, mut t) =
+                SdfFileWriter::create(fs, "gap.sdf", LibraryModel::hdf4(), 0, 0.0).unwrap();
+            let block = DataBlock::new(BlockId(4), "w")
+                .with_dataset(Dataset::vector("a", vec![1.0f64, 2.0]));
+            t = w.append_block(&block, t).unwrap();
+            t = w
+                .append_dataset(&Dataset::vector("unrelated", vec![9i32; 16]), t)
+                .unwrap();
+            t = w
+                .append_dataset(&Dataset::vector("blk000004/late", vec![3.0f64, 4.0]), t)
+                .unwrap();
+            w.finish(t).unwrap();
+        };
+        let fs_a = SharedFs::turing();
+        let fs_b = SharedFs::turing();
+        build(&fs_a);
+        build(&fs_b);
+        let (ra, ta) = SdfFileReader::open(&fs_a, "gap.sdf", LibraryModel::hdf4(), 1, 0.0).unwrap();
+        let (rb, tb) = SdfFileReader::open(&fs_b, "gap.sdf", LibraryModel::hdf4(), 1, 0.0).unwrap();
+        let (owned, t_owned) = ra.read_block(BlockId(4), ta).unwrap();
+        let (shared, t_shared) = rb.read_block_shared(BlockId(4), tb).unwrap();
+        assert_eq!(shared, owned);
+        assert_eq!(owned.datasets.len(), 2); // "a" and "late"
+        assert_eq!(t_shared, t_owned);
+        assert_eq!(fs_a.stats(), fs_b.stats());
+    }
+
+    #[test]
+    fn repeat_open_hits_the_metadata_cache() {
+        let fs = SharedFs::ideal();
+        let blocks = write_sample(&fs);
+        let (_, t1) = SdfFileReader::open(&fs, "snap.sdf", LibraryModel::hdf4(), 1, 0.0).unwrap();
+        let read_after_first = fs.stats().bytes_read;
+        assert!(t1 > 0.0);
+        // Second open by the same client: no reads, no virtual time.
+        let (r2, t2) = SdfFileReader::open(&fs, "snap.sdf", LibraryModel::hdf4(), 1, 5.0).unwrap();
+        assert_eq!(t2, 5.0);
+        assert_eq!(fs.stats().bytes_read, read_after_first);
+        let (got, _) = r2.read_block(blocks[0].id, t2).unwrap();
+        assert_eq!(got, blocks[0]);
+        // A different client pays for its own open (per-client keying).
+        let (_, t3) = SdfFileReader::open(&fs, "snap.sdf", LibraryModel::hdf4(), 2, 5.0).unwrap();
+        assert!(t3 > 5.0);
+        assert!(fs.stats().bytes_read > read_after_first);
+    }
+
+    #[test]
+    fn rewritten_snapshot_invalidates_cached_open() {
+        // A new snapshot written to the same path must not be served
+        // through the stale cached index.
+        let fs = SharedFs::ideal();
+        write_sample(&fs);
+        let (r1, t) = SdfFileReader::open(&fs, "snap.sdf", LibraryModel::hdf4(), 1, 0.0).unwrap();
+        assert_eq!(r1.n_datasets(), 9);
+        drop(r1);
+        // Overwrite the path with a different, smaller snapshot.
+        let block = DataBlock::new(BlockId(0), "fluid")
+            .with_dataset(Dataset::vector("pressure", vec![42.0f64; 3]));
+        let (mut w, tw) = SdfFileWriter::create(&fs, "snap.sdf", LibraryModel::hdf4(), 0, t).unwrap();
+        let tw = w.append_block(&block, tw).unwrap();
+        w.finish(tw).unwrap();
+        let before = fs.stats().bytes_read;
+        let (r2, t2) = SdfFileReader::open(&fs, "snap.sdf", LibraryModel::hdf4(), 1, tw).unwrap();
+        assert!(t2 > tw, "stale cache served a rewritten file");
+        assert!(fs.stats().bytes_read > before);
+        assert_eq!(r2.n_datasets(), 2); // meta + pressure
+        let (got, _) = r2.read_block_shared(BlockId(0), t2).unwrap();
+        assert_eq!(got, block);
+    }
+
+    #[test]
+    fn crc_failure_is_sticky_and_rewrite_reverifies() {
+        // The verified-once flags must never mask corruption: a bad
+        // record fails on every read (the flag is only set after a
+        // successful decode), and rewriting a path starts a new
+        // generation whose records are verified afresh even though the
+        // old image's records had been marked verified.
+        let fs = SharedFs::ideal();
+        let marker = 1234.5678f64;
+        let block = DataBlock::new(BlockId(1), "w")
+            .with_dataset(Dataset::vector("v", vec![marker; 8]));
+        let (mut w, t) =
+            SdfFileWriter::create(&fs, "snap.sdf", LibraryModel::hdf4(), 0, 0.0).unwrap();
+        let t = w.append_block(&block, t).unwrap();
+        w.finish(t).unwrap();
+        let (image, _) = fs.read_all("snap.sdf", 0, 0.0).unwrap();
+        let at = image
+            .windows(8)
+            .position(|w| w == marker.to_le_bytes())
+            .unwrap();
+        let mut bad = image.clone();
+        bad[at] ^= 0x01;
+
+        // Corrupt image: every shared read fails, warm or not.
+        fs.create("bad.sdf", 0, 0.0);
+        fs.append("bad.sdf", &bad, 0, 0.0).unwrap();
+        let (r, t1) = SdfFileReader::open(&fs, "bad.sdf", LibraryModel::hdf4(), 1, 0.0).unwrap();
+        assert!(r.read_block_shared(BlockId(1), t1).is_err());
+        assert!(r.read_block_shared(BlockId(1), t1).is_err(), "failure must be sticky");
+
+        // Good image read warm (records now marked verified), then the
+        // path is rewritten with the corrupt image: the new generation
+        // must verify and fail, not coast on the stale flags.
+        let (r, t2) = SdfFileReader::open(&fs, "snap.sdf", LibraryModel::hdf4(), 1, 0.0).unwrap();
+        let (first, _) = r.read_block_shared(BlockId(1), t2).unwrap();
+        let (warm, _) = r.read_block_shared(BlockId(1), t2).unwrap();
+        assert_eq!(first, warm);
+        assert_eq!(warm, block);
+        drop(r);
+        fs.create("snap.sdf", 0, 10.0);
+        fs.append("snap.sdf", &bad, 0, 10.0).unwrap();
+        let (r, t3) = SdfFileReader::open(&fs, "snap.sdf", LibraryModel::hdf4(), 1, 10.0).unwrap();
+        assert!(r.read_block_shared(BlockId(1), t3).is_err());
     }
 
     #[test]

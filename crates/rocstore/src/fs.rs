@@ -1,12 +1,19 @@
 //! The shared file system: real bytes, modelled time.
 
+use std::any::Any;
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
 
+use bytes::Bytes;
 use parking_lot::Mutex;
 use rocio_core::{Result, RocError, SimTime};
 
 use crate::model::DiskModel;
+
+/// Opaque value stored in the per-client metadata cache (see
+/// [`SharedFs::cache_put`]); callers downcast to their own type.
+pub type CacheValue = Arc<dyn Any + Send + Sync>;
 
 /// Aggregate statistics of a file system instance.
 #[derive(Debug, Clone, Copy, Default, PartialEq)]
@@ -41,6 +48,56 @@ impl ServerState {
     }
 }
 
+/// Backing bytes of one file: writable while being appended, frozen into
+/// a refcounted shared buffer on the first shared read. Both transitions
+/// preserve the bytes; freezing is O(1) (adopts the `Vec`'s allocation),
+/// thawing copies once. Windows handed out before a thaw keep the old
+/// allocation alive and keep reading the old bytes — mutation never
+/// invalidates an outstanding read window.
+enum FileData {
+    Writable(Vec<u8>),
+    Frozen(Bytes),
+}
+
+impl FileData {
+    fn len(&self) -> usize {
+        match self {
+            FileData::Writable(v) => v.len(),
+            FileData::Frozen(b) => b.len(),
+        }
+    }
+
+    /// Thaw for mutation (copies once if frozen).
+    fn make_writable(&mut self) -> &mut Vec<u8> {
+        if let FileData::Frozen(b) = self {
+            *self = FileData::Writable(b.to_vec());
+        }
+        match self {
+            FileData::Writable(v) => v,
+            FileData::Frozen(_) => unreachable!("just thawed"),
+        }
+    }
+
+    /// Freeze for shared reads (O(1): adopts the `Vec`'s allocation).
+    fn freeze(&mut self) -> &Bytes {
+        if let FileData::Writable(v) = self {
+            *self = FileData::Frozen(Bytes::from(std::mem::take(v)));
+        }
+        match self {
+            FileData::Frozen(b) => b,
+            FileData::Writable(_) => unreachable!("just froze"),
+        }
+    }
+}
+
+struct StoredFile {
+    data: FileData,
+    /// Monotone id refreshed from a global counter on every mutation;
+    /// validates metadata-cache entries. Never reused, so delete +
+    /// recreate cannot alias an old entry.
+    generation: u64,
+}
+
 /// A shared parallel file system with `n` storage servers.
 ///
 /// Files are assigned to servers by a stable hash of their path. Writes
@@ -57,8 +114,13 @@ impl ServerState {
 pub struct SharedFs {
     model: DiskModel,
     servers: Vec<Mutex<ServerState>>,
-    files: Mutex<HashMap<String, Vec<u8>>>,
+    files: Mutex<HashMap<String, StoredFile>>,
     stats: Mutex<FsStats>,
+    /// Source of file generations; bumped on every mutation of any file.
+    next_generation: AtomicU64,
+    /// (client, path) -> (generation, value). Parsed-metadata cache
+    /// (e.g. decoded SDF indexes); see [`SharedFs::cache_put`].
+    meta_cache: Mutex<HashMap<(u64, String), (u64, CacheValue)>>,
     /// Caller-declared concurrent-writer count (see
     /// [`SharedFs::declare_writers`]); 0 = rely on the activity window.
     write_hint: AtomicUsize,
@@ -78,6 +140,8 @@ impl SharedFs {
             servers: (0..n_servers).map(|_| Mutex::new(ServerState::default())).collect(),
             files: Mutex::new(HashMap::new()),
             stats: Mutex::new(FsStats::default()),
+            next_generation: AtomicU64::new(0),
+            meta_cache: Mutex::new(HashMap::new()),
             write_hint: AtomicUsize::new(0),
             read_hint: AtomicUsize::new(0),
             quota: AtomicUsize::new(usize::MAX),
@@ -92,7 +156,11 @@ impl SharedFs {
 
     /// Total bytes currently stored.
     pub fn used_bytes(&self) -> usize {
-        self.files.lock().values().map(|f| f.len()).sum()
+        self.files.lock().values().map(|f| f.data.len()).sum()
+    }
+
+    fn next_gen(&self) -> u64 {
+        self.next_generation.fetch_add(1, Ordering::Relaxed)
     }
 
     fn check_quota(&self, additional: usize) -> Result<()> {
@@ -209,7 +277,10 @@ impl SharedFs {
 
     /// Create (or truncate) a file. Returns the virtual completion time.
     pub fn create(&self, path: &str, client: u64, now: SimTime) -> SimTime {
-        self.files.lock().insert(path.to_string(), Vec::new());
+        self.files.lock().insert(
+            path.to_string(),
+            StoredFile { data: FileData::Writable(Vec::new()), generation: self.next_gen() },
+        );
         self.stats.lock().files_created += 1;
         let end = self.charge_write(path, 0, client, now);
         end + self.model.open_cost
@@ -223,7 +294,8 @@ impl SharedFs {
             let f = files
                 .get_mut(path)
                 .ok_or_else(|| RocError::Storage(format!("append: no such file '{path}'")))?;
-            f.extend_from_slice(data);
+            f.data.make_writable().extend_from_slice(data);
+            f.generation = self.next_gen();
         }
         let mut stats = self.stats.lock();
         stats.bytes_written += data.len() as u64;
@@ -252,10 +324,12 @@ impl SharedFs {
             let f = files
                 .get_mut(path)
                 .ok_or_else(|| RocError::Storage(format!("append: no such file '{path}'")))?;
-            f.reserve(total);
+            let v = f.data.make_writable();
+            v.reserve(total);
             for s in segments {
-                f.extend_from_slice(s.as_slice());
+                v.extend_from_slice(s.as_slice());
             }
+            f.generation = self.next_gen();
         }
         let mut stats = self.stats.lock();
         stats.bytes_written += total as u64;
@@ -279,10 +353,12 @@ impl SharedFs {
             let f = files
                 .get_mut(path)
                 .ok_or_else(|| RocError::Storage(format!("write_at: no such file '{path}'")))?;
-            if f.len() < offset + data.len() {
-                f.resize(offset + data.len(), 0);
+            let v = f.data.make_writable();
+            if v.len() < offset + data.len() {
+                v.resize(offset + data.len(), 0);
             }
-            f[offset..offset + data.len()].copy_from_slice(data);
+            v[offset..offset + data.len()].copy_from_slice(data);
+            f.generation = self.next_gen();
         }
         let mut stats = self.stats.lock();
         stats.bytes_written += data.len() as u64;
@@ -299,7 +375,77 @@ impl SharedFs {
         Ok(now + self.model.close_cost)
     }
 
+    /// Read a batch of `(offset, len)` ranges as zero-copy windows over the
+    /// backing file, chaining the virtual time through the ranges in order
+    /// with a fixed `lead` (e.g. a per-record lookup cost) charged before
+    /// each one. Cost- and stats-identical **by construction** to issuing
+    /// the reads one by one — one stats bump and one [`charge_read`] per
+    /// range — while the host does a single lock/freeze for the whole
+    /// batch. This is the coalesced-read entry point: a reader that knows
+    /// several records are contiguous fetches them all in one fs op and
+    /// carves each out as an O(1) window.
+    ///
+    /// The windows stay valid (and keep their bytes) across later
+    /// mutations or deletion of the file: mutating a frozen file thaws it
+    /// into a fresh buffer, so outstanding windows pin the old one.
+    pub fn read_shared_multi(
+        &self,
+        path: &str,
+        ranges: &[(usize, usize)],
+        lead: SimTime,
+        client: u64,
+        now: SimTime,
+    ) -> Result<(Vec<Bytes>, SimTime)> {
+        let windows = {
+            let mut files = self.files.lock();
+            let f = files
+                .get_mut(path)
+                .ok_or_else(|| RocError::Storage(format!("read: no such file '{path}'")))?;
+            let data = f.data.freeze();
+            let eof = data.len();
+            let mut out = Vec::with_capacity(ranges.len());
+            for &(offset, len) in ranges {
+                if offset + len > eof {
+                    return Err(RocError::Storage(format!(
+                        "read: range {offset}..{} beyond EOF {eof} in '{path}'",
+                        offset + len,
+                    )));
+                }
+                out.push(data.slice(offset..offset + len));
+            }
+            out
+        };
+        let mut t = now;
+        for &(_, len) in ranges {
+            let mut stats = self.stats.lock();
+            stats.bytes_read += len as u64;
+            stats.read_ops += 1;
+            drop(stats);
+            t += lead;
+            t = self.charge_read(path, len, client, t);
+        }
+        Ok((windows, t))
+    }
+
+    /// Read `len` bytes at `offset` as a zero-copy window (same virtual
+    /// time and stats as [`SharedFs::read`], no copy).
+    pub fn read_shared(
+        &self,
+        path: &str,
+        offset: usize,
+        len: usize,
+        client: u64,
+        now: SimTime,
+    ) -> Result<(Bytes, SimTime)> {
+        let (mut windows, end) = self.read_shared_multi(path, &[(offset, len)], 0.0, client, now)?;
+        Ok((windows.pop().expect("one range in, one window out"), end))
+    }
+
     /// Read `len` bytes at `offset`. Returns the bytes and completion time.
+    ///
+    /// Owned-`Vec` compatibility wrapper over [`SharedFs::read_shared`]:
+    /// the copy happens at this legacy boundary only, so there is a single
+    /// charging/stats path for all reads.
     pub fn read(
         &self,
         path: &str,
@@ -308,26 +454,8 @@ impl SharedFs {
         client: u64,
         now: SimTime,
     ) -> Result<(Vec<u8>, SimTime)> {
-        let data = {
-            let files = self.files.lock();
-            let f = files
-                .get(path)
-                .ok_or_else(|| RocError::Storage(format!("read: no such file '{path}'")))?;
-            if offset + len > f.len() {
-                return Err(RocError::Storage(format!(
-                    "read: range {offset}..{} beyond EOF {} in '{path}'",
-                    offset + len,
-                    f.len()
-                )));
-            }
-            f[offset..offset + len].to_vec()
-        };
-        let mut stats = self.stats.lock();
-        stats.bytes_read += len as u64;
-        stats.read_ops += 1;
-        drop(stats);
-        let end = self.charge_read(path, len, client, now);
-        Ok((data, end))
+        let (window, end) = self.read_shared(path, offset, len, client, now)?;
+        Ok((window.to_vec(), end))
     }
 
     /// Read a whole file.
@@ -336,12 +464,18 @@ impl SharedFs {
         self.read(path, 0, len, client, now)
     }
 
+    /// Read a whole file as a zero-copy window.
+    pub fn read_all_shared(&self, path: &str, client: u64, now: SimTime) -> Result<(Bytes, SimTime)> {
+        let len = self.file_size(path)?;
+        self.read_shared(path, 0, len, client, now)
+    }
+
     /// Size of a file in bytes (metadata operation, no time charged).
     pub fn file_size(&self, path: &str) -> Result<usize> {
         self.files
             .lock()
             .get(path)
-            .map(|f| f.len())
+            .map(|f| f.data.len())
             .ok_or_else(|| RocError::Storage(format!("stat: no such file '{path}'")))
     }
 
@@ -362,13 +496,46 @@ impl SharedFs {
         out
     }
 
-    /// Delete a file.
+    /// Delete a file. Outstanding shared windows keep their bytes.
     pub fn delete(&self, path: &str) -> Result<()> {
         self.files
             .lock()
             .remove(path)
-            .map(|_| ())
-            .ok_or_else(|| RocError::Storage(format!("delete: no such file '{path}'")))
+            .ok_or_else(|| RocError::Storage(format!("delete: no such file '{path}'")))?;
+        // Hygiene only: the generation check already rejects stale entries
+        // (a recreated file gets a fresh generation, never a reused one).
+        self.meta_cache.lock().retain(|(_, p), _| p != path);
+        Ok(())
+    }
+
+    /// Store a parsed-metadata value (e.g. a decoded SDF trailer + index)
+    /// for `path`. Entries are keyed by `client` so a hit depends only on
+    /// that client's own deterministic history — never on how the host
+    /// interleaves other ranks' opens — and are validated against the
+    /// file's mutation generation, so any write, truncate, or delete +
+    /// recreate of the path invalidates them.
+    pub fn cache_put(&self, path: &str, client: u64, value: CacheValue) {
+        let generation = match self.files.lock().get(path) {
+            Some(f) => f.generation,
+            None => return,
+        };
+        self.meta_cache.lock().insert((client, path.to_string()), (generation, value));
+    }
+
+    /// Fetch this client's cached metadata for `path`, if still valid
+    /// (see [`SharedFs::cache_put`]). Stale entries are dropped.
+    pub fn cache_get(&self, path: &str, client: u64) -> Option<CacheValue> {
+        let current = self.files.lock().get(path).map(|f| f.generation);
+        let key = (client, path.to_string());
+        let mut cache = self.meta_cache.lock();
+        match (current, cache.get(&key)) {
+            (Some(generation), Some((g, v))) if *g == generation => Some(Arc::clone(v)),
+            (_, Some(_)) => {
+                cache.remove(&key);
+                None
+            }
+            _ => None,
+        }
     }
 
     /// Number of files currently stored.
@@ -567,6 +734,98 @@ mod tests {
         let s = a.stats();
         assert_eq!(s.bytes_written, flat.len() as u64);
         assert_eq!(s.write_ops, 1);
+    }
+
+    #[test]
+    fn shared_read_matches_owned_read() {
+        // Same bytes, same virtual cost, same stats — the shared window
+        // differs from the owned read only in what the host allocates.
+        let a = SharedFs::turing();
+        let b = SharedFs::turing();
+        for fs in [&a, &b] {
+            fs.create("f", 0, 0.0);
+            fs.append("f", &(0..4096).map(|i| i as u8).collect::<Vec<_>>(), 0, 0.0).unwrap();
+        }
+        let (owned, t_owned) = a.read("f", 128, 1024, 1, 5.0).unwrap();
+        let (shared, t_shared) = b.read_shared("f", 128, 1024, 1, 5.0).unwrap();
+        assert_eq!(shared.as_slice(), owned.as_slice());
+        assert_eq!(t_shared, t_owned);
+        assert_eq!(a.stats(), b.stats());
+    }
+
+    #[test]
+    fn read_shared_multi_matches_chained_reads() {
+        // The coalesced batch must be cost- and stats-identical to issuing
+        // the same ranges one by one with the lead charged before each.
+        let a = SharedFs::turing();
+        let b = SharedFs::turing();
+        for fs in [&a, &b] {
+            fs.create("f", 0, 0.0);
+            fs.append("f", &vec![9u8; 2048], 0, 0.0).unwrap();
+        }
+        let ranges = [(0usize, 100usize), (100, 400), (500, 1000)];
+        let lead = 0.25;
+        let (windows, t_multi) = a.read_shared_multi("f", &ranges, lead, 3, 2.0).unwrap();
+        let mut t = 2.0;
+        for (&(off, len), w) in ranges.iter().zip(&windows) {
+            let (d, e) = b.read("f", off, len, 3, t + lead).unwrap();
+            assert_eq!(w.as_slice(), d.as_slice());
+            t = e;
+        }
+        assert_eq!(t_multi, t);
+        assert_eq!(a.stats(), b.stats());
+        assert_eq!(a.stats().read_ops, ranges.len() as u64);
+    }
+
+    #[test]
+    fn shared_window_outlives_mutation_and_delete() {
+        let fs = SharedFs::ideal();
+        fs.create("f", 0, 0.0);
+        fs.append("f", b"old-bytes", 0, 0.0).unwrap();
+        let (w, _) = fs.read_shared("f", 0, 9, 0, 0.0).unwrap();
+        // Mutation thaws into a fresh buffer; the window pins the old one.
+        fs.append("f", b"+new", 0, 1.0).unwrap();
+        let (now, _) = fs.read_all("f", 0, 2.0).unwrap();
+        assert_eq!(now, b"old-bytes+new");
+        fs.delete("f").unwrap();
+        assert_eq!(w.as_slice(), b"old-bytes");
+    }
+
+    #[test]
+    fn metadata_cache_is_per_client_and_generation_checked() {
+        let fs = SharedFs::ideal();
+        fs.create("f", 0, 0.0);
+        fs.append("f", b"v1", 0, 0.0).unwrap();
+        assert!(fs.cache_get("f", 7).is_none());
+        fs.cache_put("f", 7, Arc::new(1u32));
+        let hit = fs.cache_get("f", 7).expect("fresh entry hits");
+        assert_eq!(*hit.downcast::<u32>().unwrap(), 1);
+        // Other clients never see each other's entries (determinism).
+        assert!(fs.cache_get("f", 8).is_none());
+        // Any mutation invalidates.
+        fs.append("f", b"v2", 0, 0.0).unwrap();
+        assert!(fs.cache_get("f", 7).is_none());
+        // Delete + recreate must not resurrect an entry either.
+        fs.cache_put("f", 7, Arc::new(2u32));
+        fs.delete("f").unwrap();
+        fs.create("f", 0, 1.0);
+        assert!(fs.cache_get("f", 7).is_none());
+        // Caching a missing path is a no-op.
+        fs.cache_put("ghost", 7, Arc::new(3u32));
+        assert!(fs.cache_get("ghost", 7).is_none());
+    }
+
+    #[test]
+    fn quota_counts_frozen_files() {
+        let fs = SharedFs::ideal();
+        fs.set_quota(100);
+        fs.create("f", 0, 0.0);
+        fs.append("f", &[0u8; 60], 0, 0.0).unwrap();
+        fs.read_shared("f", 0, 60, 0, 0.0).unwrap(); // freezes
+        assert_eq!(fs.used_bytes(), 60);
+        assert!(fs.append("f", &[0u8; 60], 0, 0.0).is_err());
+        fs.append("f", &[0u8; 40], 0, 0.0).unwrap(); // thaw + append still fits
+        assert_eq!(fs.used_bytes(), 100);
     }
 
     #[test]

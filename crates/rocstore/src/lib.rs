@@ -24,5 +24,5 @@
 pub mod fs;
 pub mod model;
 
-pub use fs::{FsStats, SharedFs};
+pub use fs::{CacheValue, FsStats, SharedFs};
 pub use model::{ContentionCurve, DiskModel};

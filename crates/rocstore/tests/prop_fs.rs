@@ -131,6 +131,38 @@ proptest! {
     }
 
     #[test]
+    fn shared_reads_match_owned_reads_and_outlive_the_file(
+        data in prop::collection::vec(any::<u8>(), 1..256),
+        offsets in prop::collection::vec((0usize..256, 0usize..64), 1..10),
+        mutate_after in any::<bool>(),
+    ) {
+        // Shared windows must equal the owned reads byte-for-byte, at the
+        // same virtual cost, and keep their bytes after the file is
+        // mutated or deleted out from under them.
+        let fs = SharedFs::frost();
+        fs.create("r", 0, 0.0);
+        fs.append("r", &data, 0, 0.0).unwrap();
+        let mut windows = Vec::new();
+        for &(off, len) in &offsets {
+            let off = off % data.len();
+            let len = len.min(data.len() - off);
+            let (owned, t_owned) = fs.read("r", off, len, 1, 1.0).unwrap();
+            let (shared, t_shared) = fs.read_shared("r", off, len, 1, t_owned).unwrap();
+            prop_assert_eq!(shared.as_slice(), &owned[..]);
+            prop_assert!((t_shared - t_owned - (t_owned - 1.0)).abs() < 1e-12,
+                "shared read charged differently from owned read");
+            windows.push((off, len, shared));
+        }
+        if mutate_after {
+            fs.append("r", b"overwritten!", 0, 9.0).unwrap();
+        }
+        fs.delete("r").unwrap();
+        for (off, len, w) in windows {
+            prop_assert_eq!(w.as_slice(), &data[off..off + len]);
+        }
+    }
+
+    #[test]
     fn reads_never_mutate(
         data in prop::collection::vec(any::<u8>(), 1..256),
         offsets in prop::collection::vec((0usize..256, 0usize..64), 1..10),

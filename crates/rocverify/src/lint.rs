@@ -21,7 +21,10 @@
 //! * **forbid-unsafe** — every crate root carries `#![forbid(unsafe_code)]`.
 //! * **owned-payload** — the zero-copy data path keeps wire payloads in
 //!   shared [`bytes::Bytes`]; an owned `payload: Vec<u8>` field or a
-//!   `ds.clone()` on the send path reintroduces a deep copy per message.
+//!   `ds.clone()` on the send path reintroduces a deep copy per message,
+//!   and an owned `fs.read(..)` / `fs.read_all(..)` on the read path
+//!   copies the file window per call (simulation crates read through the
+//!   shared windows; the owned forms are rocstore's legacy boundary).
 //!
 //! Everything under `#[cfg(test)]` / `#[test]` is exempt. Intentional
 //! exceptions live in `roclint.allow` (one `rule | path | needle | reason`
@@ -400,6 +403,23 @@ pub fn lint_source(cfg: &LintConfig, crate_dir: &str, path: &str, src: &str) -> 
                 toks[i].line,
                 "`ds.clone()` deep-copies the dataset — encode with a name override instead"
                     .into(),
+            );
+        }
+        // owned-payload: owned reads copy the file window per call.
+        // Simulation crates read through the shared, zero-copy windows;
+        // the owned `read`/`read_all` live on only as rocstore's legacy
+        // boundary.
+        if is_sim
+            && w == "fs"
+            && t(&toks, i + 1) == "."
+            && matches!(t(&toks, i + 2), "read" | "read_all")
+            && t(&toks, i + 3) == "("
+        {
+            let call = t(&toks, i + 2);
+            push(
+                Rule::OwnedPayload,
+                toks[i].line,
+                format!("owned `fs.{call}(..)` — read shared windows (`{call}_shared`) instead"),
             );
         }
         // span-category: `SpanCategory::X` must name a known constant.

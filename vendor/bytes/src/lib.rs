@@ -14,10 +14,13 @@ use std::sync::Arc;
 /// Cheaply cloneable contiguous byte buffer backed by a shared allocation.
 ///
 /// Cloning and slicing never copy the underlying bytes; the storage is
-/// freed when the last handle (clone or slice) is dropped.
+/// freed when the last handle (clone or slice) is dropped. The backing is
+/// an `Arc<Vec<u8>>` rather than `Arc<[u8]>` so `From<Vec<u8>>` adopts the
+/// vector's existing allocation instead of reallocating — freezing a large
+/// buffer into shared form is O(1).
 #[derive(Clone, Default)]
 pub struct Bytes {
-    data: Arc<[u8]>,
+    data: Arc<Vec<u8>>,
     off: usize,
     len: usize,
 }
@@ -31,7 +34,7 @@ impl Bytes {
     /// Copy `data` into a fresh shared allocation.
     pub fn copy_from_slice(data: &[u8]) -> Self {
         Bytes {
-            data: Arc::from(data),
+            data: Arc::new(data.to_vec()),
             off: 0,
             len: data.len(),
         }
@@ -86,10 +89,11 @@ impl Bytes {
 }
 
 impl From<Vec<u8>> for Bytes {
+    /// O(1): adopts the vector's allocation, no copy.
     fn from(v: Vec<u8>) -> Self {
         let len = v.len();
         Bytes {
-            data: Arc::from(v),
+            data: Arc::new(v),
             off: 0,
             len,
         }
@@ -214,6 +218,14 @@ mod tests {
     #[should_panic(expected = "out of bounds")]
     fn slice_out_of_bounds_panics() {
         Bytes::from(vec![0u8; 4]).slice(2..6);
+    }
+
+    #[test]
+    fn from_vec_adopts_the_allocation() {
+        let v = vec![7u8; 4096];
+        let p = v.as_ptr();
+        let b = Bytes::from(v);
+        assert_eq!(b.as_slice().as_ptr(), p, "From<Vec<u8>> must not copy");
     }
 
     #[test]
