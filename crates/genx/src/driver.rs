@@ -6,7 +6,7 @@ use std::sync::Arc;
 use rocio_core::{Result, RocError};
 use rocmesh::Workload;
 use rocnet::cluster::ClusterSpec;
-use rocnet::{run_ranks, Comm};
+use rocnet::{run_on_fabric, Comm, Fabric, FaultSpec, RelOnly};
 use roccom::{IoDispatch, IoService, Windows};
 use rochdf::{Rochdf, RochdfConfig, TRochdf};
 use rocpanda::{Role, RocpandaConfig};
@@ -93,6 +93,10 @@ pub struct GenxConfig {
     pub rocpanda: RocpandaConfig,
     /// Rochdf/T-Rochdf tunables (dir is overridden by `out_dir`).
     pub rochdf: RochdfConfig,
+    /// Degrade the fabric for Rocpanda's reliable I/O frames: install a
+    /// [`RelOnly`] injector with this spec and switch the Rocpanda data
+    /// plane onto `ReliableComm`. Solver and Rochdf traffic is untouched.
+    pub faulty_net: Option<FaultSpec>,
 }
 
 impl GenxConfig {
@@ -114,6 +118,7 @@ impl GenxConfig {
             solid_solver: SolidKind::default(),
             rocpanda: RocpandaConfig::default(),
             rochdf: RochdfConfig::default(),
+            faulty_net: None,
         }
     }
 }
@@ -152,7 +157,14 @@ pub fn run_genx_traced(
     let files_before = fs.list(&format!("{}/", cfg.out_dir)).len();
     let bytes_before = fs.stats().bytes_written;
 
-    let outcomes = run_ranks(n_ranks, cluster, |world| -> Result<Option<ClientOutcome>> {
+    let fabric = Arc::new(Fabric::new(cluster));
+    if let Some(spec) = cfg.faulty_net {
+        // Only Rocpanda's reliability frames ride the degraded links;
+        // everything else (solver halos, Rochdf appends) is delivered
+        // cleanly, so chaos runs isolate the I/O path under test.
+        fabric.set_fault_injector(Arc::new(RelOnly(spec)));
+    }
+    let outcomes = run_on_fabric(&fabric, &|world| -> Result<Option<ClientOutcome>> {
         let _obs_guard = collector.map(|tc| {
             let rank = world.global_rank();
             let node = world.cluster().node_of(rank);
@@ -162,6 +174,7 @@ pub fn run_genx_traced(
             IoChoice::Rocpanda { server_ranks } => {
                 let mut panda_cfg = cfg.rocpanda.clone();
                 panda_cfg.dir = cfg.out_dir.clone();
+                panda_cfg.faulty_net = cfg.faulty_net;
                 match rocpanda::init(&world, fs, panda_cfg, server_ranks)? {
                     Role::Server(mut server) => {
                         server.run()?;

@@ -345,6 +345,55 @@ impl Comm {
         Some(self.to_message(env))
     }
 
+    /// Blocking receive with a virtual-time deadline: returns the
+    /// virtual-order first matching message that arrives by `deadline`,
+    /// or `None` once no rank can still produce one — in which case the
+    /// clock advances to `deadline` (the timer fired; the rank idled
+    /// until it). This is the primitive under the reliability layer's
+    /// retransmit timers ([`crate::rocrel`]): deterministic because the
+    /// answer is gated the same way [`Comm::try_recv`] is, with the
+    /// deadline standing in for "now".
+    pub fn recv_deadline(
+        &self,
+        src: Option<usize>,
+        tag: Option<u32>,
+        deadline: SimTime,
+    ) -> Option<Message> {
+        let t0 = self.clock.now();
+        let env = self
+            .fabric
+            .try_take_at(self.global_rank(), self.matcher(src, tag), deadline);
+        match env {
+            Some(env) => {
+                let msg = self.to_message(env);
+                self.record(EventKind::Recv, Some(msg.src), Some(msg.tag), msg.payload.len(), t0);
+                if rocobs::enabled() {
+                    rocobs::record(
+                        rocobs::SpanCategory::Recv,
+                        "recv_deadline",
+                        t0,
+                        self.clock.now(),
+                        &format!("src={} tag={:#x} bytes={}", msg.src, msg.tag, msg.payload.len()),
+                    );
+                }
+                Some(msg)
+            }
+            None => {
+                self.clock.advance_to(deadline);
+                if rocobs::enabled() {
+                    rocobs::record(
+                        rocobs::SpanCategory::Recv,
+                        "recv_deadline",
+                        t0,
+                        self.clock.now(),
+                        "timeout",
+                    );
+                }
+                None
+            }
+        }
+    }
+
     /// Blocking probe: waits for a matching message, merges the clock with
     /// its arrival (the CPU idles until then — the behaviour Rocpanda
     /// servers rely on so "the operating system can use the server CPUs",
@@ -709,6 +758,56 @@ mod tests {
         expect.extend_from_slice(&[9u8; 8]);
         expect.extend_from_slice(b"tail");
         assert_eq!(out[1], expect);
+    }
+
+    #[test]
+    fn recv_deadline_times_out_and_charges_idle_time() {
+        let out = run_ranks(2, ClusterSpec::ideal(2), |comm| {
+            if comm.rank() == 0 {
+                // Nothing sent before the deadline: rank 1 must time out.
+                comm.recv(Some(1), Some(2)).unwrap();
+                comm.now()
+            } else {
+                let r = comm.recv_deadline(Some(0), Some(1), 0.5);
+                assert!(r.is_none(), "no message before the deadline");
+                assert_eq!(comm.now(), 0.5, "timeout advances the clock to the deadline");
+                comm.send(0, 2, b"late").unwrap();
+                comm.now()
+            }
+        });
+        assert!(out[0] >= 0.5);
+    }
+
+    #[test]
+    fn recv_deadline_returns_message_arriving_in_time() {
+        let out = run_ranks(2, ClusterSpec::ideal(2), |comm| {
+            if comm.rank() == 0 {
+                comm.send(1, 1, b"early").unwrap();
+                Bytes::new()
+            } else {
+                let m = comm
+                    .recv_deadline(Some(0), Some(1), 10.0)
+                    .expect("message arrives well before the deadline");
+                assert!(comm.now() < 10.0, "no idle charge on a hit");
+                m.payload
+            }
+        });
+        assert_eq!(out[1], b"early");
+    }
+
+    #[test]
+    fn concurrent_deadline_waiters_do_not_livelock() {
+        // Two ranks parked on future deadlines, each the only rank that
+        // could wake the other: both must time out rather than spin on
+        // each other's sub-deadline clocks.
+        let out = run_ranks(2, ClusterSpec::ideal(2), |comm| {
+            let peer = 1 - comm.rank();
+            let deadline = 0.25 + comm.rank() as f64 * 0.25;
+            let r = comm.recv_deadline(Some(peer), Some(1), deadline);
+            assert!(r.is_none());
+            comm.now()
+        });
+        assert_eq!(out, vec![0.25, 0.5]);
     }
 
     #[test]

@@ -39,6 +39,7 @@ use parking_lot::{Condvar, Mutex};
 use rocio_core::SimTime;
 
 use crate::cluster::ClusterSpec;
+use crate::model::FaultAction;
 use crate::vtime::VClock;
 
 /// How long gate waiters sleep between safety re-scans: clock advances on
@@ -103,6 +104,47 @@ pub trait ScheduleOracle: Send + Sync {
     fn choose(&self, point: &ChoicePoint) -> usize;
 }
 
+/// Decides the fate of each fault-eligible message at delivery time.
+///
+/// Installed with [`Fabric::set_fault_injector`]. `seq` is the per-link
+/// eligible-message counter (incremented for every eligible message
+/// regardless of the action taken, so decisions stay aligned across
+/// protocol variants). Implementations must be pure functions of their
+/// arguments — the fabric calls `decide` under its state lock, and
+/// determinism of the whole run rests on the decision stream being a
+/// function of the message sequence alone. [`crate::model::FaultSpec`]
+/// is the seeded production implementation; rocsched installs scripted
+/// injectors to *explore* fault placements.
+pub trait FaultInjector: Send + Sync {
+    /// The fate of the `seq`-th eligible message on link `src → dst`.
+    fn decide(&self, src: usize, dst: usize, seq: u64, tag: u32) -> FaultAction;
+}
+
+impl FaultInjector for crate::model::FaultSpec {
+    fn decide(&self, src: usize, dst: usize, seq: u64, _tag: u32) -> FaultAction {
+        crate::model::FaultSpec::decide(self, src, dst, seq)
+    }
+}
+
+/// Counters of faults the injector actually inflicted (diagnostics and
+/// chaos-tier assertions that the adversary really fired).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FaultStats {
+    /// Messages silently discarded.
+    pub dropped: u64,
+    /// Messages delivered twice.
+    pub duplicated: u64,
+    /// Messages overtaken via the one-slot link limbo.
+    pub reordered: u64,
+}
+
+impl FaultStats {
+    /// Total faults inflicted.
+    pub fn total(&self) -> u64 {
+        self.dropped + self.duplicated + self.reordered
+    }
+}
+
 /// A message in flight or queued at its destination.
 #[derive(Debug, Clone)]
 pub struct Envelope {
@@ -144,6 +186,21 @@ struct PendingChoice {
 struct FabricState {
     queues: Vec<VecDeque<Envelope>>,
     wait: Vec<RankWait>,
+    // --- adversarial-network state (inert without an injector) ---
+    /// Fault decider for eligible messages, if any.
+    injector: Option<Arc<dyn FaultInjector>>,
+    /// Per-link eligible-message counters, indexed `src * n + dst`.
+    link_seq: Vec<u64>,
+    /// One-slot per-link limbo for reordered messages, indexed
+    /// `src * n + dst`: a stashed envelope is invisible to matching until
+    /// the *next* send on the same link releases it (behind that send's
+    /// own outcome), re-stamped to that send's arrival so the overtake is
+    /// real in virtual time. A stash on a link that never sends again
+    /// simply rots — upper layers recover by retransmission, never by
+    /// blocking on the stash.
+    limbo: Vec<Option<Envelope>>,
+    /// Faults inflicted so far.
+    fault_stats: FaultStats,
     // --- oracle-mode bookkeeping (unused without an oracle) ---
     /// Rank's thread has returned (or unwound); it will never act again.
     finished: Vec<bool>,
@@ -255,6 +312,10 @@ impl Fabric {
             state: Mutex::new(FabricState {
                 queues: (0..n).map(|_| VecDeque::new()).collect(),
                 wait: vec![RankWait::Running; n],
+                injector: None,
+                link_seq: vec![0; n * n],
+                limbo: (0..n * n).map(|_| None).collect(),
+                fault_stats: FaultStats::default(),
                 finished: vec![false; n],
                 confirmed: vec![false; n],
                 pending: (0..n).map(|_| None).collect(),
@@ -282,6 +343,21 @@ impl Fabric {
     /// clocks so the safety scan can read every rank's time.
     pub fn clock_of(&self, rank: usize) -> Arc<VClock> {
         Arc::clone(&self.clocks[rank])
+    }
+
+    /// Install an adversarial fault model: every *eligible* message
+    /// (world-context user-tag traffic between distinct ranks) is run
+    /// through `injector` at delivery time. Collectives, sub-communicator
+    /// traffic (split contexts) and self-sends are exempt — chaos targets
+    /// the data plane the reliability layer protects, not the control
+    /// plane rocnet itself guarantees. Install before the job starts.
+    pub fn set_fault_injector(&self, injector: Arc<dyn FaultInjector>) {
+        self.state.lock().injector = Some(injector);
+    }
+
+    /// Counters of faults inflicted so far.
+    pub fn fault_stats(&self) -> FaultStats {
+        self.state.lock().fault_stats
     }
 
     /// Mark every rank runnable again (a fresh "job" on this fabric).
@@ -443,7 +519,9 @@ impl Fabric {
     /// Can a wildcard match with arrival `bound` at `me` be committed? Only
     /// if no other rank can still produce an earlier arrival: each is
     /// either blocked with a commitment ≥ `bound` or its clock has already
-    /// reached `bound`.
+    /// reached `bound`. Limbo-stashed messages need no clause here: a
+    /// release re-stamps the stash to the releasing send's arrival, so it
+    /// can never undercut a commit this scan admitted.
     fn scan_safe(&self, st: &FabricState, me: usize, bound: SimTime) -> bool {
         st.wait.iter().enumerate().all(|(s, w)| {
             s == me
@@ -454,22 +532,81 @@ impl Fabric {
         })
     }
 
-    /// Deliver an envelope to global rank `dst`.
-    pub fn deliver(&self, dst: usize, env: Envelope) {
-        let mut st = self.state.lock();
-        self.check_poison(&st);
-        if let RankWait::Blocked { bound } = &mut st.wait[dst] {
-            // Conservative: the parked rank may act on this message as
-            // soon as it wakes; its published commitment shrinks until it
-            // re-evaluates under the lock.
-            if env.arrival < *bound {
-                *bound = env.arrival;
+    /// Queue `env` at `dst` under the lock: lower the destination's
+    /// published bound and invalidate its confirmed/stable status.
+    fn enqueue_locked(&self, st: &mut FabricState, dst: usize, env: Envelope) {
+        // A finished rank never wakes to re-raise its bound, so lowering
+        // it would wedge every other rank's scan forever. Trailing
+        // traffic to finished ranks is normal under the reliability
+        // layer (acks racing a peer's exit).
+        if !st.finished[dst] {
+            if let RankWait::Blocked { bound } = &mut st.wait[dst] {
+                // Conservative: the parked rank may act on this message
+                // as soon as it wakes; its published commitment shrinks
+                // until it re-evaluates under the lock.
+                if env.arrival < *bound {
+                    *bound = env.arrival;
+                }
             }
         }
         // Oracle mode: the destination's registered choice point (if any)
         // is now stale; no decision may be granted until it re-confirms.
         st.confirmed[dst] = false;
         st.queues[dst].push_back(env);
+    }
+
+    /// Deliver an envelope to global rank `dst`, running it through the
+    /// fault injector when one is installed and the message is eligible
+    /// (world context, user tag, distinct ranks). A send on a link with a
+    /// limbo-stashed envelope releases the stash *behind* this message's
+    /// own outcome, atomically under the state lock, re-stamped to this
+    /// message's arrival: the overtaken message now genuinely arrives
+    /// later in virtual time, so the ordinary clock scan stays sound and
+    /// a stash can never wedge a receiver. Both outcomes of the reorder
+    /// stay pure functions of virtual state.
+    pub fn deliver(&self, dst: usize, env: Envelope) {
+        let mut st = self.state.lock();
+        self.check_poison(&st);
+        let src = env.src_global;
+        let eligible = st.injector.is_some()
+            && env.ctx == 0
+            && env.tag <= crate::comm::TAG_USER_MAX
+            && src != dst;
+        if !eligible {
+            self.enqueue_locked(&mut st, dst, env);
+            self.cvs[dst].notify_all();
+            return;
+        }
+        let n = st.wait.len();
+        let link = src * n + dst;
+        let seq = st.link_seq[link];
+        st.link_seq[link] += 1;
+        let action = st
+            .injector
+            .as_ref()
+            .expect("eligibility checked the injector")
+            .decide(src, dst, seq, env.tag);
+        let stashed = st.limbo[link].take();
+        let stamp = env.arrival;
+        match action {
+            FaultAction::Deliver => self.enqueue_locked(&mut st, dst, env),
+            FaultAction::Drop => st.fault_stats.dropped += 1,
+            FaultAction::Duplicate => {
+                st.fault_stats.duplicated += 1;
+                self.enqueue_locked(&mut st, dst, env.clone());
+                self.enqueue_locked(&mut st, dst, env);
+            }
+            FaultAction::Reorder => {
+                st.fault_stats.reordered += 1;
+                st.limbo[link] = Some(env);
+            }
+        }
+        if let Some(mut old) = stashed {
+            // The overtake is the re-stamp: the stash now arrives no
+            // earlier than the message that flushed it out.
+            old.arrival = old.arrival.max(stamp);
+            self.enqueue_locked(&mut st, dst, old);
+        }
         self.cvs[dst].notify_all();
     }
 
@@ -603,9 +740,7 @@ impl Fabric {
         loop {
             self.check_poison(&st);
             if self.scan_safe(&st, dst, now) {
-                if self.oracle.is_some() {
-                    self.unblock(&mut st, dst);
-                }
+                self.unblock(&mut st, dst);
                 let idx = select_virtual(&st.queues[dst], &mut pred)
                     .filter(|&i| st.queues[dst][i].arrival <= now);
                 return idx.map(|i| st.queues[dst].remove(i).expect("index just found"));
@@ -617,10 +752,17 @@ impl Fabric {
                 // caller's clock is `now`, so nothing earlier can follow.
                 st.gate_now[dst] = Some(now);
                 self.block(&mut st, dst, now);
+            } else {
+                // Publish the wait in gate mode too. `now` may sit in the
+                // caller's future (a retransmit-timer deadline): sound,
+                // because the caller acts no earlier than `now` on a
+                // timeout, and any earlier delivery lowers this bound
+                // before the caller could possibly react to it.
+                st.wait[dst] = RankWait::Blocked { bound: now };
             }
             self.cvs[dst].wait_for(&mut st, GATE_POLL);
+            st.wait[dst] = RankWait::Running;
             if self.oracle.is_some() {
-                st.wait[dst] = RankWait::Running;
                 st.confirmed[dst] = false;
             }
         }
@@ -751,9 +893,7 @@ impl Fabric {
         loop {
             self.check_poison(&st);
             if self.scan_safe(&st, dst, now) {
-                if self.oracle.is_some() {
-                    self.unblock(&mut st, dst);
-                }
+                self.unblock(&mut st, dst);
                 return select_virtual(&st.queues[dst], &mut pred)
                     .filter(|&i| st.queues[dst][i].arrival <= now)
                     .map(|i| {
@@ -764,10 +904,13 @@ impl Fabric {
             if self.oracle.is_some() {
                 st.gate_now[dst] = Some(now);
                 self.block(&mut st, dst, now);
+            } else {
+                // See `try_take_at`: a published future bound is sound.
+                st.wait[dst] = RankWait::Blocked { bound: now };
             }
             self.cvs[dst].wait_for(&mut st, GATE_POLL);
+            st.wait[dst] = RankWait::Running;
             if self.oracle.is_some() {
-                st.wait[dst] = RankWait::Running;
                 st.confirmed[dst] = false;
             }
         }
@@ -1004,6 +1147,122 @@ mod tests {
         f.finish_rank(0);
         let m = h.join().unwrap();
         assert_eq!(m.arrival, 1.0);
+    }
+
+    /// Scripted injector: explicit actions per `(src, dst, seq)`,
+    /// everything else delivered.
+    struct Script(Vec<((usize, usize, u64), FaultAction)>);
+    impl FaultInjector for Script {
+        fn decide(&self, src: usize, dst: usize, seq: u64, _tag: u32) -> FaultAction {
+            self.0
+                .iter()
+                .find(|(k, _)| *k == (src, dst, seq))
+                .map(|(_, a)| *a)
+                .unwrap_or(FaultAction::Deliver)
+        }
+    }
+
+    #[test]
+    fn injector_drops_and_counts() {
+        let f = Fabric::new(ClusterSpec::ideal(2));
+        f.set_fault_injector(Arc::new(Script(vec![((0, 1, 0), FaultAction::Drop)])));
+        f.deliver(1, env(0, 5, 0.1));
+        assert_eq!(f.queued(1), 0, "seq 0 is scripted to drop");
+        f.deliver(1, env(0, 5, 0.2));
+        assert_eq!(f.queued(1), 1, "seq 1 is clean");
+        assert_eq!(f.fault_stats().dropped, 1);
+    }
+
+    #[test]
+    fn injector_duplicates_back_to_back() {
+        let f = Fabric::new(ClusterSpec::ideal(2));
+        f.set_fault_injector(Arc::new(Script(vec![(
+            (0, 1, 0),
+            FaultAction::Duplicate,
+        )])));
+        f.deliver(1, env(0, 5, 0.1));
+        assert_eq!(f.queued(1), 2);
+        assert_eq!(f.fault_stats().duplicated, 1);
+    }
+
+    #[test]
+    fn reorder_holds_until_next_send_on_the_link() {
+        let f = Fabric::new(ClusterSpec::ideal(2));
+        f.set_fault_injector(Arc::new(Script(vec![((0, 1, 0), FaultAction::Reorder)])));
+        f.deliver(1, env(0, 1, 0.1));
+        assert_eq!(f.queued(1), 0, "reordered message sits in limbo");
+        f.deliver(1, env(0, 2, 0.2));
+        assert_eq!(f.queued(1), 2, "the next send releases the stash behind itself");
+        let a = f.take_matching(1, |_| true);
+        let b = f.take_matching(1, |_| true);
+        assert_eq!((a.tag, b.tag), (2, 1), "queue order reflects the overtake");
+        assert_eq!(b.arrival, 0.2, "the released stash is re-stamped to the releaser");
+        assert_eq!(f.fault_stats().reordered, 1);
+    }
+
+    #[test]
+    fn released_stash_cannot_undercut_the_virtual_order() {
+        let f = Arc::new(Fabric::new(ClusterSpec::ideal(3)));
+        f.set_fault_injector(Arc::new(Script(vec![((0, 1, 0), FaultAction::Reorder)])));
+        f.deliver(1, env(0, 7, 0.1)); // stashed in limbo
+        f.deliver(1, env(2, 7, 0.5)); // visible candidate
+        f.finish_rank(2);
+        f.finish_rank(0);
+        // The stash never blocks the gate: the 0.5 candidate commits even
+        // though an envelope stamped 0.1 is still in limbo, because any
+        // release re-stamps it to the releasing send's (later) arrival.
+        let first = f.take_any(1, |e| e.tag == 7);
+        assert_eq!(first.arrival, 0.5, "stash is invisible to the commit");
+        f.deliver(1, env(0, 7, 0.9)); // releases the stash, re-stamped
+        let second = f.take_any(1, |e| e.tag == 7);
+        let third = f.take_any(1, |e| e.tag == 7);
+        assert_eq!(
+            (second.arrival, second.tag, third.arrival, third.tag),
+            (0.9, 7, 0.9, 7),
+            "the overtaken envelope arrives with the releaser's stamp"
+        );
+    }
+
+    #[test]
+    fn trailing_delivery_to_a_finished_rank_cannot_wedge_the_gate() {
+        let f = Arc::new(Fabric::new(ClusterSpec::ideal(2)));
+        f.finish_rank(1);
+        // Trailing traffic to the finished rank (an ack racing the peer's
+        // exit, under the reliability layer) must not lower its published
+        // ∞ bound: the rank never wakes to re-raise it, and a lowered
+        // bound would wedge every other rank's safety scan forever.
+        f.deliver(1, env(0, 5, 0.2));
+        let got = f.try_take_at(0, |_| true, 10.0);
+        assert!(got.is_none(), "rank 0's deadline scan must still settle");
+    }
+
+    #[test]
+    fn collective_and_split_traffic_is_fault_exempt() {
+        let f = Fabric::new(ClusterSpec::ideal(2));
+        // Drop everything eligible, ever.
+        struct DropAll;
+        impl FaultInjector for DropAll {
+            fn decide(&self, _: usize, _: usize, _: u64, _: u32) -> FaultAction {
+                FaultAction::Drop
+            }
+        }
+        f.set_fault_injector(Arc::new(DropAll));
+        let coll = Envelope {
+            tag: 0xF000_0005,
+            ..env(0, 0, 0.1)
+        };
+        f.deliver(1, coll);
+        let split = Envelope {
+            ctx: 42,
+            ..env(0, 5, 0.2)
+        };
+        f.deliver(1, split);
+        let slf = env(1, 5, 0.3);
+        f.deliver(1, slf);
+        assert_eq!(f.queued(1), 3, "reserved tags, split contexts and self-sends pass");
+        f.deliver(1, env(0, 5, 0.4));
+        assert_eq!(f.queued(1), 3, "plain user traffic is dropped");
+        assert_eq!(f.fault_stats().total(), 1);
     }
 
     #[test]

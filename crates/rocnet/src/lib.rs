@@ -58,6 +58,7 @@ pub mod fabric;
 pub mod harness;
 pub mod model;
 pub mod request;
+pub mod rocrel;
 pub mod stats;
 pub mod trace;
 pub mod tree;
@@ -65,10 +66,11 @@ pub mod vtime;
 
 pub use cluster::{ClusterSpec, NodeUsage};
 pub use comm::{Comm, Message};
-pub use fabric::Fabric;
-pub use harness::run_ranks;
-pub use model::NetworkModel;
+pub use fabric::{Fabric, FaultInjector, FaultStats};
+pub use harness::{run_on_fabric, run_ranks};
+pub use model::{FaultAction, FaultSpec, NetworkModel};
 pub use request::{RecvRequest, SendRequest};
+pub use rocrel::{RelConfig, RelOnly, ReliableComm, TAG_REL};
 pub use stats::CommStats;
 pub use trace::{EventKind, TraceEvent};
 pub use vtime::VClock;

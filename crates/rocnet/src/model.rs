@@ -159,6 +159,110 @@ impl NetworkModel {
     }
 }
 
+/// What the adversarial fabric does with one eligible message.
+///
+/// Produced by [`FaultSpec::decide`] (seeded rates) or scripted directly by
+/// the rocsched fault explorer. `Reorder` stashes the message in the link's
+/// one-slot limbo so the *next* message on the same link overtakes it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultAction {
+    /// Deliver normally.
+    Deliver,
+    /// Silently discard the message.
+    Drop,
+    /// Deliver the message twice back to back.
+    Duplicate,
+    /// Hold the message until the next send on the same link passes it.
+    Reorder,
+}
+
+/// Seeded adversarial per-link fault model.
+///
+/// Decisions are a pure function of `(seed, src, dst, link sequence
+/// number)` via counter-based hashing (a splitmix64 finalizer per action
+/// class) — no RNG state, no `rand`, so reruns with the same seed are
+/// bit-identical and roclint's no-randomness rule holds. Rates are
+/// probabilities in `[0, 1]`; each action class draws independently and
+/// the first hit in drop → duplicate → reorder order wins.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct FaultSpec {
+    /// Sweep seed: same seed ⇒ identical fault pattern across reruns.
+    pub seed: u64,
+    /// Per-message drop probability.
+    pub drop: f64,
+    /// Per-message duplication probability.
+    pub duplicate: f64,
+    /// Per-message reorder (one-slot overtake) probability.
+    pub reorder: f64,
+}
+
+/// splitmix64 finalizer: a statistically strong 64-bit mixer.
+fn mix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+impl FaultSpec {
+    /// Drop-only fault model at `rate`.
+    pub fn drops(seed: u64, rate: f64) -> Self {
+        FaultSpec {
+            seed,
+            drop: rate,
+            duplicate: 0.0,
+            reorder: 0.0,
+        }
+    }
+
+    /// The chaos-tier mix: `drop` drops plus moderate reordering and
+    /// duplication on every link.
+    pub fn chaos(seed: u64, drop: f64) -> Self {
+        FaultSpec {
+            seed,
+            drop,
+            duplicate: 0.03,
+            reorder: 0.05,
+        }
+    }
+
+    /// A fault model that never fires — used by the charge-identity tests
+    /// to show the injection plumbing itself is free.
+    pub fn none(seed: u64) -> Self {
+        FaultSpec {
+            seed,
+            drop: 0.0,
+            duplicate: 0.0,
+            reorder: 0.0,
+        }
+    }
+
+    /// Uniform draw in `[0, 1)` for action class `salt` on message
+    /// `(src, dst, seq)`.
+    fn draw(&self, src: usize, dst: usize, seq: u64, salt: u64) -> f64 {
+        let h = mix64(
+            self.seed
+                ^ mix64(src as u64 ^ (dst as u64).rotate_left(32))
+                ^ mix64(seq.wrapping_add(salt)),
+        );
+        // Top 53 bits → an exactly representable dyadic in [0, 1).
+        (h >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// The fate of the `seq`-th eligible message on link `src → dst`.
+    pub fn decide(&self, src: usize, dst: usize, seq: u64) -> FaultAction {
+        if self.drop > 0.0 && self.draw(src, dst, seq, 0x01) < self.drop {
+            FaultAction::Drop
+        } else if self.duplicate > 0.0 && self.draw(src, dst, seq, 0x02) < self.duplicate {
+            FaultAction::Duplicate
+        } else if self.reorder > 0.0 && self.draw(src, dst, seq, 0x03) < self.reorder {
+            FaultAction::Reorder
+        } else {
+            FaultAction::Deliver
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -216,5 +320,46 @@ mod tests {
         let big = m.send_cost(1 << 20);
         assert!(small >= m.send_overhead);
         assert!(big > small * 10.0);
+    }
+
+    #[test]
+    fn fault_decisions_are_a_pure_function_of_the_key() {
+        let f = FaultSpec::chaos(42, 0.2);
+        for seq in 0..256 {
+            assert_eq!(f.decide(1, 3, seq), f.decide(1, 3, seq));
+        }
+    }
+
+    #[test]
+    fn fault_seeds_and_links_decorrelate() {
+        let a = FaultSpec::drops(1, 0.5);
+        let b = FaultSpec::drops(2, 0.5);
+        let mut differ_by_seed = false;
+        let mut differ_by_link = false;
+        for seq in 0..64 {
+            differ_by_seed |= a.decide(0, 1, seq) != b.decide(0, 1, seq);
+            differ_by_link |= a.decide(0, 1, seq) != a.decide(1, 0, seq);
+        }
+        assert!(differ_by_seed, "seed must change the pattern");
+        assert!(differ_by_link, "src/dst must change the pattern");
+    }
+
+    #[test]
+    fn fault_rates_roughly_hit_their_targets() {
+        let f = FaultSpec::drops(7, 0.2);
+        let n = 10_000u64;
+        let drops = (0..n)
+            .filter(|&s| f.decide(0, 1, s) == FaultAction::Drop)
+            .count() as f64;
+        let rate = drops / n as f64;
+        assert!((rate - 0.2).abs() < 0.02, "observed drop rate {rate}");
+    }
+
+    #[test]
+    fn zero_rate_spec_never_fires() {
+        let f = FaultSpec::none(99);
+        for seq in 0..1024 {
+            assert_eq!(f.decide(2, 5, seq), FaultAction::Deliver);
+        }
     }
 }

@@ -62,6 +62,16 @@ impl VClock {
             self.bits.fetch_max(other.to_bits(), Ordering::AcqRel);
         }
     }
+
+    /// Timer wake-up: jump forward to the absolute time `t` if the clock
+    /// has not reached it yet (`now := max(now, t)`). Numerically the
+    /// same operation as [`VClock::merge`], but named for deadline sleeps
+    /// — a rank that parked on a retransmit timer charges itself the
+    /// idle interval up to the deadline, exactly like a blocking probe
+    /// charges the wait for an arrival.
+    pub fn advance_to(&self, t: SimTime) {
+        self.merge(t);
+    }
 }
 
 impl Clone for VClock {
@@ -100,6 +110,15 @@ mod tests {
         assert_eq!(c.now(), 5.0);
         c.merge(7.5);
         assert_eq!(c.now(), 7.5);
+    }
+
+    #[test]
+    fn advance_to_never_moves_backwards() {
+        let c = VClock::starting_at(2.0);
+        c.advance_to(1.0);
+        assert_eq!(c.now(), 2.0);
+        c.advance_to(3.5);
+        assert_eq!(c.now(), 3.5);
     }
 
     #[test]

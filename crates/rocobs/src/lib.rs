@@ -61,6 +61,10 @@ pub enum SpanCategory {
     SnapshotBarrier,
     /// Time a rank spends reading back state during restart.
     RestartRead,
+    /// A reliability-layer retransmission firing (degraded-network runs).
+    RelRetransmit,
+    /// A reliability-layer acknowledgement being produced.
+    RelAck,
 }
 
 impl SpanCategory {
@@ -79,11 +83,13 @@ impl SpanCategory {
             SpanCategory::BufferDrain => "buffer_drain",
             SpanCategory::SnapshotBarrier => "snapshot_barrier",
             SpanCategory::RestartRead => "restart_read",
+            SpanCategory::RelRetransmit => "rel_retransmit",
+            SpanCategory::RelAck => "rel_ack",
         }
     }
 
     /// All categories, in canonical order.
-    pub fn all() -> [SpanCategory; 12] {
+    pub fn all() -> [SpanCategory; 14] {
         [
             SpanCategory::Compute,
             SpanCategory::Send,
@@ -97,6 +103,8 @@ impl SpanCategory {
             SpanCategory::BufferDrain,
             SpanCategory::SnapshotBarrier,
             SpanCategory::RestartRead,
+            SpanCategory::RelRetransmit,
+            SpanCategory::RelAck,
         ]
     }
 }

@@ -7,6 +7,7 @@ use rocnet::Comm;
 use rocsdf::SegmentPool;
 
 use crate::config::RocpandaConfig;
+use crate::net::PandaNet;
 use crate::wire::{self, tag, BlockMsg, ReadReq, WriteReq};
 use roccom::{AttrSelector, IoService, Windows};
 
@@ -20,6 +21,9 @@ use roccom::{AttrSelector, IoService, Windows};
 /// handshaking cost the paper observes on Turing.
 pub struct PandaClient<'a> {
     world: &'a Comm,
+    /// Data-plane transport to the servers (raw, or reliable when
+    /// `cfg.faulty_net` is set). Every protocol message goes through here.
+    net: PandaNet<'a>,
     client_comm: Comm,
     cfg: RocpandaConfig,
     my_server: usize,
@@ -42,6 +46,7 @@ impl<'a> PandaClient<'a> {
     ) -> Self {
         PandaClient {
             world,
+            net: PandaNet::new(world, cfg.faulty_net.is_some()),
             client_comm,
             cfg,
             my_server,
@@ -96,7 +101,7 @@ impl IoService for PandaClient<'_> {
             window: sel.window.clone(),
             n_blocks: blocks.len() as u32,
         };
-        self.world.send(self.my_server, tag::WRITE_REQ, &req.encode())?;
+        self.net.send(self.my_server, tag::WRITE_REQ, &req.encode())?;
         let window = self.cfg.ack_window.max(1);
         let mut in_flight = 0usize;
         for block in blocks {
@@ -114,18 +119,18 @@ impl IoService for PandaClient<'_> {
                 .advance(segments_len(&self.segs) as f64 / self.cfg.client_pack_bw);
             // Flow control: at most `window` unacknowledged blocks.
             while in_flight >= window {
-                self.world.recv(Some(self.my_server), Some(tag::ACK))?;
+                self.net.recv(Some(self.my_server), Some(tag::ACK))?;
                 in_flight -= 1;
             }
-            self.world.send_segments(self.my_server, tag::BLOCK, &self.segs)?;
+            self.net.send_segments(self.my_server, tag::BLOCK, &self.segs)?;
             self.pool.recycle(&mut self.segs);
             in_flight += 1;
         }
         while in_flight > 0 {
-            self.world.recv(Some(self.my_server), Some(tag::ACK))?;
+            self.net.recv(Some(self.my_server), Some(tag::ACK))?;
             in_flight -= 1;
         }
-        self.world.recv(Some(self.my_server), Some(tag::DONE))?;
+        self.net.recv(Some(self.my_server), Some(tag::DONE))?;
         if std::env::var("PANDA_TRACE").is_ok() {
             eprintln!(
                 "[client g{}] write {} snap={snap} took {:.4}s (t_enter={:.3})",
@@ -163,7 +168,7 @@ impl IoService for PandaClient<'_> {
         // been written by a run with a different server count.
         let payload = req.encode();
         for &s in &self.server_ranks {
-            self.world.send(s, tag::READ_REQ, &payload)?;
+            self.net.send(s, tag::READ_REQ, &payload)?;
         }
         let t_read0 = self.world.now();
         let mut dones = 0usize;
@@ -172,7 +177,7 @@ impl IoService for PandaClient<'_> {
         let mut seen: HashSet<u64> = HashSet::new();
         let mut server_err: Option<RocError> = None;
         while dones < self.server_ranks.len() || got < expected {
-            let msg = self.world.recv(None, None)?;
+            let msg = self.net.recv(None, None)?;
             match msg.tag {
                 tag::READ_BLOCK => {
                     // Zero-copy decode: payloads stay windows into the
@@ -246,8 +251,8 @@ impl IoService for PandaClient<'_> {
     }
 
     fn sync(&mut self) -> Result<()> {
-        self.world.send(self.my_server, tag::SYNC, &[])?;
-        let ack = self.world.recv(Some(self.my_server), Some(tag::SYNC_ACK))?;
+        self.net.send(self.my_server, tag::SYNC, &[])?;
+        let ack = self.net.recv(Some(self.my_server), Some(tag::SYNC_ACK))?;
         // The ack carries the server's disk-durability watermark.
         if ack.payload.len() == 8 {
             self.world
@@ -263,8 +268,8 @@ impl IoService for PandaClient<'_> {
         self.client_comm.barrier()?;
         if self.client_comm.rank() == 0 {
             for &s in &self.server_ranks {
-                self.world.send(s, tag::RETIRE, &wire::encode_retire(snap))?;
-                self.world.recv(Some(s), Some(tag::RETIRE_ACK))?;
+                self.net.send(s, tag::RETIRE, &wire::encode_retire(snap))?;
+                self.net.recv(Some(s), Some(tag::RETIRE_ACK))?;
             }
         }
         self.client_comm.barrier()?;
@@ -285,9 +290,13 @@ impl IoService for PandaClient<'_> {
         self.client_comm.barrier()?;
         if self.client_comm.rank() == 0 {
             for &s in &self.server_ranks {
-                self.world.send(s, tag::SHUTDOWN, &[])?;
+                self.net.send(s, tag::SHUTDOWN, &[])?;
             }
         }
+        // On a degraded fabric, hold the rank until every frame it sent is
+        // acknowledged — in particular the SHUTDOWNs, which have no
+        // application-level reply to prove their delivery.
+        self.net.drain();
         Ok(())
     }
 }
@@ -382,8 +391,101 @@ mod tests {
                 }
             }
         });
-        let restored_sum: f64 = restored.iter().filter(|&&s| s >= 0.0).sum();
+        let restored_sum: f64 = sums_of(&restored);
         assert_eq!(written_sum, restored_sum);
+    }
+
+    /// Sum of the client results (servers report -1.0).
+    fn sums_of(out: &[f64]) -> f64 {
+        out.iter().filter(|&&s| s >= 0.0).sum()
+    }
+
+    /// One write+restart cycle: on `fabric` when given (with `faulty_net`
+    /// set and reliability-layer faults injected), else on a clean fabric.
+    /// Returns (file name → bytes, restored pressure sum).
+    fn write_restart_cycle(
+        fabric: Option<&std::sync::Arc<rocnet::Fabric>>,
+        faulty: Option<rocnet::FaultSpec>,
+    ) -> (std::collections::BTreeMap<String, Vec<u8>>, f64) {
+        let fs = SharedFs::ideal();
+        let snap = SnapshotId::new(7, 0);
+        let servers = [0usize, 3];
+        let cfg = RocpandaConfig {
+            faulty_net: faulty,
+            ..Default::default()
+        };
+        let job = |comm: rocnet::Comm| {
+            let role = init(&comm, &fs, cfg.clone(), &servers).unwrap();
+            match role {
+                Role::Server(mut s) => {
+                    s.run().unwrap();
+                    -1.0
+                }
+                Role::Client { io: mut c, comm: app } => {
+                    let idx = app.rank();
+                    let mut ws = build_windows(idx, 2);
+                    c.write_attribute(&ws, &AttrSelector::all("fluid"), snap).unwrap();
+                    c.sync().unwrap();
+                    for pane in ws.window_mut("fluid").unwrap().panes_mut() {
+                        for x in pane.data_mut("pressure").unwrap().as_f64_mut().unwrap() {
+                            *x = -7.0;
+                        }
+                    }
+                    c.read_attribute(&mut ws, &AttrSelector::all("fluid"), snap).unwrap();
+                    let sum = sum_pressure(&ws);
+                    c.finalize().unwrap();
+                    sum
+                }
+            }
+        };
+        let out = match fabric {
+            Some(f) => rocnet::harness::run_on_fabric(f, &job),
+            None => run_ranks(6, ClusterSpec::ideal(6), job),
+        };
+        let sum = sums_of(&out);
+        let files = fs
+            .list("out/")
+            .into_iter()
+            .map(|p| {
+                let (bytes, _) = fs.read_all(&p, u64::MAX, 0.0).unwrap();
+                (p, bytes)
+            })
+            .collect();
+        (files, sum)
+    }
+
+    /// The tentpole end-to-end property at unit scale: with the fabric
+    /// dropping, duplicating and reordering reliability-layer frames, the
+    /// full write → sync → restart → shutdown cycle completes and the SDF
+    /// files are byte-identical to a clean-fabric run.
+    #[test]
+    fn chaotic_fabric_round_trip_is_byte_identical() {
+        let (clean_files, clean_sum) = write_restart_cycle(None, None);
+        for seed in [1u64, 2, 3] {
+            let spec = rocnet::FaultSpec::chaos(seed, 0.10);
+            let fabric =
+                std::sync::Arc::new(rocnet::Fabric::new(ClusterSpec::ideal(6)));
+            fabric.set_fault_injector(std::sync::Arc::new(rocnet::RelOnly(spec)));
+            let (files, sum) = write_restart_cycle(Some(&fabric), Some(spec));
+            assert!(
+                fabric.fault_stats().total() > 0,
+                "seed {seed}: the injector never fired"
+            );
+            assert_eq!(sum, clean_sum, "seed {seed}: restart restored wrong data");
+            assert_eq!(files, clean_files, "seed {seed}: files differ from clean run");
+        }
+    }
+
+    /// Declaring the fabric faulty without installing an injector (the
+    /// reliability layer runs, nothing is actually faulted) changes no
+    /// output byte — the protocol rides inside DATA frames unmodified.
+    #[test]
+    fn reliability_layer_alone_changes_no_output_byte() {
+        let (clean_files, clean_sum) = write_restart_cycle(None, None);
+        let spec = rocnet::FaultSpec::none(9);
+        let (files, sum) = write_restart_cycle(None, Some(spec));
+        assert_eq!(sum, clean_sum);
+        assert_eq!(files, clean_files);
     }
 
     /// Restart with a different server count and a different block

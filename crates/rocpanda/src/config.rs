@@ -45,6 +45,15 @@ pub struct RocpandaConfig {
     /// servers would short-circuit that measurement. Enable it for
     /// workflows that genuinely restart within a server session.
     pub read_cache: bool,
+    /// Declare the fabric degraded: `Some(spec)` routes every Rocpanda
+    /// protocol message through the reliability layer
+    /// ([`rocnet::ReliableComm`] — sequence numbers, acks, retransmission),
+    /// sized to survive the drop/duplicate/reorder rates in `spec`. The
+    /// library does **not** install the injector itself — the driver owns
+    /// the fabric and installs `rocnet::RelOnly(spec)` so only
+    /// reliability-layer frames are faulted; this field makes the library
+    /// defend itself. `None` (default) keeps the historical raw data path.
+    pub faulty_net: Option<rocnet::FaultSpec>,
 }
 
 impl Default for RocpandaConfig {
@@ -60,6 +69,7 @@ impl Default for RocpandaConfig {
             client_pack_bw: 200e6,
             ack_window: 1,
             read_cache: false,
+            faulty_net: None,
         }
     }
 }
@@ -97,6 +107,8 @@ mod tests {
         assert!(c.buffer_capacity > 100 << 20);
         // Off so restart measurements model a cold application start.
         assert!(!c.read_cache);
+        // Trusted fabric by default: no reliability-layer overhead.
+        assert!(c.faulty_net.is_none());
     }
 
     #[test]

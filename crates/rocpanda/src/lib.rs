@@ -33,11 +33,13 @@
 
 pub mod client;
 pub mod config;
+pub mod net;
 pub mod server;
 pub mod wire;
 
 pub use client::PandaClient;
 pub use config::RocpandaConfig;
+pub use net::PandaNet;
 pub use server::PandaServer;
 
 use rocio_core::{Result, RocError};

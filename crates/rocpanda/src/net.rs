@@ -1,0 +1,129 @@
+//! Rocpanda's data-plane transport: raw fabric or reliability layer.
+//!
+//! Every client↔server protocol message goes through [`PandaNet`]. On a
+//! trusted fabric it forwards straight to [`Comm`] — zero overhead, the
+//! historical behaviour. When [`crate::RocpandaConfig::faulty_net`] is set,
+//! it wraps the same `Comm` in [`ReliableComm`], so Rocpanda's protocol
+//! survives a fabric that drops, duplicates and reorders messages
+//! (deterministically, per the configured [`rocnet::FaultSpec`]).
+//!
+//! Split-communicator traffic (client barriers, server `CACHE_VOTE`
+//! coordination) stays on the raw comm: fault injection only targets
+//! context 0, and collectives carry no snapshot payload.
+//!
+//! roclint's `raw-send` rule enforces the routing: inside rocpanda, only a
+//! receiver named `net` may call `send`/`recv`/`probe` and friends.
+
+use bytes::Bytes;
+use rocio_core::{Result, Segment};
+use rocnet::comm::{Comm, Message, ProbeInfo};
+use rocnet::rocrel::{RelConfig, ReliableComm};
+
+/// The transport behind every Rocpanda protocol message.
+pub enum PandaNet<'a> {
+    /// Trusted fabric: calls forward directly to the communicator.
+    Raw(&'a Comm),
+    /// Degraded fabric: sequence numbers, acks and retransmissions.
+    Reliable(ReliableComm<'a>),
+}
+
+impl<'a> PandaNet<'a> {
+    /// Build the transport for `comm`: reliable when the configuration
+    /// declares the fabric faulty, raw otherwise.
+    pub fn new(comm: &'a Comm, faulty: bool) -> Self {
+        if faulty {
+            PandaNet::Reliable(ReliableComm::new(comm, RelConfig::default()))
+        } else {
+            PandaNet::Raw(comm)
+        }
+    }
+
+    /// The underlying communicator (clock and topology access).
+    pub fn comm(&self) -> &'a Comm {
+        match self {
+            PandaNet::Raw(c) => c,
+            PandaNet::Reliable(r) => r.comm(),
+        }
+    }
+
+    /// Total retransmitted frames (0 on a raw transport).
+    pub fn retransmits(&self) -> u64 {
+        match self {
+            PandaNet::Raw(_) => 0,
+            PandaNet::Reliable(r) => r.retransmits(),
+        }
+    }
+
+    pub fn send(&mut self, dst: usize, tag: u32, payload: &[u8]) -> Result<()> {
+        match self {
+            PandaNet::Raw(c) => c.send(dst, tag, payload),
+            PandaNet::Reliable(r) => r.send(dst, tag, payload),
+        }
+    }
+
+    pub fn send_bytes(&mut self, dst: usize, tag: u32, payload: Bytes) -> Result<()> {
+        match self {
+            PandaNet::Raw(c) => c.send_bytes(dst, tag, payload),
+            PandaNet::Reliable(r) => r.send_bytes(dst, tag, payload),
+        }
+    }
+
+    pub fn send_segments(&mut self, dst: usize, tag: u32, segments: &[Segment]) -> Result<()> {
+        match self {
+            PandaNet::Raw(c) => c.send_segments(dst, tag, segments),
+            PandaNet::Reliable(r) => r.send_segments(dst, tag, segments),
+        }
+    }
+
+    pub fn recv(&mut self, src: Option<usize>, tag: Option<u32>) -> Result<Message> {
+        match self {
+            PandaNet::Raw(c) => c.recv(src, tag),
+            PandaNet::Reliable(r) => r.recv(src, tag),
+        }
+    }
+
+    pub fn try_recv(&mut self, src: Option<usize>, tag: Option<u32>) -> Option<Message> {
+        match self {
+            PandaNet::Raw(c) => c.try_recv(src, tag),
+            PandaNet::Reliable(r) => r.try_recv(src, tag),
+        }
+    }
+
+    pub fn probe(&mut self, src: Option<usize>, tag: Option<u32>) -> ProbeInfo {
+        match self {
+            PandaNet::Raw(c) => c.probe(src, tag),
+            PandaNet::Reliable(r) => r.probe(src, tag),
+        }
+    }
+
+    pub fn iprobe(&mut self, src: Option<usize>, tag: Option<u32>) -> Option<ProbeInfo> {
+        match self {
+            PandaNet::Raw(c) => c.iprobe(src, tag),
+            PandaNet::Reliable(r) => r.iprobe(src, tag),
+        }
+    }
+
+    /// Block until every frame this side sent has been acknowledged.
+    /// No-op on a raw transport (fabric delivery is immediate).
+    pub fn drain(&mut self) {
+        if let PandaNet::Reliable(r) = self {
+            r.drain();
+        }
+    }
+
+    /// Drop unacknowledged frames whose delivery is proven causally
+    /// (a reply that presupposes them has arrived). No-op on raw.
+    pub fn abandon(&mut self) {
+        if let PandaNet::Reliable(r) = self {
+            r.abandon();
+        }
+    }
+
+    /// Re-acknowledge trailing retransmissions until the link stays quiet
+    /// for `quiet` seconds of virtual time. No-op on raw.
+    pub fn linger(&mut self, quiet: f64) {
+        if let PandaNet::Reliable(r) = self {
+            r.linger(quiet);
+        }
+    }
+}

@@ -8,7 +8,15 @@ use rocsdf::{SdfFileReader, SdfFileWriter, SegmentPool};
 use rocstore::SharedFs;
 
 use crate::config::RocpandaConfig;
+use crate::net::PandaNet;
 use crate::wire::{self, tag, BlockMsg, ReadReq, WriteReq};
+
+/// How long (virtual seconds) a shutting-down server keeps re-acking
+/// trailing retransmissions before exiting: comfortably past the largest
+/// backed-off retransmit interval, so a client still draining its last
+/// frames always finds the server listening. Virtual idle time — a clean
+/// fabric never enters this path.
+const LINGER_QUIET: f64 = 0.32;
 
 /// Key of one output file: (snapshot, window).
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
@@ -45,7 +53,11 @@ pub struct ServerStats {
 /// [`PandaServer::run`], which returns after a client-initiated shutdown.
 pub struct PandaServer<'a> {
     world: &'a Comm,
+    /// Data-plane transport to the clients (raw, or reliable when
+    /// `cfg.faulty_net` is set). Every protocol message goes through here.
+    net: PandaNet<'a>,
     /// Communicator over the server group (restart-time coordination).
+    /// Stays raw: fault injection targets context 0 only.
     server_comm: Comm,
     fs: &'a SharedFs,
     cfg: RocpandaConfig,
@@ -91,6 +103,7 @@ impl<'a> PandaServer<'a> {
     ) -> Self {
         PandaServer {
             world,
+            net: PandaNet::new(world, cfg.faulty_net.is_some()),
             server_comm,
             fs,
             cfg,
@@ -135,12 +148,12 @@ impl<'a> PandaServer<'a> {
         loop {
             let msg = if self.write_queue.is_empty() {
                 // Idle: block until something arrives.
-                let _ = self.world.probe(None, None);
-                Some(self.world.recv(None, None)?)
+                let _ = self.net.probe(None, None);
+                Some(self.net.recv(None, None)?)
             } else if self.cfg.responsive_probe {
                 // Writing, but stay responsive: peek, else write one block.
-                if self.world.iprobe(None, None).is_some() {
-                    Some(self.world.recv(None, None)?)
+                if self.net.iprobe(None, None).is_some() {
+                    Some(self.net.recv(None, None)?)
                 } else {
                     self.write_one()?;
                     None
@@ -158,6 +171,13 @@ impl<'a> PandaServer<'a> {
                 }
             }
         }
+        // Degraded-fabric teardown. Every reply this server sent is
+        // causally proven delivered (the shutdown barrier follows all
+        // client exchanges), so pending retransmit state can be dropped;
+        // then keep re-acking clients' trailing retransmissions until the
+        // fabric goes quiet, so a draining client never stalls.
+        self.net.abandon();
+        self.net.linger(LINGER_QUIET);
         Ok(self.stats)
     }
 
@@ -177,7 +197,7 @@ impl<'a> PandaServer<'a> {
                 st.reqs_received += 1;
                 if req.n_blocks == 0 {
                     // Nothing coming from this client: release it now.
-                    self.world.send(msg.src, tag::DONE, &[])?;
+                    self.net.send(msg.src, tag::DONE, &[])?;
                 } else {
                     self.client_pending.insert((msg.src, key.clone()), req.n_blocks);
                 }
@@ -237,13 +257,13 @@ impl<'a> PandaServer<'a> {
                 } else {
                     self.write_block(&key, &bm.block)?;
                 }
-                self.world.send(msg.src, tag::ACK, &[])?;
+                self.net.send(msg.src, tag::ACK, &[])?;
                 let pending_key = (msg.src, key.clone());
                 if let Some(rem) = self.client_pending.get_mut(&pending_key) {
                     *rem -= 1;
                     if *rem == 0 {
                         self.client_pending.remove(&pending_key);
-                        self.world.send(msg.src, tag::DONE, &[])?;
+                        self.net.send(msg.src, tag::DONE, &[])?;
                     }
                 }
                 self.maybe_finish(&key)?;
@@ -255,11 +275,8 @@ impl<'a> PandaServer<'a> {
                 // advancing this server's clock: another client may still
                 // be mid-write, and charging the shared clock with disk
                 // time would inflate its acknowledgement stamps.
-                self.world.send(
-                    msg.src,
-                    tag::SYNC_ACK,
-                    &self.disk_completion.to_le_bytes(),
-                )?;
+                let watermark = self.disk_completion.to_le_bytes();
+                self.net.send(msg.src, tag::SYNC_ACK, &watermark)?;
                 Ok(true)
             }
             tag::READ_REQ => {
@@ -298,7 +315,7 @@ impl<'a> PandaServer<'a> {
                         self.files.remove(&key);
                     }
                 }
-                self.world.send(msg.src, tag::RETIRE_ACK, &[])?;
+                self.net.send(msg.src, tag::RETIRE_ACK, &[])?;
                 Ok(true)
             }
             tag::SHUTDOWN => {
@@ -439,7 +456,7 @@ impl<'a> PandaServer<'a> {
             if let Err(e) = self.serve_from_cache(key, &requests) {
                 let text = e.to_string();
                 for (client, _) in &requests {
-                    self.world.send(*client, tag::READ_ERR, text.as_bytes())?;
+                    self.net.send(*client, tag::READ_ERR, text.as_bytes())?;
                 }
             }
             return Ok(());
@@ -459,7 +476,7 @@ impl<'a> PandaServer<'a> {
         if let Err(e) = result {
             let text = e.to_string();
             for (client, _) in &requests {
-                self.world.send(*client, tag::READ_ERR, text.as_bytes())?;
+                self.net.send(*client, tag::READ_ERR, text.as_bytes())?;
             }
         }
         Ok(())
@@ -549,7 +566,7 @@ impl<'a> PandaServer<'a> {
             if !msgs.is_empty() {
                 let mut segs = Vec::new();
                 wire::encode_read_batch_segments(&msgs, &mut self.pool, &mut segs);
-                self.world.send_segments(*client, tag::READ_BATCH, &segs)?;
+                self.net.send_segments(*client, tag::READ_BATCH, &segs)?;
                 self.pool.recycle(&mut segs);
                 if rocobs::enabled() {
                     rocobs::record(
@@ -562,7 +579,7 @@ impl<'a> PandaServer<'a> {
                 }
             }
             self.stats.restart_blocks_sent += msgs.len() as u64;
-            self.world
+            self.net
                 .send(*client, tag::READ_DONE, &wire::encode_read_done(msgs.len() as u32))?;
         }
         Ok(())
@@ -619,7 +636,7 @@ impl<'a> PandaServer<'a> {
                     };
                     let mut segs = Vec::new();
                     msg.encode_segments(&mut self.pool, &mut segs);
-                    self.world.send_segments(client, tag::READ_BLOCK, &segs)?;
+                    self.net.send_segments(client, tag::READ_BLOCK, &segs)?;
                     self.pool.recycle(&mut segs);
                     *sent_per_client.entry(client).or_insert(0) += 1;
                     self.stats.restart_blocks_sent += 1;
@@ -628,7 +645,7 @@ impl<'a> PandaServer<'a> {
         }
         for (client, _) in requests {
             let n = sent_per_client.get(client).copied().unwrap_or(0);
-            self.world
+            self.net
                 .send(*client, tag::READ_DONE, &wire::encode_read_done(n))?;
         }
         Ok(())

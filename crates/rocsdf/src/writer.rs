@@ -224,11 +224,63 @@ impl<'fs> SdfFileWriter<'fs> {
         Ok(t)
     }
 
+    /// Canonicalize the record layout of an all-blocks file: block groups
+    /// sorted by block id, records within each group keeping their order.
+    /// Appends land in intake order, which for a multi-client server is a
+    /// race artifact (and, on a degraded network, a retransmission
+    /// artifact); finished files must not encode it, so equal writes yield
+    /// byte-identical files no matter how the fabric interleaved them.
+    /// Zero virtual cost: every byte was charged when it was appended, and
+    /// the permutation models the library placing records at their indexed
+    /// slots (see `SharedFs::rewrite_image`). Files containing any
+    /// non-block record (standalone datasets) are left untouched.
+    fn canonicalize_layout(&mut self) -> Result<()> {
+        // Group contiguous entries by block prefix; bail on non-block names.
+        let mut groups: Vec<(u64, Vec<usize>)> = Vec::new();
+        for (i, e) in self.entries.iter().enumerate() {
+            let Some(id) = crate::format::parse_block_id(&e.name) else {
+                return Ok(());
+            };
+            match groups.last_mut() {
+                Some((gid, idxs)) if *gid == id.0 => idxs.push(i),
+                _ => groups.push((id.0, vec![i])),
+            }
+        }
+        if groups.windows(2).all(|w| w[0].0 <= w[1].0) {
+            return Ok(());
+        }
+        groups.sort_by_key(|(id, _)| *id);
+        let old = std::mem::take(&mut self.entries);
+        let header_len = encode_header().len();
+        self.fs.rewrite_image(&self.path, |img| {
+            let mut out = Vec::with_capacity(img.len());
+            out.extend_from_slice(&img[..header_len]);
+            for (_, idxs) in &groups {
+                for &i in idxs {
+                    let e = &old[i];
+                    out.extend_from_slice(&img[e.offset as usize..(e.offset + e.len) as usize]);
+                }
+            }
+            *img = out;
+        })?;
+        let mut off = header_len as u64;
+        for (_, idxs) in &groups {
+            for &i in idxs {
+                let mut e = old[i].clone();
+                e.offset = off;
+                off += e.len;
+                self.entries.push(e);
+            }
+        }
+        Ok(())
+    }
+
     /// Write the index and trailer, close the file. Returns the completion
     /// time. The writer cannot be used afterwards.
     pub fn finish(&mut self, now: SimTime) -> Result<SimTime> {
         assert!(!self.finished, "finish called twice");
         self.finished = true;
+        self.canonicalize_layout()?;
         let idx = encode_index(&self.entries, self.offset);
         let t = self.fs.append(&self.path, &idx, self.client, now)?;
         self.fs.close(&self.path, self.client, t)

@@ -367,6 +367,36 @@ impl SharedFs {
         Ok(self.charge_write(path, data.len(), client, now))
     }
 
+    /// Permute a file's bytes in place, at **zero virtual cost** and with
+    /// no ledger traffic. This is the administrative hook a finalizing
+    /// writer uses to present records at their canonical (indexed) offsets
+    /// regardless of arrival order: every byte's transfer was already
+    /// charged when it was appended, and a real library achieves the same
+    /// layout by writing each record at its slot to begin with — the
+    /// simulator separates the two so streamed appends stay cheap. The
+    /// callback must not change the file's length (checked).
+    pub fn rewrite_image(
+        &self,
+        path: &str,
+        f: impl FnOnce(&mut Vec<u8>),
+    ) -> Result<()> {
+        let mut files = self.files.lock();
+        let file = files
+            .get_mut(path)
+            .ok_or_else(|| RocError::Storage(format!("rewrite_image: no such file '{path}'")))?;
+        let v = file.data.make_writable();
+        let before = v.len();
+        f(v);
+        if v.len() != before {
+            return Err(RocError::Storage(format!(
+                "rewrite_image: length changed ({before} -> {}) for '{path}'",
+                v.len()
+            )));
+        }
+        file.generation = self.next_gen();
+        Ok(())
+    }
+
     /// Close/commit a file. Returns the completion time.
     pub fn close(&self, path: &str, _client: u64, now: SimTime) -> Result<SimTime> {
         if !self.files.lock().contains_key(path) {

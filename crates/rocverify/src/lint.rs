@@ -45,6 +45,7 @@ pub enum Rule {
     SpanCategory,
     ForbidUnsafe,
     OwnedPayload,
+    RawSend,
 }
 
 impl Rule {
@@ -57,10 +58,11 @@ impl Rule {
             Rule::SpanCategory => "span-category",
             Rule::ForbidUnsafe => "forbid-unsafe",
             Rule::OwnedPayload => "owned-payload",
+            Rule::RawSend => "raw-send",
         }
     }
 
-    pub fn all() -> [Rule; 7] {
+    pub fn all() -> [Rule; 8] {
         [
             Rule::WallClock,
             Rule::Rand,
@@ -69,6 +71,7 @@ impl Rule {
             Rule::SpanCategory,
             Rule::ForbidUnsafe,
             Rule::OwnedPayload,
+            Rule::RawSend,
         ]
     }
 
@@ -122,6 +125,10 @@ pub struct LintConfig {
     pub unwrap_exempt_crates: Vec<String>,
     /// Valid `SpanCategory::` suffixes (variant names plus `all`).
     pub known_categories: Vec<String>,
+    /// Files inside rocpanda allowed to hold raw `Comm` sends: the
+    /// `PandaNet` shim itself, which is the one place the raw/reliable
+    /// split is decided.
+    pub rawsend_lanes: Vec<String>,
 }
 
 impl Default for LintConfig {
@@ -147,6 +154,7 @@ impl Default for LintConfig {
             // assertion helpers panic by design.
             unwrap_exempt_crates: vec!["bench".into(), "rocverify".into()],
             known_categories: known,
+            rawsend_lanes: vec!["crates/rocpanda/src/net.rs".into()],
         }
     }
 }
@@ -420,6 +428,26 @@ pub fn lint_source(cfg: &LintConfig, crate_dir: &str, path: &str, src: &str) -> 
                 Rule::OwnedPayload,
                 toks[i].line,
                 format!("owned `fs.{call}(..)` — read shared windows (`{call}_shared`) instead"),
+            );
+        }
+        // raw-send: inside rocpanda, protocol traffic must route through
+        // the `PandaNet` shim (receiver named `net`) so the reliability
+        // layer covers it when the fabric is degraded. A send on any
+        // other receiver silently bypasses retransmission.
+        if crate_dir == "rocpanda"
+            && !in_lane(&cfg.rawsend_lanes)
+            && matches!(w, "send" | "send_bytes" | "send_segments")
+            && t(&toks, i.wrapping_sub(1)) == "."
+            && t(&toks, i + 1) == "("
+            && t(&toks, i.wrapping_sub(2)) != "net"
+        {
+            push(
+                Rule::RawSend,
+                toks[i].line,
+                format!(
+                    "raw `.{w}(..)` in rocpanda — route through `PandaNet` (`net.{w}`) \
+                     so the reliability layer covers it"
+                ),
             );
         }
         // span-category: `SpanCategory::X` must name a known constant.

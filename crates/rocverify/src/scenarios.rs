@@ -28,7 +28,7 @@ use rochdf::{RochdfConfig, TRochdf};
 use rocpanda::{Role, RocpandaConfig};
 use rocstore::SharedFs;
 
-use crate::sched::Scenario;
+use crate::sched::{FaultScenario, Scenario, ScriptedFaults};
 
 /// Decode an SDF file body into its canonical form: datasets sorted by
 /// name, re-encoded. Index and trailer are dropped (their offsets depend
@@ -251,6 +251,172 @@ impl Scenario for TrochdfHandoff {
             "one file per rank per snapshot, got {files:?}"
         );
         // Single writer per file and deterministic content: raw bytes.
+        fingerprint_files(&fs, "out/", |b| b.to_vec())
+    }
+}
+
+/// The Rocpanda write handshake on a *lossy* fabric: same shape as
+/// [`PandaHandshake`], but the data plane rides `ReliableComm`
+/// (`faulty_net` set) and the scripted injector drops or duplicates one
+/// bounded set of reliability frames per run — the explored choice
+/// points. Every placement must terminate (retransmission covers the
+/// loss) and produce the clean run's canonical snapshot bytes.
+pub struct LossyPandaHandshake {
+    pub n_clients: usize,
+    pub n_servers: usize,
+    pub panes_per_client: usize,
+}
+
+impl LossyPandaHandshake {
+    /// The 2 servers x 4 clients configuration named in the issue.
+    pub fn issue_scale() -> Self {
+        LossyPandaHandshake {
+            n_clients: 4,
+            n_servers: 2,
+            panes_per_client: 1,
+        }
+    }
+
+    /// A 1 server x 2 clients instance, small enough to explore
+    /// two-fault plans exhaustively.
+    pub fn small() -> Self {
+        LossyPandaHandshake {
+            n_clients: 2,
+            n_servers: 1,
+            panes_per_client: 1,
+        }
+    }
+}
+
+impl FaultScenario for LossyPandaHandshake {
+    fn name(&self) -> &'static str {
+        "lossy-panda-handshake"
+    }
+
+    fn run(&self, faults: Arc<ScriptedFaults>, collector: &rocobs::TraceCollector) -> Vec<u8> {
+        let n = self.n_clients + self.n_servers;
+        let group = n / self.n_servers;
+        let server_ranks: Vec<usize> = (0..self.n_servers).map(|s| s * group).collect();
+        let fabric = Arc::new(Fabric::new(ClusterSpec::turing(n)));
+        fabric.set_fault_injector(faults);
+        let fs = Arc::new(SharedFs::turing());
+        let snap = SnapshotId::new(7, 1);
+        let panes = self.panes_per_client;
+        // `faulty_net` flips the data plane onto `ReliableComm`; the
+        // spec itself is inert (the scripted injector owns the faults).
+        let panda_cfg = RocpandaConfig {
+            faulty_net: Some(rocnet::FaultSpec::none(0)),
+            ..RocpandaConfig::default()
+        };
+        run_on_fabric(&fabric, &|comm: Comm| {
+            let _obs = install_obs(collector, &comm);
+            match rocpanda::init(&comm, &fs, panda_cfg.clone(), &server_ranks)
+                .expect("rocpanda init")
+            {
+                Role::Server(mut s) => {
+                    s.run().expect("server run");
+                }
+                Role::Client { io: mut c, comm: app } => {
+                    let me = app.rank() as u64;
+                    let blocks: Vec<u64> =
+                        (0..panes as u64).map(|k| me * panes as u64 + k).collect();
+                    let ws = make_windows(&blocks);
+                    c.write_attribute(&ws, &AttrSelector::all("fluid"), snap)
+                        .expect("client write");
+                    c.finalize().expect("client finalize");
+                }
+            }
+        });
+        let files = fs.list("out/");
+        assert_eq!(
+            files.len(),
+            self.n_servers,
+            "one snapshot file per server, got {files:?}"
+        );
+        fingerprint_files(&fs, "out/", canonical_sdf)
+    }
+}
+
+/// The T-Rochdf double-buffer handoff on a lossy fabric: the halo
+/// exchange rides `ReliableComm` directly (the layer's first consumer
+/// outside Rocpanda), so dropping or duplicating its frames perturbs
+/// when each rank's second write meets the draining first one. File
+/// bytes and halo sums must not depend on the placement.
+pub struct LossyTrochdfHandoff {
+    pub n_ranks: usize,
+}
+
+impl LossyTrochdfHandoff {
+    pub fn issue_scale() -> Self {
+        LossyTrochdfHandoff { n_ranks: 3 }
+    }
+}
+
+impl FaultScenario for LossyTrochdfHandoff {
+    fn name(&self) -> &'static str {
+        "lossy-trochdf-handoff"
+    }
+
+    fn run(&self, faults: Arc<ScriptedFaults>, collector: &rocobs::TraceCollector) -> Vec<u8> {
+        let n = self.n_ranks;
+        let fabric = Arc::new(Fabric::new(ClusterSpec::turing(n)));
+        fabric.set_fault_injector(faults);
+        let fs = Arc::new(SharedFs::turing());
+        let snap0 = SnapshotId::new(3, 1);
+        let snap1 = SnapshotId::new(3, 2);
+        let files_written = run_on_fabric(&fabric, &|comm: Comm| {
+            let _obs = install_obs(collector, &comm);
+            let me = comm.rank() as u64;
+            let mut ws = make_windows(&[me]);
+            let mut io = TRochdf::new(Arc::clone(&fs), &comm, RochdfConfig::default());
+            io.write_attribute(&ws, &AttrSelector::all("fluid"), snap0)
+                .expect("first write (buffered handoff)");
+            // Halo exchange over the reliability layer: its DATA/ACK
+            // frames are the fault choice points.
+            let mut rel = rocnet::ReliableComm::new(&comm, rocnet::RelConfig::default());
+            for peer in 0..comm.size() {
+                if peer as u64 != me {
+                    rel.send(peer, HALO_TAG, &(me as f64 + 1.0).to_le_bytes())
+                        .expect("halo send");
+                }
+            }
+            let mut acc = 0.0f64;
+            for _ in 0..comm.size() - 1 {
+                let m = rel.recv(None, Some(HALO_TAG)).expect("halo recv");
+                let v = f64::from_le_bytes(
+                    m.payload[..8].try_into().expect("8-byte halo payload"),
+                );
+                acc += v; // order-independent reduction
+            }
+            // Symmetric teardown: drain until this rank's frames are all
+            // acknowledged, then linger re-acking peers' retransmissions
+            // (our ack to them may have been the dropped frame) until the
+            // fabric goes quiet — the TIME_WAIT that keeps a fast rank
+            // from abandoning a peer whose drain still needs re-acks.
+            rel.drain();
+            rel.linger(0.32);
+            ws.window_mut("fluid")
+                .expect("fluid window")
+                .pane_mut(BlockId(me))
+                .expect("own pane")
+                .set_data("p", ArrayData::F64(vec![acc; 8]))
+                .expect("set halo sum");
+            io.write_attribute(&ws, &AttrSelector::all("fluid"), snap1)
+                .expect("second write (handoff)");
+            io.sync().expect("sync");
+            io.finalize().expect("finalize");
+            io.files_written()
+        });
+        assert!(
+            files_written.iter().all(|&f| f == 2),
+            "every rank's I/O thread must write both snapshots, got {files_written:?}"
+        );
+        let files = fs.list("out/");
+        assert_eq!(
+            files.len(),
+            2 * n,
+            "one file per rank per snapshot, got {files:?}"
+        );
         fingerprint_files(&fs, "out/", |b| b.to_vec())
     }
 }

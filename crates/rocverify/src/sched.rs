@@ -38,11 +38,13 @@
 //! comparing — see [`crate::scenarios`]). Failing schedules dump a
 //! Chrome trace of the offending interleaving via rocobs.
 
+use std::collections::{BTreeMap, BTreeSet};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::Arc;
 
 use parking_lot::Mutex;
-use rocnet::fabric::{ChoiceKind, ChoicePoint, ScheduleOracle};
+use rocnet::fabric::{ChoiceKind, ChoicePoint, FaultInjector, ScheduleOracle};
+use rocnet::{FaultAction, TAG_REL};
 
 /// What the oracle saw and decided at one choice point, recorded for
 /// replay validation and branching.
@@ -417,6 +419,262 @@ fn dump_counterexample(
     }
     let _ = std::fs::write(base.with_extension("decisions.txt"), txt);
     Some(trace_path.to_string_lossy().into_owned())
+}
+
+// --- fault-placement exploration -----------------------------------------
+//
+// The schedule explorer above asks "is the protocol correct under every
+// wildcard resolution?". The fault explorer asks the orthogonal question:
+// "is it correct under every *placement* of a bounded number of network
+// faults?" — the degraded-fabric analogue of the decision tree. The
+// explored object is the set of reliability-layer frames a run emits; each
+// frame is a choice point (deliver / drop / duplicate), and dropping a
+// frame grows the tree further (retransmissions are new frames, which are
+// new choice points), so a fault budget bounds the search exactly the way
+// the depth budget bounds the schedule tree.
+
+/// Identity of one reliability-layer frame on the fabric: the fabric's
+/// per-link eligible-message counter is deterministic given the fault
+/// plan, so `(src, dst, seq)` names the same frame across reruns even
+/// though the *global* interleaving of sends is a thread race.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub struct FrameKey {
+    pub src: usize,
+    pub dst: usize,
+    /// Per-link eligible-message sequence number.
+    pub seq: u64,
+}
+
+impl std::fmt::Display for FrameKey {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}->{}#{}", self.src, self.dst, self.seq)
+    }
+}
+
+/// A [`FaultInjector`] driven by an explicit plan: frames named in the
+/// plan suffer the scripted fate, every other frame is delivered. Only
+/// [`TAG_REL`] frames are eligible — the explorer targets the reliability
+/// layer, and a dropped raw frame is an unconditional (and uninteresting)
+/// deadlock. Every eligible frame encountered is recorded so the explorer
+/// can branch on it.
+pub struct ScriptedFaults {
+    plan: BTreeMap<FrameKey, FaultAction>,
+    seen: Mutex<BTreeSet<FrameKey>>,
+}
+
+impl ScriptedFaults {
+    pub fn new(plan: BTreeMap<FrameKey, FaultAction>) -> Self {
+        ScriptedFaults {
+            plan,
+            seen: Mutex::new(BTreeSet::new()),
+        }
+    }
+
+    /// Every eligible frame the run emitted, in canonical (link, seq)
+    /// order — the branching frontier.
+    pub fn seen(&self) -> BTreeSet<FrameKey> {
+        self.seen.lock().clone()
+    }
+}
+
+impl FaultInjector for ScriptedFaults {
+    fn decide(&self, src: usize, dst: usize, seq: u64, tag: u32) -> FaultAction {
+        if tag != TAG_REL {
+            return FaultAction::Deliver;
+        }
+        let k = FrameKey { src, dst, seq };
+        self.seen.lock().insert(k);
+        self.plan.get(&k).copied().unwrap_or(FaultAction::Deliver)
+    }
+}
+
+/// A protocol configuration explorable under fault placement: build a
+/// fresh world with `faults` installed as the fabric's injector, run the
+/// protocol on the conservative gate schedule, and return the canonical
+/// outcome bytes. Must be deterministic given the plan (the gate schedule
+/// guarantees this when all nondeterminism is fabric-mediated).
+pub trait FaultScenario: Sync {
+    fn name(&self) -> &'static str;
+    fn run(&self, faults: Arc<ScriptedFaults>, collector: &rocobs::TraceCollector) -> Vec<u8>;
+}
+
+/// Fault-exploration policy.
+pub struct FaultExploreOptions {
+    /// Maximum faults injected per run (the tree is infinite without a
+    /// budget: a dropped frame's retransmission is a new choice point).
+    pub max_faults: usize,
+    /// Hard cap on runs (safety valve; exhaustion is reported).
+    pub max_runs: usize,
+    /// Fates explored per frame. Drop and duplicate by default; reorder
+    /// is schedule-domain nondeterminism, which the wildcard explorer
+    /// already owns.
+    pub actions: Vec<FaultAction>,
+}
+
+impl Default for FaultExploreOptions {
+    fn default() -> Self {
+        FaultExploreOptions {
+            max_faults: 1,
+            max_runs: 4096,
+            actions: vec![FaultAction::Drop, FaultAction::Duplicate],
+        }
+    }
+}
+
+/// One failing fault placement.
+pub struct FaultFailure {
+    /// The plan that failed, in canonical frame order.
+    pub plan: Vec<(FrameKey, FaultAction)>,
+    /// Panic message (deadlock poison, assertion) or divergence note.
+    pub message: String,
+}
+
+/// Fault-exploration outcome.
+pub struct FaultExploreReport {
+    /// Plans executed (the first is the clean reference run).
+    pub runs: usize,
+    /// Frames observed on the clean run — the base of the tree.
+    pub clean_frames: usize,
+    /// Frames branched on across all runs.
+    pub fault_points: usize,
+    /// The tree was fully explored within the fault budget (nothing
+    /// dropped by the run cap).
+    pub exhausted: bool,
+    /// Plans that deadlocked, panicked, or changed the canonical bytes.
+    pub failures: Vec<FaultFailure>,
+}
+
+impl FaultExploreReport {
+    pub fn summary(&self) -> String {
+        format!(
+            "{} fault plans ({} clean-run frames, {} fault points), \
+             exhausted: {}, failures: {}",
+            self.runs,
+            self.clean_frames,
+            self.fault_points,
+            self.exhausted,
+            self.failures.len()
+        )
+    }
+}
+
+fn describe_plan(plan: &BTreeMap<FrameKey, FaultAction>) -> String {
+    if plan.is_empty() {
+        return "clean".into();
+    }
+    plan.iter()
+        .map(|(k, a)| format!("{a:?} {k}"))
+        .collect::<Vec<_>>()
+        .join(", ")
+}
+
+/// Systematically explore fault placements (depth-first): run the clean
+/// plan, then for every frame it emitted try each fault fate, recursing
+/// on the new frames each faulted run emits until the budget is spent.
+///
+/// Plans fault frames in increasing `(src, dst, seq)` order — complete
+/// for the frames a fault *causes* (retransmissions land on the same
+/// link with higher sequence numbers), which keeps every plan reachable
+/// exactly once.
+///
+/// The reference outcome is the clean run's; every faulted plan must
+/// reproduce its canonical bytes and terminate.
+pub fn explore_faults(
+    scenario: &dyn FaultScenario,
+    opts: &FaultExploreOptions,
+) -> FaultExploreReport {
+    let _quiet = QuietPanics::install();
+    let mut report = FaultExploreReport {
+        runs: 0,
+        clean_frames: 0,
+        fault_points: 0,
+        exhausted: true,
+        failures: Vec::new(),
+    };
+    let mut reference: Option<Vec<u8>> = None;
+    let mut stack: Vec<BTreeMap<FrameKey, FaultAction>> = vec![BTreeMap::new()];
+    while let Some(plan) = stack.pop() {
+        if report.runs >= opts.max_runs {
+            report.exhausted = false;
+            break;
+        }
+        let faults = Arc::new(ScriptedFaults::new(plan.clone()));
+        let collector = rocobs::TraceCollector::new();
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
+            scenario.run(Arc::clone(&faults), &collector)
+        }));
+        let seen = faults.seen();
+        report.runs += 1;
+        if plan.is_empty() {
+            report.clean_frames = seen.len();
+        }
+
+        // Branch: fault one more frame, strictly past the deepest frame
+        // this plan already faults (canonical order ⇒ no duplicate plans).
+        if plan.len() < opts.max_faults {
+            let frontier = plan.keys().next_back().copied();
+            for &k in seen
+                .iter()
+                .filter(|&&k| frontier.is_none_or(|f| k > f))
+            {
+                report.fault_points += 1;
+                for &action in &opts.actions {
+                    let mut p = plan.clone();
+                    p.insert(k, action);
+                    stack.push(p);
+                }
+            }
+        }
+
+        match outcome {
+            Ok(bytes) => match &reference {
+                None => reference = Some(bytes),
+                Some(want) => {
+                    if *want != bytes {
+                        report.failures.push(FaultFailure {
+                            message: format!(
+                                "canonical bytes diverge from the clean run \
+                                 ({} vs {} bytes) under plan [{}]",
+                                bytes.len(),
+                                want.len(),
+                                describe_plan(&plan)
+                            ),
+                            plan: plan.into_iter().collect(),
+                        });
+                    }
+                }
+            },
+            Err(payload) => {
+                let msg = payload
+                    .downcast_ref::<String>()
+                    .cloned()
+                    .or_else(|| payload.downcast_ref::<&str>().map(|s| s.to_string()))
+                    .unwrap_or_else(|| "non-string panic payload".into());
+                report.failures.push(FaultFailure {
+                    message: format!("[{}]: {msg}", describe_plan(&plan)),
+                    plan: plan.into_iter().collect(),
+                });
+            }
+        }
+    }
+    report
+}
+
+/// Panic if fault exploration found any failing plan — the assertion
+/// helper tests and CI use.
+pub fn assert_all_fault_plans_pass(report: &FaultExploreReport) {
+    if report.failures.is_empty() {
+        return;
+    }
+    let mut msg = format!(
+        "{} of {} fault plans failed:\n",
+        report.failures.len(),
+        report.runs
+    );
+    for f in report.failures.iter().take(5) {
+        msg.push_str(&format!("- {}\n", f.message));
+    }
+    panic!("{msg}");
 }
 
 /// Panic (with trace paths) if exploration found any failing schedule —

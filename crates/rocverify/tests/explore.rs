@@ -3,8 +3,13 @@
 //! byte-identical snapshots, and a known-buggy protocol is caught with a
 //! usable counterexample.
 
-use rocverify::scenarios::{LostAckToy, PandaHandshake, TrochdfHandoff};
-use rocverify::sched::{assert_all_schedules_pass, explore, ExploreOptions};
+use rocverify::scenarios::{
+    LossyPandaHandshake, LossyTrochdfHandoff, LostAckToy, PandaHandshake, TrochdfHandoff,
+};
+use rocverify::sched::{
+    assert_all_fault_plans_pass, assert_all_schedules_pass, explore, explore_faults,
+    ExploreOptions, FaultExploreOptions,
+};
 
 #[test]
 fn panda_handshake_exhausts_and_snapshots_agree() {
@@ -28,6 +33,48 @@ fn trochdf_handoff_exhausts_and_snapshots_agree() {
         report.summary()
     );
     assert_all_schedules_pass(&report);
+}
+
+#[test]
+fn lossy_panda_handshake_survives_every_single_fault_placement() {
+    let report = explore_faults(
+        &LossyPandaHandshake::issue_scale(),
+        &FaultExploreOptions::default(),
+    );
+    assert!(report.exhausted, "fault tree must be fully explored: {}", report.summary());
+    assert!(
+        report.clean_frames > 20,
+        "2 servers x 4 clients should emit a substantial frame set, got {}",
+        report.summary()
+    );
+    assert_all_fault_plans_pass(&report);
+}
+
+#[test]
+fn lossy_panda_handshake_survives_fault_pairs_at_small_scale() {
+    let opts = FaultExploreOptions {
+        max_faults: 2,
+        max_runs: 8192,
+        ..FaultExploreOptions::default()
+    };
+    let report = explore_faults(&LossyPandaHandshake::small(), &opts);
+    assert!(report.exhausted, "two-fault tree must be exhausted: {}", report.summary());
+    assert_all_fault_plans_pass(&report);
+}
+
+#[test]
+fn lossy_trochdf_handoff_survives_every_single_fault_placement() {
+    let report = explore_faults(
+        &LossyTrochdfHandoff::issue_scale(),
+        &FaultExploreOptions::default(),
+    );
+    assert!(report.exhausted, "fault tree must be fully explored: {}", report.summary());
+    assert!(
+        report.clean_frames >= 12,
+        "3 ranks x 2 halo frames each plus acks, got {}",
+        report.summary()
+    );
+    assert_all_fault_plans_pass(&report);
 }
 
 #[test]

@@ -156,6 +156,30 @@ fn owned_reads_fire_in_sim_crates_only() {
 }
 
 #[test]
+fn raw_send_fires_in_rocpanda_off_the_pandanet_shim() {
+    let raw = "impl C<'_> { fn f(&mut self) -> Result<()> { self.world.send(0, 7, &[]) } }";
+    assert!(
+        rules_fired("rocpanda", "crates/rocpanda/src/x.rs", raw).contains(&Rule::RawSend),
+        "a raw Comm send inside rocpanda must fire"
+    );
+    let raw_segs = "impl C<'_> { fn f(&mut self) { self.comm.send_segments(0, 7, &s)?; } }";
+    assert!(
+        rules_fired("rocpanda", "crates/rocpanda/src/x.rs", raw_segs).contains(&Rule::RawSend),
+        "send_segments counts too"
+    );
+    // Routing through the shim is the sanctioned form.
+    let ok = "impl C<'_> { fn f(&mut self) -> Result<()> { self.net.send(0, 7, &[]) } }";
+    assert!(!rules_fired("rocpanda", "crates/rocpanda/src/x.rs", ok).contains(&Rule::RawSend));
+    // The shim itself is the designed lane for the raw calls it wraps.
+    let shim = "impl N<'_> { fn f(&mut self) { self.c.send_bytes(0, 7, b); } }";
+    assert!(
+        !rules_fired("rocpanda", "crates/rocpanda/src/net.rs", shim).contains(&Rule::RawSend)
+    );
+    // Other crates talk to the fabric directly by design.
+    assert_eq!(rules_fired("rochdf", "crates/rochdf/src/x.rs", raw), vec![]);
+}
+
+#[test]
 fn string_and_comment_content_never_fires() {
     let src = r#"
         // Instant::now() in a comment

@@ -12,7 +12,7 @@ use genx_repro::rocobs::{Trace, TraceCollector};
 use genx_repro::rocstore::SharedFs;
 use genx_repro::genx::RunReport;
 
-fn traced_run() -> (RunReport, Trace, String) {
+fn traced_run_on(faulty_net: Option<genx_repro::rocnet::FaultSpec>) -> (RunReport, Trace, String) {
     let fs = Arc::new(SharedFs::turing());
     let mut cfg = GenxConfig::new(
         "determinism",
@@ -21,11 +21,16 @@ fn traced_run() -> (RunReport, Trace, String) {
     );
     cfg.steps = 8;
     cfg.snapshot_every = 4;
+    cfg.faulty_net = faulty_net;
     let tc = TraceCollector::new();
     let report = run_genx_traced(ClusterSpec::turing(5), &fs, &cfg, Some(&tc)).unwrap();
     let trace = tc.finish();
     let report_json = serde_json::to_string(&report).unwrap();
     (report, trace, report_json)
+}
+
+fn traced_run() -> (RunReport, Trace, String) {
+    traced_run_on(None)
 }
 
 #[test]
@@ -52,5 +57,25 @@ fn identical_runs_are_bit_identical() {
         serde_json::to_string(&t1.summary()).unwrap(),
         serde_json::to_string(&t2.summary()).unwrap()
     );
+    assert_eq!(t1.to_chrome_trace_json(), t2.to_chrome_trace_json());
+}
+
+#[test]
+fn faulty_fabric_runs_are_bit_identical() {
+    // The adversary is part of the deterministic model: with a fixed
+    // seed, fault decisions are a pure function of per-link message
+    // counters, retransmit timers run on virtual time, and wildcard
+    // receives resolve through the conservative gate — so a degraded-
+    // network run must replay bit for bit, retransmissions included.
+    let spec = genx_repro::rocnet::FaultSpec::chaos(5, 0.05);
+    let (r1, t1, j1) = traced_run_on(Some(spec));
+    let (r2, t2, j2) = traced_run_on(Some(spec));
+
+    assert_eq!(r1, r2);
+    assert_eq!(j1, j2);
+    assert_eq!(t1.len(), t2.len());
+    for (a, b) in t1.spans().iter().zip(t2.spans()) {
+        assert_eq!(a, b);
+    }
     assert_eq!(t1.to_chrome_trace_json(), t2.to_chrome_trace_json());
 }
