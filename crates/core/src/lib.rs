@@ -26,6 +26,7 @@ pub mod dataset;
 pub mod dtype;
 pub mod error;
 pub mod le;
+pub mod lockdep;
 pub mod segment;
 pub mod snapshot;
 pub mod units;

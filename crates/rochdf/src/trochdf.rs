@@ -4,7 +4,7 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 
 use crossbeam::channel::{unbounded, Sender};
-use parking_lot::{Condvar, Mutex};
+use rocio_core::lockdep::{Condvar, Mutex};
 use rocio_core::{DataBlock, Result, RocError, SimTime, SnapshotId};
 use rocnet::{Comm, VClock};
 use rocsdf::SdfFileWriter;
@@ -62,9 +62,9 @@ impl<'a> TRochdf<'a> {
         let (tx, rx) = unbounded::<Job>();
         let shared = Arc::new(Shared {
             io_clock: VClock::new(),
-            outstanding: Mutex::new(0),
+            outstanding: Mutex::new("rochdf.outstanding", 0),
             cv: Condvar::new(),
-            error: Mutex::new(None),
+            error: Mutex::new("rochdf.error", None),
             files_written: AtomicUsize::new(0),
         });
         let thread_shared = Arc::clone(&shared);

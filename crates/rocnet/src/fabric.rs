@@ -35,7 +35,7 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use bytes::Bytes;
-use parking_lot::{Condvar, Mutex};
+use rocio_core::lockdep::{Condvar, Mutex};
 use rocio_core::SimTime;
 
 use crate::cluster::ClusterSpec;
@@ -309,7 +309,7 @@ impl Fabric {
         Fabric {
             spec,
             clocks: (0..n).map(|_| Arc::new(VClock::new())).collect(),
-            state: Mutex::new(FabricState {
+            state: Mutex::new("rocnet.fabric_state", FabricState {
                 queues: (0..n).map(|_| VecDeque::new()).collect(),
                 wait: vec![RankWait::Running; n],
                 injector: None,
@@ -1069,7 +1069,7 @@ mod tests {
     }
 
     /// Oracle that records every choice point and picks index 0.
-    struct LoggingOracle(Mutex<Vec<ChoicePoint>>);
+    struct LoggingOracle(parking_lot::Mutex<Vec<ChoicePoint>>);
     impl ScheduleOracle for LoggingOracle {
         fn choose(&self, point: &ChoicePoint) -> usize {
             self.0.lock().push(point.clone());
@@ -1103,7 +1103,7 @@ mod tests {
 
     #[test]
     fn oracle_sees_sorted_candidates_and_seq() {
-        let oracle = Arc::new(LoggingOracle(Mutex::new(Vec::new())));
+        let oracle = Arc::new(LoggingOracle(parking_lot::Mutex::new(Vec::new())));
         let f = Fabric::with_oracle(ClusterSpec::ideal(3), Arc::clone(&oracle) as _);
         f.finish_rank(0);
         f.finish_rank(2);

@@ -28,7 +28,7 @@ use std::collections::BTreeMap;
 use std::fmt;
 use std::sync::Arc;
 
-use parking_lot::Mutex;
+use rocio_core::lockdep::Mutex;
 
 use serde::{Content, Serialize};
 
@@ -266,16 +266,24 @@ pub fn record(category: SpanCategory, label: &str, t_start: f64, t_end: f64, det
 /// Shared sink for one traced run. Create one, hand out per-rank
 /// [`RankHandle`]s, run the simulation, then call
 /// [`TraceCollector::finish`].
-#[derive(Default)]
 pub struct TraceCollector {
     sink: Arc<Mutex<Vec<Span>>>,
     /// rank → node, for the Chrome exporter; registered by `handle`.
     nodes: Mutex<BTreeMap<usize, usize>>,
 }
 
+impl Default for TraceCollector {
+    fn default() -> Self {
+        TraceCollector::new()
+    }
+}
+
 impl TraceCollector {
     pub fn new() -> Self {
-        TraceCollector::default()
+        TraceCollector {
+            sink: Arc::new(Mutex::new("rocobs.trace_sink", Vec::new())),
+            nodes: Mutex::new("rocobs.trace_nodes", BTreeMap::new()),
+        }
     }
 
     /// A recording handle for `rank` on `lane`, hosted on `node`.

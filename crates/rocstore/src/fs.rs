@@ -6,7 +6,7 @@ use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 
 use bytes::Bytes;
-use parking_lot::Mutex;
+use rocio_core::lockdep::Mutex;
 use rocio_core::{Result, RocError, SimTime};
 
 use crate::model::DiskModel;
@@ -137,11 +137,13 @@ impl SharedFs {
         assert!(n_servers >= 1, "need at least one storage server");
         SharedFs {
             model,
-            servers: (0..n_servers).map(|_| Mutex::new(ServerState::default())).collect(),
-            files: Mutex::new(HashMap::new()),
-            stats: Mutex::new(FsStats::default()),
+            servers: (0..n_servers)
+                .map(|_| Mutex::new("rocstore.server", ServerState::default()))
+                .collect(),
+            files: Mutex::new("rocstore.files", HashMap::new()),
+            stats: Mutex::new("rocstore.stats", FsStats::default()),
             next_generation: AtomicU64::new(0),
-            meta_cache: Mutex::new(HashMap::new()),
+            meta_cache: Mutex::new("rocstore.meta_cache", HashMap::new()),
             write_hint: AtomicUsize::new(0),
             read_hint: AtomicUsize::new(0),
             quota: AtomicUsize::new(usize::MAX),

@@ -1,25 +1,33 @@
 //! rocverify — workspace verification tooling.
 //!
-//! Two instruments, one goal: keeping the simulation honest.
+//! Three instruments, one goal: keeping the simulation honest.
 //!
 //! * [`lint`] (driven by the `roclint` binary) statically enforces the
 //!   workspace's determinism and robustness contracts: no wall-clock or
 //!   RNG reads inside simulation crates, no threads outside the
 //!   registered T-Rochdf/server lanes, no `unwrap`/`expect`/`panic!` in
-//!   library code, disciplined rocobs span categories, and
-//!   `#![forbid(unsafe_code)]` in every library crate. Exceptions live
-//!   in `roclint.allow` at the workspace root, each with a reason.
+//!   library code, disciplined rocobs span categories, parking_lot-only
+//!   locks, and `#![forbid(unsafe_code)]` in every library crate.
+//!   Exceptions live in `roclint.allow` at the workspace root, each
+//!   with a reason.
+//! * [`lock`] (driven by the `roclock` binary) statically checks lock
+//!   discipline: every `Mutex`/`RwLock` field registered with an order
+//!   level in `roclock.order`, no guard held across blocking or
+//!   charging calls, an acyclic workspace lock graph — validated
+//!   dynamically by the `rocio_core::lockdep` witness.
 //! * [`sched`] (driven by the `rocsched` binary) dynamically explores
 //!   every wildcard-receive resolution order of the concurrency
 //!   protocols in [`scenarios`], replacing the fabric's conservative
 //!   virtual-order gate with a replayable decision oracle, and asserts
 //!   snapshot byte-identity plus deadlock-freedom across all schedules.
 //!
-//! See DESIGN.md § Verification for the soundness argument.
+//! See DESIGN.md § Verification and § Lock discipline for the
+//! soundness arguments.
 
 #![forbid(unsafe_code)]
 
 pub mod lexer;
 pub mod lint;
+pub mod lock;
 pub mod scenarios;
 pub mod sched;

@@ -25,6 +25,10 @@
 //!   and an owned `fs.read(..)` / `fs.read_all(..)` on the read path
 //!   copies the file window per call (simulation crates read through the
 //!   shared windows; the owned forms are rocstore's legacy boundary).
+//! * **std-sync** — workspace locks are parking_lot-backed through the
+//!   named `rocio_core::lockdep` wrappers; a `std::sync::Mutex`/`RwLock`/
+//!   `Condvar` has a different guard shape and escapes the lock-discipline
+//!   witness (`roclock`).
 //!
 //! Everything under `#[cfg(test)]` / `#[test]` is exempt. Intentional
 //! exceptions live in `roclint.allow` (one `rule | path | needle | reason`
@@ -35,7 +39,10 @@ use std::path::{Path, PathBuf};
 
 use crate::lexer::{tokenize, Tok};
 
-/// The lint rules, in reporting order.
+/// The lint rules, in reporting order. The `Lock*` rules are checked by
+/// `roclock` (see [`crate::lock`]); the rest by `roclint`. Both tools
+/// share the `roclint.allow` file, each applying only its own rules'
+/// entries (so neither reports the other's entries as stale).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Rule {
     WallClock,
@@ -46,6 +53,11 @@ pub enum Rule {
     ForbidUnsafe,
     OwnedPayload,
     RawSend,
+    StdSync,
+    LockUnregistered,
+    LockOrder,
+    LockBlocking,
+    LockCharge,
 }
 
 impl Rule {
@@ -59,10 +71,15 @@ impl Rule {
             Rule::ForbidUnsafe => "forbid-unsafe",
             Rule::OwnedPayload => "owned-payload",
             Rule::RawSend => "raw-send",
+            Rule::StdSync => "std-sync",
+            Rule::LockUnregistered => "lock-unregistered",
+            Rule::LockOrder => "lock-order",
+            Rule::LockBlocking => "lock-blocking",
+            Rule::LockCharge => "lock-charge",
         }
     }
 
-    pub fn all() -> [Rule; 8] {
+    pub fn all() -> [Rule; 13] {
         [
             Rule::WallClock,
             Rule::Rand,
@@ -72,7 +89,20 @@ impl Rule {
             Rule::ForbidUnsafe,
             Rule::OwnedPayload,
             Rule::RawSend,
+            Rule::StdSync,
+            Rule::LockUnregistered,
+            Rule::LockOrder,
+            Rule::LockBlocking,
+            Rule::LockCharge,
         ]
+    }
+
+    /// Rules owned by `roclock` rather than `roclint`.
+    pub fn is_lock(self) -> bool {
+        matches!(
+            self,
+            Rule::LockUnregistered | Rule::LockOrder | Rule::LockBlocking | Rule::LockCharge
+        )
     }
 
     fn from_name(name: &str) -> Option<Rule> {
@@ -102,6 +132,40 @@ impl fmt::Display for Finding {
             self.rule.name(),
             self.message,
             self.snippet.trim()
+        )
+    }
+}
+
+/// Minimal JSON string escaping for `--json` output (no dependency on a
+/// serializer; findings are flat string/number records).
+pub fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = std::fmt::Write::write_fmt(&mut out, format_args!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+impl Finding {
+    /// One flat JSON object per finding, for `--json` output.
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"rule\":\"{}\",\"path\":\"{}\",\"line\":{},\"message\":\"{}\",\"snippet\":\"{}\"}}",
+            self.rule.name(),
+            json_escape(&self.path),
+            self.line,
+            json_escape(&self.message),
+            json_escape(self.snippet.trim())
         )
     }
 }
@@ -204,7 +268,7 @@ pub fn parse_allowlist(content: &str) -> Result<Vec<AllowEntry>, String> {
 
 /// Remove tokens belonging to `#[cfg(test)]` / `#[test]` items: the rules
 /// only govern production code.
-fn strip_test_items(toks: &[Tok]) -> Vec<Tok> {
+pub(crate) fn strip_test_items(toks: &[Tok]) -> Vec<Tok> {
     let mut out = Vec::new();
     let mut i = 0;
     while i < toks.len() {
@@ -241,7 +305,7 @@ fn is_test_attr(toks: &[Tok], i: usize) -> bool {
 
 /// `i` points at an opening bracket token; return the index just past its
 /// matching closer.
-fn skip_balanced(toks: &[Tok], i: usize) -> usize {
+pub(crate) fn skip_balanced(toks: &[Tok], i: usize) -> usize {
     let mut depth = 0usize;
     let mut j = i;
     while j < toks.len() {
@@ -283,12 +347,12 @@ fn skip_item(toks: &[Tok], i: usize) -> usize {
     toks.len()
 }
 
-fn t(toks: &[Tok], i: usize) -> &str {
+pub(crate) fn t(toks: &[Tok], i: usize) -> &str {
     toks.get(i).map(|t| t.text.as_str()).unwrap_or("")
 }
 
 /// Is `toks[i..]` the path-separator `::`?
-fn is_path_sep(toks: &[Tok], i: usize) -> bool {
+pub(crate) fn is_path_sep(toks: &[Tok], i: usize) -> bool {
     t(toks, i) == ":" && t(toks, i + 1) == ":"
 }
 
@@ -450,6 +514,34 @@ pub fn lint_source(cfg: &LintConfig, crate_dir: &str, path: &str, src: &str) -> 
                 ),
             );
         }
+        // std-sync: workspace locks are parking_lot-backed (via the
+        // `rocio_core::lockdep` named wrappers). A `std::sync` lock has
+        // a different guard shape — poison Results, guard-consuming
+        // condvar waits — and is invisible to the lockdep witness.
+        if w == "std" && is_path_sep(&toks, i + 1) && t(&toks, i + 3) == "sync"
+            && is_path_sep(&toks, i + 4)
+        {
+            let forbidden = |n: &str| matches!(n, "Mutex" | "RwLock" | "Condvar");
+            let target = t(&toks, i + 6);
+            let hit = if target == "{" {
+                let end = skip_balanced(&toks, i + 6);
+                toks[i + 6..end].iter().find(|tk| forbidden(&tk.text)).map(|tk| tk.text.clone())
+            } else if forbidden(target) {
+                Some(target.to_string())
+            } else {
+                None
+            };
+            if let Some(name) = hit {
+                push(
+                    Rule::StdSync,
+                    toks[i].line,
+                    format!(
+                        "`std::sync::{name}` — use the named `rocio_core::lockdep` wrappers \
+                         (parking_lot semantics) so the lock-discipline witness sees it"
+                    ),
+                );
+            }
+        }
         // span-category: `SpanCategory::X` must name a known constant.
         if crate_dir != "rocobs" && w == "SpanCategory" && is_path_sep(&toks, i + 1) {
             let variant = t(&toks, i + 3);
@@ -508,41 +600,40 @@ pub fn lint_source(cfg: &LintConfig, crate_dir: &str, path: &str, src: &str) -> 
     out
 }
 
-/// Apply the allowlist: returns `(kept_findings, stale_entries)`. A
-/// finding is suppressed by the first entry with the same rule and path
-/// whose needle appears in the flagged line; entries that suppress
-/// nothing are stale and reported so the allowlist tracks reality.
+/// Apply the allowlist: returns `(kept, suppressed, stale)`. A finding
+/// is suppressed by the first entry with the same rule and path whose
+/// needle appears in the flagged line; entries that suppress nothing are
+/// stale and reported so the allowlist tracks reality.
 pub fn apply_allowlist(
     findings: Vec<Finding>,
     allow: &[AllowEntry],
-) -> (Vec<Finding>, Vec<AllowEntry>) {
+) -> (Vec<Finding>, Vec<Finding>, Vec<AllowEntry>) {
     let mut used = vec![false; allow.len()];
-    let kept: Vec<Finding> = findings
-        .into_iter()
-        .filter(|f| {
-            let hit = allow.iter().position(|a| {
-                a.rule == f.rule && a.path == f.path && f.snippet.contains(&a.needle)
-            });
-            match hit {
-                Some(i) => {
-                    used[i] = true;
-                    false
-                }
-                None => true,
+    let mut kept = Vec::new();
+    let mut suppressed = Vec::new();
+    for f in findings {
+        let hit = allow
+            .iter()
+            .position(|a| a.rule == f.rule && a.path == f.path && f.snippet.contains(&a.needle));
+        match hit {
+            Some(i) => {
+                used[i] = true;
+                suppressed.push(f);
             }
-        })
-        .collect();
+            None => kept.push(f),
+        }
+    }
     let stale = allow
         .iter()
         .zip(&used)
         .filter(|(_, &u)| !u)
         .map(|(a, _)| a.clone())
         .collect();
-    (kept, stale)
+    (kept, suppressed, stale)
 }
 
 /// Recursively list `.rs` files under `dir`, sorted for determinism.
-fn rs_files(dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
+pub(crate) fn rs_files(dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
     let mut entries: Vec<PathBuf> = std::fs::read_dir(dir)?
         .filter_map(|e| e.ok().map(|e| e.path()))
         .collect();
@@ -557,23 +648,10 @@ fn rs_files(dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
     Ok(())
 }
 
-/// The result of linting the whole workspace.
-pub struct WorkspaceReport {
-    pub findings: Vec<Finding>,
-    pub stale_allow: Vec<AllowEntry>,
-    pub files_scanned: usize,
-}
-
-impl WorkspaceReport {
-    pub fn clean(&self) -> bool {
-        self.findings.is_empty() && self.stale_allow.is_empty()
-    }
-}
-
-/// Lint every crate's `src/` plus the root package `src/` under
-/// `workspace_root`, applying `workspace_root/roclint.allow` if present.
-pub fn lint_workspace(workspace_root: &Path, cfg: &LintConfig) -> Result<WorkspaceReport, String> {
-    let mut targets: Vec<(String, PathBuf)> = Vec::new(); // (crate_dir, src dir)
+/// The `(crate_dir, src_dir)` pairs a workspace scan visits: every
+/// crate's `src/` plus the root package `src/`.
+pub(crate) fn workspace_targets(workspace_root: &Path) -> Result<Vec<(String, PathBuf)>, String> {
+    let mut targets: Vec<(String, PathBuf)> = Vec::new();
     let crates = workspace_root.join("crates");
     let mut dirs: Vec<PathBuf> = std::fs::read_dir(&crates)
         .map_err(|e| format!("reading {}: {e}", crates.display()))?
@@ -592,12 +670,47 @@ pub fn lint_workspace(workspace_root: &Path, cfg: &LintConfig) -> Result<Workspa
     if root_src.is_dir() {
         targets.push(("genx-repro".into(), root_src));
     }
+    Ok(targets)
+}
 
+/// Read and parse `roclint.allow`, keeping only the entries owned by one
+/// tool: `lock_rules` selects roclock's entries, `!lock_rules` roclint's.
+/// Each tool applies (and stale-checks) only its own slice.
+pub(crate) fn read_allowlist(
+    workspace_root: &Path,
+    lock_rules: bool,
+) -> Result<Vec<AllowEntry>, String> {
     let allow_path = workspace_root.join("roclint.allow");
     let allow = match std::fs::read_to_string(&allow_path) {
         Ok(content) => parse_allowlist(&content)?,
         Err(_) => Vec::new(),
     };
+    Ok(allow.into_iter().filter(|a| a.rule.is_lock() == lock_rules).collect())
+}
+
+/// The result of linting the whole workspace.
+pub struct WorkspaceReport {
+    pub findings: Vec<Finding>,
+    /// Findings silenced by a reasoned allow entry (for `--stats`).
+    pub suppressed: Vec<Finding>,
+    pub stale_allow: Vec<AllowEntry>,
+    /// The allow entries this tool owns (for `--stats`).
+    pub allow: Vec<AllowEntry>,
+    pub files_scanned: usize,
+}
+
+impl WorkspaceReport {
+    pub fn clean(&self) -> bool {
+        self.findings.is_empty() && self.stale_allow.is_empty()
+    }
+}
+
+/// Lint every crate's `src/` plus the root package `src/` under
+/// `workspace_root`, applying the roclint-owned slice of
+/// `workspace_root/roclint.allow` if present.
+pub fn lint_workspace(workspace_root: &Path, cfg: &LintConfig) -> Result<WorkspaceReport, String> {
+    let targets = workspace_targets(workspace_root)?;
+    let allow = read_allowlist(workspace_root, false)?;
 
     let mut findings = Vec::new();
     let mut files_scanned = 0;
@@ -616,10 +729,12 @@ pub fn lint_workspace(workspace_root: &Path, cfg: &LintConfig) -> Result<Workspa
             files_scanned += 1;
         }
     }
-    let (findings, stale_allow) = apply_allowlist(findings, &allow);
+    let (findings, suppressed, stale_allow) = apply_allowlist(findings, &allow);
     Ok(WorkspaceReport {
         findings,
+        suppressed,
         stale_allow,
+        allow,
         files_scanned,
     })
 }

@@ -42,7 +42,7 @@ use std::collections::{BTreeMap, BTreeSet};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::Arc;
 
-use parking_lot::Mutex;
+use rocio_core::lockdep::Mutex;
 use rocnet::fabric::{ChoiceKind, ChoicePoint, FaultInjector, ScheduleOracle};
 use rocnet::{FaultAction, TAG_REL};
 
@@ -111,7 +111,7 @@ impl ReplayOracle {
     pub fn new(prefix: Vec<(u64, usize)>) -> Self {
         ReplayOracle {
             prefix,
-            log: Mutex::new(Vec::new()),
+            log: Mutex::new("rocsched.oracle_log", Vec::new()),
         }
     }
 
@@ -466,7 +466,7 @@ impl ScriptedFaults {
     pub fn new(plan: BTreeMap<FrameKey, FaultAction>) -> Self {
         ScriptedFaults {
             plan,
-            seen: Mutex::new(BTreeSet::new()),
+            seen: Mutex::new("rocsched.fault_seen", BTreeSet::new()),
         }
     }
 

@@ -203,10 +203,40 @@ fn allowlist_suppresses_and_reports_stale() {
          unwrap-panic | crates/rocsdf/src/y.rs | never-matches | fixture\n",
     )
     .expect("valid allowlist");
-    let (kept, stale) = apply_allowlist(findings, &allow);
+    let (kept, suppressed, stale) = apply_allowlist(findings, &allow);
     assert!(kept.is_empty(), "entry should suppress the finding");
+    assert_eq!(suppressed.len(), 1);
     assert_eq!(stale.len(), 1);
     assert_eq!(stale[0].path, "crates/rocsdf/src/y.rs");
+}
+
+#[test]
+fn std_sync_primitives_fire_everywhere() {
+    for src in [
+        "use std::sync::Mutex;\npub struct S { m: Mutex<u8> }",
+        "use std::sync::{Arc, RwLock};\npub struct S { m: RwLock<u8> }",
+        "pub struct S { m: std::sync::Mutex<u8> }",
+        "use std::sync::Condvar;\npub struct S { cv: Condvar }",
+    ] {
+        assert!(
+            rules_fired("rocmesh", "crates/rocmesh/src/x.rs", src).contains(&Rule::StdSync),
+            "std::sync primitive should fire: {src}"
+        );
+    }
+    // Arc, atomics, and guard types stay legal — only the unnamed,
+    // unpoisonable-free primitives are banned.
+    for src in [
+        "use std::sync::Arc;\npub struct S { a: Arc<u8> }",
+        "use std::sync::atomic::{AtomicU64, Ordering};",
+        "use std::sync::{mpsc, Arc};",
+        "pub fn f(g: std::sync::RwLockReadGuard<'_, u8>) {}",
+    ] {
+        assert_eq!(
+            rules_fired("rocmesh", "crates/rocmesh/src/x.rs", src),
+            vec![],
+            "non-primitive std::sync item should not fire: {src}"
+        );
+    }
 }
 
 #[test]

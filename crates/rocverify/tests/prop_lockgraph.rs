@@ -1,0 +1,69 @@
+//! Property test: `LockGraph::find_cycle` agrees with brute-force
+//! transitive reachability on random digraphs, and any cycle it returns
+//! is a genuine closed walk over the graph's edges.
+
+use proptest::prelude::*;
+use rocverify::lock::LockGraph;
+
+/// Floyd–Warshall-style closure: does any node reach itself in >= 1 step?
+fn has_cycle_brute(n: usize, edges: &[(usize, usize)]) -> bool {
+    let mut reach = vec![vec![false; n]; n];
+    for &(a, b) in edges {
+        reach[a][b] = true;
+    }
+    for k in 0..n {
+        for i in 0..n {
+            for j in 0..n {
+                if reach[i][k] && reach[k][j] {
+                    reach[i][j] = true;
+                }
+            }
+        }
+    }
+    (0..n).any(|i| reach[i][i])
+}
+
+fn name(i: usize) -> String {
+    format!("l{i}")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(192))]
+
+    #[test]
+    fn find_cycle_matches_brute_force_reachability(
+        n in 1usize..9,
+        raw in prop::collection::vec((any::<usize>(), any::<usize>()), 0..24),
+    ) {
+        let edges: Vec<(usize, usize)> =
+            raw.into_iter().map(|(a, b)| (a % n, b % n)).collect();
+        let named: Vec<(String, String)> =
+            edges.iter().map(|&(a, b)| (name(a), name(b))).collect();
+        let graph = LockGraph::from_edges(&named);
+
+        let expect = has_cycle_brute(n, &edges);
+        let cycle = graph.find_cycle();
+        prop_assert_eq!(
+            cycle.is_some(),
+            expect,
+            "edges {:?}: brute-force says cycle={}, find_cycle returned {:?}",
+            edges, expect, cycle
+        );
+
+        // Any reported cycle must be a closed walk of length >= 1 whose
+        // every step is a real edge.
+        if let Some(walk) = cycle {
+            prop_assert!(walk.len() >= 2, "walk too short: {:?}", walk);
+            prop_assert_eq!(
+                walk.first(), walk.last(),
+                "walk is not closed: {:?}", walk
+            );
+            for pair in walk.windows(2) {
+                prop_assert!(
+                    graph.contains_edge(&pair[0], &pair[1]),
+                    "step {:?} is not an edge of {:?}", pair, named
+                );
+            }
+        }
+    }
+}
