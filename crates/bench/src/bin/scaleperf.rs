@@ -1,0 +1,409 @@
+//! `scaleperf`: **rank-count scaling** of the M:N virtual-time scheduler
+//! vs the legacy one-OS-thread-per-rank harness.
+//!
+//! The question this answers is the one the M:N refactor exists for: can
+//! a 10k-rank job actually run on one host, and what does the bounded
+//! worker pool buy over free-running threads at sizes both can reach?
+//! Each measured cell runs the same per-rank timestep shape a
+//! multi-component simulation has — a 16 MiB scratch step (allocate,
+//! initialize, reduce, free: the rank's per-step working state), ring
+//! neighbour exchanges, a wildcard funnel into rank 0
+//! (conservative-gate pressure), and a closing barrier — under one of
+//! two `SchedConfig`s:
+//!
+//! * **pooled** — small-stack rank threads admitted through the bounded
+//!   worker pool; parks lend the admission slot (the shipped default);
+//! * **threaded** — the legacy shape: default stacks, no admission, every
+//!   rank free-running (the pre-refactor baseline).
+//!
+//! The scratch step is where admission pays: with every rank
+//! free-running, all of them materialize their scratch at once — the
+//! job's resident set grows as `ranks x 16 MiB` (160 GB at 10k ranks),
+//! every buffer is built on cold pages (page fault + kernel zeroing +
+//! RAM-bandwidth writes), and thousands of threads fight the
+//! allocator's arenas. Under the pool, at most `workers` scratch
+//! buffers are ever live: the allocator hands every rank the same warm
+//! pages back, and the step runs at cache speed with a flat footprint.
+//!
+//! Scheduling must not change observables, so each child also reports a
+//! workload checksum and the orchestrator asserts pooled == threaded.
+//!
+//! ## Isolation
+//!
+//! Peak RSS (`VmHWM`) is monotone over a process's life, so one process
+//! cannot measure several configurations honestly. The orchestrator
+//! re-execs itself (`--one MODE RANKS`) per cell: every cell gets a
+//! fresh address space, its own `VmHWM`, and a kill-able timeout — the
+//! threaded baseline is *expected* to stop scaling before 10k, and a
+//! cell that blows the timeout is reported as `completed: false` rather
+//! than hanging the bench.
+//!
+//! ```text
+//! cargo run --release -p bench --bin scaleperf [--quick] [--out BENCH_PR8.json]
+//! ```
+//!
+//! The CI smoke step runs `--quick` (small sizes, completion + checksum
+//! agreement only — shared runners are too noisy to gate on a ratio);
+//! the committed `BENCH_PR8.json` is regenerated in full mode.
+
+use std::process::{Command, Stdio};
+use std::time::{Duration, Instant};
+
+use rocnet::cluster::ClusterSpec;
+use rocnet::{run_ranks_sched, SchedConfig};
+use serde::Serialize;
+
+/// Ring-exchange rounds per job: enough to keep the fabric phases
+/// honest without drowning the scratch step.
+const RING_ROUNDS: usize = 4;
+
+/// Per-rank scratch size (u64 slots): the rank's per-timestep working
+/// state. 16 MiB is modest for one simulation rank and large enough
+/// that `ranks x scratch` is the binding resource for the free-running
+/// baseline at high rank counts.
+const SCRATCH_SLOTS: usize = 16 * 1024 * 1024 / 8;
+
+/// Full-mode rank counts. 10_000 is the headline: the pooled scheduler
+/// must complete it; the threaded baseline attempts it under a timeout.
+const FULL_SIZES: [usize; 4] = [128, 1024, 4096, 10_000];
+const QUICK_SIZES: [usize; 2] = [128, 512];
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+
+    // Child mode: measure exactly one (scheduler, rank-count) cell and
+    // print its JSON row on stdout.
+    if args.len() == 4 && args[1] == "--one" {
+        let n: usize = args[3].parse().expect("rank count");
+        let cell = run_cell(&args[2], n);
+        println!("{}", serde_json::to_string(&cell).expect("cell json"));
+        return;
+    }
+
+    let quick = args.iter().any(|a| a == "--quick");
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1).cloned())
+        .unwrap_or_else(|| "BENCH_PR8.json".into());
+    let sizes: &[usize] = if quick { &QUICK_SIZES } else { &FULL_SIZES };
+    // Generous per-cell budget: the point of the timeout is to convert
+    // "the threaded baseline cannot do this size" into data, not to
+    // race the winner.
+    let timeout = if quick {
+        Duration::from_secs(120)
+    } else {
+        Duration::from_secs(900)
+    };
+
+    let mut cells: Vec<Cell> = Vec::new();
+    for &mode in &["pooled", "threaded"] {
+        for &n in sizes {
+            eprintln!("scaleperf: {mode} @ {n} ranks...");
+            let cell = run_isolated(mode, n, timeout);
+            eprintln!(
+                "scaleperf:   {} wall={:.3}s spawn={:.3}s peak_rss={} KiB",
+                if cell.completed { "ok" } else { "TIMEOUT/FAIL" },
+                cell.wall_seconds,
+                cell.spawn_seconds,
+                cell.peak_rss_kib
+            );
+            cells.push(cell);
+        }
+    }
+
+    let report = build_report(quick, sizes, timeout, cells);
+    let json = serde_json::to_string_pretty(&report).expect("report json");
+    std::fs::write(&out_path, &json).expect("write report");
+    eprintln!("scaleperf: wrote {out_path}");
+    println!("{json}");
+
+    // Gates. Quick mode (CI smoke) gates on "both schedulers run and
+    // agree"; full mode additionally gates on the refactor's headline
+    // claims.
+    for s in &report.identity {
+        assert!(
+            s.checksums_agree,
+            "pooled and threaded checksums must agree at {} ranks",
+            s.ranks
+        );
+    }
+    if !quick {
+        let pooled_max = report
+            .cells
+            .iter()
+            .filter(|c| c.mode == "pooled" && c.completed)
+            .map(|c| c.ranks)
+            .max()
+            .unwrap_or(0);
+        assert!(
+            pooled_max >= 10_000,
+            "pooled scheduler must complete the 10k-rank job"
+        );
+        assert!(
+            report.speedup_wall_at_largest_common >= 4.0,
+            "pooled must be >=4x faster than threaded at {} ranks (got {:.2}x)",
+            report.largest_common_ranks,
+            report.speedup_wall_at_largest_common
+        );
+    }
+}
+
+/// One measured (scheduler, rank-count) cell, reported by a child.
+#[derive(Debug, Serialize, serde::Deserialize, Clone)]
+struct Cell {
+    mode: String,
+    ranks: usize,
+    completed: bool,
+    /// Wall-clock of the measured workload job.
+    wall_seconds: f64,
+    /// Wall-clock of an empty-body job at the same size: pure
+    /// spawn/join + scheduler overhead.
+    spawn_seconds: f64,
+    /// `VmHWM` of the (isolated) child process, KiB.
+    peak_rss_kib: u64,
+    /// Workload checksum; must match across schedulers.
+    checksum: u64,
+}
+
+#[derive(Debug, Serialize)]
+struct IdentityRow {
+    ranks: usize,
+    checksums_agree: bool,
+}
+
+#[derive(Debug, Serialize)]
+struct SpeedupRow {
+    ranks: usize,
+    wall_speedup: f64,
+    spawn_speedup: f64,
+    peak_rss_ratio: f64,
+}
+
+#[derive(Debug, Serialize)]
+struct Report {
+    bench: &'static str,
+    config: ReportConfig,
+    cells: Vec<Cell>,
+    /// Per-size checksum agreement (scheduling must not change
+    /// observables).
+    identity: Vec<IdentityRow>,
+    /// threaded/pooled ratios at sizes both completed.
+    speedups: Vec<SpeedupRow>,
+    largest_common_ranks: usize,
+    speedup_wall_at_largest_common: f64,
+}
+
+#[derive(Debug, Serialize)]
+struct ReportConfig {
+    quick: bool,
+    sizes: Vec<usize>,
+    ring_rounds: usize,
+    scratch_bytes: usize,
+    timeout_seconds: u64,
+    pooled_workers: usize,
+    pooled_stack_bytes: usize,
+}
+
+fn build_report(
+    quick: bool,
+    sizes: &[usize],
+    timeout: Duration,
+    cells: Vec<Cell>,
+) -> Report {
+    let find = |mode: &str, n: usize| {
+        cells
+            .iter()
+            .find(|c| c.mode == mode && c.ranks == n && c.completed)
+            .cloned()
+    };
+    let mut identity = Vec::new();
+    let mut speedups = Vec::new();
+    for &n in sizes {
+        if let (Some(p), Some(t)) = (find("pooled", n), find("threaded", n)) {
+            identity.push(IdentityRow {
+                ranks: n,
+                checksums_agree: p.checksum == t.checksum,
+            });
+            speedups.push(SpeedupRow {
+                ranks: n,
+                wall_speedup: t.wall_seconds / p.wall_seconds,
+                spawn_speedup: t.spawn_seconds / p.spawn_seconds,
+                peak_rss_ratio: t.peak_rss_kib as f64 / p.peak_rss_kib as f64,
+            });
+        }
+    }
+    let last = speedups.last();
+    let pooled = SchedConfig::pooled();
+    Report {
+        bench: "scaleperf (PR8 M:N rank scheduler gate)",
+        config: ReportConfig {
+            quick,
+            sizes: sizes.to_vec(),
+            ring_rounds: RING_ROUNDS,
+            scratch_bytes: SCRATCH_SLOTS * 8,
+            timeout_seconds: timeout.as_secs(),
+            pooled_workers: pooled.workers,
+            pooled_stack_bytes: pooled.stack_bytes,
+        },
+        largest_common_ranks: last.map(|s| s.ranks).unwrap_or(0),
+        speedup_wall_at_largest_common: last.map(|s| s.wall_speedup).unwrap_or(0.0),
+        cells,
+        identity,
+        speedups,
+    }
+}
+
+/// Run one cell in a fresh child process; a timeout kills the child and
+/// reports the cell as not completed.
+fn run_isolated(mode: &str, n: usize, timeout: Duration) -> Cell {
+    let exe = std::env::current_exe().expect("own path");
+    let mut child = Command::new(exe)
+        .args(["--one", mode, &n.to_string()])
+        .stdout(Stdio::piped())
+        .stderr(Stdio::inherit())
+        .spawn()
+        .expect("spawn scaleperf child");
+    let start = Instant::now();
+    loop {
+        match child.try_wait().expect("poll child") {
+            Some(status) => {
+                let mut buf = String::new();
+                use std::io::Read as _;
+                child
+                    .stdout
+                    .take()
+                    .expect("child stdout")
+                    .read_to_string(&mut buf)
+                    .expect("read child");
+                if status.success() {
+                    if let Ok(cell) = serde_json::from_str::<Cell>(buf.trim()) {
+                        return cell;
+                    }
+                }
+                return failed_cell(mode, n, start.elapsed());
+            }
+            None if start.elapsed() > timeout => {
+                let _ = child.kill();
+                let _ = child.wait();
+                return failed_cell(mode, n, start.elapsed());
+            }
+            None => std::thread::sleep(Duration::from_millis(50)),
+        }
+    }
+}
+
+fn failed_cell(mode: &str, n: usize, elapsed: Duration) -> Cell {
+    Cell {
+        mode: mode.into(),
+        ranks: n,
+        completed: false,
+        wall_seconds: elapsed.as_secs_f64(),
+        spawn_seconds: 0.0,
+        peak_rss_kib: 0,
+        checksum: 0,
+    }
+}
+
+fn sched_for(mode: &str) -> SchedConfig {
+    match mode {
+        "pooled" => SchedConfig::pooled(),
+        "threaded" => SchedConfig::threaded(),
+        other => panic!("unknown scheduler mode {other:?}"),
+    }
+}
+
+/// Child body: spawn-cost probe (empty job), then the measured workload.
+fn run_cell(mode: &str, n: usize) -> Cell {
+    let cfg = sched_for(mode);
+
+    let t0 = Instant::now();
+    run_ranks_sched(n, ClusterSpec::ideal(n), &cfg, |_comm| ());
+    let spawn_seconds = t0.elapsed().as_secs_f64();
+
+    let t0 = Instant::now();
+    let out = run_ranks_sched(n, ClusterSpec::ideal(n), &cfg, workload);
+    let wall_seconds = t0.elapsed().as_secs_f64();
+
+    let checksum = out
+        .iter()
+        .fold(0u64, |acc, &v| acc.wrapping_mul(0x100000001b3).wrapping_add(v));
+    Cell {
+        mode: mode.into(),
+        ranks: n,
+        completed: true,
+        wall_seconds,
+        spawn_seconds,
+        peak_rss_kib: vm_hwm_kib(),
+        checksum,
+    }
+}
+
+/// The measured per-rank workload: one timestep's scratch step
+/// (allocate, initialize, reduce, free), ring exchanges, a wildcard
+/// funnel into rank 0 (conservative-gate pressure), and a closing
+/// barrier. Returns a per-rank value folded into the checksum.
+fn workload(comm: rocnet::Comm) -> u64 {
+    let n = comm.size();
+    let me = comm.rank();
+    let next = (me + 1) % n;
+    let prev = (me + n - 1) % n;
+    let mut acc = 0u64;
+
+    // Scratch step. The harness start gate has just released every rank
+    // at once (MPI_Init semantics), so this step begins everywhere
+    // simultaneously and each mode meets the true cost of its own
+    // shape: at most `workers` buffers ever live under admission,
+    // `ranks` buffers live at once free-running. Deterministic per
+    // rank, so the checksum pins that scheduling does not change what
+    // any rank computes.
+    let mut buf: Vec<u64> = vec![0u64; SCRATCH_SLOTS];
+    let seed = (me as u64).wrapping_mul(0x9E3779B97F4A7C15);
+    for (i, v) in buf.iter_mut().enumerate() {
+        *v = i as u64 ^ seed;
+    }
+    for &v in buf.iter() {
+        acc ^= v;
+    }
+    drop(buf);
+
+    for round in 0..RING_ROUNDS {
+        let m = comm
+            .sendrecv(next, prev, round as u32, &(me as u64).to_le_bytes())
+            .expect("ring exchange");
+        acc = acc.wrapping_add(u64::from_le_bytes(
+            m.payload[..8].try_into().expect("8-byte ring payload"),
+        ));
+    }
+    if me == 0 {
+        for _ in 0..n - 1 {
+            let m = comm.recv(None, Some(77)).expect("funnel recv");
+            acc = acc.wrapping_add(u64::from_le_bytes(
+                m.payload[..8].try_into().expect("8-byte funnel payload"),
+            ));
+        }
+    } else {
+        comm.send(0, 77, &(me as u64).to_le_bytes()).expect("funnel send");
+    }
+    comm.barrier().expect("closing barrier");
+    acc
+}
+
+/// Peak resident set (`VmHWM`) of this process, KiB. Linux-only by
+/// honest necessity; 0 elsewhere.
+fn vm_hwm_kib() -> u64 {
+    let Ok(status) = std::fs::read_to_string("/proc/self/status") else {
+        return 0;
+    };
+    for line in status.lines() {
+        if let Some(rest) = line.strip_prefix("VmHWM:") {
+            return rest
+                .trim()
+                .trim_end_matches(" kB")
+                .trim()
+                .parse()
+                .unwrap_or(0);
+        }
+    }
+    0
+}

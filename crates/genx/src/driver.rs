@@ -6,7 +6,7 @@ use std::sync::Arc;
 use rocio_core::{Result, RocError};
 use rocmesh::Workload;
 use rocnet::cluster::ClusterSpec;
-use rocnet::{run_on_fabric, Comm, Fabric, FaultSpec, RelOnly};
+use rocnet::{run_on_fabric_sched, Comm, Fabric, FaultSpec, RelOnly, SchedConfig};
 use roccom::{IoDispatch, IoService, Windows};
 use rochdf::{Rochdf, RochdfConfig, TRochdf};
 use rocpanda::{Role, RocpandaConfig};
@@ -97,6 +97,11 @@ pub struct GenxConfig {
     /// [`RelOnly`] injector with this spec and switch the Rocpanda data
     /// plane onto `ReliableComm`. Solver and Rochdf traffic is untouched.
     pub faulty_net: Option<FaultSpec>,
+    /// Rank scheduling: the pooled M:N default, or
+    /// [`SchedConfig::threaded`] for the legacy one-OS-thread-per-rank
+    /// harness (identity tests, bench baselines). Scheduling never
+    /// changes the report or the bytes on disk.
+    pub sched: SchedConfig,
 }
 
 impl GenxConfig {
@@ -119,6 +124,7 @@ impl GenxConfig {
             rocpanda: RocpandaConfig::default(),
             rochdf: RochdfConfig::default(),
             faulty_net: None,
+            sched: SchedConfig::default(),
         }
     }
 }
@@ -164,7 +170,7 @@ pub fn run_genx_traced(
         // cleanly, so chaos runs isolate the I/O path under test.
         fabric.set_fault_injector(Arc::new(RelOnly(spec)));
     }
-    let outcomes = run_on_fabric(&fabric, &|world| -> Result<Option<ClientOutcome>> {
+    let outcomes = run_on_fabric_sched(&fabric, &cfg.sched, &|world| -> Result<Option<ClientOutcome>> {
         let _obs_guard = collector.map(|tc| {
             let rank = world.global_rank();
             let node = world.cluster().node_of(rank);

@@ -30,21 +30,37 @@
 //! tie on arrival, where semantic results are still deterministic but
 //! timestamps may not be.
 
-use std::collections::VecDeque;
-use std::sync::Arc;
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+use std::sync::{Arc, OnceLock};
 use std::time::Duration;
 
 use bytes::Bytes;
-use rocio_core::lockdep::{Condvar, Mutex};
+use rocio_core::lockdep::{Condvar, Mutex, MutexGuard};
 use rocio_core::SimTime;
 
 use crate::cluster::ClusterSpec;
 use crate::model::FaultAction;
+use crate::sched::GateBoard;
 use crate::vtime::VClock;
 
-/// How long gate waiters sleep between safety re-scans: clock advances on
-/// other ranks do not notify any condvar, so gated operations poll.
-const GATE_POLL: Duration = Duration::from_micros(100);
+/// Safety-net re-scan period for parked gate waiters. Gate wakes are
+/// event-driven — blocking/finishing ranks run the wake scan under the
+/// lock, and clock advances crossing the [`GateBoard`] watermark unpark
+/// the steward — so this timeout should never be the thing that makes
+/// progress. It stays generous precisely so a missed-wake bug degrades
+/// to a slow poll instead of a deadlock, and it is the only wake source
+/// on bare `Fabric` values that never ran a job (no steward spawned).
+const GATE_FALLBACK: Duration = Duration::from_millis(5);
+
+/// Bit pattern of a non-negative virtual time, normalised so that `u64`
+/// ordering equals `f64` ordering (`-0.0` maps to `+0.0`).
+fn time_bits(t: SimTime) -> u64 {
+    if t == 0.0 {
+        0
+    } else {
+        t.to_bits()
+    }
+}
 
 /// One matchable message at a wildcard choice point: the per-source head
 /// (MPI non-overtaking) of a source with at least one matching message.
@@ -185,20 +201,38 @@ struct PendingChoice {
 
 struct FabricState {
     queues: Vec<VecDeque<Envelope>>,
-    wait: Vec<RankWait>,
+    waits: Vec<RankWait>,
+    // --- scan indices, kept in lockstep with `waits` by `set_wait` ---
+    /// Ranks currently `Running` (arbitrary order; swap-removed).
+    running: Vec<usize>,
+    /// rank → index in `running`, or `usize::MAX` when not running.
+    running_pos: Vec<usize>,
+    /// `(time_bits(bound), rank)` for every `Blocked` rank: the safety
+    /// scan reads the minimum commitment in O(1) instead of O(n).
+    blocked_bounds: BTreeSet<(u64, usize)>,
+    /// `(time_bits(scan bound), rank)` for ranks parked inside a gate
+    /// loop (`take_any`/`peek_any` candidate gates, `try_*_at` deadline
+    /// scans): the set the wake scan walks, ascending.
+    gate_waiters: BTreeSet<(u64, usize)>,
+    /// rank → scan bound while parked in a gate loop (mirror of
+    /// `gate_waiters`, for per-rank lookup).
+    gate_scan: Vec<Option<u64>>,
     // --- adversarial-network state (inert without an injector) ---
     /// Fault decider for eligible messages, if any.
     injector: Option<Arc<dyn FaultInjector>>,
-    /// Per-link eligible-message counters, indexed `src * n + dst`.
-    link_seq: Vec<u64>,
-    /// One-slot per-link limbo for reordered messages, indexed
+    /// Per-link eligible-message counters, keyed `src * n + dst`.
+    /// Sparse on purpose: the dense `vec![0; n * n]` form this replaces
+    /// cost ~100 bytes per rank *pair* — 1.7 GB of resident zeroes at
+    /// 4096 ranks — while real jobs only ever touch O(n log n) links.
+    link_seq: BTreeMap<usize, u64>,
+    /// One-slot per-link limbo for reordered messages, keyed
     /// `src * n + dst`: a stashed envelope is invisible to matching until
     /// the *next* send on the same link releases it (behind that send's
     /// own outcome), re-stamped to that send's arrival so the overtake is
     /// real in virtual time. A stash on a link that never sends again
     /// simply rots — upper layers recover by retransmission, never by
     /// blocking on the stash.
-    limbo: Vec<Option<Envelope>>,
+    limbo: BTreeMap<usize, Envelope>,
     /// Faults inflicted so far.
     fault_stats: FaultStats,
     // --- oracle-mode bookkeeping (unused without an oracle) ---
@@ -221,6 +255,37 @@ struct FabricState {
     poisoned: Option<String>,
 }
 
+impl FabricState {
+    /// The single choke point for wait-state transitions: keeps the
+    /// `running` / `blocked_bounds` scan indices in lockstep with
+    /// `waits`. Every write to a rank's wait state must go through here.
+    fn set_wait(&mut self, rank: usize, w: RankWait) {
+        match self.waits[rank] {
+            RankWait::Running => {
+                let i = self.running_pos[rank];
+                self.running.swap_remove(i);
+                if i < self.running.len() {
+                    self.running_pos[self.running[i]] = i;
+                }
+                self.running_pos[rank] = usize::MAX;
+            }
+            RankWait::Blocked { bound } => {
+                self.blocked_bounds.remove(&(time_bits(bound), rank));
+            }
+        }
+        self.waits[rank] = w;
+        match w {
+            RankWait::Running => {
+                self.running_pos[rank] = self.running.len();
+                self.running.push(rank);
+            }
+            RankWait::Blocked { bound } => {
+                self.blocked_bounds.insert((time_bits(bound), rank));
+            }
+        }
+    }
+}
+
 /// The machine-wide fabric: cluster spec, one mailbox and one virtual
 /// clock per global rank, and the conservative-order gate state.
 pub struct Fabric {
@@ -229,6 +294,11 @@ pub struct Fabric {
     state: Mutex<FabricState>,
     cvs: Vec<Condvar>,
     oracle: Option<Arc<dyn ScheduleOracle>>,
+    /// Watermark connecting clock advances to parked gate waiters; also
+    /// attached to every fabric-owned clock.
+    board: Arc<GateBoard>,
+    /// Set once the steward wake thread has been spawned for this fabric.
+    steward_once: OnceLock<()>,
 }
 
 /// Virtual-order candidate: for each source only its first matching
@@ -238,13 +308,17 @@ fn select_virtual<F>(q: &VecDeque<Envelope>, pred: &mut F) -> Option<usize>
 where
     F: FnMut(&Envelope) -> bool,
 {
-    let mut seen: Vec<usize> = Vec::new();
+    // Per-source "already considered" bitmap. The queue only holds
+    // envelopes from ranks of this fabric, so sources are dense small
+    // integers; a bitmap keeps the whole scan O(q) — the Vec::contains
+    // variant this replaces made a 10k-rank funnel O(n^3) overall.
+    let mut seen = vec![false; q.iter().map(|e| e.src_global + 1).max().unwrap_or(0)];
     let mut best: Option<usize> = None;
     for (i, e) in q.iter().enumerate() {
-        if seen.contains(&e.src_global) || !pred(e) {
+        if seen[e.src_global] || !pred(e) {
             continue;
         }
-        seen.push(e.src_global);
+        seen[e.src_global] = true;
         let better = match best {
             None => true,
             Some(b) => {
@@ -306,15 +380,25 @@ impl Fabric {
 
     fn build(spec: ClusterSpec, oracle: Option<Arc<dyn ScheduleOracle>>) -> Self {
         let n = spec.n_ranks();
+        let board = Arc::new(GateBoard::new());
+        let clocks: Vec<Arc<VClock>> = (0..n).map(|_| Arc::new(VClock::new())).collect();
+        for c in &clocks {
+            c.attach_board(Arc::clone(&board));
+        }
         Fabric {
             spec,
-            clocks: (0..n).map(|_| Arc::new(VClock::new())).collect(),
+            clocks,
             state: Mutex::new("rocnet.fabric_state", FabricState {
                 queues: (0..n).map(|_| VecDeque::new()).collect(),
-                wait: vec![RankWait::Running; n],
+                waits: vec![RankWait::Running; n],
+                running: (0..n).collect(),
+                running_pos: (0..n).collect(),
+                blocked_bounds: BTreeSet::new(),
+                gate_waiters: BTreeSet::new(),
+                gate_scan: vec![None; n],
                 injector: None,
-                link_seq: vec![0; n * n],
-                limbo: (0..n * n).map(|_| None).collect(),
+                link_seq: BTreeMap::new(),
+                limbo: BTreeMap::new(),
                 fault_stats: FaultStats::default(),
                 finished: vec![false; n],
                 confirmed: vec![false; n],
@@ -326,7 +410,35 @@ impl Fabric {
             }),
             cvs: (0..n).map(|_| Condvar::new()).collect(),
             oracle,
+            board,
+            steward_once: OnceLock::new(),
         }
+    }
+
+    /// The gate-wake watermark shared with this fabric's clocks.
+    pub(crate) fn board(&self) -> &Arc<GateBoard> {
+        &self.board
+    }
+
+    /// Spawn the steward wake thread for this fabric if it has not been
+    /// spawned yet. Called by the harness at job start; bare fabrics in
+    /// unit tests skip it and rely on the `GATE_FALLBACK` re-scan.
+    pub(crate) fn ensure_steward(self: &Arc<Self>) {
+        self.steward_once
+            .get_or_init(|| crate::sched::spawn_steward(self));
+    }
+
+    /// Steward entry point: re-run the gate wake scan because some clock
+    /// crossed the published watermark. Runs on the steward thread with
+    /// no other lock held, so taking the fabric lock here is always
+    /// hierarchy-clean — which is exactly why clock-advance sites route
+    /// through the steward instead of locking the fabric themselves.
+    pub(crate) fn steward_rescan(&self) {
+        // Clear the latch *before* reading state: a crossing that lands
+        // mid-scan re-signals and triggers one more pass.
+        self.board.begin_scan();
+        let mut st = self.state.lock();
+        self.wake_gates_locked(&mut st);
     }
 
     /// The cluster description this fabric models.
@@ -363,10 +475,16 @@ impl Fabric {
     /// Mark every rank runnable again (a fresh "job" on this fabric).
     pub fn begin_job(&self) {
         let mut st = self.state.lock();
-        let n = st.wait.len();
-        for w in st.wait.iter_mut() {
+        let n = st.waits.len();
+        for w in st.waits.iter_mut() {
             *w = RankWait::Running;
         }
+        st.running = (0..n).collect();
+        st.running_pos = (0..n).collect();
+        st.blocked_bounds.clear();
+        st.gate_waiters.clear();
+        st.gate_scan = vec![None; n];
+        self.board.set_min(u64::MAX);
         st.finished = vec![false; n];
         st.confirmed = vec![false; n];
         st.pending = (0..n).map(|_| None).collect();
@@ -378,19 +496,27 @@ impl Fabric {
 
     /// Mark `rank`'s thread as done: it will never send again, so gates on
     /// other ranks must not wait for its clock.
+    ///
+    /// Only gate waiters can be *enabled* by a finish (the rank's
+    /// commitment rises to ∞), so the targeted wake scan replaces the
+    /// notify-everyone broadcast the threaded harness used — at 10k
+    /// ranks that broadcast was O(n²) condvar signals per job teardown.
     pub fn finish_rank(&self, rank: usize) {
         let mut st = self.state.lock();
-        st.wait[rank] = RankWait::Blocked {
-            bound: SimTime::INFINITY,
-        };
+        st.set_wait(
+            rank,
+            RankWait::Blocked {
+                bound: SimTime::INFINITY,
+            },
+        );
         st.finished[rank] = true;
         st.pending[rank] = None;
         st.gate_now[rank] = None;
-        self.oracle_step(&mut st);
-        drop(st);
-        for cv in &self.cvs {
-            cv.notify_all();
+        if let Some(bits) = st.gate_scan[rank].take() {
+            st.gate_waiters.remove(&(bits, rank));
         }
+        self.oracle_step(&mut st);
+        self.wake_gates_locked(&mut st);
     }
 
     /// Panic out of a fabric call once exploration has declared the job
@@ -403,22 +529,129 @@ impl Fabric {
 
     /// Park `rank` as `Blocked {{ bound }}`; in oracle mode also mark it
     /// confirmed and run the scheduler step, since this rank blocking may
-    /// complete a stable state.
+    /// complete a stable state. Blocking raises the rank's commitment,
+    /// which may let parked gate waiters pass: run the wake scan.
     fn block(&self, st: &mut FabricState, rank: usize, bound: SimTime) {
-        st.wait[rank] = RankWait::Blocked { bound };
+        st.set_wait(rank, RankWait::Blocked { bound });
         if self.oracle.is_some() {
             st.confirmed[rank] = true;
             self.oracle_step(st);
         }
+        self.wake_gates_locked(st);
     }
 
     /// Return `rank` to `Running` after a wake-up or on the return path of
     /// a blocking call.
     fn unblock(&self, st: &mut FabricState, rank: usize) {
-        st.wait[rank] = RankWait::Running;
+        st.set_wait(rank, RankWait::Running);
         st.confirmed[rank] = false;
         st.pending[rank] = None;
         st.gate_now[rank] = None;
+    }
+
+    /// Register `rank` as a parked gate waiter with scan bound `bound`:
+    /// publish the bound as its commitment, enter it in the wake set,
+    /// refresh the clock watermark, and let other waiters that our
+    /// commitment unblocks pass.
+    fn gate_park(&self, st: &mut FabricState, rank: usize, bound: SimTime) {
+        st.set_wait(rank, RankWait::Blocked { bound });
+        let bits = time_bits(bound);
+        st.gate_scan[rank] = Some(bits);
+        st.gate_waiters.insert((bits, rank));
+        self.refresh_board(st);
+        self.wake_gates_locked(st);
+    }
+
+    /// Deregister `rank` from the gate-waiter set after its park returns
+    /// (it re-evaluates its scan from scratch) and mark it running.
+    fn gate_unpark(&self, st: &mut FabricState, rank: usize) {
+        if let Some(bits) = st.gate_scan[rank].take() {
+            st.gate_waiters.remove(&(bits, rank));
+        }
+        st.set_wait(rank, RankWait::Running);
+        self.refresh_board(st);
+    }
+
+    /// Publish the lowest parked gate bound to the clock watermark.
+    fn refresh_board(&self, st: &FabricState) {
+        let min = st
+            .gate_waiters
+            .iter()
+            .next()
+            .map(|&(bits, _)| bits)
+            .unwrap_or(u64::MAX);
+        self.board.set_min(min);
+    }
+
+    /// Notify every parked gate waiter whose safety scan now passes.
+    ///
+    /// A waiter with scan bound `b` passes iff every *other* rank is
+    /// blocked with commitment ≥ `b` or running with clock ≥ `b`. The
+    /// minimum over running clocks is shared across waiters, and the
+    /// minimum blocked commitment is read from the first two entries of
+    /// `blocked_bounds` (two, to exclude the waiter's own entry). Since
+    /// any waiter's own published bound is ≥ the set minimum, only
+    /// waiters at (or tied with) the minimum commitment can pass — the
+    /// ascending walk stops at the first generic failure, so the scan is
+    /// O(passing waiters), not O(n).
+    fn wake_gates_locked(&self, st: &mut FabricState) {
+        if st.gate_waiters.is_empty() {
+            return;
+        }
+        let run_min_bits = st
+            .running
+            .iter()
+            .map(|&s| time_bits(self.clocks[s].now()))
+            .min()
+            .unwrap_or(u64::MAX);
+        let mut blocked = st.blocked_bounds.iter();
+        let (b1, r1) = blocked.next().copied().unwrap_or((u64::MAX, usize::MAX));
+        let b2 = blocked.next().map(|&(b, _)| b).unwrap_or(u64::MAX);
+        let generic = b1.min(run_min_bits);
+        for &(bw, r) in &st.gate_waiters {
+            if bw > generic {
+                break;
+            }
+            if r != r1 || bw <= b2.min(run_min_bits) {
+                self.cvs[r].notify_all();
+            }
+        }
+        // The rank holding the minimum commitment excludes itself from
+        // its own scan, so its threshold is b2, not b1: check it past
+        // the generic cut-off.
+        if r1 != usize::MAX {
+            if let Some(bw) = st.gate_scan[r1] {
+                if bw > generic && bw <= b2.min(run_min_bits) {
+                    self.cvs[r1].notify_all();
+                }
+            }
+        }
+    }
+
+    /// Park the calling rank on its fabric condvar, lending its scheduler
+    /// admission slot to another rank for the duration (no-op outside the
+    /// pool). The fabric lock is held on entry and re-held on return; the
+    /// caller must re-check its wake condition — arbitrary progress can
+    /// happen between the condvar wake and slot reacquisition.
+    fn park_on_cv<'a>(
+        &'a self,
+        mut st: MutexGuard<'a, FabricState>,
+        rank: usize,
+        timeout: Option<Duration>,
+    ) -> MutexGuard<'a, FabricState> {
+        let lent = crate::sched::lend_slot();
+        match timeout {
+            Some(d) => {
+                self.cvs[rank].wait_for(&mut st, d);
+            }
+            None => self.cvs[rank].wait(&mut st),
+        }
+        if lent {
+            drop(st);
+            crate::sched::reacquire_slot();
+            st = self.state.lock();
+        }
+        st
     }
 
     /// Oracle-mode scheduler step, run under the state lock whenever a
@@ -443,7 +676,7 @@ impl Fabric {
             if st.finished[r] {
                 continue;
             }
-            if matches!(st.wait[r], RankWait::Running) || !st.confirmed[r] {
+            if matches!(st.waits[r], RankWait::Running) || !st.confirmed[r] {
                 return;
             }
         }
@@ -475,20 +708,24 @@ impl Fabric {
             st.pending[r] = None;
             // The grant makes r logically runnable; publishing Running
             // keeps other ranks' safety scans conservative until it acts.
-            st.wait[r] = RankWait::Running;
+            st.set_wait(r, RankWait::Running);
             st.confirmed[r] = false;
             self.cvs[r].notify_all();
             return;
         }
         // No wildcard to grant. A deterministic gate waiter whose safety
-        // scan passes will proceed on its next poll; bounds are fixed at
-        // a stable state, so evaluate the scans directly.
-        let gate_can_run = (0..n).any(|r| {
-            !st.finished[r]
-                && st
-                    .gate_now[r]
-                    .is_some_and(|now| self.scan_safe(st, r, now))
-        });
+        // scan passes can proceed; bounds are fixed at a stable state, so
+        // evaluate the scans directly and wake the passers (their parks
+        // are event-driven now — nobody polls).
+        let mut gate_can_run = false;
+        for r in 0..n {
+            if !st.finished[r]
+                && st.gate_now[r].is_some_and(|now| self.scan_safe(st, r, now))
+            {
+                gate_can_run = true;
+                self.cvs[r].notify_all();
+            }
+        }
         if gate_can_run {
             return;
         }
@@ -522,14 +759,24 @@ impl Fabric {
     /// reached `bound`. Limbo-stashed messages need no clause here: a
     /// release re-stamps the stash to the releasing send's arrival, so it
     /// can never undercut a commit this scan admitted.
+    /// O(#running + log n), not O(n): blocked commitments are read from
+    /// the first entries of the sorted `blocked_bounds` set (two, in
+    /// case the first is `me`), and only the — in pooled runs, few —
+    /// `Running` ranks have their clocks read.
     fn scan_safe(&self, st: &FabricState, me: usize, bound: SimTime) -> bool {
-        st.wait.iter().enumerate().all(|(s, w)| {
-            s == me
-                || match *w {
-                    RankWait::Blocked { bound: b } => b >= bound,
-                    RankWait::Running => self.clocks[s].now() >= bound,
-                }
-        })
+        let b = time_bits(bound);
+        for &(bits, r) in st.blocked_bounds.iter().take(2) {
+            if r == me {
+                continue;
+            }
+            if bits < b {
+                return false;
+            }
+            break;
+        }
+        st.running
+            .iter()
+            .all(|&s| s == me || self.clocks[s].now() >= bound)
     }
 
     /// Queue `env` at `dst` under the lock: lower the destination's
@@ -540,12 +787,12 @@ impl Fabric {
         // traffic to finished ranks is normal under the reliability
         // layer (acks racing a peer's exit).
         if !st.finished[dst] {
-            if let RankWait::Blocked { bound } = &mut st.wait[dst] {
+            if let RankWait::Blocked { bound } = st.waits[dst] {
                 // Conservative: the parked rank may act on this message
                 // as soon as it wakes; its published commitment shrinks
                 // until it re-evaluates under the lock.
-                if env.arrival < *bound {
-                    *bound = env.arrival;
+                if env.arrival < bound {
+                    st.set_wait(dst, RankWait::Blocked { bound: env.arrival });
                 }
             }
         }
@@ -577,16 +824,17 @@ impl Fabric {
             self.cvs[dst].notify_all();
             return;
         }
-        let n = st.wait.len();
+        let n = st.waits.len();
         let link = src * n + dst;
-        let seq = st.link_seq[link];
-        st.link_seq[link] += 1;
+        let seq_slot = st.link_seq.entry(link).or_insert(0);
+        let seq = *seq_slot;
+        *seq_slot += 1;
         let action = st
             .injector
             .as_ref()
             .expect("eligibility checked the injector")
             .decide(src, dst, seq, env.tag);
-        let stashed = st.limbo[link].take();
+        let stashed = st.limbo.remove(&link);
         let stamp = env.arrival;
         match action {
             FaultAction::Deliver => self.enqueue_locked(&mut st, dst, env),
@@ -598,7 +846,7 @@ impl Fabric {
             }
             FaultAction::Reorder => {
                 st.fault_stats.reordered += 1;
-                st.limbo[link] = Some(env);
+                st.limbo.insert(link, env);
             }
         }
         if let Some(mut old) = stashed {
@@ -631,7 +879,7 @@ impl Fabric {
             if st.poisoned.is_some() {
                 continue; // our own block() completed a dead stable state
             }
-            self.cvs[dst].wait(&mut st);
+            st = self.park_on_cv(st, dst, None);
             self.unblock(&mut st, dst);
         }
     }
@@ -654,22 +902,24 @@ impl Fabric {
                 Some(idx) => {
                     let bound = st.queues[dst][idx].arrival;
                     if self.scan_safe(&st, dst, bound) {
-                        st.wait[dst] = RankWait::Running;
+                        if !matches!(st.waits[dst], RankWait::Running) {
+                            st.set_wait(dst, RankWait::Running);
+                        }
                         return st.queues[dst].remove(idx).expect("index just found");
                     }
                     // Publish the candidate as a commitment — the gate's
                     // induction needs waiting receivers to promise they
-                    // produce nothing earlier than what they will take.
-                    st.wait[dst] = RankWait::Blocked { bound };
-                    self.cvs[dst].wait_for(&mut st, GATE_POLL);
-                    st.wait[dst] = RankWait::Running;
+                    // produce nothing earlier than what they will take —
+                    // and park until a blocking rank or the clock steward
+                    // re-runs the wake scan past our bound.
+                    self.gate_park(&mut st, dst, bound);
+                    st = self.park_on_cv(st, dst, Some(GATE_FALLBACK));
+                    self.gate_unpark(&mut st, dst);
                 }
                 None => {
-                    st.wait[dst] = RankWait::Blocked {
-                        bound: SimTime::INFINITY,
-                    };
-                    self.cvs[dst].wait(&mut st);
-                    st.wait[dst] = RankWait::Running;
+                    self.block(&mut st, dst, SimTime::INFINITY);
+                    st = self.park_on_cv(st, dst, None);
+                    st.set_wait(dst, RankWait::Running);
                 }
             }
         }
@@ -707,7 +957,7 @@ impl Fabric {
                 continue; // oracle_step granted our own registration,
                           // or declared the job dead as we parked
             }
-            self.cvs[dst].wait(&mut st);
+            st = self.park_on_cv(st, dst, None);
             if st.granted[dst].is_none() {
                 // Woken by a delivery (or spuriously): re-register so the
                 // choice point reflects the new mailbox contents.
@@ -745,23 +995,26 @@ impl Fabric {
                     .filter(|&i| st.queues[dst][i].arrival <= now);
                 return idx.map(|i| st.queues[dst].remove(i).expect("index just found"));
             }
+            // Publish the wait as a gate park. `now` may sit in the
+            // caller's future (a retransmit-timer deadline): sound,
+            // because the caller acts no earlier than `now` on a
+            // timeout, and any earlier delivery lowers this bound
+            // before the caller could possibly react to it.
+            self.gate_park(&mut st, dst, now);
             if self.oracle.is_some() {
-                // Publish the wait so stable states can form around this
-                // deterministic gate waiter; its own result needs no
-                // decision, so it is not a choice point. Sound bound: the
-                // caller's clock is `now`, so nothing earlier can follow.
+                // Also publish it to oracle stability: this deterministic
+                // gate waiter needs no decision (not a choice point), but
+                // stable states must be able to form around it.
                 st.gate_now[dst] = Some(now);
-                self.block(&mut st, dst, now);
-            } else {
-                // Publish the wait in gate mode too. `now` may sit in the
-                // caller's future (a retransmit-timer deadline): sound,
-                // because the caller acts no earlier than `now` on a
-                // timeout, and any earlier delivery lowers this bound
-                // before the caller could possibly react to it.
-                st.wait[dst] = RankWait::Blocked { bound: now };
+                st.confirmed[dst] = true;
+                self.oracle_step(&mut st);
+                if st.poisoned.is_some() {
+                    self.gate_unpark(&mut st, dst);
+                    continue; // our own park completed a dead stable state
+                }
             }
-            self.cvs[dst].wait_for(&mut st, GATE_POLL);
-            st.wait[dst] = RankWait::Running;
+            st = self.park_on_cv(st, dst, Some(GATE_FALLBACK));
+            self.gate_unpark(&mut st, dst);
             if self.oracle.is_some() {
                 st.confirmed[dst] = false;
             }
@@ -787,7 +1040,7 @@ impl Fabric {
             if st.poisoned.is_some() {
                 continue;
             }
-            self.cvs[dst].wait(&mut st);
+            st = self.park_on_cv(st, dst, None);
             self.unblock(&mut st, dst);
         }
     }
@@ -808,19 +1061,19 @@ impl Fabric {
                     let env = &st.queues[dst][idx];
                     let found = (env.src_global, env.tag, env.payload.len(), env.arrival);
                     if self.scan_safe(&st, dst, found.3) {
-                        st.wait[dst] = RankWait::Running;
+                        if !matches!(st.waits[dst], RankWait::Running) {
+                            st.set_wait(dst, RankWait::Running);
+                        }
                         return found;
                     }
-                    st.wait[dst] = RankWait::Blocked { bound: found.3 };
-                    self.cvs[dst].wait_for(&mut st, GATE_POLL);
-                    st.wait[dst] = RankWait::Running;
+                    self.gate_park(&mut st, dst, found.3);
+                    st = self.park_on_cv(st, dst, Some(GATE_FALLBACK));
+                    self.gate_unpark(&mut st, dst);
                 }
                 None => {
-                    st.wait[dst] = RankWait::Blocked {
-                        bound: SimTime::INFINITY,
-                    };
-                    self.cvs[dst].wait(&mut st);
-                    st.wait[dst] = RankWait::Running;
+                    self.block(&mut st, dst, SimTime::INFINITY);
+                    st = self.park_on_cv(st, dst, None);
+                    st.set_wait(dst, RankWait::Running);
                 }
             }
         }
@@ -852,7 +1105,7 @@ impl Fabric {
             if st.granted[dst].is_some() || st.poisoned.is_some() {
                 continue;
             }
-            self.cvs[dst].wait(&mut st);
+            st = self.park_on_cv(st, dst, None);
             if st.granted[dst].is_none() {
                 self.unblock(&mut st, dst);
             }
@@ -901,15 +1154,19 @@ impl Fabric {
                         (e.src_global, e.tag, e.payload.len(), e.arrival)
                     });
             }
+            // See `try_take_at`: a published future bound is sound.
+            self.gate_park(&mut st, dst, now);
             if self.oracle.is_some() {
                 st.gate_now[dst] = Some(now);
-                self.block(&mut st, dst, now);
-            } else {
-                // See `try_take_at`: a published future bound is sound.
-                st.wait[dst] = RankWait::Blocked { bound: now };
+                st.confirmed[dst] = true;
+                self.oracle_step(&mut st);
+                if st.poisoned.is_some() {
+                    self.gate_unpark(&mut st, dst);
+                    continue;
+                }
             }
-            self.cvs[dst].wait_for(&mut st, GATE_POLL);
-            st.wait[dst] = RankWait::Running;
+            st = self.park_on_cv(st, dst, Some(GATE_FALLBACK));
+            self.gate_unpark(&mut st, dst);
             if self.oracle.is_some() {
                 st.confirmed[dst] = false;
             }
@@ -920,12 +1177,40 @@ impl Fabric {
     pub fn queued(&self, dst: usize) -> usize {
         self.state.lock().queues[dst].len()
     }
+
+    /// Whether `dst` is currently published as blocked (parked in a
+    /// fabric call, or finished). Diagnostic: tests use it to wait for a
+    /// rank to reach its park deterministically instead of sleeping.
+    pub fn is_parked(&self, dst: usize) -> bool {
+        matches!(self.state.lock().waits[dst], RankWait::Blocked { .. })
+    }
+}
+
+impl Drop for Fabric {
+    fn drop(&mut self) {
+        // Tell the steward (if one was spawned) to exit. No join: the
+        // last `Arc<Fabric>` may be dropped *by* the steward itself
+        // after a final upgrade, and the thread parks for good measure
+        // anyway — it holds no resources beyond its stack.
+        self.board.shut_down();
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::cluster::ClusterSpec;
+
+    /// Deterministic replacement for the old 20 ms sleeps: wait until the
+    /// rank has *published* its park, an event that cannot regress until
+    /// the condition the test controls is made true. No wall-clock race:
+    /// however slowly the waiter thread is scheduled, the test only
+    /// proceeds once the park is visible under the fabric lock.
+    fn await_parked(f: &Fabric, rank: usize) {
+        while !f.is_parked(rank) {
+            std::thread::yield_now();
+        }
+    }
 
     fn env(src: usize, tag: u32, arrival: SimTime) -> Envelope {
         Envelope {
@@ -981,7 +1266,7 @@ mod tests {
         let f = std::sync::Arc::new(Fabric::new(ClusterSpec::ideal(2)));
         let f2 = std::sync::Arc::clone(&f);
         let h = std::thread::spawn(move || f2.take_matching(1, |e| e.tag == 3));
-        std::thread::sleep(std::time::Duration::from_millis(20));
+        await_parked(&f, 1);
         f.deliver(1, env(0, 3, 1.0));
         let m = h.join().unwrap();
         assert_eq!(m.tag, 3);
@@ -1029,7 +1314,7 @@ mod tests {
         // its clock passes the candidate's arrival.
         let f2 = std::sync::Arc::clone(&f);
         let h = std::thread::spawn(move || f2.take_any(1, |e| e.tag == 7));
-        std::thread::sleep(std::time::Duration::from_millis(20));
+        await_parked(&f, 1);
         assert!(!h.is_finished(), "gate must wait on rank 0's clock");
         f.clock_of(0).merge(2.0);
         let m = h.join().unwrap();
@@ -1142,7 +1427,7 @@ mod tests {
         f.deliver(1, env(0, 7, 1.0));
         let f2 = Arc::clone(&f);
         let h = std::thread::spawn(move || f2.take_any(1, |e| e.tag == 7));
-        std::thread::sleep(Duration::from_millis(20));
+        await_parked(&f, 1);
         assert!(!h.is_finished(), "grant must wait for rank 0 to park");
         f.finish_rank(0);
         let m = h.join().unwrap();

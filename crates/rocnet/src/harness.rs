@@ -1,13 +1,25 @@
-//! `mpirun` equivalent: spawn one thread per rank and collect results.
+//! `mpirun` equivalent: run a closure on every rank and collect results.
+//!
+//! Since the M:N scheduler landed this is a thin facade over
+//! [`crate::sched`]: the default entry points run ranks as small-stack
+//! threads admitted through a bounded worker pool
+//! ([`SchedConfig::pooled`]), which is what makes multi-thousand-rank
+//! jobs practical. The `_threaded` variants keep the legacy
+//! one-free-running-OS-thread-per-rank shape; they exist as the scaling
+//! bench's baseline and for the pooled-vs-threaded identity tests —
+//! scheduling never changes what a rank observes, and
+//! `tests/scale_sched.rs` holds both harnesses to byte-identical output.
 
 use std::sync::Arc;
 
 use crate::cluster::ClusterSpec;
 use crate::comm::Comm;
 use crate::fabric::Fabric;
+pub use crate::sched::{run_on_fabric_sched, run_ranks_sched, SchedConfig};
 
-/// Run `f` on `n` ranks of a fresh fabric built from `spec`, one OS thread
-/// per rank, and return the per-rank results in rank order.
+/// Run `f` on `n` ranks of a fresh fabric built from `spec` under the
+/// default pooled scheduler, and return the per-rank results in rank
+/// order.
 ///
 /// `spec.placement` must place exactly `n` ranks.
 ///
@@ -18,14 +30,7 @@ where
     T: Send,
     F: Fn(Comm) -> T + Send + Sync,
 {
-    assert_eq!(
-        spec.n_ranks(),
-        n,
-        "cluster spec places {} ranks, run_ranks asked for {n}",
-        spec.n_ranks()
-    );
-    let fabric = Arc::new(Fabric::new(spec));
-    run_on_fabric(&fabric, &f)
+    run_ranks_sched(n, spec, &SchedConfig::default(), f)
 }
 
 /// Like [`run_ranks`] but on a caller-provided fabric, so tests can inspect
@@ -35,38 +40,26 @@ where
     T: Send,
     F: Fn(Comm) -> T + Send + Sync,
 {
-    let n = fabric.n_ranks();
-    fabric.begin_job();
-    std::thread::scope(|scope| {
-        let mut handles = Vec::with_capacity(n);
-        for rank in 0..n {
-            let comm = Comm::world(Arc::clone(fabric), rank);
-            let fab = Arc::clone(fabric);
-            handles.push(scope.spawn(move || {
-                // On return *or unwind* the rank must stop gating others:
-                // wildcard receivers wait on every running rank's clock,
-                // and a vanished thread's clock never advances again.
-                struct Finished(Arc<Fabric>, usize);
-                impl Drop for Finished {
-                    fn drop(&mut self) {
-                        self.0.finish_rank(self.1);
-                    }
-                }
-                let _done = Finished(fab, rank);
-                f(comm)
-            }));
-        }
-        handles
-            .into_iter()
-            .map(|h| match h.join() {
-                Ok(v) => v,
-                // Re-raise with the original payload so callers (tests,
-                // the rocsched explorer) see the rank's own message —
-                // e.g. a deadlock poison — instead of a generic wrapper.
-                Err(payload) => std::panic::resume_unwind(payload),
-            })
-            .collect()
-    })
+    run_on_fabric_sched(fabric, &SchedConfig::default(), f)
+}
+
+/// [`run_ranks`] with the legacy scheduling: one free-running OS thread
+/// per rank, default stacks, no admission pool.
+pub fn run_ranks_threaded<T, F>(n: usize, spec: ClusterSpec, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(Comm) -> T + Send + Sync,
+{
+    run_ranks_sched(n, spec, &SchedConfig::threaded(), f)
+}
+
+/// [`run_on_fabric`] with the legacy one-thread-per-rank scheduling.
+pub fn run_on_fabric_threaded<T, F>(fabric: &Arc<Fabric>, f: &F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(Comm) -> T + Send + Sync,
+{
+    run_on_fabric_sched(fabric, &SchedConfig::threaded(), f)
 }
 
 #[cfg(test)]
@@ -92,5 +85,54 @@ mod tests {
         let b = run_on_fabric(&fabric, &|comm: Comm| comm.rank());
         assert_eq!(a, vec![2, 2]);
         assert_eq!(b, vec![0, 1]);
+    }
+
+    #[test]
+    fn threaded_and_pooled_agree_on_results() {
+        let body = |comm: Comm| {
+            let n = comm.size();
+            let next = (comm.rank() + 1) % n;
+            let prev = (comm.rank() + n - 1) % n;
+            let m = comm
+                .sendrecv(next, prev, 7, &[comm.rank() as u8])
+                .unwrap();
+            (m.payload[0], m.arrival.to_bits())
+        };
+        let pooled = run_ranks_sched(
+            8,
+            ClusterSpec::turing(8),
+            &SchedConfig::with_workers(2),
+            body,
+        );
+        let threaded = run_ranks_threaded(8, ClusterSpec::turing(8), body);
+        assert_eq!(pooled, threaded, "scheduling must not change observables");
+    }
+
+    #[test]
+    fn pool_smaller_than_rank_count_completes() {
+        // More ranks than workers, all funneling into rank 0's wildcard
+        // receive: every rank parks and lends its slot at some point.
+        let out = run_ranks_sched(
+            16,
+            ClusterSpec::ideal(16),
+            &SchedConfig {
+                workers: 3,
+                stack_bytes: 128 * 1024,
+            },
+            |comm| {
+                if comm.rank() == 0 {
+                    let mut sum = 0u64;
+                    for _ in 0..comm.size() - 1 {
+                        let m = comm.recv(None, Some(7)).unwrap();
+                        sum += u64::from(m.payload[0]);
+                    }
+                    sum
+                } else {
+                    comm.send(0, 7, &[comm.rank() as u8]).unwrap();
+                    0
+                }
+            },
+        );
+        assert_eq!(out[0], (1..16).sum::<u64>());
     }
 }

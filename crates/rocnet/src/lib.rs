@@ -22,8 +22,11 @@
 //!   (Myrinet, SP Switch2, ideal);
 //! * [`cluster::ClusterSpec`] — node topology, CPU speed, OS-noise model
 //!   (the Fig. 3(b) mechanism);
-//! * [`harness::run_ranks`] — spawn one thread per rank and collect
-//!   results, the equivalent of `mpirun`.
+//! * [`harness::run_ranks`] — run every rank and collect results, the
+//!   equivalent of `mpirun`. Ranks are small-stack threads multiplexed
+//!   over a bounded admission pool ([`sched`]), so 10k-rank jobs are
+//!   practical; `run_ranks_threaded` keeps the legacy
+//!   one-OS-thread-per-rank shape as a baseline.
 //!
 //! ## Example
 //!
@@ -59,6 +62,7 @@ pub mod harness;
 pub mod model;
 pub mod request;
 pub mod rocrel;
+pub mod sched;
 pub mod stats;
 pub mod trace;
 pub mod tree;
@@ -67,8 +71,11 @@ pub mod vtime;
 pub use cluster::{ClusterSpec, NodeUsage};
 pub use comm::{Comm, Message};
 pub use fabric::{Fabric, FaultInjector, FaultStats};
-pub use harness::{run_on_fabric, run_ranks};
+pub use harness::{
+    run_on_fabric, run_on_fabric_threaded, run_ranks, run_ranks_threaded,
+};
 pub use model::{FaultAction, FaultSpec, NetworkModel};
+pub use sched::{run_on_fabric_sched, run_ranks_sched, SchedConfig};
 pub use request::{RecvRequest, SendRequest};
 pub use rocrel::{RelConfig, RelOnly, ReliableComm, TAG_REL};
 pub use stats::CommStats;

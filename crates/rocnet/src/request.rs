@@ -130,15 +130,14 @@ mod tests {
                 bytes::Bytes::new()
             } else {
                 let mut req = comm.irecv(Some(0), Some(9)).unwrap();
-                // test() may miss (message still physically in flight);
-                // poll, then fall back to wait.
-                for _ in 0..100 {
-                    if let Some(m) = comm.test(&mut req) {
-                        return m.payload;
-                    }
-                    std::thread::yield_now();
+                // test() may miss (message still physically in flight):
+                // that is a valid non-blocking answer, not a cue to spin.
+                // wait() parks on the fabric — and lends the caller's
+                // scheduler slot — until the message lands.
+                match comm.test(&mut req) {
+                    Some(m) => m.payload,
+                    None => comm.wait(req).unwrap().payload,
                 }
-                comm.wait(req).unwrap().payload
             }
         });
         assert_eq!(out[1], b"payload");

@@ -8,17 +8,28 @@
 //! the maximum — the standard virtual-time rule.
 
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock};
 
 use rocio_core::SimTime;
+
+use crate::sched::GateBoard;
 
 /// A monotone, thread-safe virtual clock.
 ///
 /// Stored as the IEEE-754 bit pattern of a non-negative `f64` in an
 /// `AtomicU64`. For non-negative floats the bit patterns order the same way
 /// as the values, so [`VClock::merge`] is a single `fetch_max`.
+///
+/// Fabric-owned clocks are additionally attached to the fabric's
+/// [`GateBoard`]: every advance reports the new time so parked gate
+/// waiters can be woken when a lagging clock finally passes their scan
+/// bound (the event-driven replacement for the old `GATE_POLL` loop).
 #[derive(Debug, Default)]
 pub struct VClock {
     bits: AtomicU64,
+    /// Wake watermark of the owning fabric, if any. Standalone clocks
+    /// (tests, snapshots) have none and skip the report.
+    board: OnceLock<Arc<GateBoard>>,
 }
 
 impl VClock {
@@ -32,6 +43,20 @@ impl VClock {
         assert!(t >= 0.0, "virtual time must be non-negative");
         VClock {
             bits: AtomicU64::new(t.to_bits()),
+            board: OnceLock::new(),
+        }
+    }
+
+    /// Attach the owning fabric's wake watermark. Idempotent; only the
+    /// first attachment sticks.
+    pub(crate) fn attach_board(&self, board: Arc<GateBoard>) {
+        let _ = self.board.set(board);
+    }
+
+    /// Report the clock's current value to the attached board, if any.
+    fn poke_board(&self) {
+        if let Some(b) = self.board.get() {
+            b.on_clock(self.bits.load(Ordering::Acquire));
         }
     }
 
@@ -54,12 +79,14 @@ impl VClock {
                 Some((f64::from_bits(old) + dt).to_bits())
             })
             .expect("fetch_update closure never returns None");
+        self.poke_board();
     }
 
     /// Merge with a remote timestamp: `t := max(t, other)`.
     pub fn merge(&self, other: SimTime) {
         if other > 0.0 {
             self.bits.fetch_max(other.to_bits(), Ordering::AcqRel);
+            self.poke_board();
         }
     }
 
@@ -76,8 +103,10 @@ impl VClock {
 
 impl Clone for VClock {
     fn clone(&self) -> Self {
+        // A clone is a snapshot, not a fabric clock: no board.
         VClock {
             bits: AtomicU64::new(self.bits.load(Ordering::Acquire)),
+            board: OnceLock::new(),
         }
     }
 }

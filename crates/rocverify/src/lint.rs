@@ -181,8 +181,8 @@ pub struct LintConfig {
     pub wallclock_lanes: Vec<String>,
     /// Files allowed to use `rand`.
     pub rand_lanes: Vec<String>,
-    /// Files allowed to create OS threads: the rank harness and the
-    /// T-Rochdf background writer.
+    /// Files allowed to create OS threads: the M:N rank scheduler
+    /// (worker pool + gate steward) and the T-Rochdf background writer.
     pub thread_lanes: Vec<String>,
     /// Crates exempt from the unwrap/expect/panic rule (operator-facing
     /// harnesses whose panics are deliberate).
@@ -209,7 +209,7 @@ impl Default for LintConfig {
             wallclock_lanes: vec![],
             rand_lanes: vec![],
             thread_lanes: vec![
-                "crates/rocnet/src/harness.rs".into(),
+                "crates/rocnet/src/sched.rs".into(),
                 "crates/rochdf/src/trochdf.rs".into(),
             ],
             // bench: operator-facing measurement harness. rocverify:

@@ -53,8 +53,14 @@ fn thread_spawn_fires_outside_registered_lanes() {
         rules_fired("rocpanda", "crates/rocpanda/src/x.rs", src),
         vec![Rule::ThreadSpawn]
     );
-    // The two registered lanes: the rank harness and the T-Rochdf writer.
-    assert_eq!(rules_fired("rocnet", "crates/rocnet/src/harness.rs", src), vec![]);
+    // The two registered lanes: the M:N rank scheduler and the T-Rochdf
+    // writer. The harness facade is NOT a lane anymore — all spawns live
+    // in sched.rs.
+    assert_eq!(rules_fired("rocnet", "crates/rocnet/src/sched.rs", src), vec![]);
+    assert_eq!(
+        rules_fired("rocnet", "crates/rocnet/src/harness.rs", src),
+        vec![Rule::ThreadSpawn]
+    );
     assert_eq!(rules_fired("rochdf", "crates/rochdf/src/trochdf.rs", src), vec![]);
 }
 
