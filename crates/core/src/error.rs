@@ -25,6 +25,32 @@ pub enum RocError {
     Storage(String),
     /// Configuration rejected (e.g. zero servers requested for Rocpanda).
     Config(String),
+    /// A structured multi-tenant service failure: admission, quota, drain.
+    ///
+    /// Carries the tenant and a typed kind so callers can distinguish
+    /// "quota exceeded" from "fabric fault" without string matching.
+    Service(crate::tenant::ServiceError),
+}
+
+impl RocError {
+    /// The structured service failure inside, if this is one.
+    pub fn as_service(&self) -> Option<&crate::tenant::ServiceError> {
+        match self {
+            RocError::Service(se) => Some(se),
+            _ => None,
+        }
+    }
+
+    /// True when this is a per-tenant quota rejection.
+    pub fn is_quota_exceeded(&self) -> bool {
+        matches!(
+            self,
+            RocError::Service(crate::tenant::ServiceError {
+                kind: crate::tenant::ServiceErrorKind::QuotaExceeded { .. },
+                ..
+            })
+        )
+    }
 }
 
 impl fmt::Display for RocError {
@@ -38,6 +64,7 @@ impl fmt::Display for RocError {
             RocError::Comm(s) => write!(f, "communication error: {s}"),
             RocError::Storage(s) => write!(f, "storage error: {s}"),
             RocError::Config(s) => write!(f, "configuration error: {s}"),
+            RocError::Service(se) => write!(f, "service error: {se}"),
         }
     }
 }

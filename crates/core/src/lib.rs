@@ -29,6 +29,7 @@ pub mod le;
 pub mod lockdep;
 pub mod segment;
 pub mod snapshot;
+pub mod tenant;
 pub mod units;
 
 pub use attr::AttrValue;
@@ -39,4 +40,5 @@ pub use dtype::{ArrayData, DType, SharedArray};
 pub use error::{Result, RocError};
 pub use segment::{segments_len, segments_to_vec, Segment};
 pub use snapshot::{snapshot_file_name, snapshot_file_prefix, SnapshotId};
+pub use tenant::{Priority, ServiceError, ServiceErrorKind, TenantId};
 pub use units::{fmt_bytes, SimTime, KIB, MIB};

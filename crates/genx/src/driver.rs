@@ -3,13 +3,17 @@
 
 use std::sync::Arc;
 
-use rocio_core::{Result, RocError};
+use std::collections::BTreeMap;
+
+use rocio_core::{Priority, Result, RocError, TenantId};
 use rocmesh::Workload;
 use rocnet::cluster::ClusterSpec;
 use rocnet::{run_on_fabric_sched, Comm, Fabric, FaultSpec, RelOnly, SchedConfig};
 use roccom::{IoDispatch, IoService, Windows};
 use rochdf::{Rochdf, RochdfConfig, TRochdf};
-use rocpanda::{Role, RocpandaConfig};
+use rocpanda::{
+    JobSpec, PandaService, PandaServiceBuilder, RocpandaConfig, ServiceRole, TenantDrainStats,
+};
 use rocstore::SharedFs;
 
 use crate::report::RunReport;
@@ -163,6 +167,20 @@ pub fn run_genx_traced(
     let files_before = fs.list(&format!("{}/", cfg.out_dir)).len();
     let bytes_before = fs.stats().bytes_written;
 
+    // Rocpanda runs ride the session API: build the service and admit the
+    // whole compute partition as one job *before* the fabric launches, so
+    // admission is host-side and deterministic.
+    let service: Option<PandaService> = match &cfg.io {
+        IoChoice::Rocpanda { server_ranks } => {
+            let clients: Vec<usize> =
+                (0..n_ranks).filter(|r| !server_ranks.contains(r)).collect();
+            let svc = panda_service(fs, cfg, server_ranks)?;
+            svc.submit(JobSpec::new(cfg.label.clone(), &clients))?;
+            Some(svc)
+        }
+        _ => None,
+    };
+
     let fabric = Arc::new(Fabric::new(cluster));
     if let Some(spec) = cfg.faulty_net {
         // Only Rocpanda's reliability frames ride the degraded links;
@@ -177,18 +195,19 @@ pub fn run_genx_traced(
             tc.handle(rank, rocobs::LANE_MAIN, node).install()
         });
         match &cfg.io {
-            IoChoice::Rocpanda { server_ranks } => {
-                let mut panda_cfg = cfg.rocpanda.clone();
-                panda_cfg.dir = cfg.out_dir.clone();
-                panda_cfg.faulty_net = cfg.faulty_net;
-                match rocpanda::init(&world, fs, panda_cfg, server_ranks)? {
-                    Role::Server(mut server) => {
+            IoChoice::Rocpanda { .. } => {
+                let svc = service.as_ref().ok_or_else(|| {
+                    RocError::Config("Rocpanda service was not built for this run".into())
+                })?;
+                match svc.attach(&world)? {
+                    ServiceRole::Server(mut server) => {
                         server.run()?;
                         Ok(None)
                     }
-                    Role::Client { io, comm } => {
-                        client_run(&comm, Box::new(io), cfg).map(Some)
+                    ServiceRole::Client { io, comm, .. } => {
+                        client_run(&comm, io, cfg).map(Some)
                     }
+                    ServiceRole::Idle => Ok(None),
                 }
             }
             IoChoice::Rochdf => {
@@ -243,6 +262,277 @@ pub fn run_genx_traced(
             snapshot_bytes * snapshots as u64,
             io,
         ),
+    })
+}
+
+/// Build the Rocpanda service for a run: the shared store, the pooled
+/// server ranks, and the run's I/O configuration (output directory and
+/// fault plan folded in).
+fn panda_service(
+    fs: &Arc<SharedFs>,
+    cfg: &GenxConfig,
+    server_ranks: &[usize],
+) -> Result<PandaService> {
+    let mut panda_cfg = cfg.rocpanda.clone();
+    panda_cfg.dir = cfg.out_dir.clone();
+    panda_cfg.faulty_net = cfg.faulty_net;
+    PandaServiceBuilder::new(Arc::clone(fs))
+        .servers(server_ranks)
+        .config(panda_cfg)
+        .build()
+}
+
+/// One tenant job in a multi-job Rocpanda service run.
+#[derive(Debug, Clone)]
+pub struct TenantJobSpec {
+    /// Report label and admitted job name.
+    pub label: String,
+    /// World ranks of this job's compute clients; disjoint from the
+    /// server pool and from every other job.
+    pub client_ranks: Vec<usize>,
+    /// Drain-scheduling weight class.
+    pub priority: Priority,
+    /// Per-tenant byte quota in the shared store (`None` = unlimited).
+    pub quota: Option<u64>,
+    pub workload: WorkloadKind,
+    pub steps: u64,
+    pub snapshot_every: u64,
+}
+
+impl TenantJobSpec {
+    /// A normal-priority, unlimited-quota tenant job.
+    pub fn new(
+        label: impl Into<String>,
+        client_ranks: &[usize],
+        workload: WorkloadKind,
+        steps: u64,
+        snapshot_every: u64,
+    ) -> Self {
+        TenantJobSpec {
+            label: label.into(),
+            client_ranks: client_ranks.to_vec(),
+            priority: Priority::Normal,
+            quota: None,
+            workload,
+            steps,
+            snapshot_every,
+        }
+    }
+
+    /// Set the drain-scheduling priority.
+    pub fn priority(mut self, p: Priority) -> Self {
+        self.priority = p;
+        self
+    }
+
+    /// Set the per-tenant byte quota.
+    pub fn quota(mut self, bytes: u64) -> Self {
+        self.quota = Some(bytes);
+        self
+    }
+}
+
+/// Result of a [`run_genx_multi`] service run: one [`RunReport`] per
+/// tenant job (in submission order) plus the servers' per-tenant drain
+/// accounting, merged across the pool. A job report's `bytes_written` is
+/// the tenant's ledger charge at the end of the run (bytes resident on
+/// disk, which equals bytes written unless the run retires snapshots).
+#[derive(Debug, Clone)]
+pub struct MultiTenantReport {
+    pub jobs: Vec<RunReport>,
+    pub drain: Vec<(TenantId, TenantDrainStats)>,
+}
+
+impl MultiTenantReport {
+    /// Max/min ratio of mean drain latency over tenants that drained at
+    /// least one block — the fairness figure of merit (1.0 = perfectly
+    /// fair). Returns 1.0 when no tenant was buffered long enough to
+    /// queue, and infinity when one tenant drained instantly while
+    /// another waited.
+    pub fn drain_fairness_ratio(&self) -> f64 {
+        let mut lo = f64::INFINITY;
+        let mut hi: f64 = 0.0;
+        for (_, s) in &self.drain {
+            if s.blocks > 0 {
+                let m = s.mean_latency();
+                lo = lo.min(m);
+                hi = hi.max(m);
+            }
+        }
+        if hi == 0.0 {
+            return 1.0;
+        }
+        if lo == 0.0 {
+            return f64::INFINITY;
+        }
+        hi / lo
+    }
+}
+
+/// What one rank produced in a multi-tenant run.
+enum RankOut {
+    Server(Vec<(TenantId, TenantDrainStats)>),
+    Client(TenantId, ClientOutcome),
+    Idle,
+}
+
+/// Per-tenant client-side aggregate (max over the job's ranks).
+struct ClientAgg {
+    comp: f64,
+    io: f64,
+    restart: f64,
+    restart_ok: bool,
+    snapshots: u32,
+    snapshot_bytes: u64,
+}
+
+impl ClientAgg {
+    fn new() -> Self {
+        ClientAgg {
+            comp: 0.0,
+            io: 0.0,
+            restart: 0.0,
+            restart_ok: true,
+            snapshots: 0,
+            snapshot_bytes: 0,
+        }
+    }
+}
+
+/// Run several GENx jobs *concurrently* as tenants of one Rocpanda
+/// service: `base` supplies the cluster-wide knobs (server pool via its
+/// `io`, output directory, solvers, cost models, scheduling), each
+/// [`TenantJobSpec`] its own client ranks, workload, and schedule. All
+/// jobs share the pooled servers; their output lands under per-tenant
+/// namespaces (`{out_dir}/t0001/`, …) and their drain traffic is served
+/// deficit-round-robin by priority.
+pub fn run_genx_multi(
+    cluster: ClusterSpec,
+    fs: &Arc<SharedFs>,
+    base: &GenxConfig,
+    jobs: &[TenantJobSpec],
+) -> Result<MultiTenantReport> {
+    let server_ranks = match &base.io {
+        IoChoice::Rocpanda { server_ranks } => server_ranks.clone(),
+        other => {
+            return Err(RocError::Config(format!(
+                "run_genx_multi needs IoChoice::Rocpanda, got {}",
+                other.name()
+            )))
+        }
+    };
+    if jobs.is_empty() {
+        return Err(RocError::Config("run_genx_multi needs at least one job".into()));
+    }
+    let svc = panda_service(fs, base, &server_ranks)?;
+    let mut handles = Vec::with_capacity(jobs.len());
+    for job in jobs {
+        let mut spec = JobSpec::new(job.label.clone(), &job.client_ranks).priority(job.priority);
+        if let Some(q) = job.quota {
+            spec = spec.quota(q);
+        }
+        handles.push(svc.submit(spec)?);
+    }
+    let job_cfgs: Vec<GenxConfig> = jobs
+        .iter()
+        .map(|j| GenxConfig {
+            label: j.label.clone(),
+            workload: j.workload.clone(),
+            steps: j.steps,
+            snapshot_every: j.snapshot_every,
+            ..base.clone()
+        })
+        .collect();
+    let tenant_prefix =
+        |t: TenantId| format!("{}/{}", base.out_dir, t.path_prefix());
+    let files_before: Vec<usize> = handles
+        .iter()
+        .map(|h| fs.list(&tenant_prefix(h.tenant())).len())
+        .collect();
+
+    let fabric = Arc::new(Fabric::new(cluster));
+    if let Some(spec) = base.faulty_net {
+        fabric.set_fault_injector(Arc::new(RelOnly(spec)));
+    }
+    let outcomes = run_on_fabric_sched(&fabric, &base.sched, &|world| -> Result<RankOut> {
+        match svc.attach(&world)? {
+            ServiceRole::Server(mut server) => {
+                server.run()?;
+                Ok(RankOut::Server(server.drain_stats()))
+            }
+            ServiceRole::Client { job, io, comm } => {
+                let idx = handles
+                    .iter()
+                    .position(|h| h.tenant() == job.tenant())
+                    .ok_or_else(|| {
+                        RocError::Config(format!(
+                            "attached client of unknown tenant {}",
+                            job.tenant()
+                        ))
+                    })?;
+                let out = client_run(&comm, io, &job_cfgs[idx])?;
+                Ok(RankOut::Client(job.tenant(), out))
+            }
+            ServiceRole::Idle => Ok(RankOut::Idle),
+        }
+    });
+
+    let mut drain: BTreeMap<TenantId, TenantDrainStats> = BTreeMap::new();
+    let mut client: BTreeMap<TenantId, ClientAgg> = BTreeMap::new();
+    for outcome in outcomes {
+        match outcome? {
+            RankOut::Server(stats) => {
+                for (t, s) in stats {
+                    let d = drain.entry(t).or_default();
+                    d.blocks += s.blocks;
+                    d.bytes += s.bytes;
+                    d.total_latency += s.total_latency;
+                    d.max_latency = d.max_latency.max(s.max_latency);
+                }
+            }
+            RankOut::Client(t, c) => {
+                let a = client.entry(t).or_insert_with(ClientAgg::new);
+                a.comp = a.comp.max(c.comp);
+                a.io = a.io.max(c.io);
+                a.restart = a.restart.max(c.restart);
+                a.restart_ok &= c.restart_ok;
+                a.snapshots = a.snapshots.max(c.snapshots);
+                a.snapshot_bytes = c.global_snapshot_bytes;
+            }
+            RankOut::Idle => {}
+        }
+    }
+
+    let mut reports = Vec::with_capacity(jobs.len());
+    for ((job, handle), files0) in jobs.iter().zip(&handles).zip(&files_before) {
+        let t = handle.tenant();
+        let a = client.remove(&t).ok_or_else(|| {
+            RocError::Config(format!("no client of tenant {t} produced an outcome"))
+        })?;
+        let n_files = fs.list(&tenant_prefix(t)).len() - files0;
+        reports.push(RunReport {
+            label: job.label.clone(),
+            io_module: "rocpanda".to_string(),
+            n_compute: job.client_ranks.len(),
+            n_servers: server_ranks.len(),
+            steps: job.steps,
+            snapshots: a.snapshots,
+            comp_time: a.comp,
+            visible_io: a.io,
+            restart_time: a.restart,
+            restart_ok: a.restart_ok,
+            n_files,
+            bytes_written: fs.tenant_used(t),
+            snapshot_bytes: a.snapshot_bytes,
+            apparent_write_mb_s: RunReport::apparent_throughput(
+                a.snapshot_bytes * a.snapshots as u64,
+                a.io,
+            ),
+        });
+    }
+    Ok(MultiTenantReport {
+        jobs: reports,
+        drain: drain.into_iter().collect(),
     })
 }
 

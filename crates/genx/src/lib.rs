@@ -48,6 +48,9 @@ pub mod rocman;
 pub mod setup;
 pub mod solid;
 
-pub use driver::{run_genx, run_genx_traced, GenxConfig, IoChoice, WorkloadKind};
+pub use driver::{
+    run_genx, run_genx_multi, run_genx_traced, GenxConfig, IoChoice, MultiTenantReport,
+    TenantJobSpec, WorkloadKind,
+};
 pub use report::RunReport;
 pub use rocman::Rocman;

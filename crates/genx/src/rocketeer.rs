@@ -63,6 +63,10 @@ pub struct WindowSummary {
 /// Post-process one `(window, snapshot)`: open every writer's file under
 /// `dir`, aggregate statistics. Returns the summary and the virtual
 /// completion time of the reads.
+///
+/// Files are matched by their snapshot basename anywhere under `dir`, so
+/// the tool reads flat Rochdf layouts and tenant-namespaced Rocpanda
+/// service layouts (`dir/t0001/…`) alike.
 pub fn summarize_window(
     fs: &SharedFs,
     dir: &str,
@@ -71,11 +75,19 @@ pub fn summarize_window(
     lib: LibraryModel,
     now: SimTime,
 ) -> Result<(WindowSummary, SimTime)> {
-    let prefix = format!("{dir}/{}", rocio_core::snapshot_file_prefix(window, snap));
-    let files = fs.list(&prefix);
+    let want = rocio_core::snapshot_file_prefix(window, snap);
+    let files: Vec<String> = fs
+        .list(&format!("{dir}/"))
+        .into_iter()
+        .filter(|p| {
+            p.rsplit('/')
+                .next()
+                .is_some_and(|name| name.starts_with(&want))
+        })
+        .collect();
     if files.is_empty() {
         return Err(RocError::NotFound(format!(
-            "no snapshot files under '{prefix}'"
+            "no '{want}' snapshot files under '{dir}/'"
         )));
     }
     let mut summary = WindowSummary {

@@ -532,6 +532,17 @@ impl Fabric {
     /// complete a stable state. Blocking raises the rank's commitment,
     /// which may let parked gate waiters pass: run the wake scan.
     fn block(&self, st: &mut FabricState, rank: usize, bound: SimTime) {
+        // Floor the published commitment at the rank's own clock: clocks
+        // are monotone and every future send is stamped past the sender's
+        // clock, so a rank can never produce an arrival earlier than its
+        // clock no matter which candidate it acts on. Without the floor
+        // the commitment (a candidate arrival, possibly deep in the
+        // rank's past) under-reports, and a gate waiter's safety scan
+        // can pass while this rank is running (live clock ≥ bound) yet
+        // fail after it parks — making the scan's verdict depend on
+        // *when* it runs, a host-scheduling race that breaks schedule
+        // replay.
+        let bound = bound.max(self.clocks[rank].now());
         st.set_wait(rank, RankWait::Blocked { bound });
         if self.oracle.is_some() {
             st.confirmed[rank] = true;
@@ -554,7 +565,15 @@ impl Fabric {
     /// refresh the clock watermark, and let other waiters that our
     /// commitment unblocks pass.
     fn gate_park(&self, st: &mut FabricState, rank: usize, bound: SimTime) {
-        st.set_wait(rank, RankWait::Blocked { bound });
+        // Commitment floored at the clock (see `block`); the waiter's own
+        // scan threshold stays at the requested bound — it needs safety
+        // only up to its deadline.
+        st.set_wait(
+            rank,
+            RankWait::Blocked {
+                bound: bound.max(self.clocks[rank].now()),
+            },
+        );
         let bits = time_bits(bound);
         st.gate_scan[rank] = Some(bits);
         st.gate_waiters.insert((bits, rank));
@@ -680,6 +699,25 @@ impl Fabric {
                 return;
             }
         }
+        // A deterministic gate waiter whose safety scan passes can
+        // proceed without a decision; bounds are fixed at a stable
+        // state, so evaluate the scans directly and wake the passers.
+        // This must happen *before* any grant: the waiter is logically
+        // runnable, and whether its thread has physically woken yet is a
+        // host-scheduling accident. Granting past it would make the
+        // global decision order depend on that accident — the waiter may
+        // re-register a choice point of its own, and replays of the same
+        // prefix would observe the two decisions in either order.
+        let mut gate_can_run = false;
+        for r in 0..n {
+            if !st.finished[r] && st.gate_now[r].is_some_and(|now| self.scan_safe(st, r, now)) {
+                gate_can_run = true;
+                self.cvs[r].notify_all();
+            }
+        }
+        if gate_can_run {
+            return;
+        }
         let chosen = (0..n).find_map(|r| {
             if st.finished[r] {
                 return None;
@@ -713,22 +751,8 @@ impl Fabric {
             self.cvs[r].notify_all();
             return;
         }
-        // No wildcard to grant. A deterministic gate waiter whose safety
-        // scan passes can proceed; bounds are fixed at a stable state, so
-        // evaluate the scans directly and wake the passers (their parks
-        // are event-driven now — nobody polls).
-        let mut gate_can_run = false;
-        for r in 0..n {
-            if !st.finished[r]
-                && st.gate_now[r].is_some_and(|now| self.scan_safe(st, r, now))
-            {
-                gate_can_run = true;
-                self.cvs[r].notify_all();
-            }
-        }
-        if gate_can_run {
-            return;
-        }
+        // No wildcard to grant and no gate waiter can proceed: the job
+        // can never make progress again.
         if (0..n).any(|r| !st.finished[r]) {
             let stuck: Vec<String> = (0..n)
                 .filter(|&r| !st.finished[r])
@@ -790,9 +814,12 @@ impl Fabric {
             if let RankWait::Blocked { bound } = st.waits[dst] {
                 // Conservative: the parked rank may act on this message
                 // as soon as it wakes; its published commitment shrinks
-                // until it re-evaluates under the lock.
-                if env.arrival < bound {
-                    st.set_wait(dst, RankWait::Blocked { bound: env.arrival });
+                // until it re-evaluates under the lock. Still floored at
+                // the rank's clock (see `block`): reacting to the message
+                // cannot produce an arrival earlier than the clock.
+                let lowered = env.arrival.max(self.clocks[dst].now());
+                if lowered < bound {
+                    st.set_wait(dst, RankWait::Blocked { bound: lowered });
                 }
             }
         }

@@ -2,7 +2,9 @@
 
 use std::collections::HashSet;
 
-use rocio_core::{segments_len, Result, RocError, Segment, SnapshotId};
+use rocio_core::{
+    segments_len, Result, RocError, Segment, ServiceErrorKind, SnapshotId, TenantId,
+};
 use rocnet::Comm;
 use rocsdf::SegmentPool;
 
@@ -26,6 +28,8 @@ pub struct PandaClient<'a> {
     net: PandaNet<'a>,
     client_comm: Comm,
     cfg: RocpandaConfig,
+    /// The tenant this client writes as (solo for `init`-era sessions).
+    tenant: TenantId,
     my_server: usize,
     server_ranks: Vec<usize>,
     visible_io: f64,
@@ -41,6 +45,7 @@ impl<'a> PandaClient<'a> {
         world: &'a Comm,
         client_comm: Comm,
         cfg: RocpandaConfig,
+        tenant: TenantId,
         my_server: usize,
         server_ranks: Vec<usize>,
     ) -> Self {
@@ -49,6 +54,7 @@ impl<'a> PandaClient<'a> {
             net: PandaNet::new(world, cfg.faulty_net.is_some()),
             client_comm,
             cfg,
+            tenant,
             my_server,
             server_ranks,
             visible_io: 0.0,
@@ -69,6 +75,11 @@ impl<'a> PandaClient<'a> {
     /// World rank of this client's assigned server.
     pub fn server_rank(&self) -> usize {
         self.my_server
+    }
+
+    /// The tenant this client writes as.
+    pub fn tenant(&self) -> TenantId {
+        self.tenant
     }
 
     /// Total visible I/O time this rank has spent in output calls.
@@ -253,13 +264,19 @@ impl IoService for PandaClient<'_> {
     fn sync(&mut self) -> Result<()> {
         self.net.send(self.my_server, tag::SYNC, &[])?;
         let ack = self.net.recv(Some(self.my_server), Some(tag::SYNC_ACK))?;
-        // The ack carries the server's disk-durability watermark.
-        if ack.payload.len() == 8 {
-            self.world
-                .clock()
-                .merge(rocio_core::le::f64(&ack.payload[..8], "sync ack watermark")?);
+        // The ack carries the server's disk-durability watermark — or the
+        // tenant's sticky drain failure (e.g. a quota rejection during a
+        // background drain), surfaced here as a structured service error.
+        match wire::decode_sync_ack(&ack.payload)? {
+            Ok(watermark) => {
+                self.world.clock().merge(watermark);
+                Ok(())
+            }
+            Err(text) => Err(rocio_core::ServiceError::err(
+                self.tenant,
+                ServiceErrorKind::Drain(text),
+            )),
         }
-        Ok(())
     }
 
     fn retire(&mut self, snap: SnapshotId) -> Result<()> {
@@ -284,9 +301,12 @@ impl IoService for PandaClient<'_> {
         // Collective: wait for every client to finish writing BEFORE any
         // sync reaches a server (a premature flush would interleave disk
         // drains with another client's in-flight blocks), then sync, then
-        // one client delivers the shutdowns.
+        // one client delivers the shutdowns. A drain error from the sync
+        // (e.g. a quota-rejected snapshot) must not abort teardown — the
+        // shutdowns still go out so the servers exit, and the error is
+        // surfaced after.
         self.client_comm.barrier()?;
-        self.sync()?;
+        let sync_result = self.sync();
         self.client_comm.barrier()?;
         if self.client_comm.rank() == 0 {
             for &s in &self.server_ranks {
@@ -297,7 +317,7 @@ impl IoService for PandaClient<'_> {
         // acknowledged — in particular the SHUTDOWNs, which have no
         // application-level reply to prove their delivery.
         self.net.drain();
-        Ok(())
+        sync_result
     }
 }
 

@@ -28,6 +28,14 @@
 //! servers round-robin; each server scans its files and ships requested
 //! blocks to their (possibly new) owners — so "users can restart with a
 //! different number of servers than used in the previous run".
+//!
+//! ## Multi-tenant service
+//!
+//! The session API in [`service`] generalizes the split: a
+//! [`PandaService`] owns the server pool for *several* simultaneously
+//! admitted jobs (tenants), with per-tenant quotas, namespaced output,
+//! and fair cross-job drain scheduling. [`init`] survives as a thin
+//! single-job shim over the same machinery.
 
 #![forbid(unsafe_code)]
 
@@ -35,15 +43,18 @@ pub mod client;
 pub mod config;
 pub mod net;
 pub mod server;
+pub mod service;
 pub mod wire;
 
 pub use client::PandaClient;
 pub use config::RocpandaConfig;
 pub use net::PandaNet;
-pub use server::PandaServer;
+pub use server::{PandaServer, ServerStats, TenantDrainStats};
+pub use service::{JobHandle, JobSpec, PandaService, PandaServiceBuilder, ServiceRole};
 
-use rocio_core::{Result, RocError};
+use rocio_core::{Priority, Result, RocError, TenantId};
 use rocnet::Comm;
+use server::TenantLane;
 
 /// What this rank became after Rocpanda initialization.
 pub enum Role<'a> {
@@ -52,11 +63,13 @@ pub enum Role<'a> {
     /// the instances of MPI_COMM_WORLD need to be replaced by the client
     /// communicator returned by the Rocpanda initialization routine",
     /// §4.2); `io` keeps its own duplicate for the library's internal
-    /// collective steps.
-    Client { io: PandaClient<'a>, comm: Comm },
+    /// collective steps. Boxed (like the server arm): both sides carry
+    /// their full protocol state, and the enum is just a role tag.
+    Client { io: Box<PandaClient<'a>>, comm: Comm },
     /// A dedicated I/O server; call [`PandaServer::run`] and, when it
-    /// returns (shutdown), the rank is done.
-    Server(PandaServer<'a>),
+    /// returns (shutdown), the rank is done. Boxed: the server carries
+    /// the whole drain/cache state and would dwarf the client variant.
+    Server(Box<PandaServer<'a>>),
 }
 
 /// Collective Rocpanda initialization over the world communicator.
@@ -64,6 +77,14 @@ pub enum Role<'a> {
 /// `server_ranks` lists the world ranks dedicated as I/O servers (the
 /// paper places rank `0, n/m, 2n/m, …` on SMPs so each lands on its own
 /// node — see [`rocnet::cluster::smp_server_placement`]).
+///
+/// **Deprecated in favor of the session API**: this entry point admits
+/// exactly one job and dedicates the servers to it for the whole session.
+/// New code should build a [`PandaServiceBuilder`], then
+/// [`PandaService::submit`] jobs and [`PandaService::attach`] — which
+/// adds per-tenant quotas, namespaces, and fair drain scheduling.
+/// `init` remains as a compatibility shim running as the *solo* tenant
+/// ([`TenantId::SOLO`]), so its output paths and bytes are unchanged.
 pub fn init<'a>(
     world: &'a Comm,
     fs: &'a rocstore::SharedFs,
@@ -106,20 +127,26 @@ pub fn init<'a>(
             .iter()
             .position(|&r| r == my_rank)
             .ok_or_else(|| RocError::Config("server rank not in server list".into()))?;
-        // This server's client group: equal contiguous slices.
+        // This server's client group: equal contiguous slices. The whole
+        // session runs as the single solo tenant.
         let (n, m) = (clients.len(), servers.len());
         let lo = server_index * n / m;
         let hi = (server_index + 1) * n / m;
-        Ok(Role::Server(PandaServer::new(
+        let lane = TenantLane {
+            id: TenantId::SOLO,
+            priority: Priority::Normal,
+            my_clients: clients[lo..hi].to_vec(),
+            clients,
+        };
+        Ok(Role::Server(Box::new(PandaServer::new(
             world,
             lib_sub,
             fs,
             cfg,
             server_index,
             servers.clone(),
-            clients[lo..hi].to_vec(),
-            clients.len(),
-        )))
+            vec![lane],
+        ))))
     } else {
         let client_index = clients
             .iter()
@@ -139,7 +166,7 @@ pub fn init<'a>(
                 ))
             })?;
         Ok(Role::Client {
-            io: PandaClient::new(world, lib_sub, cfg, my_server, servers),
+            io: Box::new(PandaClient::new(world, lib_sub, cfg, TenantId::SOLO, my_server, servers)),
             comm: app_sub,
         })
     }

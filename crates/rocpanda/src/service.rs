@@ -1,0 +1,552 @@
+//! The multi-tenant Rocpanda service: one long-running pool of I/O
+//! server ranks shared by several simultaneously admitted jobs.
+//!
+//! The single-job entry point [`crate::init`] dedicates its servers to
+//! one application for one session. A [`PandaService`] instead owns the
+//! server ranks, the shared store, and the read cache for the duration of
+//! many jobs: each job is *admitted* via [`PandaService::submit`] —
+//! which enforces quota and server-buffer budgets and hands back a
+//! [`JobHandle`] naming the job's [`TenantId`] — and every world rank
+//! then joins the session collectively via [`PandaService::attach`].
+//!
+//! Inside the service, tenants are isolated end to end: per-tenant byte
+//! quotas in the store's ledger, tenant-prefixed file namespaces,
+//! per-tenant read-cache partitions, per-tenant drain queues served
+//! deficit-round-robin by priority, and structured
+//! [`ServiceError`](rocio_core::ServiceError)s attributing every failure
+//! to the tenant that caused it.
+
+use std::sync::Arc;
+
+use rocio_core::lockdep::Mutex;
+use rocio_core::{Priority, Result, RocError, ServiceError, ServiceErrorKind, TenantId};
+use rocnet::Comm;
+use rocstore::SharedFs;
+
+use crate::config::RocpandaConfig;
+use crate::server::TenantLane;
+use crate::{PandaClient, PandaServer};
+
+/// One job's admission request.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JobSpec {
+    /// Human-readable job name (reports and error text).
+    pub name: String,
+    /// World ranks of this job's compute clients. Must be disjoint from
+    /// the server ranks and from every other admitted job.
+    pub client_ranks: Vec<usize>,
+    /// Drain-scheduling weight class.
+    pub priority: Priority,
+    /// Per-tenant byte quota in the shared store. `None` = unlimited —
+    /// admissible only when the service itself has no quota budget.
+    pub quota: Option<u64>,
+    /// Worst-case in-flight bytes this job wants reserved out of each
+    /// server's buffer capacity. `0` reserves nothing (best effort).
+    pub buffer_bytes: u64,
+}
+
+impl JobSpec {
+    /// A normal-priority, unreserved job over `client_ranks`.
+    pub fn new(name: impl Into<String>, client_ranks: &[usize]) -> Self {
+        JobSpec {
+            name: name.into(),
+            client_ranks: client_ranks.to_vec(),
+            priority: Priority::Normal,
+            quota: None,
+            buffer_bytes: 0,
+        }
+    }
+
+    /// Set the drain-scheduling priority.
+    pub fn priority(mut self, p: Priority) -> Self {
+        self.priority = p;
+        self
+    }
+
+    /// Set the per-tenant byte quota.
+    pub fn quota(mut self, bytes: u64) -> Self {
+        self.quota = Some(bytes);
+        self
+    }
+
+    /// Reserve worst-case in-flight bytes of server buffer.
+    pub fn buffer_bytes(mut self, bytes: u64) -> Self {
+        self.buffer_bytes = bytes;
+        self
+    }
+}
+
+/// Proof of admission: names the job's tenant for quota lookups, error
+/// attribution, and report labelling.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JobHandle {
+    tenant: TenantId,
+    name: String,
+    priority: Priority,
+}
+
+impl JobHandle {
+    /// The tenant id assigned at admission.
+    pub fn tenant(&self) -> TenantId {
+        self.tenant
+    }
+
+    /// The job's name as submitted.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The job's drain priority as admitted.
+    pub fn priority(&self) -> Priority {
+        self.priority
+    }
+}
+
+/// What this rank became after [`PandaService::attach`].
+pub enum ServiceRole<'a> {
+    /// A pooled I/O server shared by every admitted job; call
+    /// [`PandaServer::run`], which returns once all tenants shut down.
+    /// Boxed: the server carries the whole drain/cache state and would
+    /// dwarf the client variant.
+    Server(Box<PandaServer<'a>>),
+    /// A compute client of `job`. `comm` is the job-private communicator
+    /// that replaces the world communicator in the application. Boxed
+    /// (like the server arm): both sides carry their full protocol
+    /// state, and the enum is just a role tag.
+    Client {
+        job: JobHandle,
+        io: Box<PandaClient<'a>>,
+        comm: Comm,
+    },
+    /// This rank belongs to no admitted job and is not a server.
+    Idle,
+}
+
+/// One admitted job in the service plan.
+#[derive(Debug, Clone)]
+struct JobPlan {
+    tenant: TenantId,
+    name: String,
+    priority: Priority,
+    /// Sorted, deduplicated client world ranks.
+    clients: Vec<usize>,
+    quota: Option<u64>,
+}
+
+/// Admission state, guarded by the service lock.
+#[derive(Debug, Default)]
+struct Admission {
+    jobs: Vec<JobPlan>,
+    /// Quota bytes already promised to admitted tenants.
+    quota_reserved: u64,
+    /// Buffer bytes already reserved out of each server's capacity.
+    buffer_reserved: u64,
+    /// Tenant ids are assigned 1, 2, … in admission order (0 is the solo
+    /// compatibility tenant and never assigned by a service).
+    next_tenant: u32,
+}
+
+/// Builder for a [`PandaService`].
+///
+/// ```no_run
+/// # use rocpanda::{PandaServiceBuilder, JobSpec};
+/// # use std::sync::Arc;
+/// # let fs = Arc::new(rocstore::SharedFs::ideal());
+/// let service = PandaServiceBuilder::new(fs)
+///     .servers(&[0, 3])
+///     .quota_budget(1 << 30)
+///     .build()
+///     .unwrap();
+/// let job = service.submit(JobSpec::new("genx-a", &[1, 2]).quota(64 << 20)).unwrap();
+/// ```
+pub struct PandaServiceBuilder {
+    fs: Arc<SharedFs>,
+    cfg: RocpandaConfig,
+    server_ranks: Vec<usize>,
+    quota_budget: Option<u64>,
+}
+
+impl PandaServiceBuilder {
+    /// Start a builder over the shared store the service will own.
+    pub fn new(fs: Arc<SharedFs>) -> Self {
+        PandaServiceBuilder {
+            fs,
+            cfg: RocpandaConfig::default(),
+            server_ranks: Vec::new(),
+            quota_budget: None,
+        }
+    }
+
+    /// World ranks dedicated as pooled I/O servers.
+    pub fn servers(mut self, ranks: &[usize]) -> Self {
+        self.server_ranks = ranks.to_vec();
+        self
+    }
+
+    /// Replace the library configuration (cost model, buffering, paths…).
+    pub fn config(mut self, cfg: RocpandaConfig) -> Self {
+        self.cfg = cfg;
+        self
+    }
+
+    /// Cap the total per-tenant quota the service may promise. With a
+    /// budget set, every submitted job must declare a quota, and
+    /// admission rejects jobs whose quota no longer fits.
+    pub fn quota_budget(mut self, bytes: u64) -> Self {
+        self.quota_budget = Some(bytes);
+        self
+    }
+
+    /// Validate the topology and produce the (not yet attached) service.
+    pub fn build(self) -> Result<PandaService> {
+        if self.server_ranks.is_empty() {
+            return Err(RocError::Config("Rocpanda service needs at least one server".into()));
+        }
+        let mut servers = self.server_ranks;
+        servers.sort_unstable();
+        servers.dedup();
+        Ok(PandaService {
+            fs: self.fs,
+            cfg: self.cfg,
+            server_ranks: servers,
+            quota_budget: self.quota_budget,
+            admission: Mutex::new("rocpanda.service", Admission {
+                next_tenant: 1,
+                ..Admission::default()
+            }),
+        })
+    }
+}
+
+/// A long-running multi-tenant Rocpanda session: the pool of server
+/// ranks, the shared store, and the set of admitted jobs.
+///
+/// Construction is host-side and deterministic; [`PandaService::attach`]
+/// is the collective step each world rank performs to take its role.
+pub struct PandaService {
+    fs: Arc<SharedFs>,
+    cfg: RocpandaConfig,
+    /// Sorted, deduplicated server world ranks.
+    server_ranks: Vec<usize>,
+    quota_budget: Option<u64>,
+    /// Admission state. Guarded so jobs can be submitted from any thread
+    /// holding a shared reference to the service.
+    admission: Mutex<Admission>,
+}
+
+impl PandaService {
+    /// The shared store this service writes to.
+    pub fn fs(&self) -> &Arc<SharedFs> {
+        &self.fs
+    }
+
+    /// The pooled server world ranks.
+    pub fn server_ranks(&self) -> &[usize] {
+        &self.server_ranks
+    }
+
+    /// Admit one job, or reject it with a structured
+    /// [`ServiceError`]: [`ServiceErrorKind::AdmissionSpec`] for a
+    /// malformed layout, [`ServiceErrorKind::AdmissionQuota`] /
+    /// [`ServiceErrorKind::AdmissionBuffer`] when the requested quota or
+    /// buffer reservation exceeds what remains of the service budgets.
+    /// Rejections are deterministic: the same submission sequence always
+    /// fails at the same job.
+    pub fn submit(&self, spec: JobSpec) -> Result<JobHandle> {
+        let mut adm = self.admission.lock();
+        let tenant = TenantId(adm.next_tenant);
+        let reject = |kind| Err(ServiceError::err(tenant, kind));
+        let mut clients = spec.client_ranks.clone();
+        clients.sort_unstable();
+        clients.dedup();
+        if clients.is_empty() {
+            return reject(ServiceErrorKind::AdmissionSpec(format!(
+                "job '{}' has no client ranks",
+                spec.name
+            )));
+        }
+        if clients.len() != spec.client_ranks.len() {
+            return reject(ServiceErrorKind::AdmissionSpec(format!(
+                "job '{}' lists a client rank twice",
+                spec.name
+            )));
+        }
+        if let Some(&r) = clients.iter().find(|r| self.server_ranks.binary_search(r).is_ok()) {
+            return reject(ServiceErrorKind::AdmissionSpec(format!(
+                "job '{}' claims server rank {r}",
+                spec.name
+            )));
+        }
+        for job in &adm.jobs {
+            if let Some(&r) = clients.iter().find(|r| job.clients.binary_search(r).is_ok()) {
+                return reject(ServiceErrorKind::AdmissionSpec(format!(
+                    "job '{}' claims rank {r}, already owned by job '{}'",
+                    spec.name, job.name
+                )));
+            }
+        }
+        if let Some(budget) = self.quota_budget {
+            let available = budget.saturating_sub(adm.quota_reserved);
+            let requested = spec.quota.unwrap_or(u64::MAX);
+            if requested > available {
+                return reject(ServiceErrorKind::AdmissionQuota {
+                    requested,
+                    available,
+                });
+            }
+        }
+        let buffer_available =
+            (self.cfg.buffer_capacity as u64).saturating_sub(adm.buffer_reserved);
+        if spec.buffer_bytes > buffer_available {
+            return reject(ServiceErrorKind::AdmissionBuffer {
+                requested: spec.buffer_bytes,
+                available: buffer_available,
+            });
+        }
+        adm.quota_reserved += spec.quota.unwrap_or(0);
+        adm.buffer_reserved += spec.buffer_bytes;
+        adm.next_tenant += 1;
+        adm.jobs.push(JobPlan {
+            tenant,
+            name: spec.name.clone(),
+            priority: spec.priority,
+            clients,
+            quota: spec.quota,
+        });
+        Ok(JobHandle {
+            tenant,
+            name: spec.name,
+            priority: spec.priority,
+        })
+    }
+
+    /// Collective session entry over the world communicator: every world
+    /// rank calls this exactly once and receives its [`ServiceRole`].
+    /// Binds each tenant's path namespace and quota in the store, then
+    /// splits the fabric into the server group and one private
+    /// communicator per job.
+    pub fn attach<'a>(&'a self, world: &'a Comm) -> Result<ServiceRole<'a>> {
+        // Snapshot the admitted plan; the guard must not be held across
+        // the collective splits below.
+        let jobs: Vec<JobPlan> = self.admission.lock().jobs.clone();
+        if jobs.is_empty() {
+            return Err(RocError::Config("Rocpanda service has no admitted jobs".into()));
+        }
+        if self.server_ranks.iter().any(|&r| r >= world.size()) {
+            return Err(RocError::Config(format!(
+                "server rank out of range (world size {})",
+                world.size()
+            )));
+        }
+        for job in &jobs {
+            if let Some(&r) = job.clients.iter().find(|&&r| r >= world.size()) {
+                return Err(ServiceError::err(
+                    job.tenant,
+                    ServiceErrorKind::AdmissionSpec(format!(
+                        "job '{}' client rank {r} out of range (world size {})",
+                        job.name,
+                        world.size()
+                    )),
+                ));
+            }
+        }
+        // Register every tenant with the store: namespace binding and
+        // quota. Idempotent, so each attaching rank may repeat it.
+        for job in &jobs {
+            let prefix = format!("{}/{}", self.cfg.dir, job.tenant.path_prefix());
+            self.fs.bind_tenant(&prefix, job.tenant);
+            if let Some(q) = job.quota {
+                self.fs.set_tenant_quota(job.tenant, q);
+            }
+        }
+        let my_rank = world.rank();
+        let is_server = self.server_ranks.binary_search(&my_rank).is_ok();
+        let my_job = jobs.iter().position(|j| j.clients.binary_search(&my_rank).is_ok());
+        // Split 1: the library-internal communicators — the server group,
+        // and one group per job. Split 2: each job's application
+        // communicator (MPI_Comm_dup semantics); servers and idle ranks
+        // participate with no color.
+        let lib_color = if is_server {
+            Some(0u32)
+        } else {
+            my_job.map(|j| 1 + j as u32)
+        };
+        let app_color = if is_server { None } else { my_job.map(|j| 1 + j as u32) };
+        let lib_sub = world.split(lib_color, my_rank as i64)?;
+        let app_sub = world.split(app_color, my_rank as i64)?;
+        if is_server {
+            let server_comm = lib_sub.ok_or_else(|| {
+                RocError::Comm("server split yielded no communicator".into())
+            })?;
+            let server_index = self
+                .server_ranks
+                .iter()
+                .position(|&r| r == my_rank)
+                .ok_or_else(|| RocError::Config("server rank not in server list".into()))?;
+            let m = self.server_ranks.len();
+            let lanes: Vec<TenantLane> = jobs
+                .iter()
+                .map(|job| {
+                    let n = job.clients.len();
+                    let (lo, hi) = (server_index * n / m, (server_index + 1) * n / m);
+                    TenantLane {
+                        id: job.tenant,
+                        priority: job.priority,
+                        clients: job.clients.clone(),
+                        my_clients: job.clients[lo..hi].to_vec(),
+                    }
+                })
+                .collect();
+            Ok(ServiceRole::Server(Box::new(PandaServer::new(
+                world,
+                server_comm,
+                &self.fs,
+                self.cfg.clone(),
+                server_index,
+                self.server_ranks.clone(),
+                lanes,
+            ))))
+        } else if let Some(j) = my_job {
+            let job = &jobs[j];
+            let client_comm = lib_sub.ok_or_else(|| {
+                RocError::Comm("client split yielded no communicator".into())
+            })?;
+            let app_comm = app_sub.ok_or_else(|| {
+                RocError::Comm("client app split yielded no communicator".into())
+            })?;
+            let client_index = job
+                .clients
+                .iter()
+                .position(|&r| r == my_rank)
+                .ok_or_else(|| RocError::Config("client rank not in its job".into()))?;
+            // The client's server must come from the same per-tenant
+            // group partition the servers use (slices [i*n/m, (i+1)*n/m)
+            // over the job's clients).
+            let (n, m) = (job.clients.len(), self.server_ranks.len());
+            let my_server = (0..m)
+                .find(|&i| client_index >= i * n / m && client_index < (i + 1) * n / m)
+                .map(|i| self.server_ranks[i])
+                .ok_or_else(|| {
+                    RocError::Config(format!(
+                        "client index {client_index} falls in no server group \
+                         ({n} clients, {m} servers)"
+                    ))
+                })?;
+            Ok(ServiceRole::Client {
+                job: JobHandle {
+                    tenant: job.tenant,
+                    name: job.name.clone(),
+                    priority: job.priority,
+                },
+                io: Box::new(PandaClient::new(
+                    world,
+                    client_comm,
+                    self.cfg.clone(),
+                    job.tenant,
+                    my_server,
+                    self.server_ranks.clone(),
+                )),
+                comm: app_comm,
+            })
+        } else {
+            Ok(ServiceRole::Idle)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn service(budget: Option<u64>) -> PandaService {
+        let mut b = PandaServiceBuilder::new(Arc::new(SharedFs::ideal())).servers(&[0, 3]);
+        if let Some(q) = budget {
+            b = b.quota_budget(q);
+        }
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn builder_rejects_empty_server_pool() {
+        match PandaServiceBuilder::new(Arc::new(SharedFs::ideal())).build() {
+            Err(RocError::Config(_)) => {}
+            Err(other) => panic!("expected Config error, got {other}"),
+            Ok(_) => panic!("empty server pool must be rejected"),
+        }
+    }
+
+    #[test]
+    fn submit_assigns_tenants_in_order() {
+        let svc = service(None);
+        let a = svc.submit(JobSpec::new("a", &[1, 2])).unwrap();
+        let b = svc.submit(JobSpec::new("b", &[4, 5]).priority(Priority::High)).unwrap();
+        assert_eq!(a.tenant(), TenantId(1));
+        assert_eq!(b.tenant(), TenantId(2));
+        assert_eq!(b.priority(), Priority::High);
+        assert_eq!(a.name(), "a");
+    }
+
+    #[test]
+    fn admission_rejects_malformed_specs() {
+        let svc = service(None);
+        svc.submit(JobSpec::new("a", &[1, 2])).unwrap();
+        for (label, spec) in [
+            ("empty", JobSpec::new("x", &[])),
+            ("dup rank", JobSpec::new("x", &[4, 4])),
+            ("server rank", JobSpec::new("x", &[3, 4])),
+            ("claimed rank", JobSpec::new("x", &[2, 4])),
+        ] {
+            let err = svc.submit(spec).unwrap_err();
+            let se = err.as_service().unwrap_or_else(|| panic!("{label}: {err}"));
+            assert!(
+                matches!(se.kind, ServiceErrorKind::AdmissionSpec(_)),
+                "{label}: {err}"
+            );
+        }
+    }
+
+    #[test]
+    fn admission_enforces_quota_budget_deterministically() {
+        let svc = service(Some(100));
+        // Budgeted service: undeclared quota is inadmissible.
+        let err = svc.submit(JobSpec::new("a", &[1])).unwrap_err();
+        assert!(matches!(
+            err.as_service().unwrap().kind,
+            ServiceErrorKind::AdmissionQuota { .. }
+        ));
+        svc.submit(JobSpec::new("a", &[1]).quota(60)).unwrap();
+        let err = svc.submit(JobSpec::new("b", &[2]).quota(50)).unwrap_err();
+        match &err.as_service().unwrap().kind {
+            ServiceErrorKind::AdmissionQuota { requested, available } => {
+                assert_eq!((*requested, *available), (50, 40));
+            }
+            other => panic!("expected AdmissionQuota, got {other:?}"),
+        }
+        // What still fits is admitted.
+        svc.submit(JobSpec::new("c", &[2]).quota(40)).unwrap();
+    }
+
+    #[test]
+    fn admission_enforces_buffer_budget() {
+        let fs = Arc::new(SharedFs::ideal());
+        let svc = PandaServiceBuilder::new(fs)
+            .servers(&[0])
+            .config(RocpandaConfig {
+                buffer_capacity: 1000,
+                ..RocpandaConfig::default()
+            })
+            .build()
+            .unwrap();
+        svc.submit(JobSpec::new("a", &[1]).buffer_bytes(800)).unwrap();
+        let err = svc
+            .submit(JobSpec::new("b", &[2]).buffer_bytes(300))
+            .unwrap_err();
+        match &err.as_service().unwrap().kind {
+            ServiceErrorKind::AdmissionBuffer { requested, available } => {
+                assert_eq!((*requested, *available), (300, 200));
+            }
+            other => panic!("expected AdmissionBuffer, got {other:?}"),
+        }
+        svc.submit(JobSpec::new("c", &[2]).buffer_bytes(200)).unwrap();
+    }
+}

@@ -51,8 +51,17 @@ pub mod tag {
     /// entirely from my buffered snapshot". All-or-nothing: any `false`
     /// sends every server down the disk path, because the cache partition
     /// (by writing client) and the disk partition (round-robin files)
-    /// would otherwise duplicate or miss blocks.
+    /// would otherwise duplicate or miss blocks. Keyed by
+    /// [`CoordKey`](super::wire::CoordKey) so votes for concurrent
+    /// tenants' restarts never mispair.
     pub const CACHE_VOTE: u32 = 0x0050_000F;
+    /// Server ↔ server: "my buffers for this restart key are flushed".
+    /// Replaces the old all-server barrier on the disk restart path — a
+    /// barrier would deadlock once different tenants' restarts can reach
+    /// the servers in different orders, so the disk path now waits only
+    /// for the tokens of *this* key while still answering other tenants'
+    /// traffic.
+    pub const FLUSH_TOKEN: u32 = 0x0050_0010;
 }
 
 fn put_str(out: &mut Vec<u8>, s: &str) {
@@ -308,6 +317,108 @@ pub fn decode_read_batch_shared(bytes: &Bytes) -> Result<Vec<BlockMsg>> {
     Ok(out)
 }
 
+/// Key naming one restart round for server↔server coordination.
+///
+/// With multiple tenants restarting concurrently, an unkeyed vote from
+/// another tenant's restart could be mistaken for this one's, diverging
+/// the all-or-nothing cache decision across servers. The key pins a vote
+/// or flush token to one `(tenant, snapshot, window)` restart — and the
+/// `epoch` counter distinguishes *repeated* restarts of the same
+/// snapshot, which are otherwise indistinguishable on the wire.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct CoordKey {
+    pub tenant: rocio_core::TenantId,
+    pub snap: SnapshotId,
+    pub window: String,
+    pub epoch: u32,
+}
+
+impl CoordKey {
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&self.tenant.0.to_le_bytes());
+        put_snap(out, self.snap);
+        out.extend_from_slice(&self.epoch.to_le_bytes());
+        put_str(out, &self.window);
+    }
+
+    fn decode_from(bytes: &[u8], pos: &mut usize) -> Result<Self> {
+        let tenant =
+            rocio_core::TenantId(rocio_core::le::u32(take(bytes, pos, 4)?, "panda wire tenant")?);
+        let snap = get_snap(bytes, pos)?;
+        let epoch = rocio_core::le::u32(take(bytes, pos, 4)?, "panda wire coord epoch")?;
+        let window = get_str(bytes, pos)?;
+        Ok(CoordKey {
+            tenant,
+            snap,
+            window,
+            epoch,
+        })
+    }
+}
+
+/// `CACHE_VOTE` payload: the restart key plus this server's vote.
+pub fn encode_cache_vote(key: &CoordKey, can_serve: bool) -> Vec<u8> {
+    let mut out = Vec::new();
+    key.encode_into(&mut out);
+    out.push(u8::from(can_serve));
+    out
+}
+
+/// Decode a `CACHE_VOTE` payload.
+pub fn decode_cache_vote(bytes: &[u8]) -> Result<(CoordKey, bool)> {
+    let mut pos = 0;
+    let key = CoordKey::decode_from(bytes, &mut pos)?;
+    let vote = take(bytes, &mut pos, 1)?[0] != 0;
+    Ok((key, vote))
+}
+
+/// `FLUSH_TOKEN` payload: just the restart key.
+pub fn encode_flush_token(key: &CoordKey) -> Vec<u8> {
+    let mut out = Vec::new();
+    key.encode_into(&mut out);
+    out
+}
+
+/// Decode a `FLUSH_TOKEN` payload.
+pub fn decode_flush_token(bytes: &[u8]) -> Result<CoordKey> {
+    CoordKey::decode_from(bytes, &mut 0)
+}
+
+/// `SYNC_ACK` payload: status byte `0` followed by the server's durable
+/// watermark, or status byte `1` followed by UTF-8 drain-error text for
+/// the syncing tenant. The error form is how a background drain failure
+/// (e.g. a quota rejection) reaches the client that caused it.
+pub fn encode_sync_ack(result: &std::result::Result<f64, String>) -> Vec<u8> {
+    let mut out = Vec::new();
+    match result {
+        Ok(watermark) => {
+            out.push(0);
+            out.extend_from_slice(&watermark.to_le_bytes());
+        }
+        Err(text) => {
+            out.push(1);
+            out.extend_from_slice(text.as_bytes());
+        }
+    }
+    out
+}
+
+/// Decode a `SYNC_ACK` payload into `Ok(watermark)` or `Err(drain text)`.
+pub fn decode_sync_ack(bytes: &[u8]) -> Result<std::result::Result<f64, String>> {
+    let mut pos = 0;
+    let status = take(bytes, &mut pos, 1)?[0];
+    match status {
+        0 => Ok(Ok(rocio_core::le::f64(
+            take(bytes, &mut pos, 8)?,
+            "SYNC_ACK watermark",
+        )?)),
+        1 => Ok(Err(String::from_utf8_lossy(&bytes[pos..]).into_owned())),
+        other => Err(RocError::Corrupt(format!(
+            "panda wire: unknown SYNC_ACK status {other}"
+        ))),
+    }
+}
+
 /// `RETIRE` payload: the snapshot to delete.
 pub fn encode_retire(snap: SnapshotId) -> Vec<u8> {
     let mut out = Vec::new();
@@ -451,6 +562,36 @@ mod tests {
     }
 
     #[test]
+    fn coord_messages_round_trip() {
+        let key = CoordKey {
+            tenant: rocio_core::TenantId(3),
+            snap: SnapshotId::new(150, 2),
+            window: "fluid".into(),
+            epoch: 5,
+        };
+        for vote in [true, false] {
+            let enc = encode_cache_vote(&key, vote);
+            let (k, v) = decode_cache_vote(&enc).unwrap();
+            assert_eq!(k, key);
+            assert_eq!(v, vote);
+            assert!(decode_cache_vote(&enc[..enc.len() - 1]).is_err());
+        }
+        let enc = encode_flush_token(&key);
+        assert_eq!(decode_flush_token(&enc).unwrap(), key);
+        assert!(decode_flush_token(&enc[..3]).is_err());
+    }
+
+    #[test]
+    fn sync_ack_round_trips_both_statuses() {
+        let ok = encode_sync_ack(&Ok(12.5));
+        assert_eq!(decode_sync_ack(&ok).unwrap(), Ok(12.5));
+        let err = encode_sync_ack(&Err("quota exceeded".into()));
+        assert_eq!(decode_sync_ack(&err).unwrap(), Err("quota exceeded".into()));
+        assert!(decode_sync_ack(&[9]).is_err());
+        assert!(decode_sync_ack(&[]).is_err());
+    }
+
+    #[test]
     fn retire_round_trip() {
         let snap = SnapshotId::new(150, 3);
         assert_eq!(decode_retire(&encode_retire(snap)).unwrap(), snap);
@@ -475,6 +616,7 @@ mod tests {
             tag::READ_ERR,
             tag::READ_BATCH,
             tag::CACHE_VOTE,
+            tag::FLUSH_TOKEN,
         ] {
             assert!(t <= rocnet::comm::TAG_USER_MAX);
         }

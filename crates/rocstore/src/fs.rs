@@ -7,7 +7,7 @@ use std::sync::Arc;
 
 use bytes::Bytes;
 use rocio_core::lockdep::Mutex;
-use rocio_core::{Result, RocError, SimTime};
+use rocio_core::{Result, RocError, ServiceError, ServiceErrorKind, SimTime, TenantId};
 
 use crate::model::DiskModel;
 
@@ -96,6 +96,100 @@ struct StoredFile {
     /// validates metadata-cache entries. Never reused, so delete +
     /// recreate cannot alias an old entry.
     generation: u64,
+    /// The tenant this file's bytes are charged to (resolved from the
+    /// ledger's prefix bindings when the file was created).
+    tenant: TenantId,
+    /// Bytes currently charged against `tenant` for this file. Mirrors
+    /// `data.len()` exactly (appends/extensions charge, delete/truncate
+    /// release), so the ledger's totals are O(1)-consistent with the map.
+    charged: u64,
+}
+
+/// One tenant's quota account.
+#[derive(Debug, Clone, Copy)]
+struct TenantAccount {
+    /// Byte ceiling; `u64::MAX` = unlimited.
+    limit: u64,
+    /// Bytes currently charged.
+    used: u64,
+}
+
+impl Default for TenantAccount {
+    fn default() -> Self {
+        TenantAccount { limit: u64::MAX, used: 0 }
+    }
+}
+
+/// The per-tenant quota ledger.
+///
+/// Lives in its own mutex (`rocstore.ledger`, nested strictly under
+/// `rocstore.files`): every mutation path locks the file map first, then
+/// check-and-charges the ledger *inside* that critical section, so a
+/// quota check can never race another writer's charge — the disk-full
+/// decision and the byte accounting are one atomic step.
+#[derive(Default)]
+struct Ledger {
+    /// `(path-prefix, tenant)` namespace bindings; the longest matching
+    /// prefix wins, unmatched paths belong to [`TenantId::SOLO`].
+    bindings: Vec<(String, TenantId)>,
+    accounts: HashMap<TenantId, TenantAccount>,
+    /// Legacy aggregate cap installed by [`SharedFs::set_quota`];
+    /// `u64::MAX` = unlimited. Applies across all tenants.
+    aggregate_limit: u64,
+    /// Sum of all accounts' `used` (kept denormalized for O(1) stat).
+    total_used: u64,
+}
+
+impl Ledger {
+    fn new() -> Self {
+        Ledger { aggregate_limit: u64::MAX, ..Ledger::default() }
+    }
+
+    /// Which tenant owns `path` under the current bindings.
+    fn tenant_of(&self, path: &str) -> TenantId {
+        self.bindings
+            .iter()
+            .filter(|(prefix, _)| path.starts_with(prefix.as_str()))
+            .max_by_key(|(prefix, _)| prefix.len())
+            .map(|&(_, t)| t)
+            .unwrap_or(TenantId::SOLO)
+    }
+
+    /// Check both the tenant's own ceiling and the aggregate cap, then
+    /// charge. Returns a structured quota error without mutating on
+    /// rejection.
+    fn charge(&mut self, tenant: TenantId, bytes: u64) -> Result<()> {
+        let acct = self.accounts.entry(tenant).or_default();
+        if acct.limit != u64::MAX && acct.used + bytes > acct.limit {
+            return Err(ServiceError::err(
+                tenant,
+                ServiceErrorKind::QuotaExceeded {
+                    limit: acct.limit,
+                    used: acct.used,
+                    requested: bytes,
+                },
+            ));
+        }
+        if self.aggregate_limit != u64::MAX && self.total_used + bytes > self.aggregate_limit {
+            // The *store* is full, not the tenant's account: no tenant
+            // attribution (blame would land on whichever tenant happened
+            // to write last), plain storage error like a real full disk.
+            return Err(RocError::Storage(format!(
+                "disk full: {} bytes used of {}, {bytes} requested",
+                self.total_used, self.aggregate_limit
+            )));
+        }
+        acct.used += bytes;
+        self.total_used += bytes;
+        Ok(())
+    }
+
+    fn release(&mut self, tenant: TenantId, bytes: u64) {
+        if let Some(acct) = self.accounts.get_mut(&tenant) {
+            acct.used = acct.used.saturating_sub(bytes);
+        }
+        self.total_used = self.total_used.saturating_sub(bytes);
+    }
 }
 
 /// A shared parallel file system with `n` storage servers.
@@ -126,9 +220,11 @@ pub struct SharedFs {
     write_hint: AtomicUsize,
     /// Caller-declared concurrent-reader count.
     read_hint: AtomicUsize,
-    /// Capacity limit in bytes (usize::MAX = unlimited). Writes that would
-    /// exceed it fail with [`RocError::Storage`] — disk-full injection.
-    quota: AtomicUsize,
+    /// Per-tenant quota ledger (plus the legacy aggregate cap). Writes
+    /// that would exceed a ceiling fail with [`RocError::Service`]
+    /// carrying a [`ServiceErrorKind::QuotaExceeded`] — disk-full
+    /// injection, per tenant.
+    ledger: Mutex<Ledger>,
 }
 
 impl SharedFs {
@@ -146,34 +242,56 @@ impl SharedFs {
             meta_cache: Mutex::new("rocstore.meta_cache", HashMap::new()),
             write_hint: AtomicUsize::new(0),
             read_hint: AtomicUsize::new(0),
-            quota: AtomicUsize::new(usize::MAX),
+            ledger: Mutex::new("rocstore.ledger", Ledger::new()),
         }
     }
 
-    /// Impose a capacity limit in bytes (disk-full injection). Existing
-    /// contents count against it.
+    /// Impose an aggregate capacity limit in bytes across all tenants
+    /// (disk-full injection). Existing contents count against it.
+    /// Per-tenant ceilings are set with [`SharedFs::set_tenant_quota`].
     pub fn set_quota(&self, bytes: usize) {
-        self.quota.store(bytes, Ordering::Relaxed);
+        self.ledger.lock().aggregate_limit = bytes as u64;
     }
 
-    /// Total bytes currently stored.
+    /// Set one tenant's byte ceiling (`u64::MAX` = unlimited). Charges
+    /// already on the books stay; only future writes are checked against
+    /// the new limit.
+    pub fn set_tenant_quota(&self, tenant: TenantId, bytes: u64) {
+        self.ledger.lock().accounts.entry(tenant).or_default().limit = bytes;
+    }
+
+    /// Bind a path prefix to a tenant: files created under the prefix are
+    /// charged to that tenant's ledger account. The longest matching
+    /// prefix wins; unmatched paths belong to [`TenantId::SOLO`].
+    pub fn bind_tenant(&self, prefix: &str, tenant: TenantId) {
+        let mut ledger = self.ledger.lock();
+        ledger.bindings.retain(|(p, _)| p != prefix);
+        ledger.bindings.push((prefix.to_string(), tenant));
+    }
+
+    /// Drop a prefix binding (e.g. when a job retires). Files already
+    /// created keep their recorded tenant until deleted.
+    pub fn unbind_tenant(&self, prefix: &str) {
+        self.ledger.lock().bindings.retain(|(p, _)| p != prefix);
+    }
+
+    /// Total bytes currently stored (O(1): the ledger's running total).
     pub fn used_bytes(&self) -> usize {
-        self.files.lock().values().map(|f| f.data.len()).sum()
+        self.ledger.lock().total_used as usize
+    }
+
+    /// Bytes currently charged to one tenant.
+    pub fn tenant_used(&self, tenant: TenantId) -> u64 {
+        self.ledger.lock().accounts.get(&tenant).map(|a| a.used).unwrap_or(0)
+    }
+
+    /// Which tenant a path would be charged to under current bindings.
+    pub fn tenant_of(&self, path: &str) -> TenantId {
+        self.ledger.lock().tenant_of(path)
     }
 
     fn next_gen(&self) -> u64 {
         self.next_generation.fetch_add(1, Ordering::Relaxed)
-    }
-
-    fn check_quota(&self, additional: usize) -> Result<()> {
-        let quota = self.quota.load(Ordering::Relaxed);
-        if quota != usize::MAX && self.used_bytes() + additional > quota {
-            return Err(RocError::Storage(format!(
-                "disk full: quota {quota} bytes, {} used, {additional} requested",
-                self.used_bytes()
-            )));
-        }
-        Ok(())
     }
 
     /// Declare how many clients are writing concurrently (in virtual
@@ -279,10 +397,24 @@ impl SharedFs {
 
     /// Create (or truncate) a file. Returns the virtual completion time.
     pub fn create(&self, path: &str, client: u64, now: SimTime) -> SimTime {
-        self.files.lock().insert(
-            path.to_string(),
-            StoredFile { data: FileData::Writable(Vec::new()), generation: self.next_gen() },
-        );
+        {
+            let mut files = self.files.lock();
+            let mut ledger = self.ledger.lock();
+            let tenant = ledger.tenant_of(path);
+            let old = files.insert(
+                path.to_string(),
+                StoredFile {
+                    data: FileData::Writable(Vec::new()),
+                    generation: self.next_gen(),
+                    tenant,
+                    charged: 0,
+                },
+            );
+            if let Some(old) = old {
+                // Truncation releases the previous image's charge.
+                ledger.release(old.tenant, old.charged);
+            }
+        }
         self.stats.lock().files_created += 1;
         let end = self.charge_write(path, 0, client, now);
         end + self.model.open_cost
@@ -290,13 +422,16 @@ impl SharedFs {
 
     /// Append bytes to a file (must exist). Returns the completion time.
     pub fn append(&self, path: &str, data: &[u8], client: u64, now: SimTime) -> Result<SimTime> {
-        self.check_quota(data.len())?;
         {
             let mut files = self.files.lock();
             let f = files
                 .get_mut(path)
                 .ok_or_else(|| RocError::Storage(format!("append: no such file '{path}'")))?;
+            // Check-and-charge under the files guard: atomic with respect
+            // to every other writer's charge (the PR-9 race fix).
+            self.ledger.lock().charge(f.tenant, data.len() as u64)?;
             f.data.make_writable().extend_from_slice(data);
+            f.charged += data.len() as u64;
             f.generation = self.next_gen();
         }
         let mut stats = self.stats.lock();
@@ -320,17 +455,18 @@ impl SharedFs {
         now: SimTime,
     ) -> Result<SimTime> {
         let total = rocio_core::segments_len(segments);
-        self.check_quota(total)?;
         {
             let mut files = self.files.lock();
             let f = files
                 .get_mut(path)
                 .ok_or_else(|| RocError::Storage(format!("append: no such file '{path}'")))?;
+            self.ledger.lock().charge(f.tenant, total as u64)?;
             let v = f.data.make_writable();
             v.reserve(total);
             for s in segments {
                 v.extend_from_slice(s.as_slice());
             }
+            f.charged += total as u64;
             f.generation = self.next_gen();
         }
         let mut stats = self.stats.lock();
@@ -349,17 +485,20 @@ impl SharedFs {
         client: u64,
         now: SimTime,
     ) -> Result<SimTime> {
-        self.check_quota(data.len())?;
         {
             let mut files = self.files.lock();
             let f = files
                 .get_mut(path)
                 .ok_or_else(|| RocError::Storage(format!("write_at: no such file '{path}'")))?;
+            // Only growth consumes quota: overwriting stored bytes is free.
+            let growth = (offset + data.len()).saturating_sub(f.data.len()) as u64;
+            self.ledger.lock().charge(f.tenant, growth)?;
             let v = f.data.make_writable();
             if v.len() < offset + data.len() {
                 v.resize(offset + data.len(), 0);
             }
             v[offset..offset + data.len()].copy_from_slice(data);
+            f.charged += growth;
             f.generation = self.next_gen();
         }
         let mut stats = self.stats.lock();
@@ -528,12 +667,16 @@ impl SharedFs {
         out
     }
 
-    /// Delete a file. Outstanding shared windows keep their bytes.
+    /// Delete a file, releasing its quota charge. Outstanding shared
+    /// windows keep their bytes.
     pub fn delete(&self, path: &str) -> Result<()> {
-        self.files
-            .lock()
-            .remove(path)
-            .ok_or_else(|| RocError::Storage(format!("delete: no such file '{path}'")))?;
+        {
+            let mut files = self.files.lock();
+            let old = files
+                .remove(path)
+                .ok_or_else(|| RocError::Storage(format!("delete: no such file '{path}'")))?;
+            self.ledger.lock().release(old.tenant, old.charged);
+        }
         // Hygiene only: the generation check already rejects stale entries
         // (a recreated file gets a fresh generation, never a reused one).
         self.meta_cache.lock().retain(|(_, p), _| p != path);
@@ -733,9 +876,13 @@ mod tests {
         fs.create("f", 0, 0.0);
         fs.append("f", &[0u8; 60], 0, 0.0).unwrap();
         assert_eq!(fs.used_bytes(), 60);
-        // Next write would exceed the quota.
-        let err = fs.append("f", &[0u8; 60], 0, 0.0);
-        assert!(matches!(err, Err(RocError::Storage(_))));
+        // Next write would exceed the aggregate cap — the store is full,
+        // so this is a plain storage error with no tenant attribution.
+        let err = fs.append("f", &[0u8; 60], 0, 0.0).unwrap_err();
+        assert!(
+            matches!(&err, RocError::Storage(m) if m.contains("disk full")),
+            "expected disk-full storage error, got {err:?}"
+        );
         // Small writes still fit; reads unaffected.
         fs.append("f", &[0u8; 40], 0, 0.0).unwrap();
         assert!(fs.read_all("f", 0, 0.0).is_ok());
@@ -858,6 +1005,101 @@ mod tests {
         assert!(fs.append("f", &[0u8; 60], 0, 0.0).is_err());
         fs.append("f", &[0u8; 40], 0, 0.0).unwrap(); // thaw + append still fits
         assert_eq!(fs.used_bytes(), 100);
+    }
+
+    #[test]
+    fn tenant_ledger_isolates_quotas() {
+        let fs = SharedFs::ideal();
+        fs.bind_tenant("t0001/", TenantId(1));
+        fs.bind_tenant("t0002/", TenantId(2));
+        fs.set_tenant_quota(TenantId(1), 100);
+        fs.create("t0001/a", 0, 0.0);
+        fs.create("t0002/a", 0, 0.0);
+        fs.create("free", 0, 0.0);
+        fs.append("t0001/a", &[0u8; 80], 0, 0.0).unwrap();
+        // Tenant 1 hits its ceiling; the error names the tenant.
+        let err = fs.append("t0001/a", &[0u8; 40], 0, 0.0).unwrap_err();
+        match &err {
+            RocError::Service(se) => {
+                assert_eq!(se.tenant, TenantId(1));
+                assert!(matches!(
+                    se.kind,
+                    ServiceErrorKind::QuotaExceeded { limit: 100, used: 80, requested: 40 }
+                ));
+            }
+            other => panic!("expected Service error, got {other:?}"),
+        }
+        // Tenant 2 and the solo tenant are unaffected.
+        fs.append("t0002/a", &[0u8; 512], 0, 0.0).unwrap();
+        fs.append("free", &[0u8; 512], 0, 0.0).unwrap();
+        assert_eq!(fs.tenant_used(TenantId(1)), 80);
+        assert_eq!(fs.tenant_used(TenantId(2)), 512);
+        assert_eq!(fs.tenant_used(TenantId::SOLO), 512);
+        assert_eq!(fs.used_bytes(), 80 + 512 + 512);
+        // Deleting tenant 1's file releases its charge; writes fit again.
+        fs.delete("t0001/a").unwrap();
+        assert_eq!(fs.tenant_used(TenantId(1)), 0);
+        fs.create("t0001/b", 0, 1.0);
+        fs.append("t0001/b", &[0u8; 100], 0, 1.0).unwrap();
+    }
+
+    #[test]
+    fn tenant_binding_longest_prefix_wins() {
+        let fs = SharedFs::ideal();
+        fs.bind_tenant("out/", TenantId(1));
+        fs.bind_tenant("out/deep/", TenantId(2));
+        assert_eq!(fs.tenant_of("out/x"), TenantId(1));
+        assert_eq!(fs.tenant_of("out/deep/x"), TenantId(2));
+        assert_eq!(fs.tenant_of("elsewhere"), TenantId::SOLO);
+        fs.unbind_tenant("out/deep/");
+        assert_eq!(fs.tenant_of("out/deep/x"), TenantId(1));
+    }
+
+    #[test]
+    fn write_at_charges_growth_only() {
+        let fs = SharedFs::ideal();
+        fs.set_quota(100);
+        fs.create("f", 0, 0.0);
+        fs.append("f", &[0u8; 90], 0, 0.0).unwrap();
+        // Overwrites are free; only extension past EOF consumes quota.
+        fs.write_at("f", 0, &[1u8; 90], 0, 0.0).unwrap();
+        assert_eq!(fs.used_bytes(), 90);
+        fs.write_at("f", 85, &[2u8; 10], 0, 0.0).unwrap();
+        assert_eq!(fs.used_bytes(), 95);
+        let err = fs.write_at("f", 90, &[3u8; 20], 0, 0.0).unwrap_err();
+        assert!(
+            matches!(&err, RocError::Storage(m) if m.contains("disk full")),
+            "{err:?}"
+        );
+        // Rejection mutated nothing.
+        assert_eq!(fs.used_bytes(), 95);
+        assert_eq!(fs.file_size("f").unwrap(), 95);
+    }
+
+    #[test]
+    fn quota_check_and_charge_is_atomic_under_contention() {
+        // 16 threads race 10-byte appends against a 50-byte quota:
+        // exactly 5 must win, regardless of interleaving. Before the
+        // ledger, check (sum under one lock acquisition) and charge
+        // (mutation under a later one) could both pass and overshoot.
+        for round in 0..8 {
+            let fs = Arc::new(SharedFs::ideal());
+            fs.set_quota(50);
+            fs.create("f", 0, 0.0);
+            let wins: Vec<bool> = std::thread::scope(|s| {
+                let handles: Vec<_> = (0..16)
+                    .map(|c| {
+                        let fs = Arc::clone(&fs);
+                        s.spawn(move || fs.append("f", &[c as u8; 10], c, 0.0).is_ok())
+                    })
+                    .collect();
+                handles.into_iter().map(|h| h.join().expect("no panic")).collect()
+            });
+            let n_ok = wins.iter().filter(|&&w| w).count();
+            assert_eq!(n_ok, 5, "round {round}: {n_ok} writes won against a 5-write quota");
+            assert_eq!(fs.used_bytes(), 50);
+            assert_eq!(fs.file_size("f").unwrap(), 50);
+        }
     }
 
     #[test]

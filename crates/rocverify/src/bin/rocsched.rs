@@ -6,16 +6,18 @@
 //!       [--trace-dir DIR] [--smoke] [--expect-failures]
 //!
 //! Schedule scenarios: `panda-handshake` (2 servers x 4 clients),
+//! `multitenant-handshake` (2 jobs x 2 clients on 2 shared servers),
 //! `trochdf-handoff` (3 ranks, double-buffer), `lost-ack-toy`
 //! (known-buggy regression probe). Fault scenarios (degraded fabric,
 //! every bounded drop/duplicate placement): `lossy-panda-handshake`,
-//! `lossy-trochdf-handoff`. Default: all four protocol scenarios.
+//! `lossy-trochdf-handoff`. Default: all five protocol scenarios.
 //! `--smoke` caps work so the CI job finishes well under its 30 s budget.
 
 use std::process::ExitCode;
 
 use rocverify::scenarios::{
-    LossyPandaHandshake, LossyTrochdfHandoff, LostAckToy, PandaHandshake, TrochdfHandoff,
+    LossyPandaHandshake, LossyTrochdfHandoff, LostAckToy, MultiTenantHandshake, PandaHandshake,
+    TrochdfHandoff,
 };
 use rocverify::sched::{
     assert_all_fault_plans_pass, assert_all_schedules_pass, explore, explore_faults,
@@ -53,7 +55,8 @@ fn main() -> ExitCode {
             "--help" | "-h" => {
                 println!(
                     "rocsched: exhaustive schedule and fault-placement exploration\n\
-                     scenarios: panda-handshake | trochdf-handoff | lost-ack-toy |\n\
+                     scenarios: panda-handshake | multitenant-handshake |\n\
+                     trochdf-handoff | lost-ack-toy |\n\
                      lossy-panda-handshake | lossy-trochdf-handoff\n\
                      flags: --scenario NAME (repeatable), --depth N, --max-runs N,\n\
                      --max-faults N, --branch-on-peeks, --trace-dir DIR, --smoke,\n\
@@ -70,6 +73,7 @@ fn main() -> ExitCode {
     if names.is_empty() {
         names = vec![
             "panda-handshake".into(),
+            "multitenant-handshake".into(),
             "trochdf-handoff".into(),
             "lossy-panda-handshake".into(),
             "lossy-trochdf-handoff".into(),
@@ -117,6 +121,7 @@ fn main() -> ExitCode {
         }
         let scenario: Box<dyn Scenario> = match name.as_str() {
             "panda-handshake" => Box::new(PandaHandshake::issue_scale()),
+            "multitenant-handshake" => Box::new(MultiTenantHandshake::issue_scale()),
             "trochdf-handoff" => Box::new(TrochdfHandoff::issue_scale()),
             "lost-ack-toy" => Box::new(LostAckToy),
             other => {

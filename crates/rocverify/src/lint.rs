@@ -29,6 +29,11 @@
 //!   named `rocio_core::lockdep` wrappers; a `std::sync::Mutex`/`RwLock`/
 //!   `Condvar` has a different guard shape and escapes the lock-discipline
 //!   witness (`roclock`).
+//! * **panda-init** — simulation crates join the shared Rocpanda service
+//!   through the session API (`PandaServiceBuilder` → `submit` →
+//!   `attach`); the deprecated solo shim `rocpanda::init` spins up a
+//!   private single-job service with no tenant identity, bypassing
+//!   quotas and the fair cross-job drain scheduler.
 //!
 //! Everything under `#[cfg(test)]` / `#[test]` is exempt. Intentional
 //! exceptions live in `roclint.allow` (one `rule | path | needle | reason`
@@ -54,6 +59,7 @@ pub enum Rule {
     OwnedPayload,
     RawSend,
     StdSync,
+    PandaInit,
     LockUnregistered,
     LockOrder,
     LockBlocking,
@@ -72,6 +78,7 @@ impl Rule {
             Rule::OwnedPayload => "owned-payload",
             Rule::RawSend => "raw-send",
             Rule::StdSync => "std-sync",
+            Rule::PandaInit => "panda-init",
             Rule::LockUnregistered => "lock-unregistered",
             Rule::LockOrder => "lock-order",
             Rule::LockBlocking => "lock-blocking",
@@ -79,7 +86,7 @@ impl Rule {
         }
     }
 
-    pub fn all() -> [Rule; 13] {
+    pub fn all() -> [Rule; 14] {
         [
             Rule::WallClock,
             Rule::Rand,
@@ -90,6 +97,7 @@ impl Rule {
             Rule::OwnedPayload,
             Rule::RawSend,
             Rule::StdSync,
+            Rule::PandaInit,
             Rule::LockUnregistered,
             Rule::LockOrder,
             Rule::LockBlocking,
@@ -541,6 +549,26 @@ pub fn lint_source(cfg: &LintConfig, crate_dir: &str, path: &str, src: &str) -> 
                     ),
                 );
             }
+        }
+        // panda-init: simulation crates attach to the shared service
+        // through the session API. The deprecated `rocpanda::init` shim
+        // spins up a private single-job service — no tenant identity, no
+        // quota, no fair drain — and only rocpanda itself keeps it, for
+        // pre-service callers.
+        if is_sim
+            && crate_dir != "rocpanda"
+            && w == "rocpanda"
+            && is_path_sep(&toks, i + 1)
+            && t(&toks, i + 3) == "init"
+            && t(&toks, i + 4) == "("
+        {
+            push(
+                Rule::PandaInit,
+                toks[i].line,
+                "deprecated solo shim `rocpanda::init` — submit a `JobSpec` to a shared \
+                 `PandaService` and `attach` (see `PandaServiceBuilder`)"
+                    .to_string(),
+            );
         }
         // span-category: `SpanCategory::X` must name a known constant.
         if crate_dir != "rocobs" && w == "SpanCategory" && is_path_sep(&toks, i + 1) {

@@ -25,7 +25,8 @@ use rocnet::harness::run_on_fabric;
 use rocnet::Comm;
 use roccom::{AttrSelector, AttrSpec, IoService, PaneMesh, Windows};
 use rochdf::{RochdfConfig, TRochdf};
-use rocpanda::{Role, RocpandaConfig};
+use rocio_core::Priority;
+use rocpanda::{JobSpec, PandaService, PandaServiceBuilder, RocpandaConfig, ServiceRole};
 use rocstore::SharedFs;
 
 use crate::sched::{FaultScenario, Scenario, ScriptedFaults};
@@ -102,6 +103,24 @@ fn install_obs(collector: &rocobs::TraceCollector, comm: &Comm) -> rocobs::Insta
     collector.handle(rank, rocobs::LANE_MAIN, node).install()
 }
 
+/// Build a Rocpanda service over `fs` with one admitted job covering all
+/// non-server ranks of an `n`-rank world.
+fn single_job_service(
+    fs: &Arc<SharedFs>,
+    cfg: RocpandaConfig,
+    server_ranks: &[usize],
+    n: usize,
+) -> PandaService {
+    let clients: Vec<usize> = (0..n).filter(|r| !server_ranks.contains(r)).collect();
+    let svc = PandaServiceBuilder::new(Arc::clone(fs))
+        .servers(server_ranks)
+        .config(cfg)
+        .build()
+        .expect("service build");
+    svc.submit(JobSpec::new("handshake", &clients)).expect("admit job");
+    svc
+}
+
 /// The Rocpanda write handshake at the issue's scale: 2 servers x 4
 /// clients. Each client ships WRITE_REQ + blocks + DONE to its server
 /// under per-block ACK flow control; servers run in active-buffering
@@ -142,15 +161,14 @@ impl Scenario for PandaHandshake {
         let fs = Arc::new(SharedFs::turing());
         let snap = SnapshotId::new(7, 1);
         let panes = self.panes_per_client;
+        let svc = single_job_service(&fs, RocpandaConfig::default(), &server_ranks, n);
         run_on_fabric(&fabric, &|comm: Comm| {
             let _obs = install_obs(collector, &comm);
-            match rocpanda::init(&comm, &fs, RocpandaConfig::default(), &server_ranks)
-                .expect("rocpanda init")
-            {
-                Role::Server(mut s) => {
+            match svc.attach(&comm).expect("service attach") {
+                ServiceRole::Server(mut s) => {
                     s.run().expect("server run");
                 }
-                Role::Client { io: mut c, comm: app } => {
+                ServiceRole::Client { io: mut c, comm: app, .. } => {
                     let me = app.rank() as u64;
                     let blocks: Vec<u64> =
                         (0..panes as u64).map(|k| me * panes as u64 + k).collect();
@@ -159,6 +177,7 @@ impl Scenario for PandaHandshake {
                         .expect("client write");
                     c.finalize().expect("client finalize");
                 }
+                ServiceRole::Idle => panic!("every rank is a server or a client here"),
             }
         });
         // Deadlock-freedom is implied by reaching this point; now check
@@ -170,6 +189,87 @@ impl Scenario for PandaHandshake {
             "one snapshot file per server, got {files:?}"
         );
         fingerprint_files(&fs, "out/", canonical_sdf)
+    }
+}
+
+/// Two tenant jobs sharing one Rocpanda server pool: the multi-tenant
+/// service handshake. Both jobs write concurrently through the same
+/// servers (their blocks interleave in the per-tenant drain queues — the
+/// explored choice points), with different drain priorities so the DRR
+/// scheduler's weighting is itself under exploration. Every schedule
+/// must terminate and produce the same canonical per-tenant snapshots:
+/// tenant isolation means no interleaving can leak one job's blocks into
+/// the other's files.
+pub struct MultiTenantHandshake {
+    /// Shared I/O servers.
+    pub n_servers: usize,
+    /// Compute clients *per tenant job* (2 jobs).
+    pub clients_per_job: usize,
+}
+
+impl MultiTenantHandshake {
+    /// 2 servers shared by 2 jobs x 2 clients (6 ranks).
+    pub fn issue_scale() -> Self {
+        MultiTenantHandshake {
+            n_servers: 2,
+            clients_per_job: 2,
+        }
+    }
+}
+
+impl Scenario for MultiTenantHandshake {
+    fn name(&self) -> &'static str {
+        "multitenant-handshake"
+    }
+
+    fn run(&self, oracle: Arc<dyn ScheduleOracle>, collector: &rocobs::TraceCollector) -> Vec<u8> {
+        let n = self.n_servers + 2 * self.clients_per_job;
+        let server_ranks: Vec<usize> = (0..self.n_servers).collect();
+        let job_a: Vec<usize> =
+            (server_ranks.len()..server_ranks.len() + self.clients_per_job).collect();
+        let job_b: Vec<usize> = (server_ranks.len() + self.clients_per_job..n).collect();
+        let fabric = Arc::new(Fabric::with_oracle(ClusterSpec::turing(n), oracle));
+        let fs = Arc::new(SharedFs::turing());
+        let svc = PandaServiceBuilder::new(Arc::clone(&fs))
+            .servers(&server_ranks)
+            .build()
+            .expect("service build");
+        svc.submit(JobSpec::new("job-a", &job_a).priority(Priority::High))
+            .expect("admit job a");
+        svc.submit(JobSpec::new("job-b", &job_b)).expect("admit job b");
+        let snap = SnapshotId::new(7, 1);
+        run_on_fabric(&fabric, &|comm: Comm| {
+            let _obs = install_obs(collector, &comm);
+            match svc.attach(&comm).expect("service attach") {
+                ServiceRole::Server(mut s) => {
+                    s.run().expect("server run");
+                }
+                ServiceRole::Client { job, io: mut c, comm: app } => {
+                    // Distinct payloads per tenant so cross-tenant block
+                    // leakage cannot alias as a benign reordering.
+                    let me = 100 * job.tenant().0 as u64 + app.rank() as u64;
+                    let ws = make_windows(&[me]);
+                    c.write_attribute(&ws, &AttrSelector::all("fluid"), snap)
+                        .expect("client write");
+                    c.finalize().expect("client finalize");
+                }
+                ServiceRole::Idle => panic!("every rank is a server or a client here"),
+            }
+        });
+        // Each tenant's snapshot lives in its own namespace, one file per
+        // server (every server owns a slice of each job's clients).
+        let mut out = Vec::new();
+        for tenant in ["t0001", "t0002"] {
+            let prefix = format!("out/{tenant}/");
+            let files = fs.list(&prefix);
+            assert_eq!(
+                files.len(),
+                self.n_servers,
+                "one file per server under {prefix}, got {files:?}"
+            );
+            out.extend_from_slice(&fingerprint_files(&fs, &prefix, canonical_sdf));
+        }
+        out
     }
 }
 
@@ -308,15 +408,14 @@ impl FaultScenario for LossyPandaHandshake {
             faulty_net: Some(rocnet::FaultSpec::none(0)),
             ..RocpandaConfig::default()
         };
+        let svc = single_job_service(&fs, panda_cfg, &server_ranks, n);
         run_on_fabric(&fabric, &|comm: Comm| {
             let _obs = install_obs(collector, &comm);
-            match rocpanda::init(&comm, &fs, panda_cfg.clone(), &server_ranks)
-                .expect("rocpanda init")
-            {
-                Role::Server(mut s) => {
+            match svc.attach(&comm).expect("service attach") {
+                ServiceRole::Server(mut s) => {
                     s.run().expect("server run");
                 }
-                Role::Client { io: mut c, comm: app } => {
+                ServiceRole::Client { io: mut c, comm: app, .. } => {
                     let me = app.rank() as u64;
                     let blocks: Vec<u64> =
                         (0..panes as u64).map(|k| me * panes as u64 + k).collect();
@@ -325,6 +424,7 @@ impl FaultScenario for LossyPandaHandshake {
                         .expect("client write");
                     c.finalize().expect("client finalize");
                 }
+                ServiceRole::Idle => panic!("every rank is a server or a client here"),
             }
         });
         let files = fs.list("out/");

@@ -4,7 +4,8 @@
 //! usable counterexample.
 
 use rocverify::scenarios::{
-    LossyPandaHandshake, LossyTrochdfHandoff, LostAckToy, PandaHandshake, TrochdfHandoff,
+    LossyPandaHandshake, LossyTrochdfHandoff, LostAckToy, MultiTenantHandshake, PandaHandshake,
+    TrochdfHandoff,
 };
 use rocverify::sched::{
     assert_all_fault_plans_pass, assert_all_schedules_pass, explore, explore_faults,
@@ -18,6 +19,25 @@ fn panda_handshake_exhausts_and_snapshots_agree() {
     assert!(
         report.runs > 100,
         "2 servers x 4 clients should branch substantially, got {}",
+        report.summary()
+    );
+    assert_all_schedules_pass(&report);
+}
+
+#[test]
+fn multitenant_handshake_exhausts_and_tenants_stay_isolated() {
+    // Two jobs of different priority share the server pool; every
+    // interleaving of their drain traffic must yield the same canonical
+    // per-tenant snapshots (no cross-tenant leakage, no lost blocks).
+    let opts = ExploreOptions {
+        max_runs: 4096,
+        ..ExploreOptions::default()
+    };
+    let report = explore(&MultiTenantHandshake::issue_scale(), &opts);
+    assert!(report.exhausted, "tree must be fully explored: {}", report.summary());
+    assert!(
+        report.runs > 1,
+        "two interleaved jobs should branch, got {}",
         report.summary()
     );
     assert_all_schedules_pass(&report);

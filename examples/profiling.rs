@@ -7,24 +7,32 @@
 //! cargo run --release --example profiling
 //! ```
 
+use std::sync::Arc;
+
 use genx_repro::core::SnapshotId;
 use genx_repro::roccom::{AttrSelector, AttrSpec, IoService, PaneMesh, Windows};
 use genx_repro::rocnet::cluster::ClusterSpec;
 use genx_repro::rocnet::{run_ranks, trace};
-use genx_repro::rocpanda::{self, Role, RocpandaConfig};
+use genx_repro::rocpanda::{JobSpec, PandaServiceBuilder, ServiceRole};
 use genx_repro::rocstore::SharedFs;
 use rocio_core::{ArrayData, BlockId, DType};
 
 fn main() {
-    let fs = SharedFs::turing();
+    let fs = Arc::new(SharedFs::turing());
+    // One long-running service: rank 0 serves, ranks 1-4 form one job.
+    let svc = PandaServiceBuilder::new(Arc::clone(&fs))
+        .servers(&[0])
+        .build()
+        .unwrap();
+    svc.submit(JobSpec::new("profiling", &[1, 2, 3, 4])).unwrap();
     let traces = run_ranks(5, ClusterSpec::turing(5), |comm| {
         comm.enable_tracing();
-        match rocpanda::init(&comm, &fs, RocpandaConfig::default(), &[0]).unwrap() {
-            Role::Server(mut s) => {
+        match svc.attach(&comm).unwrap() {
+            ServiceRole::Server(mut s) => {
                 s.run().unwrap();
                 (comm.rank(), "server", comm.take_trace())
             }
-            Role::Client { io: mut c, comm: app } => {
+            ServiceRole::Client { io: mut c, comm: app, .. } => {
                 let mut ws = Windows::new();
                 let w = ws.create_window("fluid").unwrap();
                 w.declare_attr(AttrSpec::element("p", DType::F64, 1)).unwrap();
@@ -54,6 +62,7 @@ fn main() {
                 c.finalize().unwrap();
                 (comm.rank(), "client", comm.take_trace())
             }
+            ServiceRole::Idle => (comm.rank(), "idle", comm.take_trace()),
         }
     });
 

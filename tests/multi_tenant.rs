@@ -1,0 +1,194 @@
+//! Multi-tenant service integration tests: many GENx jobs sharing one
+//! Rocpanda service must behave, byte-for-byte, as if each had the
+//! servers to itself — plus deterministic quota rejection with clean
+//! recovery, and a drain-fairness bound across equal-priority tenants.
+
+use std::sync::Arc;
+
+use genx_repro::core::{RocError, TenantId};
+use genx_repro::genx::{run_genx_multi, GenxConfig, IoChoice, TenantJobSpec, WorkloadKind};
+use genx_repro::rocnet::cluster::ClusterSpec;
+use genx_repro::rocstore::SharedFs;
+
+const N_SERVERS: usize = 2;
+
+fn base_cfg(label: &str, out_dir: &str) -> GenxConfig {
+    let mut cfg = GenxConfig::new(
+        label,
+        // Overridden per job; the base workload is only a placeholder.
+        WorkloadKind::LabScale { seed: 1, scale: 0.05 },
+        IoChoice::Rocpanda { server_ranks: (0..N_SERVERS).collect() },
+    );
+    cfg.steps = 4;
+    cfg.snapshot_every = 2;
+    cfg.measure_restart = false;
+    cfg.out_dir = out_dir.to_string();
+    cfg
+}
+
+fn jobs(n: usize, clients_per_job: usize) -> Vec<TenantJobSpec> {
+    (0..n)
+        .map(|j| {
+            let first = N_SERVERS + j * clients_per_job;
+            let ranks: Vec<usize> = (first..first + clients_per_job).collect();
+            TenantJobSpec::new(
+                format!("job{j}"),
+                &ranks,
+                // Four distinct physics streams cycling across tenants:
+                // any cross-tenant leakage shows up as a byte mismatch
+                // against the seed's solo reference.
+                WorkloadKind::LabScale { seed: (j % 4) as u64, scale: 0.05 },
+                4,
+                2,
+            )
+        })
+        .collect()
+}
+
+/// Every file of one tenant, keyed by its path relative to the tenant's
+/// namespace directory.
+fn tenant_files(fs: &SharedFs, out_dir: &str, tenant: TenantId) -> Vec<(String, Vec<u8>)> {
+    let prefix = format!("{out_dir}/t{:04}/", tenant.0);
+    fs.list(&prefix)
+        .into_iter()
+        .map(|p| {
+            let rel = p[prefix.len()..].to_string();
+            let (bytes, _) = fs.read_all(&p, u64::MAX, 0.0).expect("read back");
+            (rel, bytes)
+        })
+        .collect()
+}
+
+#[test]
+fn sixteen_concurrent_tenants_match_their_solo_runs_byte_for_byte() {
+    // 16 jobs (one client each) share a 2-server pool. Each job's
+    // snapshot files must be identical — same relative names, same
+    // bytes — to the files the same job produces alone on an idle
+    // service. The shared service may only change *when* bytes hit the
+    // disk, never *which* bytes.
+    let n_tenants = 16;
+    let fs = Arc::new(SharedFs::turing());
+    let cfg = base_cfg("mt-identity", "out/mt");
+    let js = jobs(n_tenants, 1);
+    let report =
+        run_genx_multi(ClusterSpec::turing(N_SERVERS + n_tenants), &fs, &cfg, &js).unwrap();
+    assert_eq!(report.jobs.len(), n_tenants);
+
+    // Solo references: one per distinct workload seed.
+    let mut solo: Vec<Vec<(String, Vec<u8>)>> = Vec::new();
+    for seed in 0..4 {
+        let fs_solo = Arc::new(SharedFs::turing());
+        let cfg_solo = base_cfg("mt-solo", "out/solo");
+        let mut job = jobs(1, 1);
+        job[0].workload = WorkloadKind::LabScale { seed, scale: 0.05 };
+        let r = run_genx_multi(ClusterSpec::turing(N_SERVERS + 1), &fs_solo, &cfg_solo, &job)
+            .unwrap();
+        let (tenant, _) = r.drain[0];
+        solo.push(tenant_files(&fs_solo, "out/solo", tenant));
+    }
+
+    for (j, job) in report.jobs.iter().enumerate() {
+        let (tenant, _) = report.drain[j];
+        let got = tenant_files(&fs, "out/mt", tenant);
+        let want = &solo[j % 4];
+        assert!(!got.is_empty(), "{}: tenant produced no files", job.label);
+        assert_eq!(
+            got.len(),
+            want.len(),
+            "{}: file count differs from solo run",
+            job.label
+        );
+        for ((got_rel, got_bytes), (want_rel, want_bytes)) in got.iter().zip(want) {
+            assert_eq!(got_rel, want_rel, "{}: file set differs from solo run", job.label);
+            assert_eq!(
+                got_bytes, want_bytes,
+                "{}: '{got_rel}' differs from the solo run's bytes",
+                job.label
+            );
+        }
+    }
+}
+
+#[test]
+fn quota_rejection_is_deterministic_and_recoverable() {
+    // Job with a 4 KiB ceiling: the first snapshot blows it, the drain
+    // records a sticky per-tenant error, and finalize surfaces it as a
+    // structured service error naming the tenant. The ledger never
+    // overcharges, so deleting the tenant's partial output returns its
+    // account to zero and the same job with an adequate quota succeeds
+    // on a fresh service over the same store.
+    let fs = Arc::new(SharedFs::turing());
+    let cfg = base_cfg("mt-quota", "out/quota");
+    let mut job = jobs(1, 1);
+    job[0].quota = Some(4096);
+    let err = run_genx_multi(ClusterSpec::turing(N_SERVERS + 1), &fs, &cfg, &job)
+        .expect_err("a 4 KiB quota cannot hold a snapshot");
+    let tenant = match err {
+        RocError::Service(ref se) => {
+            assert!(
+                se.to_string().contains("quota"),
+                "error should name the quota: {se}"
+            );
+            se.tenant
+        }
+        other => panic!("expected a structured service error, got {other:?}"),
+    };
+    assert!(tenant.0 > 0, "a service tenant, not the solo namespace");
+    assert!(
+        fs.tenant_used(tenant) <= 4096,
+        "ledger overcharged a rejected tenant: {} bytes",
+        fs.tenant_used(tenant)
+    );
+
+    // Recovery: drop the partial output, the account drains to zero...
+    for path in fs.list(&format!("out/quota/t{:04}/", tenant.0)) {
+        fs.delete(&path).unwrap();
+    }
+    assert_eq!(fs.tenant_used(tenant), 0, "delete must release the charge");
+
+    // ...and the same job, adequately provisioned, runs clean over the
+    // same store.
+    let cfg2 = base_cfg("mt-quota-retry", "out/quota-retry");
+    let mut retry = jobs(1, 1);
+    retry[0].quota = Some(64 * 1024 * 1024);
+    let report =
+        run_genx_multi(ClusterSpec::turing(N_SERVERS + 1), &fs, &cfg2, &retry).unwrap();
+    assert!(report.jobs[0].bytes_written > 4096);
+
+    // Determinism: the rejection reproduces identically on a fresh run.
+    let fs_b = Arc::new(SharedFs::turing());
+    let cfg_b = base_cfg("mt-quota", "out/quota");
+    let mut job_b = jobs(1, 1);
+    job_b[0].quota = Some(4096);
+    let err_b = run_genx_multi(ClusterSpec::turing(N_SERVERS + 1), &fs_b, &cfg_b, &job_b)
+        .expect_err("same quota, same workload, same rejection");
+    assert_eq!(err.to_string(), err_b.to_string());
+}
+
+#[test]
+fn equal_priority_tenants_drain_within_twice_of_each_other() {
+    // Four equal jobs competing for the pool: the DRR drain scheduler
+    // must keep every tenant's mean buffered-block latency within 2x of
+    // every other's (the PR's acceptance bar).
+    let n_tenants = 4;
+    let fs = Arc::new(SharedFs::turing());
+    let cfg = base_cfg("mt-fairness", "out/fair");
+    let js = jobs(n_tenants, 2);
+    let report = run_genx_multi(
+        ClusterSpec::turing(N_SERVERS + n_tenants * 2),
+        &fs,
+        &cfg,
+        &js,
+    )
+    .unwrap();
+    let drained: Vec<u64> = report.drain.iter().map(|(_, s)| s.blocks).collect();
+    assert!(
+        drained.iter().all(|&b| b > 0),
+        "every tenant should buffer through the servers, got {drained:?}"
+    );
+    let ratio = report.drain_fairness_ratio();
+    assert!(
+        ratio.is_finite() && ratio <= 2.0,
+        "equal-priority drain latency spread must stay within 2x, got {ratio:.3}"
+    );
+}

@@ -91,8 +91,16 @@ fn rebalance_with_collective_io() {
     let report = run_genx(ClusterSpec::ideal(5), &fs, &cfg).unwrap();
     assert!(report.restart_ok);
     // Every snapshot carries the full block population despite moves.
-    let snap_files = fs.list(&format!("{}/fluid_0005_", cfg.out_dir));
-    assert_eq!(snap_files.len(), 1);
+    // Match by basename: the service session writes under the job's
+    // tenant namespace (`{out_dir}/t0001/...`).
+    let snap_files: Vec<String> = fs
+        .list(&format!("{}/", cfg.out_dir))
+        .into_iter()
+        .filter(|p| {
+            p.rsplit('/').next().is_some_and(|base| base.starts_with("fluid_0005_"))
+        })
+        .collect();
+    assert_eq!(snap_files.len(), 1, "{snap_files:?}");
 }
 
 /// A deliberately skewed distribution converges: after rebalancing, the
