@@ -1,0 +1,456 @@
+//! `noncontig`: **virtual-time crossover** of the three noncontiguous
+//! read strategies — naive per-range, data sieving, and two-phase
+//! collective redistribution — plus the cost model's automatic choice.
+//!
+//! Two regimes, both on the Turing NFS disk model (seek 0.4 ms, 35 MB/s,
+//! the configuration whose seek cost makes scattered reads expensive):
+//!
+//! * **Stride-density sweep** (single reader): a fixed-stride slice of a
+//!   512 KiB extent at falling hole density. Dense holes are sieving's
+//!   regime — one covering read beats hundreds of seeks even though it
+//!   transfers the holes; once the gaps outgrow the seek·bandwidth
+//!   product, the sieve plan degenerates to per-range and the cost model
+//!   must say so.
+//! * **Partition mismatch** (collective): blocks written by N ranks are
+//!   read back by M ranks whose ownership is shuffled, so every reader's
+//!   sieve covers nearly every file. Two-phase's regime: a few
+//!   aggregators read each file domain once at low contention and
+//!   redistribute over the network. A matched partition is the control —
+//!   there redistribution buys nothing and the model must keep the
+//!   independent strategy.
+//!
+//! Every cell asserts byte-identity across strategies before it reports
+//! a time: strategies differ only in modelled cost, never in data.
+//!
+//! ```text
+//! cargo run --release -p bench --bin noncontig [--quick] [--out BENCH_PR10.json]
+//! cargo run --release -p bench --bin noncontig -- --sanity   # validate all BENCH_*.json
+//! ```
+//!
+//! Full mode gates: the winning strategy of each regime beats naive
+//! per-range ≥2x, and the automatic choice lands within 20% of the best
+//! strategy in every cell. `--quick` (the CI smoke) gates completion and
+//! identity only — the virtual times are deterministic, but small quick
+//! geometries don't show the full crossover margins.
+
+use rocio_core::{BlockId, DataBlock, Dataset, SimTime, SnapshotId};
+use rochdf::{read_partitioned, RochdfConfig};
+use rocnet::cluster::ClusterSpec;
+use rocnet::run_ranks;
+use rocsdf::{ReadCostModel, ReadStrategy, SdfFileReader, SdfFileWriter};
+use rocstore::model::DiskModel;
+use rocstore::SharedFs;
+
+/// Turing cluster network parameters (rocnet's model): per-message
+/// latency and point-to-point bandwidth the redistribution phase pays.
+const NET_LATENCY: f64 = 15e-6;
+const NET_BW: f64 = 100e6;
+
+fn pseudo_bytes(n: usize, seed: u64) -> Vec<u8> {
+    let mut x = seed.wrapping_mul(0x9e37_79b9_7f4a_7c15) | 1;
+    (0..n)
+        .map(|_| {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            (x & 0xff) as u8
+        })
+        .collect()
+}
+
+#[derive(serde::Serialize)]
+struct StrideCell {
+    count: usize,
+    block: usize,
+    stride: usize,
+    hole_density: f64,
+    t_per_range: SimTime,
+    t_sieve: SimTime,
+    t_auto: SimTime,
+    auto_choice: &'static str,
+    sieve_speedup: f64,
+    identity: bool,
+    completed: bool,
+}
+
+/// One stride-sweep cell: `count` pieces of `block` bytes every `stride`
+/// bytes of a fresh `file_len` file, timed under each strategy on its
+/// own fresh universe (the open-metadata/CRC caches warm by design, so
+/// fairness requires equal starting states).
+fn stride_cell(file_len: usize, count: usize, block: usize, stride: usize) -> StrideCell {
+    let ranges: Vec<(usize, usize)> = (0..count).map(|i| (i * stride, block)).collect();
+    let model = ReadCostModel::from_disk(&DiskModel::nfs_turing());
+    let data = pseudo_bytes(file_len, 41);
+    let fresh = || {
+        let fs = SharedFs::turing();
+        fs.create("extent", 0, 0.0);
+        fs.append("extent", &data, 0, 0.0).expect("append");
+        fs
+    };
+
+    let fs = fresh();
+    let (w_per, t_per_range) = fs
+        .read_shared_multi("extent", &ranges, 0.0, 1, 0.0)
+        .expect("per-range read");
+    let fs = fresh();
+    let (w_sieve, t_sieve) = fs
+        .read_sieved("extent", &ranges, 0.0, model.max_gap(), 1, 0.0)
+        .expect("sieved read");
+    let identity = w_per.len() == w_sieve.len()
+        && w_per
+            .iter()
+            .zip(w_sieve.iter())
+            .all(|(a, b)| a.as_ref() == b.as_ref());
+    assert!(identity, "sieve returned different bytes than per-range");
+
+    let (choice, _, _) = model.choose_local(&ranges);
+    let fs = fresh();
+    let t_auto = match choice {
+        ReadStrategy::Sieve => {
+            fs.read_sieved("extent", &ranges, 0.0, model.max_gap(), 1, 0.0)
+                .expect("auto sieved")
+                .1
+        }
+        _ => {
+            fs.read_shared_multi("extent", &ranges, 0.0, 1, 0.0)
+                .expect("auto per-range")
+                .1
+        }
+    };
+
+    let plan = model.plan(&ranges);
+    StrideCell {
+        count,
+        block,
+        stride,
+        hole_density: plan.hole_density(),
+        t_per_range,
+        t_sieve,
+        t_auto,
+        auto_choice: choice.name(),
+        sieve_speedup: t_per_range / t_sieve,
+        identity,
+        completed: true,
+    }
+}
+
+#[derive(serde::Serialize)]
+struct PartitionCell {
+    label: &'static str,
+    n_writers: usize,
+    blocks_per_writer: usize,
+    n_readers: usize,
+    n_aggregators: usize,
+    t_per_range: SimTime,
+    t_sieve: SimTime,
+    t_two_phase: SimTime,
+    t_auto: SimTime,
+    auto_choice: &'static str,
+    two_phase_speedup: f64,
+    identity: bool,
+    completed: bool,
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum CollectiveStrategy {
+    PerRange,
+    Sieve,
+    TwoPhase,
+}
+
+/// Build a fresh universe holding `n_writers` snapshot files of
+/// `blocks_per` blocks each and return it with the written blocks.
+fn write_universe(
+    cfg: &RochdfConfig,
+    n_writers: usize,
+    blocks_per: usize,
+    cells: usize,
+) -> (SharedFs, Vec<DataBlock>) {
+    let fs = SharedFs::turing();
+    let snap = SnapshotId::new(0, 0);
+    let mut written = Vec::new();
+    for w in 0..n_writers {
+        let path = cfg.path("fluid", snap, w);
+        let (mut fw, mut t) = SdfFileWriter::create(&fs, &path, cfg.lib, w as u64, 0.0).unwrap();
+        for b in 0..blocks_per {
+            let id = BlockId((w * blocks_per + b) as u64);
+            let vals: Vec<f64> = (0..cells).map(|i| (id.0 as usize * 7919 + i) as f64).collect();
+            let block = DataBlock::new(id, "fluid")
+                .with_dataset(Dataset::vector("p", vals).with_attr("units", "Pa"));
+            t = fw.append_block(&block, t).unwrap();
+            written.push(block);
+        }
+        fw.finish(t).unwrap();
+    }
+    (fs, written)
+}
+
+/// Execute one collective read strategy over a fresh universe and return
+/// (slowest rank's completion time, per-rank restored blocks sorted by id).
+#[allow(clippy::too_many_arguments)]
+fn collective_run(
+    cfg: &RochdfConfig,
+    n_writers: usize,
+    blocks_per: usize,
+    cells: usize,
+    n_readers: usize,
+    n_agg: usize,
+    reader_of: &(dyn Fn(u64) -> usize + Sync),
+    strategy: CollectiveStrategy,
+) -> (SimTime, Vec<Vec<DataBlock>>) {
+    let (fs, written) = write_universe(cfg, n_writers, blocks_per, cells);
+    let prefix = cfg.prefix("fluid", SnapshotId::new(0, 0));
+    let out = run_ranks(n_readers, ClusterSpec::turing(n_readers), |comm| {
+        let mine: Vec<BlockId> = written
+            .iter()
+            .map(|b| b.id)
+            .filter(|id| reader_of(id.0) == comm.rank())
+            .collect();
+        match strategy {
+            CollectiveStrategy::TwoPhase => {
+                read_partitioned(&fs, &comm, cfg.lib, &prefix, &mine, n_agg).expect("two-phase")
+            }
+            _ => {
+                // Individual path: every reader hunts its own blocks
+                // through every file, all readers on the disk at once.
+                fs.declare_readers(n_readers);
+                let client = comm.global_rank() as u64;
+                let mut now = comm.now();
+                let mut got = Vec::new();
+                for path in fs.list(&prefix) {
+                    let (reader, t) =
+                        SdfFileReader::open(&fs, &path, cfg.lib, client, now).expect("open");
+                    now = t;
+                    let present: Vec<BlockId> = reader
+                        .block_ids()
+                        .into_iter()
+                        .filter(|id| mine.contains(id))
+                        .collect();
+                    if present.is_empty() {
+                        continue;
+                    }
+                    if strategy == CollectiveStrategy::Sieve {
+                        let (blocks, t) =
+                            reader.read_blocks_sieved(&present, now).expect("sieved");
+                        now = t;
+                        got.extend(blocks);
+                    } else {
+                        for id in present {
+                            let (b, t) = reader.read_block_shared(id, now).expect("per-range");
+                            now = t;
+                            got.push(b);
+                        }
+                    }
+                }
+                got.sort_by_key(|b| b.id);
+                (got, now)
+            }
+        }
+    });
+    let t_max = out.iter().map(|(_, t)| *t).fold(0.0f64, f64::max);
+    (t_max, out.into_iter().map(|(b, _)| b).collect())
+}
+
+#[allow(clippy::too_many_arguments)]
+fn partition_cell(
+    label: &'static str,
+    n_writers: usize,
+    blocks_per: usize,
+    cells: usize,
+    n_readers: usize,
+    n_agg: usize,
+    reader_of: &(dyn Fn(u64) -> usize + Sync),
+) -> PartitionCell {
+    let cfg = RochdfConfig::default();
+    let run = |s| collective_run(&cfg, n_writers, blocks_per, cells, n_readers, n_agg, reader_of, s);
+    let (t_per_range, b_per) = run(CollectiveStrategy::PerRange);
+    let (t_sieve, b_sieve) = run(CollectiveStrategy::Sieve);
+    let (t_two_phase, b_two) = run(CollectiveStrategy::TwoPhase);
+    let identity = b_per == b_sieve && b_per == b_two;
+    assert!(identity, "{label}: strategies restored different blocks");
+
+    // The model's collective choice, fed the written layout: block i
+    // occupies ~(file_size / blocks_per) bytes at global offset i·that.
+    let (fs, written) = write_universe(&cfg, n_writers, blocks_per, cells);
+    let f0 = cfg.path("fluid", SnapshotId::new(0, 0), 0);
+    let enc = fs.file_size(&f0).expect("file size") / blocks_per;
+    let file_bytes = enc * written.len();
+    let per_reader: Vec<Vec<(usize, usize)>> = (0..n_readers)
+        .map(|r| {
+            written
+                .iter()
+                .filter(|b| reader_of(b.id.0) == r)
+                .map(|b| (b.id.0 as usize * enc, enc))
+                .collect()
+        })
+        .collect();
+    let model = ReadCostModel::from_disk(&DiskModel::nfs_turing())
+        .with_net(NET_LATENCY, NET_BW)
+        .with_lookup(cfg.lib.lookup_cost(blocks_per * 2));
+    let (choice, _) = model.choose_collective(&per_reader, file_bytes, n_agg);
+    let (t_auto, _) = run(match choice {
+        ReadStrategy::TwoPhase => CollectiveStrategy::TwoPhase,
+        ReadStrategy::Sieve => CollectiveStrategy::Sieve,
+        ReadStrategy::PerRange => CollectiveStrategy::PerRange,
+    });
+
+    PartitionCell {
+        label,
+        n_writers,
+        blocks_per_writer: blocks_per,
+        n_readers,
+        n_aggregators: n_agg,
+        t_per_range,
+        t_sieve,
+        t_two_phase,
+        t_auto,
+        auto_choice: choice.name(),
+        two_phase_speedup: t_per_range / t_two_phase,
+        identity,
+        completed: true,
+    }
+}
+
+#[derive(serde::Serialize)]
+struct Gates {
+    sieve_wins_dense_2x: bool,
+    two_phase_wins_mismatch_2x: bool,
+    auto_within_20pct_everywhere: bool,
+}
+
+#[derive(serde::Serialize)]
+struct Doc {
+    bench: &'static str,
+    quick: bool,
+    disk: &'static str,
+    stride_sweep: Vec<StrideCell>,
+    partition_mismatch: Vec<PartitionCell>,
+    gates: Gates,
+    completed: bool,
+}
+
+/// Validate every committed `BENCH_*.json`: parses as JSON and carries a
+/// top-level `"completed": true` marker (so a crashed or truncated bench
+/// run can't masquerade as a result).
+fn sanity() {
+    let mut checked = 0;
+    let mut entries: Vec<_> = std::fs::read_dir(".")
+        .expect("read cwd")
+        .filter_map(|e| e.ok())
+        .map(|e| e.file_name().to_string_lossy().into_owned())
+        .filter(|n| n.starts_with("BENCH_") && n.ends_with(".json"))
+        .collect();
+    entries.sort();
+    for name in entries {
+        let text = std::fs::read_to_string(&name).unwrap_or_else(|e| panic!("{name}: {e}"));
+        let doc: serde_json::Value =
+            serde_json::from_str(&text).unwrap_or_else(|e| panic!("{name}: invalid JSON: {e}"));
+        assert_eq!(
+            doc.get("completed").and_then(|v| v.as_bool()),
+            Some(true),
+            "{name}: missing top-level \"completed\": true"
+        );
+        checked += 1;
+        eprintln!("sanity: {name} ok");
+    }
+    assert!(checked > 0, "sanity: no BENCH_*.json found in cwd");
+    eprintln!("sanity: {checked} bench documents valid");
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--sanity") {
+        sanity();
+        return;
+    }
+    let quick = args.iter().any(|a| a == "--quick");
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| "BENCH_PR10.json".into());
+
+    // Regime 1: stride density sweep. 512 KiB extent, 2 KiB row stride;
+    // block width shrinks the holes from 99% down to 50%, then a
+    // wide-stride cell whose gaps exceed the sieve threshold entirely.
+    let file_len = 512 * 1024;
+    let stride = 2048;
+    let widths: &[usize] = if quick { &[16, 1024] } else { &[16, 64, 256, 1024] };
+    eprintln!("noncontig: stride-density sweep ({} cells)...", widths.len() + 1);
+    let mut stride_sweep: Vec<StrideCell> = widths
+        .iter()
+        .map(|&w| stride_cell(file_len, file_len / stride, w, stride))
+        .collect();
+    // Sparse control: 64 KiB gaps dwarf seek·bandwidth, sieving merges
+    // nothing and the model must fall back to per-range.
+    stride_sweep.push(stride_cell(file_len, 8, 64, 64 * 1024));
+    for c in &stride_sweep {
+        eprintln!(
+            "  block {:>4}B density {:.2}: per_range {:.4}s sieve {:.4}s auto={} ({:.4}s)",
+            c.block, c.hole_density, c.t_per_range, c.t_sieve, c.auto_choice, c.t_auto
+        );
+    }
+
+    // Regime 2: partition mismatch. Shuffled ownership (two-phase's
+    // regime) and a matched control where every reader wants exactly the
+    // file it would have written (independent reads' regime).
+    let (n_writers, blocks_per, cells) = if quick { (4, 4, 512) } else { (6, 8, 4096) };
+    let n_agg = 2;
+    eprintln!("noncontig: partition-mismatch cells...");
+    let shuffled = |id: u64| ((id.wrapping_mul(2654435761)) % (n_writers as u64)) as usize;
+    let matched = move |id: u64| (id as usize) / blocks_per;
+    let partition_mismatch = vec![
+        partition_cell("shuffled", n_writers, blocks_per, cells, n_writers, n_agg, &shuffled),
+        partition_cell("matched", n_writers, blocks_per, cells, n_writers, n_agg, &matched),
+    ];
+    for c in &partition_mismatch {
+        eprintln!(
+            "  {}: per_range {:.4}s sieve {:.4}s two_phase {:.4}s auto={} ({:.4}s)",
+            c.label, c.t_per_range, c.t_sieve, c.t_two_phase, c.auto_choice, c.t_auto
+        );
+    }
+
+    // Gates. Quick mode still computes them (the times are virtual and
+    // deterministic) but only enforces identity + completion: the small
+    // quick geometries don't carry the full crossover margins.
+    let dense = &stride_sweep[0];
+    let mismatch = &partition_mismatch[0];
+    let auto_ok = stride_sweep
+        .iter()
+        .all(|c| c.t_auto <= 1.2 * c.t_per_range.min(c.t_sieve))
+        && partition_mismatch
+            .iter()
+            .all(|c| c.t_auto <= 1.2 * c.t_per_range.min(c.t_sieve).min(c.t_two_phase));
+    let gates = Gates {
+        sieve_wins_dense_2x: dense.t_per_range >= 2.0 * dense.t_sieve,
+        two_phase_wins_mismatch_2x: mismatch.t_per_range >= 2.0 * mismatch.t_two_phase,
+        auto_within_20pct_everywhere: auto_ok,
+    };
+    if !quick {
+        assert!(
+            gates.sieve_wins_dense_2x,
+            "sieving must win the dense regime ≥2x (got {:.2}x)",
+            dense.sieve_speedup
+        );
+        assert!(
+            gates.two_phase_wins_mismatch_2x,
+            "two-phase must win the mismatch regime ≥2x (got {:.2}x)",
+            mismatch.two_phase_speedup
+        );
+        assert!(gates.auto_within_20pct_everywhere, "auto strayed >20% from best");
+    }
+
+    let doc = Doc {
+        bench: "noncontig",
+        quick,
+        disk: "nfs_turing",
+        stride_sweep,
+        partition_mismatch,
+        gates,
+        completed: true,
+    };
+    std::fs::write(&out_path, serde_json::to_string_pretty(&doc).expect("serialize"))
+        .unwrap_or_else(|e| panic!("write {out_path}: {e}"));
+    eprintln!("noncontig: wrote {out_path}");
+}

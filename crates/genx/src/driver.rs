@@ -5,7 +5,7 @@ use std::sync::Arc;
 
 use std::collections::BTreeMap;
 
-use rocio_core::{Priority, Result, RocError, TenantId};
+use rocio_core::{Priority, Result, RocError, SnapshotId, TenantId};
 use rocmesh::Workload;
 use rocnet::cluster::ClusterSpec;
 use rocnet::{run_on_fabric_sched, Comm, Fabric, FaultSpec, RelOnly, SchedConfig};
@@ -533,6 +533,133 @@ pub fn run_genx_multi(
     Ok(MultiTenantReport {
         jobs: reports,
         drain: drain.into_iter().collect(),
+    })
+}
+
+/// Outcome of a restart-only job ([`run_genx_restart`]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct RestartReport {
+    pub label: String,
+    /// Ranks the snapshot was read back onto (not necessarily the count
+    /// that wrote it).
+    pub n_ranks: usize,
+    /// Slowest rank's restart latency (virtual seconds).
+    pub restart_time: f64,
+    /// Order- and partition-independent XOR of every restored block's
+    /// checksum: restarts of the same snapshot agree on this value no
+    /// matter the rank count or read strategy.
+    pub state_hash: u64,
+    /// Total blocks restored across all ranks and windows.
+    pub blocks_read: u64,
+}
+
+/// Final snapshot id of a run with `cfg`'s schedule (one snapshot at
+/// step 0, then one every `snapshot_every`).
+pub fn final_snapshot(cfg: &GenxConfig) -> SnapshotId {
+    SnapshotId::new(cfg.steps, (cfg.steps / cfg.snapshot_every) as u32)
+}
+
+/// Restart-only job: re-partition `cfg.workload` over `cluster`'s ranks —
+/// possibly a *different* count than wrote the snapshot — and read `snap`
+/// back from `cfg.out_dir` through the Rochdf restart path.
+/// `cfg.rochdf.read_aggregators` selects the mechanism: `0` is the
+/// paper's individual path (every rank opens whichever files hold its
+/// blocks), positive routes through the two-phase collective (aggregators
+/// read whole file domains once and redistribute over the network).
+///
+/// Only workload kinds whose global block set is independent of the rank
+/// count (`LabScale`, `Custom`) can restart onto a different count;
+/// `Cylinder` is weak-scaling and owns different blocks per `n`.
+pub fn run_genx_restart(
+    cluster: ClusterSpec,
+    fs: &Arc<SharedFs>,
+    cfg: &GenxConfig,
+    snap: SnapshotId,
+) -> Result<RestartReport> {
+    use rocio_core::Checksum;
+    use roccom::AttrRef;
+
+    let n_ranks = cluster.n_ranks();
+    let fabric = Arc::new(Fabric::new(cluster));
+    let outcomes = run_on_fabric_sched(
+        &fabric,
+        &cfg.sched,
+        &|world| -> Result<(f64, u64, u64)> {
+            let rank = world.rank();
+            let n = world.size();
+            let (workload, mine) = match &cfg.workload {
+                WorkloadKind::LabScale { seed, scale } => {
+                    let w = Workload::lab_scale_motor_scaled(*seed, *scale);
+                    let mine = assign(&w, n)[rank].clone();
+                    (w, mine)
+                }
+                WorkloadKind::Cylinder { seed } => {
+                    let w = Workload::scalability_segment(rank, *seed);
+                    let mine = MyBlocks {
+                        fluid: (0..w.fluid.len()).collect(),
+                        solid: (0..w.solid_boxes.len()).collect(),
+                    };
+                    (w, mine)
+                }
+                WorkloadKind::Custom {
+                    seed,
+                    scale,
+                    n_fluid,
+                    n_solid,
+                } => {
+                    let w = Workload::lab_scale_custom(*seed, *scale, *n_fluid, *n_solid);
+                    let mine = assign(&w, n)[rank].clone();
+                    (w, mine)
+                }
+            };
+            let mut ws = Windows::new();
+            declare_windows_for(&mut ws, cfg.fluid_solver, cfg.solid_solver)?;
+            register_and_init_for(&mut ws, &workload, &mine, cfg.fluid_solver)?;
+
+            let mut hdf_cfg = cfg.rochdf.clone();
+            hdf_cfg.dir = cfg.out_dir.clone();
+            let mut io = Rochdf::new(fs, &world, hdf_cfg);
+            let windows = [
+                cfg.fluid_solver.window(),
+                crate::setup::SOLID_WINDOW,
+                crate::setup::BURN_WINDOW,
+            ];
+            let t0 = world.now();
+            for window in windows {
+                io.read_attribute(&mut ws, &roccom::AttrSelector::all(window), snap)?;
+            }
+            let latency = world.now() - t0;
+
+            // Partition-independent fingerprint of the restored state.
+            let mut hash = 0u64;
+            let mut blocks = 0u64;
+            for window in windows {
+                let w = ws.window(window)?;
+                for id in w.pane_ids() {
+                    let block =
+                        roccom::convert::pane_to_block(w, w.pane(id)?, &AttrRef::All)?;
+                    hash ^= Checksum::of_block(&block).0;
+                    blocks += 1;
+                }
+            }
+            Ok((latency, hash, blocks))
+        },
+    );
+    let mut restart_time = 0f64;
+    let mut state_hash = 0u64;
+    let mut blocks_read = 0u64;
+    for o in outcomes {
+        let (t, h, b) = o?;
+        restart_time = restart_time.max(t);
+        state_hash ^= h;
+        blocks_read += b;
+    }
+    Ok(RestartReport {
+        label: cfg.label.clone(),
+        n_ranks,
+        restart_time,
+        state_hash,
+        blocks_read,
     })
 }
 

@@ -49,8 +49,8 @@ pub mod setup;
 pub mod solid;
 
 pub use driver::{
-    run_genx, run_genx_multi, run_genx_traced, GenxConfig, IoChoice, MultiTenantReport,
-    TenantJobSpec, WorkloadKind,
+    final_snapshot, run_genx, run_genx_multi, run_genx_restart, run_genx_traced, GenxConfig,
+    IoChoice, MultiTenantReport, RestartReport, TenantJobSpec, WorkloadKind,
 };
 pub use report::RunReport;
 pub use rocman::Rocman;

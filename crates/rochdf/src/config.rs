@@ -16,6 +16,13 @@ pub struct RochdfConfig {
     pub buffer_copy_bw: f64,
     /// Modelled per-block buffering overhead (allocation, bookkeeping).
     pub buffer_block_overhead: f64,
+    /// Number of I/O-aggregator ranks for restart reads. `0` (the default)
+    /// keeps the paper's individual path — every rank reads its own
+    /// blocks. Any positive value routes `read_attribute` through the
+    /// two-phase collective ([`crate::twophase`]): the first
+    /// `read_aggregators` ranks each read whole file domains once and
+    /// redistribute over the network. Clamped to the communicator size.
+    pub read_aggregators: usize,
 }
 
 impl Default for RochdfConfig {
@@ -25,6 +32,7 @@ impl Default for RochdfConfig {
             dir: "out".into(),
             buffer_copy_bw: 80e6,
             buffer_block_overhead: 40e-6,
+            read_aggregators: 0,
         }
     }
 }

@@ -33,7 +33,9 @@ pub mod config;
 pub mod restart;
 pub mod rochdf;
 pub mod trochdf;
+pub mod twophase;
 
 pub use config::RochdfConfig;
+pub use twophase::{read_attribute_two_phase, read_partitioned};
 pub use rochdf::Rochdf;
 pub use trochdf::TRochdf;

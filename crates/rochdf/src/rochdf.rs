@@ -98,7 +98,13 @@ impl IoService for Rochdf<'_> {
         sel: &AttrSelector,
         snap: SnapshotId,
     ) -> Result<()> {
-        let t = read_attribute_individual(self.fs, self.comm, &self.cfg, windows, sel, snap)?;
+        let t = if self.cfg.read_aggregators > 0 {
+            crate::twophase::read_attribute_two_phase(
+                self.fs, self.comm, &self.cfg, windows, sel, snap,
+            )?
+        } else {
+            read_attribute_individual(self.fs, self.comm, &self.cfg, windows, sel, snap)?
+        };
         self.comm.clock().merge(t);
         Ok(())
     }

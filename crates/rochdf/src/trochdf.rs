@@ -222,7 +222,13 @@ impl IoService for TRochdf<'_> {
         // Restart must not race pending writes.
         self.drain()?;
         let t0 = self.comm.now();
-        let t = read_attribute_individual(&self.fs, self.comm, &self.cfg, windows, sel, snap)?;
+        let t = if self.cfg.read_aggregators > 0 {
+            crate::twophase::read_attribute_two_phase(
+                &self.fs, self.comm, &self.cfg, windows, sel, snap,
+            )?
+        } else {
+            read_attribute_individual(&self.fs, self.comm, &self.cfg, windows, sel, snap)?
+        };
         self.comm.clock().merge(t);
         if rocobs::enabled() {
             rocobs::record(

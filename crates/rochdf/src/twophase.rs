@@ -1,0 +1,494 @@
+//! Two-phase collective restart reads.
+//!
+//! The individual restart path has every rank hunt down its own blocks;
+//! when the reading partition does not match the written layout, each
+//! reader's accesses interleave with every other reader's and the file is
+//! effectively re-read once per rank. Two-phase collective I/O ("Optimizing
+//! Noncontiguous Accesses in MPI-IO", Thakur, Gropp, Lusk) fixes the access
+//! pattern instead: a few **I/O-aggregator** ranks each read one contiguous
+//! file domain exactly once (phase one), then redistribute the raw record
+//! bytes over the network to whichever rank asked for them (phase two).
+//!
+//! Phase two reuses the zero-copy wire path end to end: the aggregator
+//! ships each block as a scatter-gather segment list whose payload segments
+//! are windows into the frozen file image ([`SdfFileReader::read_blocks_raw`]),
+//! and the receiver decodes straight out of the arrived [`Bytes`] — the
+//! records are self-describing, so no re-encode happens on either side.
+//!
+//! Everything is deterministic: wanted-id lists travel through an
+//! `allgather` (collective, virtual-ordered), files are assigned to
+//! aggregators round-robin over the sorted listing, and receivers drain
+//! messages in the fabric's virtual order. Restarting onto a *different*
+//! rank count than the snapshot was written with needs no special casing —
+//! the wanted lists describe the new partition and the aggregators route
+//! accordingly.
+
+use std::collections::{BTreeMap, HashSet};
+
+use bytes::Bytes;
+use rocio_core::{BlockId, DataBlock, Result, RocError, Segment, SimTime};
+use rocnet::Comm;
+use rocsdf::format::{block_prefix, decode_dataset_shared, parse_block_meta};
+use rocsdf::{LibraryModel, SdfFileReader};
+use rocstore::SharedFs;
+
+use crate::config::RochdfConfig;
+use roccom::{AttrSelector, Windows};
+
+/// Tag of one redistributed block (header + raw record segments).
+pub const TAG_TP_BLOCK: u32 = 0x0070_0001;
+/// Tag of an aggregator's per-receiver completion notice (message count).
+pub const TAG_TP_DONE: u32 = 0x0070_0002;
+
+/// Collective partitioned read: every rank of `comm` calls this with its
+/// own `wanted` block ids; the first `n_aggregators` ranks read the
+/// snapshot files under `prefix` (round-robin, one contiguous domain read
+/// per file) and redistribute, and every rank returns with exactly the
+/// blocks it asked for, sorted by id. Errors if a wanted block exists in
+/// no file — after the drain, so no rank is left waiting.
+pub fn read_partitioned(
+    fs: &SharedFs,
+    comm: &Comm,
+    lib: LibraryModel,
+    prefix: &str,
+    wanted: &[BlockId],
+    n_aggregators: usize,
+) -> Result<(Vec<DataBlock>, SimTime)> {
+    let size = comm.size();
+    let rank = comm.rank();
+    let n_agg = n_aggregators.clamp(1, size);
+
+    // Phase zero: everyone learns who wants what (collective — every rank
+    // participates even with an empty wanted list).
+    let mut enc = Vec::with_capacity(wanted.len() * 8);
+    for id in wanted {
+        enc.extend_from_slice(&id.0.to_le_bytes());
+    }
+    let all = comm.allgather(&enc)?;
+    let mut want_of: BTreeMap<BlockId, Vec<usize>> = BTreeMap::new();
+    for (r, bytes) in all.iter().enumerate() {
+        for chunk in bytes.chunks_exact(8) {
+            let id = BlockId(u64::from_le_bytes(chunk.try_into().map_err(|_| {
+                RocError::Comm("two-phase: short id chunk".into())
+            })?));
+            want_of.entry(id).or_default().push(r);
+        }
+    }
+
+    // Every rank checks the listing so a missing snapshot fails the whole
+    // collective instead of stranding non-aggregators in their drain.
+    let files = fs.list(prefix);
+    if files.is_empty() {
+        return Err(RocError::Storage(format!(
+            "restart: no snapshot files under '{prefix}'"
+        )));
+    }
+
+    let mut got: Vec<DataBlock> = Vec::new();
+    let mut received: u64 = 0;
+    let mut expected: u64 = 0;
+    let mut dones = 0usize;
+    let expect_dones = n_agg - usize::from(rank < n_agg);
+
+    if rank < n_agg {
+        // Phase one: read owned file domains; phase two: route each block
+        // to its requesters (sends are eager, so no receive interleaving
+        // is needed for progress).
+        fs.declare_readers(n_agg);
+        let client = comm.global_rank() as u64;
+        let mut sent = vec![0u64; size];
+        let mut now = comm.now();
+        for (i, path) in files.iter().enumerate() {
+            if i % n_agg != rank {
+                continue;
+            }
+            let (reader, t_open) = SdfFileReader::open(fs, path, lib, client, now)?;
+            now = t_open;
+            let present: Vec<BlockId> = reader
+                .block_ids()
+                .into_iter()
+                .filter(|id| want_of.contains_key(id))
+                .collect();
+            if present.is_empty() {
+                continue;
+            }
+            let (raw, t) = reader.read_blocks_raw(&present, now)?;
+            now = t;
+            comm.clock().merge(now);
+            for (id, records) in &raw {
+                for &dst in &want_of[id] {
+                    if dst == rank {
+                        got.push(decode_block(*id, records)?);
+                    } else {
+                        comm.send_segments(dst, TAG_TP_BLOCK, &encode_block(*id, records))?;
+                        sent[dst] += 1;
+                    }
+                }
+            }
+        }
+        comm.clock().merge(now);
+        for (dst, &n) in sent.iter().enumerate() {
+            if dst != rank {
+                comm.send(dst, TAG_TP_DONE, &n.to_le_bytes())?;
+            }
+        }
+    }
+
+    // Drain: all completion notices, plus every block they promise.
+    while dones < expect_dones || received < expected {
+        let msg = comm.recv(None, None)?;
+        match msg.tag {
+            TAG_TP_DONE => {
+                let n = u64::from_le_bytes(msg.payload.as_ref().try_into().map_err(|_| {
+                    RocError::Comm("two-phase: malformed done notice".into())
+                })?);
+                dones += 1;
+                expected += n;
+            }
+            TAG_TP_BLOCK => {
+                got.push(decode_block_msg(&msg.payload)?);
+                received += 1;
+            }
+            other => {
+                return Err(RocError::Comm(format!(
+                    "two-phase: unexpected tag {other:#x} during drain"
+                )));
+            }
+        }
+    }
+
+    let have: HashSet<BlockId> = got.iter().map(|b| b.id).collect();
+    let mut missing: Vec<u64> =
+        wanted.iter().filter(|id| !have.contains(id)).map(|id| id.0).collect();
+    if !missing.is_empty() {
+        missing.sort_unstable();
+        return Err(RocError::NotFound(format!(
+            "two-phase restart: blocks {missing:?} not found under '{prefix}'"
+        )));
+    }
+    got.sort_by_key(|b| b.id);
+    Ok((got, comm.now()))
+}
+
+/// Two-phase variant of the restart read: collective over `comm`, applying
+/// the redistributed blocks to the selector's window. Returns this rank's
+/// virtual completion time.
+pub fn read_attribute_two_phase(
+    fs: &SharedFs,
+    comm: &Comm,
+    cfg: &RochdfConfig,
+    windows: &mut Windows,
+    sel: &AttrSelector,
+    snap: rocio_core::SnapshotId,
+) -> Result<SimTime> {
+    let wanted: Vec<BlockId> = windows.window(&sel.window)?.pane_ids();
+    let prefix = cfg.prefix(&sel.window, snap);
+    let (blocks, t) = read_partitioned(
+        fs,
+        comm,
+        cfg.lib,
+        &prefix,
+        &wanted,
+        cfg.read_aggregators,
+    )?;
+    for block in &blocks {
+        roccom::convert::apply_block(windows.window_mut(&sel.window)?, block)?;
+    }
+    Ok(t)
+}
+
+/// Wire image of one redistributed block: `[u64 id][u32 n][u64 len]*n`
+/// followed by the raw record bytes, meta record first. The records ride
+/// as shared segments — windows into the aggregator's frozen file image.
+fn encode_block(id: BlockId, records: &[Bytes]) -> Vec<Segment> {
+    let mut header = Vec::with_capacity(12 + records.len() * 8);
+    header.extend_from_slice(&id.0.to_le_bytes());
+    header.extend_from_slice(&(records.len() as u32).to_le_bytes());
+    for r in records {
+        header.extend_from_slice(&(r.len() as u64).to_le_bytes());
+    }
+    let mut segs = Vec::with_capacity(1 + records.len());
+    segs.push(Segment::Owned(header));
+    segs.extend(records.iter().cloned().map(Segment::Shared));
+    segs
+}
+
+fn decode_block_msg(payload: &Bytes) -> Result<DataBlock> {
+    let short = || RocError::Comm("two-phase: truncated block message".into());
+    let take = |pos: &mut usize, n: usize| -> Result<Bytes> {
+        if *pos + n > payload.len() {
+            return Err(short());
+        }
+        let b = payload.slice(*pos..*pos + n);
+        *pos += n;
+        Ok(b)
+    };
+    let mut pos = 0usize;
+    let id = BlockId(u64::from_le_bytes(
+        take(&mut pos, 8)?.as_ref().try_into().map_err(|_| short())?,
+    ));
+    let n = u32::from_le_bytes(
+        take(&mut pos, 4)?.as_ref().try_into().map_err(|_| short())?,
+    ) as usize;
+    let mut lens = Vec::with_capacity(n);
+    for _ in 0..n {
+        lens.push(u64::from_le_bytes(
+            take(&mut pos, 8)?.as_ref().try_into().map_err(|_| short())?,
+        ) as usize);
+    }
+    let mut records = Vec::with_capacity(n);
+    for len in lens {
+        records.push(take(&mut pos, len)?);
+    }
+    if pos != payload.len() {
+        return Err(RocError::Comm("two-phase: trailing bytes in block message".into()));
+    }
+    decode_block(id, &records)
+}
+
+/// Decode a block from its raw record images (meta first), verifying each
+/// record's payload CRC — the receiver is the integrity boundary on this
+/// path.
+fn decode_block(id: BlockId, records: &[Bytes]) -> Result<DataBlock> {
+    let meta = records
+        .first()
+        .ok_or_else(|| RocError::Corrupt(format!("two-phase: block {id} with no records")))?;
+    let meta = decode_dataset_shared(meta, &mut 0)?;
+    let (got_id, window, attrs) = parse_block_meta(&meta)?;
+    if got_id != id {
+        return Err(RocError::Corrupt(format!(
+            "two-phase: block meta id {got_id} != shipped {id}"
+        )));
+    }
+    let prefix = block_prefix(id);
+    let mut block = DataBlock::new(id, window);
+    block.attrs = attrs;
+    for rec in &records[1..] {
+        let mut ds = decode_dataset_shared(rec, &mut 0)?;
+        ds.name = ds
+            .name
+            .strip_prefix(&prefix)
+            .ok_or_else(|| {
+                RocError::Corrupt(format!(
+                    "two-phase: record '{}' outside block {id}",
+                    ds.name
+                ))
+            })?
+            .to_string();
+        block.push_dataset(ds)?;
+    }
+    Ok(block)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rocio_core::{DType, Dataset, SnapshotId};
+    use rocnet::cluster::ClusterSpec;
+    use rocnet::run_ranks;
+    use rocsdf::SdfFileWriter;
+
+    fn write_snapshot(fs: &SharedFs, n_writers: usize, blocks_per: usize) -> Vec<DataBlock> {
+        let cfg = RochdfConfig::default();
+        let snap = SnapshotId::new(0, 0);
+        let mut all = Vec::new();
+        for w in 0..n_writers {
+            let path = cfg.path("fluid", snap, w);
+            let (mut fw, mut t) = SdfFileWriter::create(fs, &path, cfg.lib, w as u64, 0.0).unwrap();
+            for b in 0..blocks_per {
+                let id = BlockId((w * blocks_per + b) as u64);
+                let block = DataBlock::new(id, "fluid").with_dataset(
+                    Dataset::vector("pressure", vec![id.0 as f64 + 0.5; 32])
+                        .with_attr("units", "Pa"),
+                );
+                t = fw.append_block(&block, t).unwrap();
+                all.push(block);
+            }
+            fw.finish(t).unwrap();
+        }
+        all
+    }
+
+    #[test]
+    fn partitioned_read_redistributes_onto_fewer_ranks() {
+        // Written by 6 writers, read back by 3 ranks with a shuffled
+        // partition (round-robin by id, nothing like the written layout).
+        let fs = SharedFs::turing();
+        let all = write_snapshot(&fs, 6, 4);
+        let cfg = RochdfConfig::default();
+        let prefix = cfg.prefix("fluid", SnapshotId::new(0, 0));
+        let want: Vec<Vec<BlockId>> = (0..3)
+            .map(|r| all.iter().map(|b| b.id).filter(|id| id.0 as usize % 3 == r).collect())
+            .collect();
+        let blocks = {
+            run_ranks(3, ClusterSpec::turing(3), |comm| {
+                let (blocks, t) = read_partitioned(
+                    &fs,
+                    &comm,
+                    LibraryModel::hdf4(),
+                    &prefix,
+                    &want[comm.rank()],
+                    2,
+                )
+                .unwrap();
+                assert!(t > 0.0);
+                blocks
+            })
+        };
+        for (r, got) in blocks.iter().enumerate() {
+            let mut expect: Vec<DataBlock> = all
+                .iter()
+                .filter(|b| b.id.0 as usize % 3 == r)
+                .cloned()
+                .collect();
+            expect.sort_by_key(|b| b.id);
+            assert_eq!(got, &expect, "rank {r}");
+        }
+    }
+
+    #[test]
+    fn single_rank_single_aggregator_reads_locally() {
+        let fs = SharedFs::ideal();
+        let all = write_snapshot(&fs, 2, 3);
+        let cfg = RochdfConfig::default();
+        let prefix = cfg.prefix("fluid", SnapshotId::new(0, 0));
+        let ids: Vec<BlockId> = all.iter().map(|b| b.id).collect();
+        let out = run_ranks(1, ClusterSpec::ideal(1), |comm| {
+            read_partitioned(&fs, &comm, LibraryModel::hdf4(), &prefix, &ids, 8).unwrap().0
+        });
+        assert_eq!(out[0].len(), all.len());
+    }
+
+    #[test]
+    fn missing_block_errors_on_the_wanting_rank_only() {
+        let fs = SharedFs::ideal();
+        write_snapshot(&fs, 2, 2);
+        let cfg = RochdfConfig::default();
+        let prefix = cfg.prefix("fluid", SnapshotId::new(0, 0));
+        let out = run_ranks(2, ClusterSpec::ideal(2), |comm| {
+            let want = if comm.rank() == 0 {
+                vec![BlockId(0), BlockId(999)]
+            } else {
+                vec![BlockId(1)]
+            };
+            read_partitioned(&fs, &comm, LibraryModel::hdf4(), &prefix, &want, 2).is_err()
+        });
+        assert!(out[0], "rank 0 wanted a ghost block");
+        assert!(!out[1], "rank 1's read must succeed");
+    }
+
+    #[test]
+    fn missing_snapshot_fails_every_rank_without_hanging() {
+        let fs = SharedFs::ideal();
+        let out = run_ranks(3, ClusterSpec::ideal(3), |comm| {
+            read_partitioned(
+                &fs,
+                &comm,
+                LibraryModel::hdf4(),
+                "out/nothing_here",
+                &[BlockId(comm.rank() as u64)],
+                2,
+            )
+            .is_err()
+        });
+        assert!(out.iter().all(|&e| e));
+    }
+
+    #[test]
+    fn block_message_round_trips_and_rejects_garbage() {
+        let block = DataBlock::new(BlockId(7), "fluid")
+            .with_dataset(Dataset::vector("p", vec![1.0f64, 2.0]).with_attr("units", "Pa"))
+            .with_attr("material", "gas");
+        // Encode the block's records the way a file stores them.
+        let fs = SharedFs::ideal();
+        let (mut w, t) =
+            SdfFileWriter::create(&fs, "one.sdf", LibraryModel::Raw, 0, 0.0).unwrap();
+        let t = w.append_block(&block, t).unwrap();
+        w.finish(t).unwrap();
+        let (r, t) = SdfFileReader::open(&fs, "one.sdf", LibraryModel::Raw, 0, 0.0).unwrap();
+        let (raw, _) = r.read_blocks_raw(&[BlockId(7)], t).unwrap();
+        let segs = encode_block(BlockId(7), &raw[0].1);
+        let image = Bytes::from(rocio_core::segments_to_vec(&segs));
+        let back = decode_block_msg(&image).unwrap();
+        assert_eq!(back, block);
+        // Truncations and trailing garbage are rejected, never panic.
+        for cut in [0, 4, 11, image.len() - 1] {
+            assert!(decode_block_msg(&image.slice(..cut)).is_err(), "cut at {cut}");
+        }
+        let mut extra = image.to_vec();
+        extra.push(0);
+        assert!(decode_block_msg(&Bytes::from(extra)).is_err());
+    }
+
+    #[test]
+    fn attribute_read_via_two_phase_restores_windows() {
+        use roccom::{AttrSpec, PaneMesh};
+        let fs = SharedFs::ideal();
+        let snap = SnapshotId::new(0, 0);
+        // Write with 4 ranks through the normal writer.
+        run_ranks(4, ClusterSpec::ideal(4), {
+            |comm| {
+                let mut ws = Windows::new();
+                let w = ws.create_window("fluid").unwrap();
+                w.declare_attr(AttrSpec::element("pressure", DType::F64, 1)).unwrap();
+                for i in 0..2usize {
+                    let id = BlockId((comm.rank() * 100 + i) as u64);
+                    w.register_pane(
+                        id,
+                        PaneMesh::Structured {
+                            dims: [2 + i, 2, 2],
+                            origin: [i as f64, 0.0, 0.0],
+                            spacing: [0.5; 3],
+                        },
+                    )
+                    .unwrap();
+                    let n = w.pane(id).unwrap().data("pressure").unwrap().len();
+                    w.pane_mut(id)
+                        .unwrap()
+                        .set_data("pressure", rocio_core::ArrayData::F64(vec![3.0 + id.0 as f64; n]))
+                        .unwrap();
+                }
+                let mut io = crate::Rochdf::new(&fs, &comm, RochdfConfig::default());
+                use roccom::IoService;
+                io.write_attribute(&ws, &AttrSelector::all("fluid"), snap).unwrap();
+            }
+        });
+        // Restart with 2 ranks via the two-phase path.
+        let ok = run_ranks(2, ClusterSpec::ideal(2), |comm| {
+            let mut ws = Windows::new();
+            let w = ws.create_window("fluid").unwrap();
+            w.declare_attr(AttrSpec::element("pressure", DType::F64, 1)).unwrap();
+            for old in [comm.rank() * 2, comm.rank() * 2 + 1] {
+                for i in 0..2usize {
+                    let id = BlockId((old * 100 + i) as u64);
+                    w.register_pane(
+                        id,
+                        PaneMesh::Structured {
+                            dims: [2 + i, 2, 2],
+                            origin: [i as f64, 0.0, 0.0],
+                            spacing: [0.5; 3],
+                        },
+                    )
+                    .unwrap();
+                }
+            }
+            let cfg = RochdfConfig { read_aggregators: 2, ..Default::default() };
+            read_attribute_two_phase(
+                &fs,
+                &comm,
+                &cfg,
+                &mut ws,
+                &AttrSelector::all("fluid"),
+                snap,
+            )
+            .unwrap();
+            let w = ws.window("fluid").unwrap();
+            let restored = w.panes().all(|p| {
+                let v = p.data("pressure").unwrap().as_f64().unwrap();
+                v.iter().all(|&x| x == 3.0 + p.id.0 as f64)
+            });
+            restored
+        });
+        assert!(ok.iter().all(|&b| b));
+    }
+}

@@ -9,7 +9,7 @@
 
 use std::collections::{HashMap, HashSet, VecDeque};
 
-use rocio_core::{DataBlock, Priority, Result, RocError, SnapshotId, TenantId};
+use rocio_core::{BlockId, DataBlock, Priority, Result, RocError, SnapshotId, TenantId};
 use rocnet::{Comm, Message};
 use rocsdf::{SdfFileReader, SdfFileWriter, SegmentPool};
 use rocstore::SharedFs;
@@ -982,8 +982,10 @@ impl<'a> PandaServer<'a> {
             )));
         }
         let m = self.server_ranks.len();
-        let mut sent_per_client: HashMap<usize, u32> = HashMap::new();
         let client_id = self.world.global_rank() as u64;
+        // Per-client share of the blocks this server read, accumulated
+        // across its file domains and shipped as one READ_BATCH each.
+        let mut per_client: HashMap<usize, Vec<BlockMsg>> = HashMap::new();
         for (i, path) in files.iter().enumerate() {
             if i % m != self.server_index {
                 continue;
@@ -991,29 +993,41 @@ impl<'a> PandaServer<'a> {
             let (reader, t) =
                 SdfFileReader::open(self.fs, path, self.cfg.lib, client_id, self.world.now())?;
             self.world.clock().merge(t);
-            for id in reader.block_ids() {
-                if let Some(&client) = owner.get(&id.0) {
-                    // Coalesced, zero-copy read: the block comes back as
-                    // refcounted windows into the file image, and the
-                    // scatter-gather encode ships them without a copy.
-                    let (block, t) = reader.read_block_shared(id, self.world.now())?;
-                    self.world.clock().merge(t);
-                    let msg = BlockMsg {
-                        snap: key.snap,
-                        window: key.window.clone(),
-                        block,
-                    };
-                    let mut segs = Vec::new();
-                    msg.encode_segments(&mut self.pool, &mut segs);
-                    self.net.send_segments(client, tag::READ_BLOCK, &segs)?;
-                    self.pool.recycle(&mut segs);
-                    *sent_per_client.entry(client).or_insert(0) += 1;
-                    self.stats.restart_blocks_sent += 1;
-                }
+            let present: Vec<BlockId> = reader
+                .block_ids()
+                .into_iter()
+                .filter(|id| owner.contains_key(&id.0))
+                .collect();
+            if present.is_empty() {
+                continue;
+            }
+            // Sieved batch read: the whole requested span of this file
+            // comes back in as few covering disk reads as the hole
+            // density allows, each block still a set of refcounted
+            // windows into the file image (no copies).
+            let (blocks, t) = reader.read_blocks_sieved(&present, self.world.now())?;
+            self.world.clock().merge(t);
+            for block in blocks {
+                let client = owner[&block.id.0];
+                per_client.entry(client).or_default().push(BlockMsg {
+                    snap: key.snap,
+                    window: key.window.clone(),
+                    block,
+                });
             }
         }
         for (client, _) in requests {
-            let n = sent_per_client.get(client).copied().unwrap_or(0);
+            let n = match per_client.get(client) {
+                Some(msgs) if !msgs.is_empty() => {
+                    let mut segs = Vec::new();
+                    wire::encode_read_batch_segments(msgs, &mut self.pool, &mut segs);
+                    self.net.send_segments(*client, tag::READ_BATCH, &segs)?;
+                    self.pool.recycle(&mut segs);
+                    self.stats.restart_blocks_sent += msgs.len() as u64;
+                    msgs.len() as u32
+                }
+                _ => 0,
+            };
             self.net
                 .send(*client, tag::READ_DONE, &wire::encode_read_done(n))?;
         }

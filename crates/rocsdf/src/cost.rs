@@ -16,6 +16,8 @@
 //! processors.
 
 use rocio_core::SimTime;
+use rocstore::model::{ContentionCurve, DiskModel};
+use rocstore::sieve::SievePlan;
 
 /// Per-dataset overhead model of the underlying scientific I/O library.
 #[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
@@ -105,6 +107,194 @@ impl LibraryModel {
     }
 }
 
+/// Which access method a noncontiguous read should use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub enum ReadStrategy {
+    /// One I/O request per requested range (the naive path).
+    PerRange,
+    /// Data sieving: one contiguous read per hole-cluster, pieces carved
+    /// out of the covering window ([`rocstore::SharedFs::read_sieved`]).
+    Sieve,
+    /// Two-phase collective: aggregator ranks each read one contiguous
+    /// file domain and redistribute over the network.
+    TwoPhase,
+}
+
+impl ReadStrategy {
+    /// Strategy name for reports.
+    pub fn name(&self) -> &'static str {
+        match self {
+            ReadStrategy::PerRange => "per_range",
+            ReadStrategy::Sieve => "sieve",
+            ReadStrategy::TwoPhase => "two_phase",
+        }
+    }
+}
+
+/// Seek/transfer/redistribution cost model for noncontiguous reads.
+///
+/// Estimates, per request, what each strategy would cost — mirroring how
+/// [`rocstore`] charges reads (seek + bytes/bandwidth, scaled by the read
+/// contention curve) and how [`rocnet`-style] links charge messages
+/// (latency + bytes/bandwidth) — and picks the cheapest. This is the
+/// Thakur/Gropp/Lusk crossover made explicit: sieving wins when holes are
+/// dense (merging amortizes seeks), two-phase wins when per-reader access
+/// interleaves so badly that every reader would otherwise sieve the whole
+/// file, and per-range wins when the request is already near-contiguous
+/// or too sparse to merge.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct ReadCostModel {
+    /// Fixed cost per I/O request (from [`DiskModel::seek`]).
+    pub seek: SimTime,
+    /// Sequential read bandwidth in bytes/s (from [`DiskModel::read_bw`]).
+    pub read_bw: f64,
+    /// Read-side contention curve (from [`DiskModel::read_contention`]).
+    pub read_contention: ContentionCurve,
+    /// One-way network latency per message, for redistribution.
+    pub net_latency: SimTime,
+    /// Network bandwidth in bytes/s, for redistribution.
+    pub net_bw: f64,
+    /// Library lookup lead charged before each independent read request
+    /// (a [`LibraryModel::lookup_cost`]); zero for raw extents. Sieving
+    /// and two-phase amortize it — one lead per covering window or file
+    /// domain instead of one per range.
+    pub lookup: SimTime,
+}
+
+impl ReadCostModel {
+    /// Build from a disk model, with no network (two-phase unavailable —
+    /// its estimate is infinite until [`ReadCostModel::with_net`]).
+    pub fn from_disk(disk: &DiskModel) -> Self {
+        ReadCostModel {
+            seek: disk.seek,
+            read_bw: disk.read_bw,
+            read_contention: disk.read_contention,
+            net_latency: 0.0,
+            net_bw: 0.0,
+            lookup: 0.0,
+        }
+    }
+
+    /// Attach redistribution-network parameters.
+    pub fn with_net(mut self, net_latency: SimTime, net_bw: f64) -> Self {
+        self.net_latency = net_latency;
+        self.net_bw = net_bw;
+        self
+    }
+
+    /// Attach a per-request library lookup lead (e.g. HDF4's linear
+    /// directory scan), charged once per range / covering window / file
+    /// domain by the respective strategies.
+    pub fn with_lookup(mut self, lookup: SimTime) -> Self {
+        self.lookup = lookup;
+        self
+    }
+
+    /// Largest hole worth reading through instead of paying a fresh seek:
+    /// a gap of `g` bytes costs `g / read_bw` to read and `seek` to skip.
+    pub fn max_gap(&self) -> usize {
+        (self.seek * self.read_bw) as usize
+    }
+
+    /// Build the sieve plan this model would use for `ranges`.
+    pub fn plan(&self, ranges: &[(usize, usize)]) -> SievePlan {
+        SievePlan::build(ranges, self.max_gap())
+    }
+
+    /// Estimated cost of reading `ranges` one request at a time (zero-length
+    /// and duplicate ranges are free, mirroring `read_shared_multi`).
+    pub fn per_range_cost(&self, ranges: &[(usize, usize)]) -> SimTime {
+        let mut seen = std::collections::HashSet::with_capacity(ranges.len());
+        let mut t = 0.0;
+        for &(offset, len) in ranges {
+            if len == 0 || !seen.insert((offset, len)) {
+                continue;
+            }
+            t += self.lookup + self.seek + len as f64 / self.read_bw;
+        }
+        t
+    }
+
+    /// Estimated cost of executing a sieve plan: one seek and one transfer
+    /// (holes included) per covering window.
+    pub fn sieve_cost(&self, plan: &SievePlan) -> SimTime {
+        plan.n_windows() as f64 * (self.lookup + self.seek)
+            + plan.total_bytes as f64 / self.read_bw
+    }
+
+    /// Pick the cheaper of per-range and sieving for a single reader's
+    /// request; returns the choice, the plan, and the estimate. Per-range
+    /// wins ties (a plan that merges nothing is the same I/O).
+    pub fn choose_local(&self, ranges: &[(usize, usize)]) -> (ReadStrategy, SievePlan, SimTime) {
+        let plan = self.plan(ranges);
+        let per = self.per_range_cost(ranges);
+        let sieve = self.sieve_cost(&plan);
+        if sieve < per {
+            (ReadStrategy::Sieve, plan, sieve)
+        } else {
+            (ReadStrategy::PerRange, plan, per)
+        }
+    }
+
+    /// Estimated cost of a two-phase collective read: `n_aggregators`
+    /// concurrently each read one contiguous `file_bytes / n_aggregators`
+    /// domain (read contention applies among them), then redistribute the
+    /// `wanted_bytes` that readers actually asked for — one message per
+    /// (aggregator, reader) pair plus the per-aggregator share of the
+    /// payload on the wire.
+    pub fn two_phase_cost(
+        &self,
+        file_bytes: usize,
+        wanted_bytes: usize,
+        n_aggregators: usize,
+        n_readers: usize,
+    ) -> SimTime {
+        if n_aggregators == 0 || self.net_bw <= 0.0 {
+            return f64::INFINITY;
+        }
+        let domain = (file_bytes as f64 / n_aggregators as f64).ceil();
+        let factor = self.read_contention.factor(n_aggregators);
+        let read = self.lookup + self.seek + domain / self.read_bw * factor;
+        let redistribute = self.net_latency * n_readers as f64
+            + (wanted_bytes as f64 / n_aggregators as f64) / self.net_bw;
+        read + redistribute
+    }
+
+    /// Pick a strategy for a collective read where `n_readers` ranks each
+    /// want their own range list from one shared file of `file_bytes`.
+    /// Independent strategies cost each reader its own best local choice,
+    /// slowed by the read contention of all readers hitting the disk at
+    /// once; two-phase reads the file exactly once across aggregators.
+    /// Earlier strategies win ties (per-range < sieve < two-phase in
+    /// mechanism complexity).
+    pub fn choose_collective(
+        &self,
+        per_reader: &[Vec<(usize, usize)>],
+        file_bytes: usize,
+        n_aggregators: usize,
+    ) -> (ReadStrategy, SimTime) {
+        let n_readers = per_reader.len().max(1);
+        let factor = self.read_contention.factor(n_readers);
+        let mut per = 0.0f64;
+        let mut sieve = 0.0f64;
+        let mut wanted = 0usize;
+        for ranges in per_reader {
+            let plan = self.plan(ranges);
+            per = per.max(self.per_range_cost(ranges) * factor);
+            sieve = sieve.max(self.sieve_cost(&plan) * factor);
+            wanted += plan.useful_bytes;
+        }
+        let two = self.two_phase_cost(file_bytes, wanted, n_aggregators, n_readers);
+        let mut best = (ReadStrategy::PerRange, per);
+        for cand in [(ReadStrategy::Sieve, sieve), (ReadStrategy::TwoPhase, two)] {
+            if cand.1 < best.1 {
+                best = cand;
+            }
+        }
+        best
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -159,6 +349,76 @@ mod tests {
                 prev_l = l;
             }
         }
+    }
+
+    fn turing_read_model() -> ReadCostModel {
+        // Turing network link: 15 µs latency, 100 MB/s (rocnet::model).
+        ReadCostModel::from_disk(&DiskModel::nfs_turing()).with_net(15e-6, 100e6)
+    }
+
+    #[test]
+    fn read_model_crossover_dense_sieves_sparse_does_not() {
+        let m = turing_read_model();
+        assert!(m.max_gap() > 0);
+        // Dense stride: 512-byte pieces every 4 KiB — holes far below
+        // max_gap (seek·bw = 14 KB on Turing), so sieving must win.
+        let dense: Vec<_> = (0..256).map(|i| (i * 4096, 512)).collect();
+        let (s, plan, est) = m.choose_local(&dense);
+        assert_eq!(s, ReadStrategy::Sieve);
+        assert_eq!(plan.n_windows(), 1);
+        assert!(est < m.per_range_cost(&dense) / 2.0);
+        // Sparse stride: pieces separated by far more than max_gap — the
+        // plan merges nothing and per-range wins the tie.
+        let sparse: Vec<_> = (0..16).map(|i| (i * 10 * m.max_gap(), 512)).collect();
+        let (s, plan, est) = m.choose_local(&sparse);
+        assert_eq!(s, ReadStrategy::PerRange);
+        assert_eq!(plan.n_windows(), sparse.len());
+        assert_eq!(est, m.per_range_cost(&sparse));
+    }
+
+    #[test]
+    fn read_model_two_phase_wins_on_partition_mismatch() {
+        let m = turing_read_model();
+        // 8 readers round-robin over 4096 blocks of 2 KiB: every reader's
+        // sieve covers nearly the whole file, so each of the 8 re-reads
+        // ~8 MiB while two aggregators read it once between them.
+        let block = 2048usize;
+        let n_blocks = 4096usize;
+        let readers = 8usize;
+        let per_reader: Vec<Vec<_>> = (0..readers)
+            .map(|r| {
+                (0..n_blocks)
+                    .filter(|b| b % readers == r)
+                    .map(|b| (b * block, block))
+                    .collect()
+            })
+            .collect();
+        let file_bytes = n_blocks * block;
+        let (s, est) = m.choose_collective(&per_reader, file_bytes, 4);
+        assert_eq!(s, ReadStrategy::TwoPhase);
+        let sieve_est = per_reader
+            .iter()
+            .map(|r| m.sieve_cost(&m.plan(r)) * m.read_contention.factor(readers))
+            .fold(0.0f64, f64::max);
+        assert!(est < sieve_est / 2.0, "two-phase {est} not ≥2x under sieve {sieve_est}");
+        // A matched partition (each reader one contiguous run) keeps the
+        // independent strategy: no redistribution needed.
+        let matched: Vec<Vec<_>> = (0..readers)
+            .map(|r| vec![(r * file_bytes / readers, file_bytes / readers)])
+            .collect();
+        let (s, _) = m.choose_collective(&matched, file_bytes, 2);
+        assert_ne!(s, ReadStrategy::TwoPhase);
+    }
+
+    #[test]
+    fn read_model_without_net_never_picks_two_phase() {
+        let m = ReadCostModel::from_disk(&DiskModel::nfs_turing());
+        let per_reader: Vec<Vec<_>> = (0..4)
+            .map(|r| (0..64).map(|b| ((b * 4 + r) * 1024, 1024)).collect())
+            .collect();
+        let (s, est) = m.choose_collective(&per_reader, 64 * 4 * 1024, 2);
+        assert_ne!(s, ReadStrategy::TwoPhase);
+        assert!(est.is_finite());
     }
 
     #[test]

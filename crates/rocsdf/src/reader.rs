@@ -7,10 +7,11 @@ use std::sync::Arc;
 use rocio_core::{BlockId, DataBlock, Dataset, Result, RocError, SimTime};
 use rocstore::SharedFs;
 
-use crate::cost::LibraryModel;
+use crate::cost::{LibraryModel, ReadCostModel, ReadStrategy};
 use crate::format::{
     check_header, decode_dataset, decode_dataset_shared_with, decode_index, decode_trailer,
-    parse_block_id, parse_block_meta, IndexEntry, BLOCK_META, HEADER_LEN, TRAILER_LEN,
+    parse_block_id, parse_block_meta, DatasetHeader, IndexEntry, BLOCK_META, HEADER_LEN,
+    TRAILER_LEN,
 };
 
 /// The parsed trailer + index of one open, cached in the file system's
@@ -310,25 +311,7 @@ impl<'fs> SdfFileReader<'fs> {
     ) -> Result<(Dataset, SimTime)> {
         let e = self.entry(name)?;
         let lookup = self.lib.lookup_cost(self.meta.index.len());
-        // Read the record header (grow until it parses), then just the
-        // requested payload bytes.
-        let mut header_guess = 256usize.min(e.len as usize);
-        let (header, mut t) = loop {
-            let (bytes, t) = self.fs.read(
-                &self.path,
-                e.offset as usize,
-                header_guess,
-                self.client,
-                now + lookup,
-            )?;
-            match crate::format::decode_dataset_header(&bytes) {
-                Ok(h) => break (h, t),
-                Err(_) if header_guess < e.len as usize => {
-                    header_guess = (header_guess * 2).min(e.len as usize);
-                }
-                Err(err) => return Err(err),
-            }
-        };
+        let (header, mut t) = self.read_record_header(e, now + lookup)?;
         let total_elems: usize = header.shape.iter().product();
         if start + n > total_elems {
             return Err(RocError::Mismatch(format!(
@@ -348,6 +331,320 @@ impl<'fs> SdfFileReader<'fs> {
         t = t2;
         let data = rocio_core::ArrayData::from_le_bytes(header.dtype, n, &bytes)?;
         Ok((Dataset::new(name, vec![n], data)?, t))
+    }
+
+    /// Read a record's header, growing the read until it parses (the
+    /// header length is not known until the name/shape/attrs are seen).
+    fn read_record_header(
+        &self,
+        e: &IndexEntry,
+        now: SimTime,
+    ) -> Result<(DatasetHeader, SimTime)> {
+        let mut header_guess = 256usize.min(e.len as usize);
+        loop {
+            let (bytes, t) = self.fs.read(
+                &self.path,
+                e.offset as usize,
+                header_guess,
+                self.client,
+                now,
+            )?;
+            match crate::format::decode_dataset_header(&bytes) {
+                Ok(h) => return Ok((h, t)),
+                Err(_) if header_guess < e.len as usize => {
+                    header_guess = (header_guess * 2).min(e.len as usize);
+                }
+                Err(err) => return Err(err),
+            }
+        }
+    }
+
+    /// The noncontiguous-read cost model for this file's disk (no network
+    /// attached: strictly a per-range-vs-sieve decision).
+    pub fn read_cost_model(&self) -> ReadCostModel {
+        ReadCostModel::from_disk(self.fs.model())
+    }
+
+    /// Read a strided hyperslab of one dataset: `count` pieces of
+    /// `block` flat elements each, the `i`-th starting at element
+    /// `start + i*stride` — the ghost-zone/column-slice access pattern.
+    /// The cost model picks data sieving when the inter-piece holes are
+    /// dense enough that covering reads beat per-piece seeks, and
+    /// per-range otherwise; either way the returned dataset (shape
+    /// `[count, block]`) is byte-identical.
+    pub fn read_dataset_strided(
+        &self,
+        name: &str,
+        start: usize,
+        count: usize,
+        block: usize,
+        stride: usize,
+        now: SimTime,
+    ) -> Result<(Dataset, SimTime)> {
+        let e = self.entry(name)?;
+        let lookup = self.lib.lookup_cost(self.meta.index.len());
+        let (header, t) = self.read_record_header(e, now + lookup)?;
+        let total_elems: usize = header.shape.iter().product();
+        if count > 0 {
+            let last_end = start + (count - 1) * stride + block;
+            if last_end > total_elems {
+                return Err(RocError::Mismatch(format!(
+                    "strided read ends at {last_end}, beyond dataset '{name}' ({total_elems} elems)"
+                )));
+            }
+        }
+        let esize = header.dtype.size();
+        let payload_off = e.offset as usize + header.header_len;
+        let ranges: Vec<(usize, usize)> = (0..count)
+            .map(|i| (payload_off + (start + i * stride) * esize, block * esize))
+            .collect();
+        let model = self.read_cost_model();
+        let (strategy, _, _) = model.choose_local(&ranges);
+        let (windows, t2) = match strategy {
+            ReadStrategy::Sieve => self.fs.read_sieved(
+                &self.path,
+                &ranges,
+                0.0,
+                model.max_gap(),
+                self.client,
+                t,
+            )?,
+            _ => self
+                .fs
+                .read_shared_multi(&self.path, &ranges, 0.0, self.client, t)?,
+        };
+        let mut buf = Vec::with_capacity(count * block * esize);
+        for w in &windows {
+            buf.extend_from_slice(w);
+        }
+        let data = rocio_core::ArrayData::from_le_bytes(header.dtype, count * block, &buf)?;
+        Ok((Dataset::new(name, vec![count, block], data)?, t2))
+    }
+
+    /// Read a block's `__meta__` plus only the named member datasets —
+    /// the attribute-subset restart access ("just the pressure field").
+    /// Member names are the unprefixed names used inside the block. The
+    /// cost model picks sieving when the skipped members leave dense
+    /// holes, per-range otherwise; results are byte-identical to carving
+    /// the full [`SdfFileReader::read_block_shared`] down to the subset.
+    pub fn read_block_subset(
+        &self,
+        id: BlockId,
+        members: &[&str],
+        now: SimTime,
+    ) -> Result<(DataBlock, SimTime)> {
+        let prefix = crate::format::block_prefix(id);
+        let meta_name = format!("{prefix}{BLOCK_META}");
+        for m in members {
+            if !self.contains(&format!("{prefix}{m}")) {
+                return Err(RocError::NotFound(format!(
+                    "dataset '{prefix}{m}' in '{}'",
+                    self.path
+                )));
+            }
+        }
+        // Meta first, then requested members in file order (duplicates in
+        // `members` collapse: the index is walked once).
+        let mut picks: Vec<usize> = vec![self.entry_idx(&meta_name)?];
+        for (i, e) in self.meta.index.iter().enumerate() {
+            if let Some(member) = e.name.strip_prefix(&prefix) {
+                if member != BLOCK_META && members.contains(&member) {
+                    picks.push(i);
+                }
+            }
+        }
+        let lookup = self.lib.lookup_cost(self.meta.index.len());
+        let ranges: Vec<(usize, usize)> = picks
+            .iter()
+            .map(|&i| {
+                let e = &self.meta.index[i];
+                (e.offset as usize, e.len as usize)
+            })
+            .collect();
+        let model = self.read_cost_model().with_lookup(lookup);
+        let (strategy, _, _) = model.choose_local(&ranges);
+        let (windows, t) = match strategy {
+            ReadStrategy::Sieve => self.fs.read_sieved(
+                &self.path,
+                &ranges,
+                lookup,
+                model.max_gap(),
+                self.client,
+                now,
+            )?,
+            _ => self
+                .fs
+                .read_shared_multi(&self.path, &ranges, lookup, self.client, now)?,
+        };
+        let meta = self.decode_shared_verified_once(picks[0], &windows[0], &mut 0)?;
+        let (got_id, window, attrs) = parse_block_meta(&meta)?;
+        if got_id != id {
+            return Err(RocError::Corrupt(format!(
+                "block meta id {got_id} != requested {id}"
+            )));
+        }
+        let mut block = DataBlock::new(id, window);
+        block.attrs = attrs;
+        for (&i, w) in picks[1..].iter().zip(&windows[1..]) {
+            let e = &self.meta.index[i];
+            let member = e.name.strip_prefix(&prefix).expect("filtered on prefix");
+            let mut ds = self.decode_shared_verified_once(i, w, &mut 0)?;
+            ds.name = member.to_string();
+            block.push_dataset(ds)?;
+        }
+        Ok((block, t))
+    }
+
+    /// Read several blocks in one planned batch: the request's record
+    /// extents go through the sieve planner together, so blocks that are
+    /// near each other in the file share covering reads. Byte-identical
+    /// to chaining [`SdfFileReader::read_block_shared`] over `ids`; when
+    /// the cost model keeps per-range access the charges are identical
+    /// too (one lookup + one read per record, in the same order). Blocks
+    /// whose records are interleaved with foreign data fall back to the
+    /// per-block path.
+    pub fn read_blocks_sieved(
+        &self,
+        ids: &[BlockId],
+        now: SimTime,
+    ) -> Result<(Vec<DataBlock>, SimTime)> {
+        // Gather each block's records (meta first, members in file order).
+        let mut per_block: Vec<(BlockId, String, Vec<usize>)> = Vec::with_capacity(ids.len());
+        let mut clean = true;
+        for &id in ids {
+            let prefix = crate::format::block_prefix(id);
+            let meta_name = format!("{prefix}{BLOCK_META}");
+            let picks: Vec<usize> = self
+                .meta
+                .index
+                .iter()
+                .enumerate()
+                .filter(|(_, e)| e.name.starts_with(&prefix))
+                .map(|(i, _)| i)
+                .collect();
+            match picks.first() {
+                Some(&first) if self.meta.index[first].name == meta_name => {}
+                _ => clean = false,
+            }
+            per_block.push((id, prefix, picks));
+        }
+        if !clean {
+            let mut t = now;
+            let mut out = Vec::with_capacity(ids.len());
+            for &id in ids {
+                let (b, t2) = self.read_block_shared(id, t)?;
+                t = t2;
+                out.push(b);
+            }
+            return Ok((out, t));
+        }
+        let lookup = self.lib.lookup_cost(self.meta.index.len());
+        let ranges: Vec<(usize, usize)> = per_block
+            .iter()
+            .flat_map(|(_, _, picks)| picks.iter())
+            .map(|&i| {
+                let e = &self.meta.index[i];
+                (e.offset as usize, e.len as usize)
+            })
+            .collect();
+        let model = self.read_cost_model().with_lookup(lookup);
+        let (strategy, _, _) = model.choose_local(&ranges);
+        let (windows, t) = match strategy {
+            ReadStrategy::Sieve => self.fs.read_sieved(
+                &self.path,
+                &ranges,
+                lookup,
+                model.max_gap(),
+                self.client,
+                now,
+            )?,
+            _ => self
+                .fs
+                .read_shared_multi(&self.path, &ranges, lookup, self.client, now)?,
+        };
+        let mut out = Vec::with_capacity(ids.len());
+        let mut w = 0usize;
+        for (id, prefix, picks) in &per_block {
+            let meta = self.decode_shared_verified_once(picks[0], &windows[w], &mut 0)?;
+            let (got_id, window, attrs) = parse_block_meta(&meta)?;
+            if got_id != *id {
+                return Err(RocError::Corrupt(format!(
+                    "block meta id {got_id} != requested {id}"
+                )));
+            }
+            let mut block = DataBlock::new(*id, window);
+            block.attrs = attrs;
+            for (&i, win) in picks[1..].iter().zip(&windows[w + 1..]) {
+                let e = &self.meta.index[i];
+                let member = e.name.strip_prefix(prefix).expect("filtered on prefix");
+                let mut ds = self.decode_shared_verified_once(i, win, &mut 0)?;
+                ds.name = member.to_string();
+                block.push_dataset(ds)?;
+            }
+            w += picks.len();
+            out.push(block);
+        }
+        Ok((out, t))
+    }
+
+    /// Read the raw record images of the given blocks for redistribution:
+    /// the two-phase aggregator's phase one. All requested records are
+    /// fetched as **one contiguous domain read per hole-cluster** (the
+    /// sieve with an unbounded gap: a file domain is read straight
+    /// through, holes included, with a single lookup charged per covering
+    /// read — positioned raw I/O, not per-record library access). Each
+    /// block comes back as its records' zero-copy windows, `__meta__`
+    /// first — self-describing bytes ready to ship over the wire; the
+    /// receiver decodes and CRC-checks them itself.
+    #[allow(clippy::type_complexity)]
+    pub fn read_blocks_raw(
+        &self,
+        ids: &[BlockId],
+        now: SimTime,
+    ) -> Result<(Vec<(BlockId, Vec<bytes::Bytes>)>, SimTime)> {
+        let mut per_block: Vec<(BlockId, Vec<usize>)> = Vec::with_capacity(ids.len());
+        for &id in ids {
+            let prefix = crate::format::block_prefix(id);
+            let meta_name = format!("{prefix}{BLOCK_META}");
+            let mut picks: Vec<usize> = self
+                .meta
+                .index
+                .iter()
+                .enumerate()
+                .filter(|(_, e)| e.name.starts_with(&prefix))
+                .map(|(i, _)| i)
+                .collect();
+            // Meta first even when a straggler member was appended before
+            // it in file order (raw shipping preserves decode order).
+            let meta_at = picks
+                .iter()
+                .position(|&i| self.meta.index[i].name == meta_name)
+                .ok_or_else(|| {
+                    RocError::NotFound(format!("block {id} meta in '{}'", self.path))
+                })?;
+            let meta_idx = picks.remove(meta_at);
+            picks.insert(0, meta_idx);
+            per_block.push((id, picks));
+        }
+        let lookup = self.lib.lookup_cost(self.meta.index.len());
+        let ranges: Vec<(usize, usize)> = per_block
+            .iter()
+            .flat_map(|(_, picks)| picks.iter())
+            .map(|&i| {
+                let e = &self.meta.index[i];
+                (e.offset as usize, e.len as usize)
+            })
+            .collect();
+        let (windows, t) =
+            self.fs
+                .read_sieved(&self.path, &ranges, lookup, usize::MAX, self.client, now)?;
+        let mut out = Vec::with_capacity(ids.len());
+        let mut w = 0usize;
+        for (id, picks) in &per_block {
+            out.push((*id, windows[w..w + picks.len()].to_vec()));
+            w += picks.len();
+        }
+        Ok((out, t))
     }
 
     /// Read every block in the file.
@@ -676,6 +973,143 @@ mod tests {
         fs.append("snap.sdf", &bad, 0, 10.0).unwrap();
         let (r, t3) = SdfFileReader::open(&fs, "snap.sdf", LibraryModel::hdf4(), 1, 10.0).unwrap();
         assert!(r.read_block_shared(BlockId(1), t3).is_err());
+    }
+
+    #[test]
+    fn strided_read_matches_manual_gather() {
+        // Column slice of a [64, 16] array: 64 pieces of 2 elements with
+        // stride 16 — dense holes, so on Turing the sieve path runs; on an
+        // ideal disk (max_gap 0) the per-range path runs. Same bytes.
+        let values: Vec<f64> = (0..1024).map(|i| i as f64).collect();
+        let want: Vec<f64> = (0..64)
+            .flat_map(|r| values[r * 16 + 3..r * 16 + 5].to_vec())
+            .collect();
+        for fs in [SharedFs::ideal(), SharedFs::turing()] {
+            let block = DataBlock::new(BlockId(1), "w").with_dataset(
+                Dataset::new("grid", vec![64, 16], ArrayData::F64(values.clone())).unwrap(),
+            );
+            let (mut w, t) =
+                SdfFileWriter::create(&fs, "s.sdf", LibraryModel::hdf4(), 0, 0.0).unwrap();
+            let t = w.append_block(&block, t).unwrap();
+            w.finish(t).unwrap();
+            let (r, t) = SdfFileReader::open(&fs, "s.sdf", LibraryModel::hdf4(), 1, 0.0).unwrap();
+            let (ds, t2) = r.read_dataset_strided("blk000001/grid", 3, 64, 2, 16, t).unwrap();
+            assert!(t2 > t);
+            assert_eq!(ds.shape, vec![64, 2]);
+            assert_eq!(ds.data.as_f64().unwrap(), &want[..]);
+            // Degenerate and out-of-range cases.
+            let (empty, te) = r.read_dataset_strided("blk000001/grid", 0, 0, 2, 16, t).unwrap();
+            assert_eq!(empty.shape, vec![0, 2]);
+            // Pays lookup + header read, then transfers nothing.
+            assert!(te >= t && te < t2);
+            assert!(r.read_dataset_strided("blk000001/grid", 3, 64, 14, 16, t).is_err());
+            assert!(r.read_dataset_strided("ghost", 0, 1, 1, 1, t).is_err());
+        }
+    }
+
+    #[test]
+    fn strided_sieve_beats_per_piece_reads_on_dense_holes() {
+        let fs = SharedFs::turing();
+        let values: Vec<f64> = (0..32_768).map(|i| i as f64).collect();
+        let block = DataBlock::new(BlockId(1), "w").with_dataset(
+            Dataset::new("grid", vec![256, 128], ArrayData::F64(values.clone())).unwrap(),
+        );
+        let (mut w, t) = SdfFileWriter::create(&fs, "s.sdf", LibraryModel::Raw, 0, 0.0).unwrap();
+        let t = w.append_block(&block, t).unwrap();
+        w.finish(t).unwrap();
+        let (r, t) = SdfFileReader::open(&fs, "s.sdf", LibraryModel::Raw, 1, 0.0).unwrap();
+        // One 8-element column from each of 256 rows.
+        let (ds, t_strided) = r.read_dataset_strided("blk000001/grid", 0, 256, 8, 128, t).unwrap();
+        assert_eq!(ds.shape, vec![256, 8]);
+        // Naive: one range read per piece.
+        let mut t_naive = t;
+        for i in 0..256 {
+            let (piece, t2) = r.read_dataset_range("blk000001/grid", i * 128, 8, t_naive).unwrap();
+            assert_eq!(piece.data.as_f64().unwrap(), &values[i * 128..i * 128 + 8]);
+            t_naive = t2;
+        }
+        assert!(
+            (t_strided - t) * 2.0 < t_naive - t,
+            "sieved strided read {:.6}s not ≥2x faster than per-piece {:.6}s",
+            t_strided - t,
+            t_naive - t
+        );
+    }
+
+    #[test]
+    fn block_subset_matches_full_block() {
+        let fs = SharedFs::turing();
+        let blocks = write_sample(&fs);
+        let (r, t) = SdfFileReader::open(&fs, "snap.sdf", LibraryModel::hdf4(), 1, 0.0).unwrap();
+        for want in &blocks {
+            let (sub, t2) = r.read_block_subset(want.id, &["ids"], t).unwrap();
+            assert!(t2 > t);
+            assert_eq!(sub.id, want.id);
+            assert_eq!(sub.attrs, want.attrs);
+            assert_eq!(sub.datasets.len(), 1);
+            assert_eq!(sub.dataset("ids").unwrap(), want.dataset("ids").unwrap());
+            // Full subset == full block.
+            let (full, _) = r.read_block_subset(want.id, &["pressure", "ids"], t).unwrap();
+            let (whole, _) = r.read_block_shared(want.id, t).unwrap();
+            assert_eq!(full, whole);
+        }
+        assert!(r.read_block_subset(blocks[0].id, &["ghost"], t).is_err());
+    }
+
+    #[test]
+    fn blocks_sieved_match_chained_shared_reads() {
+        let fs_a = SharedFs::turing();
+        let fs_b = SharedFs::turing();
+        let blocks = write_sample(&fs_a);
+        write_sample(&fs_b);
+        let ids: Vec<BlockId> = blocks.iter().map(|b| b.id).collect();
+        let (ra, ta) = SdfFileReader::open(&fs_a, "snap.sdf", LibraryModel::hdf4(), 1, 0.0).unwrap();
+        let (rb, tb) = SdfFileReader::open(&fs_b, "snap.sdf", LibraryModel::hdf4(), 1, 0.0).unwrap();
+        let (batch, t_batch) = ra.read_blocks_sieved(&ids, ta).unwrap();
+        let mut chained = Vec::new();
+        let mut t_chain = tb;
+        for &id in &ids {
+            let (b, t2) = rb.read_block_shared(id, t_chain).unwrap();
+            chained.push(b);
+            t_chain = t2;
+        }
+        assert_eq!(batch, chained);
+        assert_eq!(batch, blocks);
+        // The batch is never slower; with contiguous neighbouring blocks
+        // the sieve merges their records into fewer covering reads.
+        assert!(t_batch <= t_chain);
+        let (none, t_none) = ra.read_blocks_sieved(&[], ta).unwrap();
+        assert!(none.is_empty() && t_none == ta);
+    }
+
+    #[test]
+    fn blocks_raw_round_trip_through_decode() {
+        let fs = SharedFs::turing();
+        let blocks = write_sample(&fs);
+        let ids: Vec<BlockId> = blocks.iter().map(|b| b.id).collect();
+        let (r, t) = SdfFileReader::open(&fs, "snap.sdf", LibraryModel::hdf4(), 1, 0.0).unwrap();
+        let before = fs.stats();
+        let (raw, t2) = r.read_blocks_raw(&ids, t).unwrap();
+        assert!(t2 > t);
+        // One covering read: all records are contiguous in the file.
+        assert_eq!(fs.stats().read_ops, before.read_ops + 1);
+        assert_eq!(raw.len(), blocks.len());
+        for ((id, records), want) in raw.iter().zip(&blocks) {
+            assert_eq!(*id, want.id);
+            // Records are self-describing: meta first, then members.
+            let meta = crate::format::decode_dataset_shared(&records[0], &mut 0).unwrap();
+            let (got_id, window, attrs) = parse_block_meta(&meta).unwrap();
+            assert_eq!(got_id, want.id);
+            let mut rebuilt = DataBlock::new(got_id, window);
+            rebuilt.attrs = attrs;
+            let prefix = crate::format::block_prefix(got_id);
+            for rec in &records[1..] {
+                let mut ds = crate::format::decode_dataset_shared(rec, &mut 0).unwrap();
+                ds.name = ds.name.strip_prefix(&prefix).unwrap().to_string();
+                rebuilt.push_dataset(ds).unwrap();
+            }
+            assert_eq!(&rebuilt, want);
+        }
     }
 
     #[test]

@@ -559,6 +559,14 @@ impl SharedFs {
     /// The windows stay valid (and keep their bytes) across later
     /// mutations or deletion of the file: mutating a frozen file thaws it
     /// into a fresh buffer, so outstanding windows pin the old one.
+    ///
+    /// Degenerate inputs are well-defined rather than caller discipline:
+    /// an empty range list returns `(vec![], now)` without touching the
+    /// file; a zero-length range yields an empty window and charges
+    /// nothing (no lead, no op, no bytes); an exact duplicate of an
+    /// earlier range yields a clone of the same window and is charged
+    /// once, at its first appearance. Distinct-but-overlapping ranges are
+    /// distinct requests and each pays full freight.
     pub fn read_shared_multi(
         &self,
         path: &str,
@@ -567,27 +575,16 @@ impl SharedFs {
         client: u64,
         now: SimTime,
     ) -> Result<(Vec<Bytes>, SimTime)> {
-        let windows = {
-            let mut files = self.files.lock();
-            let f = files
-                .get_mut(path)
-                .ok_or_else(|| RocError::Storage(format!("read: no such file '{path}'")))?;
-            let data = f.data.freeze();
-            let eof = data.len();
-            let mut out = Vec::with_capacity(ranges.len());
-            for &(offset, len) in ranges {
-                if offset + len > eof {
-                    return Err(RocError::Storage(format!(
-                        "read: range {offset}..{} beyond EOF {eof} in '{path}'",
-                        offset + len,
-                    )));
-                }
-                out.push(data.slice(offset..offset + len));
-            }
-            out
-        };
+        if ranges.is_empty() {
+            return Ok((Vec::new(), now));
+        }
+        let windows = self.slice_windows(path, ranges)?;
+        let mut seen = std::collections::HashSet::with_capacity(ranges.len());
         let mut t = now;
-        for &(_, len) in ranges {
+        for &(offset, len) in ranges {
+            if len == 0 || !seen.insert((offset, len)) {
+                continue;
+            }
             let mut stats = self.stats.lock();
             stats.bytes_read += len as u64;
             stats.read_ops += 1;
@@ -596,6 +593,68 @@ impl SharedFs {
             t = self.charge_read(path, len, client, t);
         }
         Ok((windows, t))
+    }
+
+    /// Read a batch of ranges by **data sieving**: one contiguous read per
+    /// hole-cluster (see [`crate::sieve::SievePlan`]), with the requested
+    /// pieces carved out of the frozen image as zero-copy sub-windows.
+    /// Byte-identical to [`SharedFs::read_shared_multi`] on the same
+    /// ranges; the timing and stats instead charge one op per *covering
+    /// window* — holes included in `bytes_read`, because the disk really
+    /// transfers them — chained in ascending-offset order with `lead`
+    /// before each window. Fewer, larger charges is the whole point:
+    /// dense small holes amortize seeks away.
+    ///
+    /// `max_gap` is the largest hole worth reading through; callers derive
+    /// it from the disk model (`seek · read_bw`). Degenerate inputs follow
+    /// the same rules as `read_shared_multi`.
+    pub fn read_sieved(
+        &self,
+        path: &str,
+        ranges: &[(usize, usize)],
+        lead: SimTime,
+        max_gap: usize,
+        client: u64,
+        now: SimTime,
+    ) -> Result<(Vec<Bytes>, SimTime)> {
+        if ranges.is_empty() {
+            return Ok((Vec::new(), now));
+        }
+        let windows = self.slice_windows(path, ranges)?;
+        let plan = crate::sieve::SievePlan::build(ranges, max_gap);
+        let mut t = now;
+        for &(_, len) in &plan.windows {
+            let mut stats = self.stats.lock();
+            stats.bytes_read += len as u64;
+            stats.read_ops += 1;
+            drop(stats);
+            t += lead;
+            t = self.charge_read(path, len, client, t);
+        }
+        Ok((windows, t))
+    }
+
+    /// Freeze `path` and slice one zero-copy window per requested range,
+    /// in input order (shared by the per-range and sieved read paths; no
+    /// timing or stats).
+    fn slice_windows(&self, path: &str, ranges: &[(usize, usize)]) -> Result<Vec<Bytes>> {
+        let mut files = self.files.lock();
+        let f = files
+            .get_mut(path)
+            .ok_or_else(|| RocError::Storage(format!("read: no such file '{path}'")))?;
+        let data = f.data.freeze();
+        let eof = data.len();
+        let mut out = Vec::with_capacity(ranges.len());
+        for &(offset, len) in ranges {
+            if offset + len > eof {
+                return Err(RocError::Storage(format!(
+                    "read: range {offset}..{} beyond EOF {eof} in '{path}'",
+                    offset + len,
+                )));
+            }
+            out.push(data.slice(offset..offset + len));
+        }
+        Ok(out)
     }
 
     /// Read `len` bytes at `offset` as a zero-copy window (same virtual
@@ -954,6 +1013,109 @@ mod tests {
         assert_eq!(t_multi, t);
         assert_eq!(a.stats(), b.stats());
         assert_eq!(a.stats().read_ops, ranges.len() as u64);
+    }
+
+    #[test]
+    fn read_multi_empty_range_list_is_a_no_op() {
+        let fs = SharedFs::turing();
+        fs.create("f", 0, 0.0);
+        fs.append("f", b"abc", 0, 0.0).unwrap();
+        let before = fs.stats();
+        let (windows, t) = fs.read_shared_multi("f", &[], 0.5, 0, 7.0).unwrap();
+        assert!(windows.is_empty());
+        assert_eq!(t, 7.0);
+        assert_eq!(fs.stats(), before);
+        // An empty list never touches the file — not even to check it exists.
+        let (w2, t2) = fs.read_shared_multi("nope", &[], 0.5, 0, 7.0).unwrap();
+        assert!(w2.is_empty() && t2 == 7.0);
+    }
+
+    #[test]
+    fn read_multi_zero_length_ranges_yield_empty_windows_free() {
+        let fs = SharedFs::turing();
+        fs.create("f", 0, 0.0);
+        fs.append("f", &[7u8; 64], 0, 0.0).unwrap();
+        let before = fs.stats();
+        let (windows, t) =
+            fs.read_shared_multi("f", &[(0, 0), (10, 0), (64, 0)], 0.5, 0, 3.0).unwrap();
+        assert_eq!(windows.len(), 3);
+        assert!(windows.iter().all(|w| w.is_empty()));
+        assert_eq!(t, 3.0, "zero-length ranges charge no lead and no read");
+        assert_eq!(fs.stats(), before);
+        // Beyond EOF is still an error, zero-length or not.
+        assert!(fs.read_shared_multi("f", &[(65, 0)], 0.0, 0, 3.0).is_err());
+        // Mixed with a real range, only the real range is charged.
+        let (ws, _) = fs.read_shared_multi("f", &[(0, 0), (4, 8)], 0.0, 0, 3.0).unwrap();
+        assert_eq!(ws[1].len(), 8);
+        assert_eq!(fs.stats().read_ops, before.read_ops + 1);
+        assert_eq!(fs.stats().bytes_read, before.bytes_read + 8);
+    }
+
+    #[test]
+    fn read_multi_duplicate_ranges_charge_once_overlaps_charge_each() {
+        let fs = SharedFs::turing();
+        fs.create("f", 0, 0.0);
+        fs.append("f", &[5u8; 128], 0, 0.0).unwrap();
+        let before = fs.stats();
+        // Exact duplicates: three windows out, one charge.
+        let (windows, _) =
+            fs.read_shared_multi("f", &[(8, 16), (8, 16), (8, 16)], 0.0, 0, 1.0).unwrap();
+        assert_eq!(windows.len(), 3);
+        assert!(windows.iter().all(|w| w.as_slice() == windows[0].as_slice()));
+        assert_eq!(fs.stats().read_ops, before.read_ops + 1);
+        assert_eq!(fs.stats().bytes_read, before.bytes_read + 16);
+        // Overlapping-but-distinct ranges are distinct requests.
+        let mid = fs.stats();
+        let (ws, _) = fs.read_shared_multi("f", &[(0, 32), (16, 32)], 0.0, 0, 2.0).unwrap();
+        assert_eq!(ws.len(), 2);
+        assert_eq!(fs.stats().read_ops, mid.read_ops + 2);
+        assert_eq!(fs.stats().bytes_read, mid.bytes_read + 64);
+    }
+
+    #[test]
+    fn read_sieved_is_byte_identical_and_charges_per_window() {
+        // 16-byte pieces every 64 bytes: per-range pays a seek each; the
+        // sieve reads one covering window (48-byte holes <= max_gap).
+        let per = SharedFs::turing();
+        let sieve = SharedFs::turing();
+        let image: Vec<u8> = (0..4096u32).map(|i| (i % 251) as u8).collect();
+        for fs in [&per, &sieve] {
+            fs.create("f", 0, 0.0);
+            fs.append("f", &image, 0, 0.0).unwrap();
+        }
+        let ranges: Vec<_> = (0..32).map(|i| (i * 64, 16)).collect();
+        let (w_per, t_per) = per.read_shared_multi("f", &ranges, 0.0, 1, 10.0).unwrap();
+        let (w_sieve, t_sieve) = sieve.read_sieved("f", &ranges, 0.0, 64, 1, 10.0).unwrap();
+        for (a, b) in w_per.iter().zip(&w_sieve) {
+            assert_eq!(a.as_slice(), b.as_slice());
+        }
+        let plan = crate::sieve::SievePlan::build(&ranges, 64);
+        assert_eq!(plan.n_windows(), 1);
+        assert_eq!(per.stats().read_ops, ranges.len() as u64);
+        assert_eq!(sieve.stats().read_ops, plan.n_windows() as u64);
+        assert_eq!(sieve.stats().bytes_read, plan.total_bytes as u64);
+        assert!(
+            t_sieve - 10.0 < (t_per - 10.0) / 2.0,
+            "sieve {:.6}s not ≥2x faster than per-range {:.6}s",
+            t_sieve - 10.0,
+            t_per - 10.0
+        );
+        // Sparse request (holes > max_gap): the sieve degenerates to
+        // per-range and must be cost-identical to read_shared_multi.
+        let sparse: Vec<_> = (0..8).map(|i| (i * 512, 16)).collect();
+        let a = SharedFs::turing();
+        let b = SharedFs::turing();
+        for fs in [&a, &b] {
+            fs.create("f", 0, 0.0);
+            fs.append("f", &image, 0, 0.0).unwrap();
+        }
+        let (wa, ta) = a.read_shared_multi("f", &sparse, 0.25, 1, 0.0).unwrap();
+        let (wb, tb) = b.read_sieved("f", &sparse, 0.25, 16, 1, 0.0).unwrap();
+        assert_eq!(ta, tb);
+        assert_eq!(a.stats(), b.stats());
+        for (x, y) in wa.iter().zip(&wb) {
+            assert_eq!(x.as_slice(), y.as_slice());
+        }
     }
 
     #[test]

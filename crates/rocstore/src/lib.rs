@@ -23,6 +23,8 @@
 
 pub mod fs;
 pub mod model;
+pub mod sieve;
 
 pub use fs::{CacheValue, FsStats, SharedFs};
 pub use model::{ContentionCurve, DiskModel};
+pub use sieve::SievePlan;

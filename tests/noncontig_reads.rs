@@ -1,0 +1,222 @@
+//! Noncontiguous-read equivalence: every read strategy — per-range,
+//! data-sieved, two-phase collective — must return byte-identical data
+//! for the same request, on any stride pattern and any reader/writer
+//! partition mismatch, with run-to-run deterministic virtual charges.
+//! Strategies differ *only* in modelled time; the crossover between them
+//! is the cost model's business (DESIGN.md §14), never correctness's.
+
+use std::sync::Arc;
+
+use genx_repro::core::{BlockId, DataBlock, Dataset, SnapshotId};
+use genx_repro::genx::{final_snapshot, run_genx, run_genx_restart, GenxConfig, IoChoice, WorkloadKind};
+use genx_repro::rochdf::{read_partitioned, RochdfConfig};
+use genx_repro::rocnet::cluster::ClusterSpec;
+use genx_repro::rocnet::run_ranks;
+use genx_repro::rocsdf::{LibraryModel, SdfFileReader, SdfFileWriter};
+use genx_repro::rocstore::{SharedFs, SievePlan};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// rocstore level: a sieved read returns exactly the bytes of the
+    /// equivalent per-range read, window for window, whatever the ranges
+    /// (including overlaps and duplicates), and both paths charge the
+    /// same virtual time on every repetition.
+    #[test]
+    fn sieved_read_matches_per_range_on_random_ranges(
+        file_len in 64usize..2048,
+        raw in prop::collection::vec((0usize..2048, 0usize..96), 1..12),
+        max_gap in 0usize..512,
+    ) {
+        let ranges: Vec<(usize, usize)> = raw
+            .iter()
+            .map(|&(o, l)| (o % file_len, l.min(file_len - o % file_len)))
+            .collect();
+        let run = || {
+            let fs = SharedFs::turing();
+            let data: Vec<u8> = (0..file_len).map(|i| (i * 31 % 251) as u8).collect();
+            fs.create("f", 0, 0.0);
+            fs.append("f", &data, 0, 0.0).unwrap();
+            let (multi, t_multi) = fs.read_shared_multi("f", &ranges, 0.0, 0, 1.0).unwrap();
+            let (sieved, t_sieve) = fs.read_sieved("f", &ranges, 0.0, max_gap, 1, 1.0).unwrap();
+            (multi, t_multi, sieved, t_sieve)
+        };
+        let (multi, t_multi, sieved, t_sieve) = run();
+        prop_assert_eq!(multi.len(), sieved.len());
+        for (a, b) in multi.iter().zip(sieved.iter()) {
+            prop_assert_eq!(a.as_ref(), b.as_ref());
+        }
+        // A sieve plan never plans more disk ops than per-range issues.
+        let plan = SievePlan::build(&ranges, max_gap);
+        prop_assert!(plan.n_windows() <= ranges.len());
+        // Charge-order determinism: identical virtual totals on a rerun.
+        let (_, t_multi2, _, t_sieve2) = run();
+        prop_assert_eq!(t_multi, t_multi2);
+        prop_assert_eq!(t_sieve, t_sieve2);
+    }
+
+    /// rochdf level: the two-phase collective hands every rank exactly
+    /// the blocks it asked for, byte-identical to what was written, on
+    /// random writer/reader/aggregator partition mismatches — and its
+    /// per-rank completion times are run-to-run deterministic.
+    #[test]
+    fn two_phase_matches_written_blocks_on_random_partitions(
+        n_writers in 1usize..5,
+        blocks_per in 1usize..4,
+        n_readers in 1usize..5,
+        n_agg in 1usize..5,
+        salt in 0u64..1000,
+    ) {
+        let cfg = RochdfConfig::default();
+        let snap = SnapshotId::new(0, 0);
+        let mut written: Vec<DataBlock> = Vec::new();
+        for w in 0..n_writers {
+            for b in 0..blocks_per {
+                let id = BlockId((w * blocks_per + b) as u64);
+                let vals: Vec<f64> = (0..24).map(|i| (id.0 * 977 + salt + i) as f64).collect();
+                written.push(
+                    DataBlock::new(id, "fluid")
+                        .with_dataset(Dataset::vector("p", vals).with_attr("units", "Pa")),
+                );
+            }
+        }
+        let prefix = cfg.prefix("fluid", snap);
+        // Shuffle-ish assignment: block id -> reader via a salted hash.
+        let reader_of = |id: u64| ((id * 2654435761 + salt) % n_readers as u64) as usize;
+        // Each run builds a fresh, identical universe (determinism is a
+        // property of equal starting states; shared caches warm across
+        // reads by design).
+        let run = || {
+            let fs = SharedFs::turing();
+            for w in 0..n_writers {
+                let path = cfg.path("fluid", snap, w);
+                let (mut fw, mut t) =
+                    SdfFileWriter::create(&fs, &path, cfg.lib, w as u64, 0.0).unwrap();
+                for block in written.iter().filter(|b| b.id.0 as usize / blocks_per == w) {
+                    t = fw.append_block(block, t).unwrap();
+                }
+                fw.finish(t).unwrap();
+            }
+            run_ranks(n_readers, ClusterSpec::turing(n_readers), |comm| {
+                let want: Vec<BlockId> = written
+                    .iter()
+                    .map(|b| b.id)
+                    .filter(|id| reader_of(id.0) == comm.rank())
+                    .collect();
+                let (blocks, t) = read_partitioned(
+                    &fs,
+                    &comm,
+                    LibraryModel::hdf4(),
+                    &prefix,
+                    &want,
+                    n_agg,
+                )
+                .unwrap();
+                (blocks, t)
+            })
+        };
+        let first = run();
+        for (rank, (blocks, _)) in first.iter().enumerate() {
+            let mut expect: Vec<DataBlock> = written
+                .iter()
+                .filter(|b| reader_of(b.id.0) == rank)
+                .cloned()
+                .collect();
+            expect.sort_by_key(|b| b.id);
+            prop_assert_eq!(blocks, &expect, "rank {} of {}", rank, n_readers);
+        }
+        let again = run();
+        for ((_, t1), (_, t2)) in first.iter().zip(again.iter()) {
+            prop_assert_eq!(t1, t2);
+        }
+    }
+}
+
+/// End-to-end restart flexibility: a snapshot written by an N-rank run
+/// restores bit-identically onto M≠N ranks, through the individual path
+/// and through the two-phase collective alike.
+#[test]
+fn restart_onto_different_rank_count_is_bit_identical() {
+    let fs = Arc::new(SharedFs::ideal());
+    let mut cfg = GenxConfig::new(
+        "mn-restart",
+        WorkloadKind::LabScale { seed: 7, scale: 0.05 },
+        IoChoice::Rochdf,
+    );
+    cfg.steps = 10;
+    cfg.snapshot_every = 5;
+    let report = run_genx(ClusterSpec::ideal(4), &fs, &cfg).unwrap();
+    assert!(report.restart_ok);
+    let snap = final_snapshot(&cfg);
+
+    // Same rank count, individual path: the reference restoration.
+    let same = run_genx_restart(ClusterSpec::ideal(4), &fs, &cfg, snap).unwrap();
+    assert!(same.blocks_read > 0);
+    assert!(same.restart_time > 0.0);
+
+    // Fewer ranks via two-phase with 2 aggregators, and more ranks via a
+    // single aggregator: the restored global state must not change.
+    for (m, agg) in [(3usize, 2usize), (2, 1), (5, 3)] {
+        let mut tp = cfg.clone();
+        tp.rochdf.read_aggregators = agg;
+        let r = run_genx_restart(ClusterSpec::ideal(m), &fs, &tp, snap).unwrap();
+        assert_eq!(r.state_hash, same.state_hash, "{m} ranks / {agg} aggregators");
+        assert_eq!(r.blocks_read, same.blocks_read);
+        assert!(r.restart_time > 0.0);
+    }
+
+    // And M≠N through the *individual* path agrees too.
+    let ind = run_genx_restart(ClusterSpec::ideal(3), &fs, &cfg, snap).unwrap();
+    assert_eq!(ind.state_hash, same.state_hash);
+}
+
+/// The sieve planner's covering windows always cover every requested
+/// byte and never read past the merged extent of the request.
+#[test]
+fn sieve_plan_covers_all_ranges() {
+    let ranges = [(10usize, 20usize), (50, 5), (40, 8), (100, 0), (12, 30)];
+    for max_gap in [0usize, 8, 64, usize::MAX] {
+        let plan = SievePlan::build(&ranges, max_gap);
+        for &(off, len) in &ranges {
+            if len == 0 {
+                continue;
+            }
+            assert!(
+                plan.windows
+                    .iter()
+                    .any(|&(w_off, w_len)| w_off <= off && off + len <= w_off + w_len),
+                "range ({off},{len}) uncovered at max_gap {max_gap}"
+            );
+        }
+        assert!(plan.useful_bytes <= plan.total_bytes);
+    }
+}
+
+/// Strided dataset reads agree with whole-dataset reads on the selected
+/// elements, for a pattern that crosses both the sieve and per-range
+/// regimes of the cost model.
+#[test]
+fn strided_read_agrees_with_full_read() {
+    let fs = SharedFs::turing();
+    let vals: Vec<f64> = (0..4096).map(|i| i as f64 * 0.25).collect();
+    let block = DataBlock::new(BlockId(1), "fluid")
+        .with_dataset(Dataset::new("grid", vec![64, 64], vals.clone().into()).unwrap());
+    let (mut w, t) = SdfFileWriter::create(&fs, "s.sdf", LibraryModel::hdf4(), 0, 0.0).unwrap();
+    let t = w.append_block(&block, t).unwrap();
+    w.finish(t).unwrap();
+    let (r, t) = SdfFileReader::open(&fs, "s.sdf", LibraryModel::hdf4(), 1, 0.0).unwrap();
+    // A column slice (dense holes, sieve regime) and a sparse pick.
+    for (start, count, blk, stride) in [(8usize, 64usize, 4usize, 64usize), (0, 4, 8, 1024)] {
+        let (ds, _) = r
+            .read_dataset_strided("blk000001/grid", start, count, blk, stride, t)
+            .unwrap();
+        let got = ds.data.as_f64().unwrap();
+        let mut expect = Vec::with_capacity(count * blk);
+        for i in 0..count {
+            let s = start + i * stride;
+            expect.extend_from_slice(&vals[s..s + blk]);
+        }
+        assert_eq!(got, &expect[..], "pattern ({start},{count},{blk},{stride})");
+    }
+}
